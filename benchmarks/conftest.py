@@ -1,0 +1,43 @@
+"""Shared benchmark plumbing.
+
+Every benchmark prints the regenerated table/figure rows (paper values
+side by side) and also writes them under ``benchmarks/out/`` so the
+artifacts survive the run.  Heavy experiment benchmarks run one round —
+they are experiments with a timing attached, not microbenchmarks.
+
+Environment knobs:
+
+* ``CSOD_BENCH_RUNS``  — executions per app/policy for Table II
+  (default 100; the paper used 1000).
+* ``CSOD_BENCH_CAP``   — replayed allocations per perf app (default 8000).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+TABLE2_RUNS = int(os.environ.get("CSOD_BENCH_RUNS", "100"))
+PERF_CAP = int(os.environ.get("CSOD_BENCH_CAP", "8000"))
+
+
+@pytest.fixture
+def artifact():
+    """Write (and echo) one benchmark's output rows."""
+
+    def write(name: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / name).write_text(text + "\n")
+        print()
+        print(text)
+
+    return write
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

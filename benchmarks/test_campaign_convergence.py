@@ -1,0 +1,38 @@
+"""§I / §VI claim — every bug is caught across enough executions.
+
+"CSOD did not miss any overflows when considering the 1,000 executions
+together."  This bench runs a campaign per application and requires
+a first detection within the budget, plus prints rates with Wilson
+confidence intervals and the evidence-sharing acceleration for
+over-writes.
+"""
+
+from conftest import once
+
+from repro.experiments.campaign import render_campaigns, run_campaign
+from repro.workloads.buggy import BUGGY_APPS
+
+EXECUTIONS = 80
+
+
+def test_campaign_convergence(benchmark, artifact):
+    def run():
+        results = [
+            run_campaign(name, executions=EXECUTIONS)
+            for name in sorted(BUGGY_APPS)
+        ]
+        results.append(
+            run_campaign("memcached", executions=EXECUTIONS, share_evidence=True)
+        )
+        return results
+
+    results = once(benchmark, run)
+    artifact("campaign_convergence.txt", render_campaigns(results))
+
+    for result in results:
+        assert result.first_detection is not None, result.app
+        lo, hi = result.rate_interval
+        assert lo <= result.rate <= hi
+    shared = results[-1]
+    independent = next(r for r in results if r.app == "memcached")
+    assert shared.hits > independent.hits

@@ -1,0 +1,17 @@
+"""The full claims scorecard at benchmark scale.
+
+One run, every qualitative claim of EXPERIMENTS.md re-checked — the
+artifact-evaluation entry point (`python -m repro validate` is the CLI
+equivalent).
+"""
+
+from conftest import once
+
+from repro.experiments.validation import render_validation, validate
+
+
+def test_claims_scorecard(benchmark, artifact):
+    results = once(benchmark, lambda: validate(runs=60, cap=6000))
+    artifact("claims_scorecard.txt", render_validation(results))
+    failing = [r.claim for r in results if not r.passed]
+    assert not failing, failing

@@ -1,0 +1,21 @@
+"""§V-A2 — evidence-based detection across executions.
+
+"CSOD can always detect these over-write problems during their second
+execution, if missed in the first execution."
+"""
+
+from conftest import once
+
+from repro.experiments.evidence import render_evidence, run_evidence_experiment
+
+
+def test_evidence_second_run(benchmark, artifact):
+    results = once(benchmark, lambda: run_evidence_experiment(attempts=20))
+    artifact("evidence_second_run.txt", render_evidence(results))
+    assert len(results) == 6  # the six over-write applications
+    for result in results:
+        assert result.guarantee_holds, result.app
+    # The late-victim apps must actually exercise the missed-first-run path.
+    by_app = {r.app: r for r in results}
+    assert by_app["memcached"].first_run_missed > 0
+    assert by_app["mysql"].first_run_missed > 0

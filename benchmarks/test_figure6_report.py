@@ -1,0 +1,13 @@
+"""Fig. 6 — the dual-context Heartbleed bug report."""
+
+from conftest import once
+
+from repro.experiments.effectiveness import figure6_report
+
+
+def test_figure6_report(benchmark, artifact):
+    report = once(benchmark, figure6_report)
+    artifact("figure6.txt", report)
+    assert report.startswith("A buffer over-read problem is detected at:")
+    assert "This object is allocated at:" in report
+    assert "OPENSSL" in report

@@ -1,0 +1,80 @@
+"""§VI — detection vs overflow stride, CSOD and ASan side by side.
+
+"CSOD may not be able to detect non-continuous overflows that skip the
+addresses of installed watchpoints... ASan can detect overflows within
+redzones, regardless of stride or continuity... ASan cannot detect
+non-continuous overflows beyond the redzones."
+
+The bench sweeps how far past the object the overflow starts and shows
+both cliffs: CSOD's at the 8-byte boundary word, ASan's at the end of
+the poisoned zone.
+"""
+
+from dataclasses import replace
+
+from conftest import once
+
+from repro.asan import ASanRuntime
+from repro.core import CSODConfig, CSODRuntime
+from repro.experiments.tables import render_table
+from repro.workloads.base import BuggyAppSpec, SimProcess, SyntheticBuggyApp
+
+BASE_SPEC = BuggyAppSpec(
+    name="stride",
+    bug_kind="over-write",
+    vuln_module="STRIDE",
+    reference="§VI",
+    total_contexts=2,
+    total_allocations=2,
+    before_contexts=2,
+    before_allocations=2,
+    victim_alloc_index=1,
+    structural_seed=1,
+)
+
+SKIPS = (0, 4, 8, 16, 32, 64, 96)
+
+
+def detects(skip, runtime_kind):
+    spec = replace(BASE_SPEC, overflow_skip=skip)
+    app = SyntheticBuggyApp(spec)
+    process = SimProcess(seed=1)
+    if runtime_kind == "csod":
+        runtime = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=1)
+        app.run(process)
+        runtime.shutdown()
+        return runtime.detected_by_watchpoint
+    runtime = ASanRuntime(process.machine, process.heap)
+    app.run(process)
+    runtime.shutdown()
+    return runtime.detected
+
+
+def test_limitation_stride(benchmark, artifact):
+    def run():
+        return {
+            skip: (detects(skip, "csod"), detects(skip, "asan"))
+            for skip in SKIPS
+        }
+
+    results = once(benchmark, run)
+    artifact(
+        "limitation_stride.txt",
+        render_table(
+            ["overflow starts at object end +", "CSOD", "ASan (min redzones)"],
+            [
+                [f"{skip} B", "yes" if c else "no", "yes" if a else "no"]
+                for skip, (c, a) in sorted(results.items())
+            ],
+            title="§VI — detection vs overflow stride",
+        ),
+    )
+    csod = {skip: c for skip, (c, a) in results.items()}
+    asan = {skip: a for skip, (c, a) in results.items()}
+    # CSOD: only the boundary word (the 8-byte write at +0 and the +4
+    # write overlapping it) fires the watchpoint.
+    assert csod[0] and csod[4]
+    assert not any(csod[s] for s in (16, 32, 64, 96))
+    # ASan: covered while the landing zone is poisoned, blind beyond.
+    assert asan[0] and asan[4] and asan[8]
+    assert not asan[96]

@@ -1,0 +1,100 @@
+"""Microbenchmarks of the runtime's hot paths.
+
+Classic pytest-benchmark timing (many rounds) of the operations whose
+unit costs the overhead model calibrates: the interposed malloc/free
+pair under CSOD, the context-intern hit path, a watched vs unwatched
+store, and ASan's shadow check.  These put real Python numbers next to
+the modelled nanosecond costs.
+"""
+
+import pytest
+
+from repro.asan.shadow import ShadowMemory, TAG_REDZONE
+from repro.callstack.contexts import ContextInterner
+from repro.callstack.frames import CallSite, CallStack
+from repro.core import CSODConfig, CSODRuntime
+from repro.workloads.base import SimProcess
+
+
+@pytest.fixture
+def csod_process():
+    process = SimProcess(seed=1)
+    csod = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=1)
+    site = CallSite("BENCH", "hot.c", 1, "hot_alloc")
+    process.main_thread.call_stack.push(site)
+    return process, csod
+
+
+def test_malloc_free_pair_under_csod(benchmark, csod_process):
+    process, _csod = csod_process
+    thread = process.main_thread
+    heap = process.heap
+
+    def pair():
+        address = heap.malloc(thread, 64)
+        heap.free(thread, address)
+
+    benchmark(pair)
+
+
+def test_malloc_free_pair_raw(benchmark):
+    process = SimProcess(seed=1)
+    thread = process.main_thread
+    heap = process.heap
+
+    def pair():
+        address = heap.malloc(thread, 64)
+        heap.free(thread, address)
+
+    benchmark(pair)
+
+
+def test_context_intern_hit_path(benchmark):
+    interner = ContextInterner()
+    stack = CallStack()
+    stack.push(CallSite("BENCH", "a.c", 1, "main"))
+    stack.push(CallSite("BENCH", "b.c", 2, "alloc"))
+    interner.intern(stack)  # prime the table
+
+    benchmark(lambda: interner.intern(stack))
+
+
+def test_store_without_watchpoint(benchmark, csod_process):
+    process, _ = csod_process
+    thread = process.main_thread
+    address = process.heap.malloc(thread, 64)
+    data = b"x" * 8
+
+    benchmark(lambda: process.machine.cpu.store(thread, address, data))
+
+
+def test_store_with_watchpoint_miss(benchmark, csod_process):
+    """A store near (but not on) a watched word: the hardware-check path."""
+    process, csod = csod_process
+    thread = process.main_thread
+    address = process.heap.malloc(thread, 64)
+    assert csod.wmu.find_by_object_address(address) is not None
+    data = b"x" * 8
+
+    benchmark(lambda: process.machine.cpu.store(thread, address, data))
+
+
+def test_shadow_check_clean(benchmark):
+    shadow = ShadowMemory()
+    shadow.poison(0x2000, 16, TAG_REDZONE)
+
+    benchmark(lambda: shadow.check(0x1000, 8))
+
+
+def test_abstract_model_run(benchmark):
+    from repro.analysis import AbstractDetector
+    from repro.workloads.buggy import app_for
+
+    spec = app_for("memcached").spec
+
+    counter = iter(range(10**9))
+
+    def run():
+        AbstractDetector(spec, seed=next(counter)).run()
+
+    benchmark(run)

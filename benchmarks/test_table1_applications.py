@@ -1,0 +1,11 @@
+"""Table I — the nine buggy applications."""
+
+from conftest import once
+
+from repro.experiments.effectiveness import render_table1
+
+
+def test_table1_applications(benchmark, artifact):
+    table = once(benchmark, render_table1)
+    artifact("table1.txt", table)
+    assert "heartbleed" in table

@@ -1,0 +1,31 @@
+"""Table III — characteristics of the buggy applications (full scale)."""
+
+from conftest import once
+
+from repro.experiments import paper_data
+from repro.experiments.characteristics import render_table3, run_table3
+
+
+def test_table3_bug_characteristics(benchmark, artifact):
+    rows = once(benchmark, run_table3)
+    artifact("table3.txt", render_table3(rows))
+
+    for row in rows:
+        paper = paper_data.TABLE3[row.app]
+        if row.app == "heartbleed":
+            # The paper names more post-overflow contexts than there are
+            # post-overflow allocations; the surplus cannot materialize.
+            assert row.before_contexts == paper[2]
+            assert row.before_allocations == paper[3]
+        elif row.app == "libhx":
+            # Documented deviation: the access is placed after the
+            # remaining allocations to preserve the Table II dynamics.
+            assert row.total_contexts == paper[0]
+            assert row.total_allocations == paper[1]
+        else:
+            assert (
+                row.total_contexts,
+                row.total_allocations,
+                row.before_contexts,
+                row.before_allocations,
+            ) == paper

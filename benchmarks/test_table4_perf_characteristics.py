@@ -1,0 +1,19 @@
+"""Table IV — characteristics of the performance applications."""
+
+from conftest import PERF_CAP, once
+
+from repro.experiments.characteristics import render_table4, run_table4
+
+
+def test_table4_perf_characteristics(benchmark, artifact):
+    rows = once(benchmark, lambda: run_table4(sim_alloc_cap=PERF_CAP))
+    artifact("table4.txt", render_table4(rows))
+
+    by_app = {row.app: row for row in rows}
+    # Watched-times ordering shape: tiny-allocation apps watch a handful
+    # of times, MySQL watches the most (as in the paper's WT column).
+    assert by_app["blackscholes"].watched_times <= 6
+    assert by_app["pfscan"].watched_times <= 6
+    assert by_app["mysql"].watched_times == max(r.watched_times for r in rows)
+    # Every app watches at least its first four objects.
+    assert all(row.watched_times >= 4 for row in rows)

@@ -1,0 +1,24 @@
+"""Table V — memory usage: original vs CSOD vs ASan."""
+
+from conftest import once
+
+from repro.experiments.memory_usage import render_table5, run_table5, totals
+
+
+def test_table5_memory(benchmark, artifact):
+    rows = once(benchmark, run_table5)
+    artifact("table5.txt", render_table5(rows))
+
+    t = totals(rows)
+    # Paper: CSOD ~105% of original in total, ASan ~143%.
+    assert 103 <= t["csod_pct"] <= 115
+    assert 130 <= t["asan_pct"] <= 160
+
+    by_app = {row.app: row for row in rows}
+    # Tiny-footprint apps: CSOD's fixed table dominates (Aget 359%-ish);
+    # ASan explodes on allocation-hot Swaptions (paper: 4178%).
+    assert by_app["aget"].footprint.csod_percent > 250
+    assert by_app["swaptions"].footprint.asan_percent > 1000
+    # Large-footprint apps see single-digit CSOD overhead.
+    assert by_app["pfscan"].footprint.csod_percent < 105
+    assert by_app["facesim"].footprint.csod_percent < 125

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Heartbleed, reproduced: an over-READ that canaries cannot see.
+
+The Heartbleed bug (CVE-2014-0160) is a buffer over-read: the heartbeat
+handler trusts the attacker-supplied length and `memcpy`s past the end
+of the request buffer.  Write-side defenses (canaries, DoubleTake-style
+evidence) are blind to it — nothing is corrupted.  CSOD's watchpoint on
+the boundary word fires on the read itself.
+
+This demo drives the synthetic Heartbleed workload (307 allocation
+contexts, 5,403 allocations — the paper's Table III structure) until a
+run detects, then prints the Fig. 6-style report and contrasts with
+ASan.
+
+Run:  python examples/heartbleed_demo.py
+"""
+
+from repro.asan import ASanRuntime
+from repro.core import CSODConfig, CSODRuntime
+from repro.workloads.base import SimProcess
+from repro.workloads.buggy import app_for
+
+
+def csod_run(seed: int):
+    process = SimProcess(seed=seed)
+    csod = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=seed)
+    app_for("heartbleed").run(process)
+    csod.shutdown()
+    return process, csod
+
+
+def main() -> None:
+    print("Simulating repeated executions of the vulnerable server...")
+    detections = 0
+    first_report = None
+    first_symbols = None
+    runs = 30
+    for seed in range(runs):
+        process, csod = csod_run(seed)
+        if csod.detected_by_watchpoint:
+            detections += 1
+            if first_report is None:
+                first_report = next(
+                    r for r in csod.reports if r.source == "watchpoint"
+                )
+                first_symbols = process.symbols
+    print(f"CSOD detected the over-read in {detections}/{runs} executions "
+          f"(paper: ~36-40% per execution).\n")
+
+    print("=== CSOD bug report (Fig. 6) ===")
+    print(first_report.render(first_symbols))
+    print()
+
+    # ASan catches it too — OpenSSL was instrumented in the paper's
+    # setup — but note that no canary/evidence scheme can: over-reads
+    # corrupt nothing.
+    process = SimProcess(seed=0)
+    asan = ASanRuntime(process.machine, process.heap)
+    app_for("heartbleed").run(process)
+    asan.shutdown()
+    print(f"ASan (instrumented OpenSSL) detects: {asan.detected}")
+
+    _, csod = csod_run(0)
+    canary_only = [r for r in csod.reports if r.source != "watchpoint"]
+    print(f"Canary evidence reports for this over-read: {len(canary_only)} "
+          "(over-reads never corrupt canaries)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Production-readiness report: overhead and memory vs AddressSanitizer.
+
+Replays three representative workloads — allocation-hot (canneal),
+context-rich (mysql), IO-bound (aget) — under CSOD and under the
+simulated ASan baseline, then prints the normalized-runtime and
+peak-memory comparison the paper's Fig. 7 / Table V make for all 19
+applications.
+
+Run:  python examples/overhead_report.py
+"""
+
+from repro.experiments.memory_usage import run_table5
+from repro.experiments.performance import measure_app
+from repro.experiments.tables import render_table
+
+APPS = ("canneal", "mysql", "aget")
+
+
+def main() -> None:
+    rows = []
+    for name in APPS:
+        row = measure_app(name, sim_alloc_cap=4000)
+        rows.append(
+            [
+                name,
+                f"{row.csod_no_evidence:.3f}",
+                f"{row.csod:.3f}",
+                f"{row.asan_minimal:.3f}",
+                f"{row.asan:.3f}",
+            ]
+        )
+    print(render_table(
+        ["App", "CSOD w/o evidence", "CSOD", "ASan min", "ASan"],
+        rows,
+        title="Normalized runtime (1.0 = default Linux)",
+    ))
+    print()
+
+    mem_rows = []
+    for entry in run_table5(apps=list(APPS)):
+        f = entry.footprint
+        mem_rows.append(
+            [
+                entry.app,
+                f"{f.original_kb:,.0f}",
+                f"{f.csod_kb:,.0f} ({f.csod_percent:.0f}%)",
+                f"{f.asan_kb:,.0f} ({f.asan_percent:.0f}%)",
+            ]
+        )
+    print(render_table(
+        ["App", "Original KB", "CSOD", "ASan"],
+        mem_rows,
+        title="Peak memory",
+    ))
+    print(
+        "\nThe always-on argument: CSOD stays in single-digit overhead"
+        "\nterritory because it pays per *allocation*; ASan pays per"
+        "\n*memory access*, which is why the gap explodes on CPU-bound"
+        "\ncode and vanishes on IO-bound tools."
+    )
+
+
+if __name__ == "__main__":
+    main()

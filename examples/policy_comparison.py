@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Replacement-policy comparison on one program (§III-C2 / §V-A1).
+
+libdwarf allocates its overflowing object within the first four
+allocations, then runs ~150 more allocations before the over-read
+happens.  The three watchpoint replacement policies behave very
+differently on this shape:
+
+* naive  — never preempts: the victim's watchpoint survives -> 100%;
+* random — fresh contexts can evict the victim while it waits;
+* near-FIFO — the circular pointer sweeps the victim out similarly.
+
+Run:  python examples/policy_comparison.py
+"""
+
+from repro.core import CSODConfig, CSODRuntime
+from repro.experiments.tables import render_table
+from repro.workloads.base import SimProcess
+from repro.workloads.buggy import app_for
+
+POLICIES = ("naive", "random", "near_fifo")
+RUNS = 80
+
+
+def detection_rate(app_name: str, policy: str) -> float:
+    app = app_for(app_name)
+    hits = 0
+    for seed in range(RUNS):
+        process = SimProcess(seed=seed)
+        csod = CSODRuntime(
+            process.machine,
+            process.heap,
+            CSODConfig(replacement_policy=policy),
+            seed=seed,
+        )
+        app.run(process)
+        csod.shutdown()
+        hits += csod.detected_by_watchpoint
+    return hits / RUNS
+
+
+def main() -> None:
+    apps = ("libdwarf", "libhx", "memcached")
+    rows = []
+    for name in apps:
+        rates = [detection_rate(name, policy) for policy in POLICIES]
+        rows.append([name] + [f"{rate:.1%}" for rate in rates])
+    print(render_table(
+        ["Application"] + list(POLICIES),
+        rows,
+        title=f"Detection rate by replacement policy ({RUNS} runs each)",
+    ))
+    print(
+        "\nReading: naive wins when the victim is allocated early and"
+        "\nnothing is ever preempted — and scores zero when the victim"
+        "\narrives after the watchpoints are taken (memcached)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Catching an interleaving-dependent overflow in "production".
+
+Some overflows only happen under one particular thread interleaving
+(§I) — no test suite reliably triggers them, which is exactly why the
+paper argues for an always-on production detector.  This demo runs a
+producer/consumer TOCTOU workload under many scheduler seeds: most
+interleavings are harmless, a few smash a 64-byte buffer with a 128-byte
+copy, and CSOD reports the smash the moment it happens.
+
+Run:  python examples/race_detection.py
+"""
+
+from repro.core import CSODConfig, CSODRuntime
+from repro.workloads.base import SimProcess
+from repro.workloads.race import RaceOverflowApp
+
+
+def main() -> None:
+    interleavings = 60
+    triggered = 0
+    detected = 0
+    first_report = None
+    first_symbols = None
+    for seed in range(interleavings):
+        process = SimProcess(seed=7)
+        csod = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=7)
+        result = RaceOverflowApp().run(process, scheduler_seed=seed)
+        csod.shutdown()
+        if result.triggered:
+            triggered += 1
+            if csod.detected_by_watchpoint:
+                detected += 1
+                if first_report is None:
+                    first_report = next(
+                        r for r in csod.reports if r.source == "watchpoint"
+                    )
+                    first_symbols = process.symbols
+        else:
+            assert not csod.detected_by_watchpoint  # never a false alarm
+
+    print(f"{interleavings} interleavings of the same program:")
+    print(f"  harmless: {interleavings - triggered}")
+    print(f"  buffer smashed by the race: {triggered}")
+    print(f"  caught by CSOD when it happened: {detected}/{triggered}")
+    print()
+    print("=== report from one racy interleaving ===")
+    print(first_report.render(first_symbols))
+    print()
+    print("Note the dual context: the copy in the CONSUMER smashed a")
+    print("buffer allocated by the PRODUCER — the cross-thread case the")
+    print("per-thread watchpoint installation of Fig. 3 exists for.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Record a workload's heap trace, then replay it under every detector.
+
+The on-ramp for using this reproduction on *your* workload: capture the
+allocation/access behaviour once with :class:`TraceRecorder`, save it as
+JSON, and replay the identical trace under CSOD, ASan, or nothing —
+the same bug, three verdicts.
+
+Run:  python examples/trace_workflow.py
+"""
+
+import os
+import tempfile
+
+from repro.asan import ASanRuntime
+from repro.callstack.frames import CallSite
+from repro.core import CSODConfig, CSODRuntime
+from repro.workloads.base import SimProcess
+from repro.workloads.trace import TraceApp, TraceRecorder, save_trace
+
+
+def record_the_buggy_program(path: str) -> None:
+    """An image decoder that trusts a declared row count."""
+    process = SimProcess(seed=0)
+    recorder = TraceRecorder(process)
+    thread = process.main_thread
+    decode = CallSite("IMGLIB.SO", "decode.c", 120, "decode_rows")
+    alloc = CallSite("VIEWER", "load.c", 44, "load_image")
+
+    with thread.call_stack.calling(alloc):
+        rows = process.heap.malloc(thread, 128)  # room for 16 rows
+    with thread.call_stack.calling(decode):
+        for row in range(17):  # ...the file declares 17
+            process.machine.cpu.store(thread, rows + row * 8, b"rowdata!")
+    process.heap.free(thread, rows)
+    recorder.detach()
+    save_trace(recorder.events, path)
+    print(f"recorded {len(recorder.events)} events -> {path}")
+
+
+def main() -> None:
+    path = os.path.join(tempfile.mkdtemp(prefix="csod-trace-"), "viewer.json")
+    record_the_buggy_program(path)
+    app = TraceApp.from_file(path)
+
+    # Replay 1: bare — the overflow happens silently.
+    process = SimProcess(seed=1)
+    app.run(process)
+    print("\nreplay without a detector: program 'works', bug invisible")
+
+    # Replay 2: CSOD — watchpoint report with both contexts.
+    process = SimProcess(seed=2)
+    csod = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=2)
+    app.run(process)
+    csod.shutdown()
+    print("\nreplay under CSOD:")
+    print(csod.reports[0].render(process.symbols))
+
+    # Replay 3: ASan — the decoder lives in an uninstrumented .SO.
+    process = SimProcess(seed=3)
+    asan = ASanRuntime(process.machine, process.heap)
+    app.run(process)
+    asan.shutdown()
+    print(f"\nreplay under ASan (IMGLIB.SO uninstrumented): "
+          f"detected={asan.detected}")
+
+
+if __name__ == "__main__":
+    main()

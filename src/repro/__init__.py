@@ -1,0 +1,36 @@
+"""repro — a full reproduction of *CSOD: Context-Sensitive Overflow
+Detection* (CGO 2019) on a simulated machine substrate.
+
+Layering (bottom to top):
+
+* :mod:`repro.machine` — simulated address space, debug registers,
+  perf_event watchpoints, signals, threads, virtual time;
+* :mod:`repro.heap` — the allocator and the LD_PRELOAD-style
+  interposition seam;
+* :mod:`repro.callstack` — explicit call stacks, context keys,
+  backtraces, symbolization;
+* :mod:`repro.core` — the CSOD runtime itself (the paper's
+  contribution);
+* :mod:`repro.asan` — the AddressSanitizer baseline;
+* :mod:`repro.workloads` — the paper's buggy and performance
+  applications, rebuilt synthetically to the published characteristics;
+* :mod:`repro.perfmodel` — the overhead and memory models behind
+  Fig. 7 and Table V;
+* :mod:`repro.experiments` — one driver per table/figure.
+
+Quickstart::
+
+    from repro.workloads.base import SimProcess
+    from repro.core import CSODRuntime, CSODConfig
+
+    process = SimProcess(seed=1)
+    csod = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=1)
+    # ... run a workload against process ...
+    csod.shutdown()
+    for report in csod.reports:
+        print(report.render(process.symbols))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

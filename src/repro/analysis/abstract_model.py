@@ -1,0 +1,223 @@
+"""The abstract detection model.
+
+Replays a :class:`~repro.workloads.base.BuggyAppSpec` schedule against
+*only* the sampling mathematics: per-context probabilities with every
+§III-B2/§IV-A rule, four abstract watchpoint slots driven by the real
+replacement-policy classes, watchpoint ageing, and the victim's fate at
+the overflow access.  No heap, no syscalls, no canaries — which makes it
+roughly an order of magnitude faster than the full simulation while
+agreeing with its detection rates (the test suite cross-checks this).
+
+Statistical agreement is the contract: individual executions use their
+own RNG stream and will not match the full simulation run-for-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import CSODConfig
+from repro.core.policies import ReplacementPolicy, make_policy
+from repro.core.rng import PerThreadRNG
+from repro.machine.clock import NANOS_PER_SECOND
+from repro.workloads.base import BuggyAppSpec, SyntheticBuggyApp
+
+_SLOTS = 4
+
+
+@dataclass
+class _AbstractContext:
+    probability: float
+    allocation_count: int = 0
+    watch_count: int = 0
+    window_start_ns: int = 0
+    window_alloc_count: int = 0
+    throttled_until_ns: int = 0
+    floor_since_ns: int = -1
+    pinned: bool = False
+
+
+@dataclass
+class _AbstractSlot:
+    context_id: int
+    event_index: int
+    install_time_ns: int
+
+
+class AbstractDetector:
+    """One abstract execution of one buggy application."""
+
+    def __init__(
+        self,
+        spec: BuggyAppSpec,
+        config: Optional[CSODConfig] = None,
+        seed: int = 0,
+        _app: Optional[SyntheticBuggyApp] = None,
+    ):
+        self.spec = spec
+        self.config = config or CSODConfig()
+        self.seed = seed
+        self._app = _app or SyntheticBuggyApp(spec)
+        self._rng = PerThreadRNG(seed)
+        self._policy: ReplacementPolicy = make_policy(
+            self.config.replacement_policy, _SLOTS
+        )
+        self._contexts: Dict[int, _AbstractContext] = {}
+        self._slots: List[Optional[_AbstractSlot]] = [None] * _SLOTS
+        self._now_ns = 0
+        self.watched_times = 0
+
+    # ------------------------------------------------------------------
+    # Sampling rules (mirrors core.sampling on purpose)
+    # ------------------------------------------------------------------
+    def _context(self, context_id: int) -> _AbstractContext:
+        ctx = self._contexts.get(context_id)
+        if ctx is None:
+            ctx = _AbstractContext(probability=self.config.initial_probability)
+            self._contexts[context_id] = ctx
+        return ctx
+
+    def _clamp(self, probability: float) -> float:
+        return max(self.config.floor_probability, min(1.0, probability))
+
+    def _on_allocation(self, context_id: int) -> _AbstractContext:
+        config = self.config
+        ctx = self._context(context_id)
+        ctx.allocation_count += 1
+        if ctx.pinned:
+            return ctx
+        ctx.probability = self._clamp(
+            ctx.probability - config.degradation_per_alloc
+        )
+        window_ns = int(config.throttle_window_seconds * NANOS_PER_SECOND)
+        if self._now_ns - ctx.window_start_ns > window_ns:
+            ctx.window_start_ns = self._now_ns
+            ctx.window_alloc_count = 0
+        ctx.window_alloc_count += 1
+        if (
+            ctx.window_alloc_count > config.throttle_alloc_threshold
+            and ctx.throttled_until_ns <= self._now_ns
+        ):
+            ctx.throttled_until_ns = ctx.window_start_ns + window_ns
+            ctx.probability = config.floor_probability
+        if ctx.probability > config.floor_probability:
+            ctx.floor_since_ns = -1
+        else:
+            period_ns = int(config.revive_period_seconds * NANOS_PER_SECOND)
+            if ctx.floor_since_ns < 0:
+                ctx.floor_since_ns = self._now_ns
+            elif self._now_ns - ctx.floor_since_ns >= period_ns:
+                ctx.floor_since_ns = self._now_ns
+                if self._rng.uniform(tid=0) < config.revive_chance:
+                    ctx.probability = config.revive_probability
+        return ctx
+
+    def _effective(self, ctx: _AbstractContext) -> float:
+        if ctx.pinned:
+            return 1.0
+        if ctx.throttled_until_ns > self._now_ns:
+            return self.config.throttle_probability
+        return ctx.probability
+
+    def _slot_probability(self, slot: _AbstractSlot) -> float:
+        base = self._effective(self._contexts[slot.context_id])
+        period_ns = int(self.config.watchpoint_age_seconds * NANOS_PER_SECOND)
+        age_ns = self._now_ns - slot.install_time_ns
+        if period_ns <= 0 or age_ns < period_ns:
+            return base
+        return base * (0.5 ** min(age_ns // period_ns, 60))
+
+    def _on_watched(self, ctx: _AbstractContext) -> None:
+        ctx.watch_count += 1
+        self.watched_times += 1
+        if not ctx.pinned:
+            ctx.probability = self._clamp(
+                ctx.probability * self.config.watch_degradation_factor
+            )
+
+    # ------------------------------------------------------------------
+    # The abstract execution
+    # ------------------------------------------------------------------
+    def run(self) -> bool:
+        """True iff the overflow access would fire a watchpoint."""
+        events = self._app._events_for_run(self.seed)
+        victim_index = next(i for i, e in enumerate(events) if e.is_victim)
+        pending_frees: Dict[int, List[int]] = {}
+        detected = False
+        work_ns = self.spec.work_ns_per_alloc
+
+        for event in events:
+            for index in pending_frees.pop(event.index, ()):
+                self._free_slot_for(index)
+            ctx = self._on_allocation(event.context_id)
+            draw = self._rng.uniform(tid=1) < self._effective(ctx)
+            self._try_watch(event.index, event.context_id, ctx, draw)
+            if event.free_after is not None:
+                pending_frees.setdefault(event.free_after, []).append(event.index)
+            self._now_ns += work_ns
+            if event.index + 1 == self.spec.before_allocations:
+                detected = self._victim_watched(victim_index)
+                if detected:
+                    # A real trap pins the context (§IV-B persistence).
+                    self._contexts[0].pinned = True
+        return detected
+
+    def _victim_watched(self, victim_index: int) -> bool:
+        return any(
+            slot is not None and slot.event_index == victim_index
+            for slot in self._slots
+        )
+
+    def _free_slot_for(self, event_index: int) -> None:
+        for i, slot in enumerate(self._slots):
+            if slot is not None and slot.event_index == event_index:
+                self._slots[i] = None
+                self._policy.on_freed(i)
+                return
+
+    def _try_watch(self, event_index, context_id, ctx, draw_passed) -> None:
+        free_index = next(
+            (i for i, slot in enumerate(self._slots) if slot is None), None
+        )
+        if free_index is not None:
+            self._install(free_index, event_index, context_id, ctx)
+            return
+        if not draw_passed:
+            return
+        view = [
+            (i, self._slot_probability(slot))
+            for i, slot in enumerate(self._slots)
+            if slot is not None
+        ]
+        victim = self._policy.select_victim(
+            view, self._effective(ctx), self._rng, tid=1
+        )
+        if victim is None:
+            return
+        self._slots[victim] = None
+        self._policy.on_replaced(victim)
+        self._install(victim, event_index, context_id, ctx)
+
+    def _install(self, slot_index, event_index, context_id, ctx) -> None:
+        self._slots[slot_index] = _AbstractSlot(
+            context_id=context_id,
+            event_index=event_index,
+            install_time_ns=self._now_ns,
+        )
+        self._on_watched(ctx)
+
+
+def estimate_detection_rate(
+    spec: BuggyAppSpec,
+    config: Optional[CSODConfig] = None,
+    runs: int = 200,
+    seed_base: int = 0,
+) -> float:
+    """Monte-Carlo detection-rate estimate over ``runs`` abstract runs."""
+    app = SyntheticBuggyApp(spec)
+    hits = 0
+    for seed in range(seed_base, seed_base + runs):
+        detector = AbstractDetector(spec, config, seed=seed, _app=app)
+        hits += detector.run()
+    return hits / runs

@@ -1,0 +1,43 @@
+"""Which modules ASan's compile-time instrumentation covers.
+
+ASan checks are inserted by the compiler, so "only detects problems
+caused by instrumented components, while skipping those caused by many
+non-instrumented libraries" (§I).  The paper's evaluation did not
+instrument external libraries, which is why ASan missed the Libtiff,
+LibHX, and Zziplib bugs — all three overflows execute inside a shared
+library.
+
+The convention used by the synthetic workloads: module names ending in
+``.SO`` are prebuilt shared libraries (uninstrumented by default);
+everything else is application code built with ``-fsanitize=address``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+SHARED_LIBRARY_SUFFIX = ".SO"
+
+
+class InstrumentationPolicy:
+    """Decides whether code in a module carries ASan checks."""
+
+    def __init__(
+        self,
+        instrumented: Optional[Iterable[str]] = None,
+        instrument_all: bool = False,
+    ):
+        self._instrument_all = instrument_all
+        self._extra: Set[str] = set(instrumented or ())
+
+    def covers(self, module: str) -> bool:
+        """Whether accesses issued from ``module`` are checked."""
+        if self._instrument_all:
+            return True
+        if module in self._extra:
+            return True
+        return not module.upper().endswith(SHARED_LIBRARY_SUFFIX)
+
+    def instrument(self, module: str) -> None:
+        """Explicitly add a module (rebuilt with ASan) to the policy."""
+        self._extra.add(module)

@@ -1,0 +1,26 @@
+"""Redzone sizing.
+
+The paper ran ASan "with the minimal size of redzones (16 bytes)" for a
+fair comparison; default ASan scales redzones with object size.  Both
+policies are provided so the Fig. 7 / Table V benchmarks can show the
+two ASan configurations the paper plots.
+"""
+
+from __future__ import annotations
+
+MIN_REDZONE = 16
+DEFAULT_MAX_REDZONE = 2048
+
+
+def redzone_size(object_size: int, minimal: bool = True) -> int:
+    """Bytes of redzone placed on each side of an object."""
+    if object_size < 0:
+        raise ValueError(f"object size cannot be negative: {object_size}")
+    if minimal:
+        return MIN_REDZONE
+    # Default ASan grows redzones with allocation size (power-of-two
+    # steps, capped), trading memory for out-of-bounds reach.
+    size = MIN_REDZONE
+    while size < object_size // 4 and size < DEFAULT_MAX_REDZONE:
+        size *= 2
+    return size

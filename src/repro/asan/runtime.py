@@ -1,0 +1,203 @@
+"""The ASan runtime: interposed allocator + per-access shadow checks.
+
+``malloc`` places the object between two redzones and unpoisons exactly
+the requested size; ``free`` poisons the object and parks it in a FIFO
+quarantine (delaying reuse, which is what gives real ASan its
+use-after-free power and its Table V memory bill).  Every CPU access
+from an *instrumented* module is checked against the shadow; a poisoned
+hit produces an :class:`ASanReport` — by default non-fatal here, so the
+experiment drivers can tally detections across a whole run the way the
+paper's scripts did.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.asan.instrumentation import InstrumentationPolicy
+from repro.asan.redzones import redzone_size
+from repro.asan.shadow import ShadowMemory, TAG_FREED, TAG_REDZONE
+from repro.errors import ReproError
+from repro.heap.interpose import RawHeap
+from repro.machine.cpu import AccessKind
+from repro.machine.machine import Machine
+from repro.machine.syscall_cost import (
+    EVENT_ASAN_CHECK,
+    EVENT_ASAN_POISON,
+)
+from repro.machine.threads import SimThread
+
+ASAN_CHECK_COST_NS = 2
+ASAN_POISON_COST_NS = 12
+
+# Real ASan's default quarantine is 256 MiB; the paper's tiny-footprint
+# rows (Table V) imply a far smaller effective cap with minimal
+# redzones, so the cap is configurable.
+DEFAULT_QUARANTINE_BYTES = 256 * 1024
+
+
+@dataclass(frozen=True)
+class ASanReport:
+    """One shadow-check failure.
+
+    Like real ASan, the report carries the faulting access and — when
+    the faulted zone belongs to a tracked allocation — that object's
+    malloc stack, rendered as source locations.
+    """
+
+    kind: str  # "heap-buffer-overflow" or "heap-use-after-free"
+    access_kind: str  # read / write
+    fault_address: int
+    access_size: int
+    thread_id: int
+    module: str
+    object_address: int = 0
+    object_size: int = 0
+    allocation_context: Tuple[str, ...] = ()
+
+
+class ASanRuntime:
+    """Simulated AddressSanitizer over the same machine substrate."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        interposer,
+        instrumentation: Optional[InstrumentationPolicy] = None,
+        minimal_redzones: bool = True,
+        quarantine_bytes: int = DEFAULT_QUARANTINE_BYTES,
+        halt_on_error: bool = False,
+    ):
+        self.machine = machine
+        self._raw: RawHeap = interposer.raw
+        self._interposer = interposer
+        self.instrumentation = instrumentation or InstrumentationPolicy()
+        self.minimal_redzones = minimal_redzones
+        self.halt_on_error = halt_on_error
+        self.shadow = ShadowMemory()
+        self.reports: List[ASanReport] = []
+        # address -> (real block, object size, left redzone)
+        self._live: Dict[int, Tuple[int, int, int]] = {}
+        self._alloc_contexts: Dict[int, Tuple[str, ...]] = {}
+        self._quarantine: Deque[Tuple[int, int]] = deque()
+        self._quarantine_bytes = 0
+        self._quarantine_cap = quarantine_bytes
+        self.checks_performed = 0
+        machine.cpu.add_access_hook(self._check_access)
+        interposer.preload(self)
+
+    # ------------------------------------------------------------------
+    # HeapLibrary surface
+    # ------------------------------------------------------------------
+    def malloc(self, thread: SimThread, size: int) -> int:
+        zone = redzone_size(size, self.minimal_redzones)
+        real = self._raw.malloc(thread, zone + size + zone)
+        address = real + zone
+        self._poison(real, zone)  # left redzone
+        self._poison(address + size, zone)  # right redzone
+        self.shadow.unpoison(address, size)
+        self._live[address] = (real, size, zone)
+        self._alloc_contexts[address] = self._context_of(thread)
+        return address
+
+    def memalign(self, thread: SimThread, alignment: int, size: int) -> int:
+        zone = redzone_size(size, self.minimal_redzones)
+        pad = max(alignment, zone)
+        real = self._raw.memalign(thread, alignment, pad + size + zone)
+        address = real + pad
+        self._poison(real, pad)
+        self._poison(address + size, zone)
+        self.shadow.unpoison(address, size)
+        self._live[address] = (real, size, pad)
+        self._alloc_contexts[address] = self._context_of(thread)
+        return address
+
+    @staticmethod
+    def _context_of(thread: SimThread) -> Tuple[str, ...]:
+        return tuple(str(frame) for frame in thread.call_stack)
+
+    def free(self, thread: SimThread, address: int) -> None:
+        entry = self._live.pop(address, None)
+        if entry is None:
+            raise ReproError(f"ASan: free of unknown pointer {address:#x}")
+        real, size, _zone = entry
+        self._alloc_contexts.pop(address, None)
+        # Poison the body and park the block in the quarantine instead of
+        # returning it to the allocator.
+        self.shadow.poison(address, size, TAG_FREED)
+        self._quarantine.append((real, size))
+        self._quarantine_bytes += size
+        while self._quarantine_bytes > self._quarantine_cap and self._quarantine:
+            old_real, old_size = self._quarantine.popleft()
+            self._quarantine_bytes -= old_size
+            self._raw.free(thread, old_real)
+
+    def usable_size(self, address: int) -> int:
+        entry = self._live.get(address)
+        if entry is None:
+            raise ReproError(f"ASan: unknown pointer {address:#x}")
+        return entry[1]
+
+    # ------------------------------------------------------------------
+    # The instrumented access check
+    # ------------------------------------------------------------------
+    def _check_access(
+        self, thread: SimThread, address: int, size: int, kind: str
+    ) -> None:
+        frame = thread.call_stack.top()
+        module = frame.site.module if frame else ""
+        if not self.instrumentation.covers(module):
+            # The access was compiled without instrumentation: no check,
+            # no detection — the gap CSOD does not have.
+            return
+        self.checks_performed += 1
+        self.machine.ledger.record(EVENT_ASAN_CHECK, nanos_each=ASAN_CHECK_COST_NS)
+        tag = self.shadow.check(address, size)
+        if tag is None:
+            return
+        # Attribute the fault to the nearest tracked object (the one
+        # whose redzone/body the access landed next to), if any.
+        object_address = 0
+        object_size = 0
+        context: Tuple[str, ...] = ()
+        for base, (real, length, zone) in self._live.items():
+            if real <= address < base + length + zone:
+                object_address, object_size = base, length
+                context = self._alloc_contexts.get(base, ())
+                break
+        report = ASanReport(
+            kind=(
+                "heap-use-after-free" if tag == TAG_FREED else "heap-buffer-overflow"
+            ),
+            access_kind=kind,
+            fault_address=address,
+            access_size=size,
+            thread_id=thread.tid,
+            module=module,
+            object_address=object_address,
+            object_size=object_size,
+            allocation_context=context,
+        )
+        self.reports.append(report)
+        if self.halt_on_error:
+            raise ReproError(f"ASan: {report.kind} at {address:#x}")
+
+    # ------------------------------------------------------------------
+    # Results / teardown
+    # ------------------------------------------------------------------
+    @property
+    def detected(self) -> bool:
+        return bool(self.reports)
+
+    def shutdown(self) -> None:
+        self.machine.cpu.remove_access_hook(self._check_access)
+        self._interposer.unload()
+
+    def quarantine_footprint(self) -> int:
+        return self._quarantine_bytes
+
+    def _poison(self, address: int, size: int) -> None:
+        self.machine.ledger.record(EVENT_ASAN_POISON, nanos_each=ASAN_POISON_COST_NS)
+        self.shadow.poison(address, size, TAG_REDZONE)

@@ -1,0 +1,104 @@
+"""Shadow memory with ASan's 1/8 encoding.
+
+Every 8 application bytes map to one shadow byte.  A shadow byte of 0
+means fully addressable; 1..7 means only that many leading bytes are
+addressable; negative tags mark whole-granule poison classes (redzone,
+freed).  The encoding matters for the reproduction because it is what
+gives ASan detection *within* redzones regardless of stride — and
+nothing beyond them (§VI).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+GRANULE = 8
+
+TAG_ADDRESSABLE = 0x00
+TAG_REDZONE = 0xFA  # heap left/right redzone
+TAG_FREED = 0xFD  # heap-use-after-free poison
+
+_POISON_TAGS = (TAG_REDZONE, TAG_FREED)
+
+
+class ShadowMemory:
+    """Sparse shadow: one byte per 8-byte application granule."""
+
+    def __init__(self):
+        self._shadow: Dict[int, int] = {}
+
+    @staticmethod
+    def granule(address: int) -> int:
+        return address // GRANULE
+
+    # ------------------------------------------------------------------
+    # Poisoning
+    # ------------------------------------------------------------------
+    def poison(self, address: int, size: int, tag: int) -> None:
+        """Poison ``[address, address + size)`` with ``tag``.
+
+        Callers poison granule-aligned ranges (redzones are 16-byte
+        multiples); a trailing partial granule is encoded with the count
+        of addressable leading bytes, as real ASan does.
+        """
+        if size <= 0:
+            return
+        if tag not in _POISON_TAGS:
+            raise ValueError(f"not a poison tag: {tag:#x}")
+        first = self.granule(address)
+        last = self.granule(address + size - 1)
+        for g in range(first, last + 1):
+            self._shadow[g] = tag
+
+    def unpoison(self, address: int, size: int) -> None:
+        """Make ``[address, address + size)`` addressable.
+
+        A trailing partial granule that was previously poisoned gets the
+        partial-addressability count, so an access past
+        ``address + size`` within the same granule still faults; a
+        granule that was already clean stays fully clean (unpoisoning
+        must never *reduce* addressability).
+        """
+        if size <= 0:
+            return
+        first = self.granule(address)
+        end = address + size
+        last_full = self.granule(end) if end % GRANULE == 0 else self.granule(end - 1)
+        for g in range(first, last_full):
+            self._shadow.pop(g, None)
+        if end % GRANULE:
+            last = self.granule(end - 1)
+            if last in self._shadow:
+                self._shadow[last] = end % GRANULE
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+    def check(self, address: int, size: int) -> Optional[int]:
+        """Tag hit by an access of ``size`` bytes at ``address``, if any.
+
+        Returns the poison tag, or None when the access is clean.
+        Partial-granule encodings fault when the access runs past the
+        addressable prefix.
+        """
+        if size <= 0:
+            return None
+        first = self.granule(address)
+        last = self.granule(address + size - 1)
+        for g in range(first, last + 1):
+            value = self._shadow.get(g, TAG_ADDRESSABLE)
+            if value == TAG_ADDRESSABLE:
+                continue
+            if value in _POISON_TAGS:
+                return value
+            # Partial granule: `value` leading bytes are addressable.
+            access_end_in_granule = address + size - g * GRANULE
+            if g == last and access_end_in_granule <= value:
+                continue
+            if g < last:
+                return TAG_REDZONE
+            return TAG_REDZONE
+        return None
+
+    def poisoned_granules(self) -> int:
+        return len(self._shadow)

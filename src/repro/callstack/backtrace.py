@@ -1,0 +1,46 @@
+"""Cheap vs. expensive stack walking.
+
+The paper's performance argument for context keying (§III-A1) rests on a
+cost asymmetry: ``__builtin_return_address`` is a register read, while
+``backtrace(3)`` unwinds every frame.  The :class:`Backtracer` exposes
+both operations over a simulated :class:`~repro.callstack.frames.CallStack`
+and charges the ledger accordingly, so ablations that always take the
+full backtrace show the cost the paper avoided.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.callstack.frames import CallStack, Frame
+from repro.machine.syscall_cost import CostLedger, EVENT_BACKTRACE_FULL
+
+# Calibrated unit costs (ns).  A full unwind costs per-frame work plus a
+# fixed setup; the one-level peek is a couple of loads.
+PEEK_COST_NS = 10
+FULL_UNWIND_BASE_NS = 350
+FULL_UNWIND_PER_FRAME_NS = 60
+
+
+class Backtracer:
+    """Walks simulated call stacks with realistic relative costs."""
+
+    def __init__(self, ledger: Optional[CostLedger] = None):
+        self._ledger = ledger or CostLedger()
+
+    def peek_caller(self, stack: CallStack, level: int = 0) -> Optional[Frame]:
+        """The ``__builtin_return_address(level)`` analogue (cheap)."""
+        self._ledger.record("callstack.peek", nanos_each=PEEK_COST_NS)
+        return stack.caller(level)
+
+    def full_backtrace(self, stack: CallStack) -> Tuple[int, ...]:
+        """The ``backtrace(3)`` analogue: every return address (expensive)."""
+        cost = FULL_UNWIND_BASE_NS + FULL_UNWIND_PER_FRAME_NS * stack.depth
+        self._ledger.record(EVENT_BACKTRACE_FULL, nanos_each=cost)
+        return stack.return_addresses()
+
+    def full_frames(self, stack: CallStack) -> Tuple[Frame, ...]:
+        """Full backtrace keeping frame objects (for report rendering)."""
+        cost = FULL_UNWIND_BASE_NS + FULL_UNWIND_PER_FRAME_NS * stack.depth
+        self._ledger.record(EVENT_BACKTRACE_FULL, nanos_each=cost)
+        return stack.frames_innermost_first()

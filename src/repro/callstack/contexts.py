@@ -1,0 +1,101 @@
+"""Calling contexts, context keys, and the interning table.
+
+A :class:`CallingContext` is the full chain of return addresses above an
+allocation — what CSOD reports to the user.  A :class:`ContextKey` is the
+cheap identifier the runtime uses on the hot path: the first-level return
+address above the allocator combined with the stack offset (§III-A1).
+
+The :class:`ContextInterner` reproduces the paper's hash-table behaviour,
+including its documented imprecision: two genuinely different contexts
+that collide on the cheap key are *treated as the same context* for
+sampling purposes, which can skew probabilities and mis-attribute the
+allocation site in a report, but never causes a false alarm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.callstack.backtrace import Backtracer
+from repro.callstack.frames import CallStack, Frame
+
+
+@dataclass(frozen=True)
+class ContextKey:
+    """(first-level return address, stack offset) — the cheap identifier."""
+
+    first_level_ra: int
+    stack_offset: int
+
+    def __str__(self) -> str:
+        return f"key(ra={self.first_level_ra:#x}, sp_off={self.stack_offset})"
+
+
+@dataclass(frozen=True)
+class CallingContext:
+    """A full allocation calling context (innermost first)."""
+
+    return_addresses: Tuple[int, ...]
+    frames: Tuple[Frame, ...] = ()
+
+    @property
+    def depth(self) -> int:
+        return len(self.return_addresses)
+
+    def __str__(self) -> str:
+        if self.frames:
+            return " <- ".join(str(f) for f in self.frames)
+        return " <- ".join(hex(ra) for ra in self.return_addresses)
+
+
+class ContextInterner:
+    """Maps cheap keys to interned full contexts.
+
+    ``intern(stack)`` computes the cheap key; on a miss it pays for one
+    full backtrace and stores the result.  On a hit it returns the stored
+    context *without* re-walking the stack — so a key collision silently
+    aliases contexts, faithfully reproducing the trade-off the paper
+    accepts.
+    """
+
+    def __init__(self, backtracer: Optional[Backtracer] = None):
+        self._backtracer = backtracer or Backtracer()
+        self._table: Dict[ContextKey, CallingContext] = {}
+        self.misses = 0
+        self.hits = 0
+        self.collisions_possible = 0  # diagnostic: hits whose stored depth
+        # differs from the live stack depth (a cheap collision heuristic)
+
+    def key_for(self, stack: CallStack) -> ContextKey:
+        """Compute the cheap key from the live stack (hot-path cost only)."""
+        caller = self._backtracer.peek_caller(stack, level=0)
+        first_ra = caller.return_address if caller else 0
+        return ContextKey(first_level_ra=first_ra, stack_offset=stack.stack_offset)
+
+    def intern(self, stack: CallStack) -> Tuple[ContextKey, CallingContext]:
+        """Return (key, context) for the live stack, interning on miss."""
+        key = self.key_for(stack)
+        context = self._table.get(key)
+        if context is None:
+            self.misses += 1
+            frames = self._backtracer.full_frames(stack)
+            context = CallingContext(
+                return_addresses=tuple(f.return_address for f in frames),
+                frames=frames,
+            )
+            self._table[key] = context
+        else:
+            self.hits += 1
+            if context.depth != stack.depth:
+                self.collisions_possible += 1
+        return key, context
+
+    def lookup(self, key: ContextKey) -> Optional[CallingContext]:
+        return self._table.get(key)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, key: ContextKey) -> bool:
+        return key in self._table

@@ -1,0 +1,60 @@
+"""Symbolization — the ``addr2line`` analogue.
+
+CSOD's reports print ``module/file:line`` for every level of both calling
+contexts when symbols are available, and raw addresses otherwise
+(§III-D2).  The :class:`SymbolTable` indexes every
+:class:`~repro.callstack.frames.CallSite` ever created in a workload and
+renders either form; per-module stripping models binaries whose symbol
+information was removed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.callstack.frames import CallSite
+
+
+class SymbolTable:
+    """Return-address -> source-location mapping with stripping support."""
+
+    def __init__(self, sites: Iterable[CallSite] = ()):
+        self._by_address: Dict[int, CallSite] = {}
+        self._stripped_modules: Set[str] = set()
+        for site in sites:
+            self.add(site)
+
+    def add(self, site: CallSite) -> None:
+        """Index one call site (idempotent for the same site)."""
+        existing = self._by_address.get(site.return_address)
+        if existing is not None and existing is not site:
+            raise ValueError(
+                f"return address {site.return_address:#x} already mapped to "
+                f"{existing.location()}"
+            )
+        self._by_address[site.return_address] = site
+
+    def add_all(self, sites: Iterable[CallSite]) -> None:
+        for site in sites:
+            self.add(site)
+
+    def strip_module(self, module: str) -> None:
+        """Mark a module's symbols as stripped; its frames print as hex."""
+        self._stripped_modules.add(module)
+
+    def site_for(self, return_address: int) -> Optional[CallSite]:
+        return self._by_address.get(return_address)
+
+    def addr2line(self, return_address: int) -> str:
+        """Render one address the way CSOD's report generator does."""
+        site = self._by_address.get(return_address)
+        if site is None or site.module in self._stripped_modules:
+            return f"{return_address:#x}"
+        return site.location()
+
+    def symbolize(self, return_addresses: Iterable[int]) -> list:
+        """Render a whole context (innermost first)."""
+        return [self.addr2line(ra) for ra in return_addresses]
+
+    def __len__(self) -> int:
+        return len(self._by_address)

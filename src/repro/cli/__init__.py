@@ -1,0 +1,18 @@
+"""Command-line interface.
+
+``python -m repro`` exposes the library the way the paper's artifact
+would be driven:
+
+* ``run``         — execute one buggy application under a runtime
+                    (csod / csod-noevidence / asan / none) and print the
+                    reports;
+* ``table``       — regenerate one of the paper's tables (1-5);
+* ``figure7``     — regenerate the overhead figure;
+* ``evidence``    — run the §V-A2 two-execution protocol;
+* ``effectiveness`` — the Table II sweep with configurable runs;
+* ``apps``        — list the available workloads.
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,274 @@
+"""The ``python -m repro`` entry point."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.asan import ASanRuntime
+from repro.core import CSODConfig, CSODRuntime
+from repro.core.config import POLICY_NAIVE, POLICY_NEAR_FIFO, POLICY_RANDOM
+from repro.experiments import (
+    characteristics,
+    effectiveness,
+    evidence,
+    memory_usage,
+    performance,
+)
+from repro.workloads.base import SimProcess
+from repro.workloads.buggy import BUGGY_APPS, app_for
+from repro.workloads.perf import PERF_APPS
+
+POLICIES = (POLICY_NAIVE, POLICY_RANDOM, POLICY_NEAR_FIFO)
+RUNTIMES = ("csod", "csod-noevidence", "asan", "none")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CSOD (CGO 2019) reproduction driver",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one buggy app under a runtime")
+    run.add_argument("app", choices=sorted(BUGGY_APPS))
+    run.add_argument("--runtime", choices=RUNTIMES, default="csod")
+    run.add_argument("--policy", choices=POLICIES, default=POLICY_NEAR_FIFO)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--evidence-file", default=None)
+    run.add_argument(
+        "--json", action="store_true", help="print reports as JSON"
+    )
+
+    inspect = sub.add_parser(
+        "inspect", help="run an app under CSOD and dump the sampler state"
+    )
+    inspect.add_argument("app", choices=sorted(BUGGY_APPS))
+    inspect.add_argument("--seed", type=int, default=0)
+    inspect.add_argument("--top", type=int, default=10)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", type=int, choices=(1, 2, 3, 4, 5))
+    table.add_argument("--runs", type=int, default=100, help="Table II runs")
+    table.add_argument("--cap", type=int, default=8000, help="Table IV cap")
+
+    fig = sub.add_parser("figure7", help="regenerate the overhead figure")
+    fig.add_argument("--cap", type=int, default=8000)
+
+    ev = sub.add_parser("evidence", help="the §V-A2 two-execution protocol")
+    ev.add_argument("--attempts", type=int, default=20)
+
+    eff = sub.add_parser("effectiveness", help="Table II for chosen apps")
+    eff.add_argument("apps", nargs="*", default=None)
+    eff.add_argument("--runs", type=int, default=100)
+
+    sub.add_parser("apps", help="list available workloads")
+
+    reproduce = sub.add_parser(
+        "reproduce",
+        help="regenerate every table and figure into a directory",
+    )
+    reproduce.add_argument("--out", default="reproduction-out")
+    reproduce.add_argument("--runs", type=int, default=100)
+    reproduce.add_argument("--cap", type=int, default=8000)
+
+    validate = sub.add_parser(
+        "validate", help="re-check every qualitative paper claim"
+    )
+    validate.add_argument("--runs", type=int, default=40)
+    validate.add_argument("--cap", type=int, default=4000)
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    process = SimProcess(seed=args.seed)
+    runtime = None
+    if args.runtime in ("csod", "csod-noevidence"):
+        config = CSODConfig(
+            replacement_policy=args.policy,
+            evidence_enabled=args.runtime == "csod",
+            persistence_path=args.evidence_file
+            if args.runtime == "csod"
+            else None,
+        )
+        runtime = CSODRuntime(process.machine, process.heap, config, seed=args.seed)
+    elif args.runtime == "asan":
+        runtime = ASanRuntime(process.machine, process.heap)
+
+    result = app_for(args.app).run(process)
+    detected = False
+    if isinstance(runtime, CSODRuntime):
+        runtime.shutdown()
+        detected = runtime.detected
+        if args.json:
+            import json
+
+            print(
+                json.dumps(
+                    [r.to_dict(process.symbols) for r in runtime.reports],
+                    indent=1,
+                )
+            )
+        else:
+            for report in runtime.reports:
+                print(report.render(process.symbols))
+                print()
+        if not args.json:
+            stats = runtime.stats()
+            print(
+                f"[csod] allocations={stats.allocations} "
+                f"contexts={stats.contexts} watched={stats.watched_times} "
+                f"traps={stats.traps_handled}"
+            )
+    elif isinstance(runtime, ASanRuntime):
+        runtime.shutdown()
+        detected = runtime.detected
+        for report in runtime.reports:
+            print(
+                f"ASan: {report.kind} ({report.access_kind}) at "
+                f"{report.fault_address:#x} in {report.module}"
+            )
+    else:
+        print(
+            f"[none] program ran: {result.allocations} allocations, "
+            f"overflow performed silently"
+        )
+    print(f"detected: {detected}")
+    return 0 if (detected or args.runtime == "none") else 1
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.number == 1:
+        print(effectiveness.render_table1())
+    elif args.number == 2:
+        rows = effectiveness.run_table2(runs=args.runs)
+        print(effectiveness.render_table2(rows))
+    elif args.number == 3:
+        print(characteristics.render_table3(characteristics.run_table3()))
+    elif args.number == 4:
+        print(
+            characteristics.render_table4(
+                characteristics.run_table4(sim_alloc_cap=args.cap)
+            )
+        )
+    else:
+        print(memory_usage.render_table5(memory_usage.run_table5()))
+    return 0
+
+
+def _cmd_figure7(args: argparse.Namespace) -> int:
+    rows = performance.run_figure7(sim_alloc_cap=args.cap)
+    print(performance.render_figure7(rows))
+    return 0
+
+
+def _cmd_evidence(args: argparse.Namespace) -> int:
+    results = evidence.run_evidence_experiment(attempts=args.attempts)
+    print(evidence.render_evidence(results))
+    return 0 if all(r.guarantee_holds for r in results) else 1
+
+
+def _cmd_effectiveness(args: argparse.Namespace) -> int:
+    apps = args.apps or None
+    rows = effectiveness.run_table2(runs=args.runs, apps=apps)
+    print(effectiveness.render_table2(rows))
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.core.diagnostics import render_snapshot, snapshot
+
+    process = SimProcess(seed=args.seed)
+    runtime = CSODRuntime(
+        process.machine, process.heap, CSODConfig(), seed=args.seed
+    )
+    app_for(args.app).run(process)
+    snap = snapshot(runtime, top_contexts=args.top)
+    runtime.shutdown()
+    print(render_snapshot(snap))
+    return 0
+
+
+def _cmd_apps(args: argparse.Namespace) -> int:
+    print("buggy applications (Table I):")
+    for name in sorted(BUGGY_APPS):
+        spec = BUGGY_APPS[name]
+        print(f"  {name:12s} {spec.bug_kind:10s} {spec.reference}")
+    print("performance applications (Table IV):")
+    for name in PERF_APPS:
+        spec = PERF_APPS[name]
+        print(f"  {name:14s} {spec.suite:6s} {spec.allocations:>12,} allocations")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    """Every artifact, one command — the repository's headline demo."""
+    import os
+
+    os.makedirs(args.out, exist_ok=True)
+
+    def emit(name: str, text: str) -> None:
+        path = os.path.join(args.out, name)
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"[reproduce] wrote {path}")
+
+    emit("table1.txt", effectiveness.render_table1())
+    emit(
+        "table2.txt",
+        effectiveness.render_table2(effectiveness.run_table2(runs=args.runs)),
+    )
+    emit("table3.txt", characteristics.render_table3(characteristics.run_table3()))
+    emit(
+        "table4.txt",
+        characteristics.render_table4(
+            characteristics.run_table4(sim_alloc_cap=args.cap)
+        ),
+    )
+    emit("table5.txt", memory_usage.render_table5(memory_usage.run_table5()))
+    emit("figure6.txt", effectiveness.figure6_report())
+    rows = performance.run_figure7(sim_alloc_cap=args.cap)
+    emit(
+        "figure7.txt",
+        performance.render_figure7(rows)
+        + "\n\n"
+        + performance.render_figure7_chart(rows),
+    )
+    emit(
+        "evidence.txt",
+        evidence.render_evidence(evidence.run_evidence_experiment(attempts=10)),
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.experiments.validation import render_validation, validate
+
+    results = validate(runs=args.runs, cap=args.cap)
+    print(render_validation(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "inspect": _cmd_inspect,
+    "reproduce": _cmd_reproduce,
+    "validate": _cmd_validate,
+    "table": _cmd_table,
+    "figure7": _cmd_figure7,
+    "evidence": _cmd_evidence,
+    "effectiveness": _cmd_effectiveness,
+    "apps": _cmd_apps,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""The Canary Management Unit (§IV-B).
+
+In evidence-based mode every heap object is wrapped in the Fig. 5
+layout: a 32-byte header before the object and a random 8-byte canary
+immediately after it.  Over-writes that escape the four watchpoints
+still corrupt the canary; the corruption is discovered at deallocation
+(or at exit, for leaked/crashed objects), the context's probability is
+boosted to 100%, and — with persistence — the *next* execution watches
+that context from its very first allocation.
+
+The unit also keeps the live-object registry the exit-time sweep needs,
+which is the in-simulation counterpart of the metadata that costs CSOD
+its Table V memory overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.rng import PerThreadRNG
+from repro.core.sampling import ContextRecord
+from repro.errors import CSODError
+from repro.heap import layout
+from repro.heap.interpose import RawHeap
+from repro.machine.machine import Machine
+from repro.machine.syscall_cost import (
+    CostLedger,
+    EVENT_CANARY_CHECK,
+    EVENT_CANARY_SET,
+)
+from repro.machine.threads import SimThread
+
+CANARY_SET_COST_NS = 50
+CANARY_CHECK_COST_NS = 70
+
+
+@dataclass
+class LiveObject:
+    """Registry entry for one live evidence-wrapped object."""
+
+    object_address: int
+    object_size: int
+    real_object_ptr: int
+    record: ContextRecord
+
+
+class CanaryManagementUnit:
+    """Implants and verifies the per-object canaries."""
+
+    def __init__(self, machine: Machine, raw: RawHeap, rng: PerThreadRNG):
+        self._machine = machine
+        self._raw = raw
+        self._ledger: CostLedger = machine.ledger
+        # "The canary is a random value" — one secret per process, drawn
+        # from the main thread's stream at startup.
+        self.canary_value = rng.next_u64(tid=machine.main_thread.tid) or 0xDEAD_BEEF
+        self._live: Dict[int, LiveObject] = {}
+        self.corruption_count = 0
+
+    # ------------------------------------------------------------------
+    # Allocation wrapping
+    # ------------------------------------------------------------------
+    def wrap_allocation(
+        self, thread: SimThread, size: int, record: ContextRecord
+    ) -> int:
+        """Allocate via the raw heap with header+canary; returns the
+        user-visible object address."""
+        real = self._raw.malloc(
+            thread, layout.CSOD_HEADER_SIZE + size + layout.CANARY_SIZE
+        )
+        object_address = real + layout.CSOD_HEADER_SIZE
+        self._implant(object_address, size, real, record)
+        return object_address
+
+    def wrap_memalign(
+        self, thread: SimThread, alignment: int, size: int, record: ContextRecord
+    ) -> int:
+        """Aligned allocation: over-allocate and slide the object forward
+        so it lands on the requested alignment with the header intact.
+
+        The header's RealObjectPtr field exists precisely so these
+        objects can be freed correctly (§IV-B).
+        """
+        from repro.heap.size_classes import align_up
+
+        padding = max(alignment, layout.CSOD_HEADER_SIZE)
+        real = self._raw.malloc(
+            thread, padding + layout.CSOD_HEADER_SIZE + size + layout.CANARY_SIZE
+        )
+        object_address = align_up(real + layout.CSOD_HEADER_SIZE, alignment)
+        self._implant(object_address, size, real, record)
+        return object_address
+
+    def _implant(
+        self, object_address: int, size: int, real: int, record: ContextRecord
+    ) -> None:
+        memory = self._machine.memory
+        layout.write_header(
+            memory,
+            object_address,
+            real_object_ptr=real,
+            object_size=size,
+            context_ptr=record.key.first_level_ra,
+        )
+        layout.write_canary(memory, object_address, size, self.canary_value)
+        self._ledger.record(EVENT_CANARY_SET, nanos_each=CANARY_SET_COST_NS)
+        self._live[object_address] = LiveObject(
+            object_address=object_address,
+            object_size=size,
+            real_object_ptr=real,
+            record=record,
+        )
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+    def check_object(self, object_address: int) -> Tuple[LiveObject, bool]:
+        """Verify one live object's canary; returns (entry, corrupted)."""
+        entry = self._live.get(object_address)
+        if entry is None:
+            raise CSODError(
+                f"object {object_address:#x} is not a live CSOD object"
+            )
+        self._ledger.record(EVENT_CANARY_CHECK, nanos_each=CANARY_CHECK_COST_NS)
+        header = layout.read_header(self._machine.memory, object_address)
+        if not header.is_valid:
+            # A corrupted identifier means the *previous* object overran
+            # into our header — itself evidence of an overflow there.
+            self.corruption_count += 1
+            return entry, True
+        canary = layout.read_canary(
+            self._machine.memory, object_address, entry.object_size
+        )
+        corrupted = canary != self.canary_value
+        if corrupted:
+            self.corruption_count += 1
+        return entry, corrupted
+
+    def release(self, object_address: int) -> LiveObject:
+        """Drop an object from the live registry (after its free)."""
+        entry = self._live.pop(object_address, None)
+        if entry is None:
+            raise CSODError(
+                f"object {object_address:#x} is not a live CSOD object"
+            )
+        return entry
+
+    def sweep_live(self) -> List[LiveObject]:
+        """Check every live object (exit-time sweep); returns corrupted ones."""
+        corrupted = []
+        for address in list(self._live):
+            entry, bad = self.check_object(address)
+            if bad:
+                corrupted.append(entry)
+        return corrupted
+
+    def lookup(self, object_address: int) -> Optional[LiveObject]:
+        return self._live.get(object_address)
+
+    def live_count(self) -> int:
+        return len(self._live)

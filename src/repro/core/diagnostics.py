@@ -1,0 +1,138 @@
+"""Runtime self-inspection.
+
+An operator running CSOD in production wants to see what the sampler is
+doing without a detection: which contexts dominate allocations, where
+the probability mass sits, what the four watchpoints hold right now.
+``snapshot`` collects that from a live runtime; ``render_snapshot``
+prints it; the CLI's ``inspect`` command runs a workload and shows it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.runtime import CSODRuntime
+from repro.core.sampling import context_signature
+from repro.experiments.tables import render_table
+
+
+@dataclass(frozen=True)
+class ContextRow:
+    signature: str
+    probability: float
+    allocations: int
+    watches: int
+    pinned: bool
+
+
+@dataclass(frozen=True)
+class WatchRow:
+    slot: int
+    object_address: int
+    object_size: int
+    watch_address: int
+    install_probability: float
+    context_signature: str
+
+
+@dataclass(frozen=True)
+class RuntimeSnapshot:
+    contexts: List[ContextRow]
+    watches: List[WatchRow]
+    probability_histogram: List[Tuple[str, int]]
+    allocations: int
+    watched_times: int
+    replacements: int
+
+
+_HISTOGRAM_BUCKETS = (
+    ("pinned (100%)", lambda p, pinned: pinned),
+    (">= 25%", lambda p, pinned: not pinned and p >= 0.25),
+    ("1% .. 25%", lambda p, pinned: not pinned and 0.01 <= p < 0.25),
+    ("floor .. 1%", lambda p, pinned: not pinned and 1e-5 < p < 0.01),
+    ("at floor", lambda p, pinned: not pinned and p <= 1e-5),
+)
+
+
+def snapshot(runtime: CSODRuntime, top_contexts: int = 10) -> RuntimeSnapshot:
+    """A structured view of the runtime's sampling state."""
+    records = list(runtime.sampling.records())
+    rows = [
+        ContextRow(
+            signature=_short(context_signature(r.context)),
+            probability=r.probability,
+            allocations=r.allocation_count,
+            watches=r.watch_count,
+            pinned=r.pinned(),
+        )
+        for r in records
+    ]
+    rows.sort(key=lambda r: (-r.allocations, -r.watches))
+    histogram = [
+        (label, sum(1 for r in records if match(r.probability, r.pinned())))
+        for label, match in _HISTOGRAM_BUCKETS
+    ]
+    watches = [
+        WatchRow(
+            slot=w.slot_index,
+            object_address=w.object_address,
+            object_size=w.object_size,
+            watch_address=w.watch_address,
+            install_probability=w.install_probability,
+            context_signature=_short(context_signature(w.record.context)),
+        )
+        for w in runtime.wmu.watched_objects()
+    ]
+    stats = runtime.stats()
+    return RuntimeSnapshot(
+        contexts=rows[:top_contexts],
+        watches=watches,
+        probability_histogram=histogram,
+        allocations=stats.allocations,
+        watched_times=stats.watched_times,
+        replacements=stats.replacements,
+    )
+
+
+def _short(signature: str, limit: int = 48) -> str:
+    head = signature.split("|", 1)[0]
+    return head if len(head) <= limit else head[: limit - 3] + "..."
+
+
+def render_snapshot(snap: RuntimeSnapshot) -> str:
+    parts = [
+        f"allocations={snap.allocations} watched_times={snap.watched_times} "
+        f"replacements={snap.replacements}",
+        "",
+        render_table(
+            ["bucket", "contexts"],
+            snap.probability_histogram,
+            title="Probability distribution",
+        ),
+        "",
+        render_table(
+            ["allocation site", "probability", "allocs", "watches", "pinned"],
+            [
+                [c.signature, f"{c.probability:.4%}", c.allocations, c.watches,
+                 "yes" if c.pinned else ""]
+                for c in snap.contexts
+            ],
+            title="Hottest contexts",
+        ),
+    ]
+    if snap.watches:
+        parts += [
+            "",
+            render_table(
+                ["slot", "object", "size", "watching", "p@install", "context"],
+                [
+                    [w.slot, f"{w.object_address:#x}", w.object_size,
+                     f"{w.watch_address:#x}", f"{w.install_probability:.3%}",
+                     w.context_signature]
+                    for w in snap.watches
+                ],
+                title="Armed watchpoints",
+            ),
+        ]
+    return "\n".join(parts)

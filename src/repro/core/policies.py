@@ -1,0 +1,116 @@
+"""Watchpoint replacement policies (§III-C2).
+
+When all four watchpoints are busy, a new candidate may preempt an
+installed one — but only if the candidate's probability beats the
+victim's *effective* (age-decayed) probability.  Three policies choose
+the victim:
+
+* **naive** — never preempt; a watchpoint lives until its object is
+  freed.  Detects bugs only in programs whose overflowing object is
+  within the first four allocations (or that have <= 4 contexts).
+* **random** — probe a random slot; walk forward until a slot with a
+  lower probability is found.
+* **near-FIFO** — probe slots starting from a circular pointer at the
+  oldest installation; the pointer advances only on replacement (a
+  single atomic update in the paper), and deallocations perturb the
+  order — hence "near"-FIFO.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.config import (
+    POLICY_NAIVE,
+    POLICY_NEAR_FIFO,
+    POLICY_RANDOM,
+    ReplacementPolicyName,
+)
+from repro.core.rng import PerThreadRNG
+from repro.errors import CSODError
+
+# (slot index, effective probability) for each occupied slot.
+SlotView = List[Tuple[int, float]]
+
+
+class ReplacementPolicy:
+    """Interface: pick a victim slot for a candidate, or decline."""
+
+    name: ReplacementPolicyName = "abstract"
+
+    def select_victim(
+        self,
+        slots: SlotView,
+        candidate_probability: float,
+        rng: PerThreadRNG,
+        tid: int,
+    ) -> Optional[int]:
+        raise NotImplementedError
+
+    def on_replaced(self, slot_index: int) -> None:
+        """Notification that ``slot_index`` was just replaced."""
+
+    def on_freed(self, slot_index: int) -> None:
+        """Notification that ``slot_index`` was vacated by a free."""
+
+
+class NaivePolicy(ReplacementPolicy):
+    """No preemption: watchpoints persist until deallocation."""
+
+    name = POLICY_NAIVE
+
+    def select_victim(self, slots, candidate_probability, rng, tid):
+        return None
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Probe a random slot, then walk until a weaker one is found."""
+
+    name = POLICY_RANDOM
+
+    def select_victim(self, slots, candidate_probability, rng, tid):
+        if not slots:
+            return None
+        start = rng.below(tid, len(slots))
+        for step in range(len(slots)):
+            index, probability = slots[(start + step) % len(slots)]
+            if probability < candidate_probability:
+                return index
+        return None
+
+
+class NearFifoPolicy(ReplacementPolicy):
+    """Circular-pointer FIFO, relaxed around deallocations."""
+
+    name = POLICY_NEAR_FIFO
+
+    def __init__(self, slot_count: int = 4):
+        self._pointer = 0
+        self._slot_count = slot_count
+
+    def select_victim(self, slots, candidate_probability, rng, tid):
+        if not slots:
+            return None
+        by_index = {index: probability for index, probability in slots}
+        for step in range(self._slot_count):
+            index = (self._pointer + step) % self._slot_count
+            probability = by_index.get(index)
+            if probability is not None and probability < candidate_probability:
+                return index
+        return None
+
+    def on_replaced(self, slot_index: int) -> None:
+        # The single atomic pointer update of §III-C2: advance past the
+        # slot that was just replaced.
+        self._pointer = (slot_index + 1) % self._slot_count
+
+
+def make_policy(name: ReplacementPolicyName, slot_count: int = 4) -> ReplacementPolicy:
+    """Instantiate a policy by its configuration name."""
+    if name == POLICY_NAIVE:
+        return NaivePolicy()
+    if name == POLICY_RANDOM:
+        return RandomPolicy()
+    if name == POLICY_NEAR_FIFO:
+        return NearFifoPolicy(slot_count)
+    raise CSODError(f"unknown replacement policy {name!r}")

@@ -1,0 +1,103 @@
+"""Overflow reports (Fig. 6).
+
+A CSOD report carries *two* calling contexts: the context of the
+overflowing access (collected by ``backtrace`` inside the signal
+handler) and the allocation context of the overflowed object (retrieved
+from the watchpoint's metadata).  When symbols are available, each level
+prints as ``MODULE/file:line``; stripped modules print raw addresses —
+exactly the behaviour of §III-D2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.callstack.contexts import CallingContext
+from repro.callstack.frames import Frame
+from repro.callstack.symbols import SymbolTable
+
+KIND_OVER_READ = "over-read"
+KIND_OVER_WRITE = "over-write"
+
+SOURCE_WATCHPOINT = "watchpoint"
+SOURCE_FREE_CANARY = "free-canary"
+SOURCE_EXIT_CANARY = "exit-canary"
+
+
+@dataclass(frozen=True)
+class OverflowReport:
+    """One detected buffer overflow."""
+
+    kind: str  # over-read / over-write
+    source: str  # watchpoint / free-canary / exit-canary
+    fault_address: int
+    object_address: int
+    object_size: int
+    thread_id: int
+    time_ns: int
+    allocation_context: CallingContext
+    access_return_addresses: Tuple[int, ...] = ()
+    access_frames: Tuple[Frame, ...] = ()
+
+    def render(self, symbols: Optional[SymbolTable] = None) -> str:
+        """Render in the paper's Fig. 6 layout."""
+        lines = [f"A buffer {self.kind} problem is detected at:"]
+        lines.extend(self._render_access(symbols))
+        lines.append("")
+        lines.append("This object is allocated at:")
+        lines.extend(self._render_context(self.allocation_context, symbols))
+        return "\n".join(lines)
+
+    def _render_access(self, symbols: Optional[SymbolTable]) -> list:
+        if self.source != SOURCE_WATCHPOINT:
+            # Canary evidence has no faulting statement — the overflow is
+            # discovered after the fact, at free or exit time.
+            return [f"(evidence: corrupted canary found at {self.source})"]
+        if not self.access_return_addresses:
+            return [f"(access at {self.fault_address:#x})"]
+        if symbols is None:
+            return [hex(ra) for ra in self.access_return_addresses]
+        return symbols.symbolize(self.access_return_addresses)
+
+    @staticmethod
+    def _render_context(
+        context: CallingContext, symbols: Optional[SymbolTable]
+    ) -> list:
+        if not context.return_addresses:
+            return ["(unknown allocation context)"]
+        if symbols is None:
+            return [hex(ra) for ra in context.return_addresses]
+        return symbols.symbolize(context.return_addresses)
+
+    def to_dict(self, symbols: Optional[SymbolTable] = None) -> dict:
+        """A JSON-ready form (the crash-backend upload format)."""
+        def lines(addresses):
+            if symbols is None:
+                return [hex(ra) for ra in addresses]
+            return symbols.symbolize(addresses)
+
+        return {
+            "kind": self.kind,
+            "source": self.source,
+            "fault_address": self.fault_address,
+            "object_address": self.object_address,
+            "object_size": self.object_size,
+            "thread_id": self.thread_id,
+            "time_ns": self.time_ns,
+            "access_context": lines(self.access_return_addresses),
+            "allocation_context": lines(self.allocation_context.return_addresses),
+        }
+
+    def summary(self) -> str:
+        """One-line form for logs and experiment tallies."""
+        top = (
+            str(self.access_frames[0])
+            if self.access_frames
+            else f"{self.fault_address:#x}"
+        )
+        return (
+            f"{self.kind} via {self.source} at {top} "
+            f"(object {self.object_address:#x}, {self.object_size}B, "
+            f"thread {self.thread_id})"
+        )

@@ -1,0 +1,88 @@
+"""Per-thread random number generation.
+
+The paper ports OpenBSD's allocator RNG and makes it *per-thread*,
+because glibc's ``rand()`` and OpenBSD's global generator serialize
+multithreaded allocation on a lock (§III-A1).  We reproduce the design: a
+:class:`PerThreadRNG` front-end hands each thread its own
+:class:`XorShiftStream`, seeded deterministically from (process seed,
+tid), so no cross-thread state is shared on the allocation hot path and
+every execution is reproducible from its seed.
+
+The stream is xorshift64* — not OpenBSD's chacha20-based arc4random, but
+the property the paper needs (cheap, uniform, lock-free per thread) is
+preserved, and cryptographic quality is irrelevant to sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.machine.syscall_cost import CostLedger, EVENT_RNG_DRAW
+
+RNG_DRAW_COST_NS = 15
+
+_MASK64 = (1 << 64) - 1
+_MULTIPLIER = 0x2545F4914F6CDD1D
+
+
+class XorShiftStream:
+    """One thread's xorshift64* stream."""
+
+    def __init__(self, seed: int):
+        # A zero state would be a fixed point; splitmix the seed once.
+        state = (seed + 0x9E3779B97F4A7C15) & _MASK64
+        state = ((state ^ (state >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        state = ((state ^ (state >> 27)) * 0x94D049BB133111EB) & _MASK64
+        self._state = (state ^ (state >> 31)) or 1
+
+    def next_u64(self) -> int:
+        x = self._state
+        x ^= (x >> 12) & _MASK64
+        x = (x ^ (x << 25)) & _MASK64
+        x ^= x >> 27
+        self._state = x
+        return (x * _MULTIPLIER) & _MASK64
+
+    def uniform(self) -> float:
+        """A float in [0, 1) with 53 bits of precision."""
+        return (self.next_u64() >> 11) / float(1 << 53)
+
+    def below(self, bound: int) -> int:
+        """An integer in [0, bound)."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return self.next_u64() % bound
+
+
+class PerThreadRNG:
+    """Lock-free per-thread generators keyed by tid."""
+
+    def __init__(self, process_seed: int, ledger: Optional[CostLedger] = None):
+        self._process_seed = process_seed
+        self._ledger = ledger or CostLedger()
+        self._streams: Dict[int, XorShiftStream] = {}
+
+    def _stream(self, tid: int) -> XorShiftStream:
+        stream = self._streams.get(tid)
+        if stream is None:
+            # Mix the tid into the process seed; distinct tids get
+            # decorrelated streams.
+            stream = XorShiftStream(self._process_seed * 0x100000001B3 + tid)
+            self._streams[tid] = stream
+        return stream
+
+    def uniform(self, tid: int) -> float:
+        """One sampling draw by thread ``tid`` (charged to the ledger)."""
+        self._ledger.record(EVENT_RNG_DRAW, nanos_each=RNG_DRAW_COST_NS)
+        return self._stream(tid).uniform()
+
+    def next_u64(self, tid: int) -> int:
+        self._ledger.record(EVENT_RNG_DRAW, nanos_each=RNG_DRAW_COST_NS)
+        return self._stream(tid).next_u64()
+
+    def below(self, tid: int, bound: int) -> int:
+        self._ledger.record(EVENT_RNG_DRAW, nanos_each=RNG_DRAW_COST_NS)
+        return self._stream(tid).below(bound)
+
+    def streams_created(self) -> int:
+        return len(self._streams)

@@ -1,0 +1,225 @@
+"""The Sampling Management Unit (§III-B, §IV-A).
+
+Maintains one :class:`ContextRecord` per allocation calling context in
+the global hash table and adapts its watch probability online:
+
+* **initialization** — every new context starts at 50%;
+* **degradation on each allocation** — minus 0.001 percentage points per
+  allocation, so high-traffic contexts fade;
+* **degradation after each watch** — halved every time an object from
+  the context is watched, so scarce watchpoints rotate toward contexts
+  with fewer allocations (the SWAT insight the paper cites);
+* **floor** — never below 0.001%, so every context keeps some chance;
+* **throttle** — more than 5,000 allocations within a 10-second window
+  drop the context to 0.0001% until the window elapses;
+* **reviving** (§IV-A) — floor-bound contexts are randomly boosted back
+  to 0.01% after a period, partially handling input-dependent bugs;
+* **evidence boost** (§IV-B) — a context with observed overflow evidence
+  is pinned at 100%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Set, Tuple
+
+from repro.callstack.contexts import CallingContext, ContextInterner, ContextKey
+from repro.core.config import CSODConfig
+from repro.core.context_key import ContextHashTable
+from repro.core.rng import PerThreadRNG
+from repro.machine.clock import NANOS_PER_SECOND, VirtualClock
+
+
+@dataclass
+class ContextRecord:
+    """Mutable per-context sampling state."""
+
+    key: ContextKey
+    context: CallingContext
+    probability: float
+    allocation_count: int = 0
+    watch_count: int = 0
+    # Throttle window bookkeeping.
+    window_start_ns: int = 0
+    window_alloc_count: int = 0
+    throttled_until_ns: int = 0
+    # Reviving bookkeeping.
+    floor_since_ns: int = -1
+    # Evidence: once an overflow is observed for this context, the
+    # probability is pinned to 1.0 and never degraded again.
+    overflow_observed: bool = False
+
+    def pinned(self) -> bool:
+        return self.overflow_observed
+
+
+class SamplingManagementUnit:
+    """Owns the probability table and all adaptation rules."""
+
+    def __init__(
+        self,
+        config: CSODConfig,
+        clock: VirtualClock,
+        rng: PerThreadRNG,
+        interner: ContextInterner,
+        table: Optional[ContextHashTable] = None,
+    ):
+        self._config = config
+        self._clock = clock
+        self._rng = rng
+        self._interner = interner
+        self._table: ContextHashTable[ContextRecord] = (
+            table if table is not None else ContextHashTable()
+        )
+        # Stable signatures of contexts known (from persisted evidence)
+        # to overflow; applied when the context is first seen.
+        self._known_bad_signatures: Set[str] = set()
+        self.total_allocations_seen = 0
+
+    # ------------------------------------------------------------------
+    # Persisted evidence
+    # ------------------------------------------------------------------
+    def preload_known_bad(self, signatures: Set[str]) -> None:
+        """Install signatures persisted by a previous execution."""
+        self._known_bad_signatures |= signatures
+
+    # ------------------------------------------------------------------
+    # Hot path
+    # ------------------------------------------------------------------
+    def on_allocation(self, stack) -> ContextRecord:
+        """Intern the current context and apply per-allocation rules.
+
+        Called by the monitoring unit on *every* allocation, watched or
+        not.
+        """
+        key, context = self._interner.intern(stack)
+        record = self._table.get(key)
+        if record is None:
+            record = self._new_record(key, context)
+            self._table.put(key, record)
+        self.total_allocations_seen += 1
+        record.allocation_count += 1
+        if not record.pinned():
+            self._degrade_on_allocation(record)
+            self._update_throttle(record)
+            self._maybe_revive(record)
+        return record
+
+    def should_watch(self, record: ContextRecord, tid: int) -> bool:
+        """One probabilistic draw against the context's probability."""
+        probability = self.effective_probability(record)
+        if probability >= 1.0:
+            return True
+        return self._rng.uniform(tid) < probability
+
+    def on_watched(self, record: ContextRecord) -> None:
+        """Degradation after each watch: halve the probability."""
+        record.watch_count += 1
+        if record.pinned():
+            return
+        record.probability = self._clamp(
+            record.probability * self._config.watch_degradation_factor, record
+        )
+
+    def boost_to_certain(self, record: ContextRecord) -> None:
+        """Evidence observed: pin at 100% (§IV-B)."""
+        record.overflow_observed = True
+        record.probability = 1.0
+        record.throttled_until_ns = 0
+
+    # ------------------------------------------------------------------
+    # Probability views
+    # ------------------------------------------------------------------
+    def effective_probability(self, record: ContextRecord) -> float:
+        """The probability a draw is made against, honouring throttles."""
+        if record.pinned():
+            return 1.0
+        if record.throttled_until_ns > self._clock.now_ns:
+            return self._config.throttle_probability
+        return record.probability
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+    def _new_record(self, key: ContextKey, context: CallingContext) -> ContextRecord:
+        probability = self._config.initial_probability
+        record = ContextRecord(key=key, context=context, probability=probability)
+        signature = context_signature(context)
+        if signature in self._known_bad_signatures:
+            record.overflow_observed = True
+            record.probability = 1.0
+        return record
+
+    def _degrade_on_allocation(self, record: ContextRecord) -> None:
+        record.probability = self._clamp(
+            record.probability - self._config.degradation_per_alloc, record
+        )
+
+    def _update_throttle(self, record: ContextRecord) -> None:
+        now = self._clock.now_ns
+        window_ns = int(self._config.throttle_window_seconds * NANOS_PER_SECOND)
+        if now - record.window_start_ns > window_ns:
+            record.window_start_ns = now
+            record.window_alloc_count = 0
+        record.window_alloc_count += 1
+        if (
+            record.window_alloc_count > self._config.throttle_alloc_threshold
+            and record.throttled_until_ns <= now
+        ):
+            # Throttle until the current window elapses; afterwards the
+            # probability returns to the lower bound (§III-B2).
+            record.throttled_until_ns = record.window_start_ns + window_ns
+            record.probability = self._config.floor_probability
+
+    def _maybe_revive(self, record: ContextRecord) -> None:
+        if record.probability > self._config.floor_probability:
+            record.floor_since_ns = -1
+            return
+        now = self._clock.now_ns
+        if record.floor_since_ns < 0:
+            record.floor_since_ns = now
+            return
+        period_ns = int(self._config.revive_period_seconds * NANOS_PER_SECOND)
+        if now - record.floor_since_ns < period_ns:
+            return
+        # Random boost: a fraction of floor-bound contexts come back to
+        # 0.01% so input-dependent bugs stay reachable (§IV-A).
+        record.floor_since_ns = now
+        if self._rng.uniform(tid=0) < self._config.revive_chance:
+            record.probability = self._config.revive_probability
+
+    def _clamp(self, probability: float, record: ContextRecord) -> float:
+        floor = self._config.floor_probability
+        return max(floor, min(1.0, probability))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def record_for(self, key: ContextKey) -> Optional[ContextRecord]:
+        return self._table.get(key)
+
+    def records(self) -> Iterator[ContextRecord]:
+        return self._table.values()
+
+    def context_count(self) -> int:
+        return len(self._table)
+
+    @property
+    def table(self) -> ContextHashTable:
+        return self._table
+
+    @property
+    def interner(self) -> ContextInterner:
+        return self._interner
+
+
+def context_signature(context: CallingContext) -> str:
+    """A signature stable across executions (for evidence persistence).
+
+    Synthetic return addresses differ between runs, so persistence keys
+    on source locations — the analogue of the paper writing calling
+    contexts to a file and matching them in future executions.
+    """
+    if context.frames:
+        return "|".join(frame.site.location() for frame in context.frames)
+    return "|".join(hex(ra) for ra in context.return_addresses)

@@ -1,0 +1,144 @@
+"""The Termination Handling Unit (§IV-B).
+
+Three responsibilities:
+
+* an exit-time sweep of all live canaries (via the registered exit
+  function) so overflows into leaked or still-live objects are found;
+* a common handler for erroneous exits (``SIGSEGV``/``SIGABRT``) that
+  runs the same sweep before the process dies — a crashing overflow
+  still leaves evidence;
+* persistence: every allocation calling context observed to overflow is
+  written to a file, and future executions preload it with probability
+  100%, which is what makes over-write detection *certain* by the second
+  run (§V-A2).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, List, Optional, Set
+
+from repro.core.canary import CanaryManagementUnit, LiveObject
+from repro.core.reporting import (
+    KIND_OVER_WRITE,
+    OverflowReport,
+    SOURCE_EXIT_CANARY,
+)
+from repro.core.sampling import SamplingManagementUnit, context_signature
+from repro.machine.signals import SIGABRT, SIGSEGV, SigInfo, SignalTable
+from repro.machine.threads import SimThread
+
+ReportSink = Callable[[OverflowReport], None]
+
+_PERSIST_VERSION = 1
+
+
+class TerminationHandlingUnit:
+    """Exit/crash sweeps and cross-execution evidence persistence."""
+
+    def __init__(
+        self,
+        signals: SignalTable,
+        canary: CanaryManagementUnit,
+        sampling: SamplingManagementUnit,
+        clock,
+        sink: ReportSink,
+        persistence_path: Optional[str] = None,
+    ):
+        self._canary = canary
+        self._sampling = sampling
+        self._clock = clock
+        self._sink = sink
+        self._persistence_path = persistence_path
+        self._exit_ran = False
+        self.crash_sweeps = 0
+        # Intercept erroneous exits: "CSOD registers a common signal
+        # handler to intercept erroneous exits caused by segmentation
+        # faults or aborts."
+        signals.sigaction(SIGSEGV, self._on_fatal_signal)
+        signals.sigaction(SIGABRT, self._on_fatal_signal)
+
+    # ------------------------------------------------------------------
+    # Exit paths
+    # ------------------------------------------------------------------
+    def on_exit(self) -> List[OverflowReport]:
+        """The registered exit function: sweep all live canaries."""
+        if self._exit_ran:
+            return []
+        self._exit_ran = True
+        reports = self._sweep()
+        self.persist()
+        return reports
+
+    def _on_fatal_signal(self, signo: int, info: SigInfo, thread: SimThread) -> None:
+        self.crash_sweeps += 1
+        self._sweep()
+        self.persist()
+        # Returning lets the default fatal disposition proceed — CSOD
+        # observes the crash, it does not recover from it.
+
+    def _sweep(self) -> List[OverflowReport]:
+        reports = []
+        for entry in self._canary.sweep_live():
+            self._sampling.boost_to_certain(entry.record)
+            report = self._evidence_report(entry)
+            reports.append(report)
+            self._sink(report)
+        return reports
+
+    def _evidence_report(self, entry: LiveObject) -> OverflowReport:
+        return OverflowReport(
+            kind=KIND_OVER_WRITE,  # only writes can corrupt a canary
+            source=SOURCE_EXIT_CANARY,
+            fault_address=entry.object_address + entry.object_size,
+            object_address=entry.object_address,
+            object_size=entry.object_size,
+            thread_id=-1,
+            time_ns=self._clock.now_ns,
+            allocation_context=entry.record.context,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def persist(self) -> int:
+        """Write every overflow-observed context signature to disk.
+
+        I/O failures are swallowed (returning -1): CSOD runs inside
+        arbitrary production processes and must never turn a full disk
+        or a read-only mount into an application crash at exit.
+        """
+        if self._persistence_path is None:
+            return 0
+        signatures = sorted(
+            context_signature(record.context)
+            for record in self._sampling.records()
+            if record.overflow_observed
+        )
+        existing = load_persisted(self._persistence_path)
+        merged = sorted(existing | set(signatures))
+        payload = {"version": _PERSIST_VERSION, "contexts": merged}
+        tmp_path = self._persistence_path + ".tmp"
+        try:
+            with open(tmp_path, "w") as handle:
+                json.dump(payload, handle, indent=1)
+            os.replace(tmp_path, self._persistence_path)
+        except OSError:
+            return -1
+        return len(merged)
+
+
+def load_persisted(path: Optional[str]) -> Set[str]:
+    """Signatures recorded by previous executions (empty if none)."""
+    if path is None or not os.path.exists(path):
+        return set()
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return set()
+    if payload.get("version") != _PERSIST_VERSION:
+        return set()
+    contexts = payload.get("contexts", [])
+    return {s for s in contexts if isinstance(s, str)}

@@ -1,0 +1,335 @@
+"""The Watchpoint Management Unit (§III-C).
+
+Owns CSOD's logical view of the four hardware watchpoints and drives
+their installation, replacement, and removal through the machine's
+``perf_event_open`` protocol — one event per watchpoint *per alive
+thread*, because "there is no way to know which thread will cause an
+overflow later" (Fig. 3).
+
+Installation performs, per thread: ``perf_event_open`` + three
+``fcntl``\\ s (``F_GETFL``/``F_SETFL``+``F_SETSIG``+``F_SETOWN``) +
+``ioctl(ENABLE)``; removal performs ``ioctl(DISABLE)`` + ``close`` — the
+"eight system calls ... for each thread" the paper's overhead analysis
+counts (§V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import CSODConfig
+from repro.core.policies import ReplacementPolicy, make_policy
+from repro.core.rng import PerThreadRNG
+from repro.core.sampling import ContextRecord, SamplingManagementUnit
+from repro.machine.clock import NANOS_PER_SECOND, VirtualClock
+from repro.machine.debug_registers import NUM_USABLE_DEBUG_REGISTERS
+from repro.machine.perf_events import (
+    F_GETFL,
+    F_SETFL,
+    F_SETOWN,
+    F_SETSIG,
+    HW_BREAKPOINT_RW,
+    PERF_EVENT_IOC_DISABLE,
+    PERF_EVENT_IOC_ENABLE,
+    PerfEventAttr,
+    PerfEventManager,
+)
+from repro.machine.signals import SIGTRAP
+from repro.machine.syscall_cost import (
+    CostLedger,
+    EVENT_WATCH_INSTALL,
+    EVENT_WATCH_REMOVE,
+)
+from repro.machine.threads import SimThread, ThreadRegistry
+
+
+@dataclass
+class WatchedObject:
+    """Everything CSOD tracks for one watched heap object."""
+
+    object_address: int
+    object_size: int
+    watch_address: int  # the boundary/canary word
+    record: ContextRecord
+    install_time_ns: int
+    # "The probability of the new OBJECT": frozen at installation and
+    # decayed only by age — replacement compares object probabilities,
+    # not the live (already watch-halved) context probability (§III-C2).
+    install_probability: float = 0.0
+    slot_index: int = -1
+    # One perf-event fd per alive thread the watchpoint is armed on.
+    fds: Dict[int, int] = field(default_factory=dict)
+
+
+class WatchpointManagementUnit:
+    """Installation, replacement, and removal of the four watchpoints."""
+
+    def __init__(
+        self,
+        config: CSODConfig,
+        perf: PerfEventManager,
+        threads: ThreadRegistry,
+        clock: VirtualClock,
+        sampling: SamplingManagementUnit,
+        rng: PerThreadRNG,
+        ledger: CostLedger,
+    ):
+        self._config = config
+        self._perf = perf
+        self._threads = threads
+        self._clock = clock
+        self._sampling = sampling
+        self._rng = rng
+        self._ledger = ledger
+        self._slots: List[Optional[WatchedObject]] = [
+            None
+        ] * NUM_USABLE_DEBUG_REGISTERS
+        self._policy: ReplacementPolicy = make_policy(
+            config.replacement_policy, NUM_USABLE_DEBUG_REGISTERS
+        )
+        self.install_count = 0
+        self.replace_count = 0
+        self.declined_count = 0
+        self.fd_comparisons = 0  # signal-handler fd matching work
+        # Watchpoints must outlive thread churn: arm on every new thread.
+        threads.on_create(self._on_thread_created)
+        threads.on_exit(self._on_thread_exited)
+
+    # ------------------------------------------------------------------
+    # Installation entry point
+    # ------------------------------------------------------------------
+    def try_watch(
+        self,
+        thread: SimThread,
+        object_address: int,
+        object_size: int,
+        watch_address: int,
+        record: ContextRecord,
+        probability_checked: bool,
+    ) -> Optional[WatchedObject]:
+        """Attempt to watch an object; returns the watch on success.
+
+        ``probability_checked`` is True when the caller already passed a
+        sampling draw; a free slot is used unconditionally either way
+        ("installation due to availability", §III-B2), but replacement is
+        attempted only for candidates that passed the draw.
+        """
+        free_index = self._free_slot()
+        if free_index is not None:
+            return self._install(
+                free_index, object_address, object_size, watch_address, record
+            )
+        if not probability_checked:
+            return None
+        candidate_probability = self._sampling.effective_probability(record)
+        victim_index = self._policy.select_victim(
+            self._occupied_view(), candidate_probability, self._rng, thread.tid
+        )
+        if victim_index is None:
+            self.declined_count += 1
+            return None
+        victim = self._slots[victim_index]
+        assert victim is not None
+        self._remove(victim)
+        self.replace_count += 1
+        self._policy.on_replaced(victim_index)
+        return self._install(
+            victim_index, object_address, object_size, watch_address, record
+        )
+
+    # ------------------------------------------------------------------
+    # Deallocation / lookup
+    # ------------------------------------------------------------------
+    def on_deallocation(self, object_address: int) -> bool:
+        """Remove the watchpoint if this object is being watched."""
+        watched = self.find_by_object_address(object_address)
+        if watched is None:
+            return False
+        index = watched.slot_index
+        self._remove(watched)
+        self._policy.on_freed(index)
+        return True
+
+    def find_by_object_address(self, object_address: int) -> Optional[WatchedObject]:
+        for slot in self._slots:
+            if slot is not None and slot.object_address == object_address:
+                return slot
+        return None
+
+    def find_by_fd(self, fd: int) -> Optional[WatchedObject]:
+        """Identify the fired watchpoint by fd, one comparison at a time.
+
+        This mirrors §III-D1: CSOD "compares the current file descriptor
+        with each of these saved file descriptors one-by-one".
+        """
+        for slot in self._slots:
+            if slot is None:
+                continue
+            for saved_fd in slot.fds.values():
+                self.fd_comparisons += 1
+                if saved_fd == fd:
+                    return slot
+        return None
+
+    def watched_objects(self) -> List[WatchedObject]:
+        return [slot for slot in self._slots if slot is not None]
+
+    def free_slots(self) -> int:
+        return sum(1 for slot in self._slots if slot is None)
+
+    # ------------------------------------------------------------------
+    # Ageing (§III-C2)
+    # ------------------------------------------------------------------
+    def effective_slot_probability(self, watched: WatchedObject) -> float:
+        """The victim-selection probability, decayed by installed age."""
+        base = self._sampling.effective_probability(watched.record)
+        age_ns = self._clock.now_ns - watched.install_time_ns
+        period_ns = int(self._config.watchpoint_age_seconds * NANOS_PER_SECOND)
+        if period_ns <= 0 or age_ns < period_ns:
+            return base
+        # Halve once per full aging period: long-watched, quiet objects
+        # become progressively easier to evict.
+        periods = age_ns // period_ns
+        return base * (0.5 ** min(periods, 60))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _free_slot(self) -> Optional[int]:
+        for index, slot in enumerate(self._slots):
+            if slot is None:
+                return index
+        return None
+
+    def _occupied_view(self) -> List[Tuple[int, float]]:
+        return [
+            (index, self.effective_slot_probability(slot))
+            for index, slot in enumerate(self._slots)
+            if slot is not None
+        ]
+
+    def _install(
+        self,
+        slot_index: int,
+        object_address: int,
+        object_size: int,
+        watch_address: int,
+        record: ContextRecord,
+    ) -> WatchedObject:
+        watched = WatchedObject(
+            object_address=object_address,
+            object_size=object_size,
+            watch_address=watch_address,
+            record=record,
+            install_time_ns=self._clock.now_ns,
+            # Captured before the post-watch halving: the probability the
+            # object was actually sampled with.
+            install_probability=self._sampling.effective_probability(record),
+            slot_index=slot_index,
+        )
+        if self._config.batched_syscalls:
+            attr = PerfEventAttr(
+                bp_type=HW_BREAKPOINT_RW, bp_addr=watched.watch_address, bp_len=8
+            )
+            watched.fds = self._perf.batch_install(
+                attr,
+                [t.tid for t in self._threads.alive_threads()],
+                SIGTRAP,
+            )
+        else:
+            for thread in self._threads.alive_threads():
+                self._arm_on_thread(watched, thread)
+        self._slots[slot_index] = watched
+        self._sampling.on_watched(record)
+        self.install_count += 1
+        self._ledger.record(EVENT_WATCH_INSTALL)
+        return watched
+
+    def _arm_on_thread(self, watched: WatchedObject, thread: SimThread) -> None:
+        """The per-thread installation sequence of Fig. 3."""
+        attr = PerfEventAttr(
+            bp_type=HW_BREAKPOINT_RW, bp_addr=watched.watch_address, bp_len=8
+        )
+        fd = self._perf.perf_event_open(attr, thread.tid)
+        flags = self._perf.fcntl(fd, F_GETFL)
+        self._perf.fcntl(fd, F_SETFL, flags)  # O_ASYNC
+        self._perf.fcntl(fd, F_SETSIG, SIGTRAP)
+        self._perf.fcntl(fd, F_SETOWN, thread.tid)
+        self._perf.ioctl(fd, PERF_EVENT_IOC_ENABLE)
+        watched.fds[thread.tid] = fd
+
+    def _remove(self, watched: WatchedObject) -> None:
+        """The removal sequence of Fig. 4, for all alive threads."""
+        if self._config.batched_syscalls:
+            self._perf.batch_remove(
+                fd
+                for tid, fd in watched.fds.items()
+                if self._threads.get(tid).alive
+            )
+            watched.fds.clear()
+        for tid, fd in list(watched.fds.items()):
+            if self._threads.get(tid).alive:
+                self._perf.ioctl(fd, PERF_EVENT_IOC_DISABLE)
+                self._perf.close(fd)
+            watched.fds.pop(tid, None)
+        self._slots[watched.slot_index] = None
+        watched.slot_index = -1
+        self._ledger.record(EVENT_WATCH_REMOVE)
+
+    def _on_thread_created(self, thread: SimThread) -> None:
+        # pthread_create interposition: arm every active watchpoint on
+        # the newcomer so it cannot overflow unobserved.
+        for slot in self._slots:
+            if slot is None:
+                continue
+            if self._config.batched_syscalls:
+                attr = PerfEventAttr(
+                    bp_type=HW_BREAKPOINT_RW, bp_addr=slot.watch_address, bp_len=8
+                )
+                slot.fds.update(
+                    self._perf.batch_install(attr, [thread.tid], SIGTRAP)
+                )
+            else:
+                self._arm_on_thread(slot, thread)
+
+    def _on_thread_exited(self, thread: SimThread) -> None:
+        # The kernel tears events down with the thread; drop our fds.
+        for slot in self._slots:
+            if slot is not None:
+                fd = slot.fds.pop(thread.tid, None)
+                if fd is not None:
+                    try:
+                        self._perf.close(fd)
+                    except Exception:
+                        pass
+
+    def remove_all(self) -> None:
+        """Tear down every watchpoint (used at runtime shutdown)."""
+        for slot in list(self._slots):
+            if slot is not None:
+                self._remove(slot)
+
+    def check_invariants(self) -> None:
+        """Assert the WMU's view matches the hardware state.
+
+        For every alive thread: the armed debug registers are exactly
+        the fds of the occupied logical slots, each watching the slot's
+        boundary address.  Used by the stress tests.
+        """
+        occupied = [slot for slot in self._slots if slot is not None]
+        for watched in occupied:
+            assert watched.slot_index >= 0
+        for thread in self._threads.alive_threads():
+            armed = {wp.cookie: wp for wp in thread.debug_registers.armed()}
+            expected = {
+                watched.fds[thread.tid]: watched
+                for watched in occupied
+                if thread.tid in watched.fds
+            }
+            assert set(armed) == set(expected), (
+                f"tid {thread.tid}: armed fds {sorted(armed)} != "
+                f"expected {sorted(expected)}"
+            )
+            for fd, watched in expected.items():
+                assert armed[fd].address == watched.watch_address

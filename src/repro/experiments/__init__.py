@@ -1,0 +1,37 @@
+"""Experiment drivers — one per table/figure of the paper.
+
+Every driver returns plain data (lists of row dataclasses) and offers a
+``render()`` that prints the same rows the paper reports, side by side
+with the published numbers from :mod:`repro.experiments.paper_data`.
+
+| Paper artifact | Driver |
+|---|---|
+| Table I (applications)            | :func:`effectiveness.table1_rows` |
+| Table II (detections /1000 runs)  | :func:`effectiveness.run_table2` |
+| Table III (bug characteristics)   | :func:`characteristics.run_table3` |
+| Table IV (perf characteristics)   | :func:`characteristics.run_table4` |
+| Table V (memory usage)            | :func:`memory_usage.run_table5` |
+| Fig. 6 (bug report)               | :func:`effectiveness.figure6_report` |
+| Fig. 7 (overhead)                 | :func:`performance.run_figure7` |
+| §V-A2 (evidence, 2nd run)         | :func:`evidence.run_evidence_experiment` |
+"""
+
+from repro.experiments import (
+    characteristics,
+    effectiveness,
+    evidence,
+    memory_usage,
+    paper_data,
+    performance,
+    tables,
+)
+
+__all__ = [
+    "characteristics",
+    "effectiveness",
+    "evidence",
+    "memory_usage",
+    "paper_data",
+    "performance",
+    "tables",
+]

@@ -1,0 +1,61 @@
+"""ASCII charts for experiment output.
+
+``grouped_bar_chart`` renders the Fig. 7 shape — one cluster of bars per
+application, one bar per configuration — as fixed-width text, with the
+same clipping behaviour as the paper's plot (bars past the axis ceiling
+print their value, like the figure's "2.23/2.24" annotations).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+
+def horizontal_bar(value: float, ceiling: float, width: int) -> str:
+    """One bar scaled into ``width`` characters; NaN renders as absent."""
+    if value != value:  # NaN
+        return "(n/a)"
+    clipped = min(value, ceiling)
+    filled = int(round(width * clipped / ceiling))
+    bar = "#" * filled + "." * (width - filled)
+    label = f" {value:.2f}"
+    if value > ceiling:
+        label += " (clipped)"
+    return bar + label
+
+
+def grouped_bar_chart(
+    group_labels: Sequence[str],
+    series_labels: Sequence[str],
+    values: Sequence[Sequence[float]],
+    ceiling: Optional[float] = None,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Render groups of horizontal bars.
+
+    ``values[g][s]`` is the bar for group ``g``, series ``s``.
+    """
+    if len(values) != len(group_labels):
+        raise ValueError("one value row per group label required")
+    for row in values:
+        if len(row) != len(series_labels):
+            raise ValueError("one value per series label required")
+    if ceiling is None:
+        finite = [v for row in values for v in row if v == v]
+        ceiling = max(finite) if finite else 1.0
+    label_width = max((len(s) for s in series_labels), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("")
+    for group, row in zip(group_labels, values):
+        lines.append(f"{group}:")
+        for series, value in zip(series_labels, row):
+            lines.append(
+                f"  {series.ljust(label_width)} |{horizontal_bar(value, ceiling, width)}"
+            )
+        lines.append("")
+    lines.append(f"scale: full bar = {ceiling:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Table V — memory usage.
+
+Peak footprint for the default library, CSOD (evidence mode on, as the
+paper measured), and ASan with minimal 16-byte redzones, from the
+object-envelope model in :mod:`repro.perfmodel.memory`, printed next to
+the published VmHWM/maxresident numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments import paper_data
+from repro.experiments.tables import render_table
+from repro.perfmodel.memory import MemoryFootprint, memory_for
+from repro.workloads.perf import PERF_APPS
+
+
+@dataclass(frozen=True)
+class Table5Row:
+    app: str
+    footprint: MemoryFootprint
+    paper: tuple  # (orig, csod_kb, csod_pct, asan_kb, asan_pct)
+
+
+def run_table5(apps: Optional[Sequence[str]] = None) -> List[Table5Row]:
+    return [
+        Table5Row(
+            app=name,
+            footprint=memory_for(PERF_APPS[name]),
+            paper=paper_data.TABLE5[name],
+        )
+        for name in (apps or PERF_APPS)
+    ]
+
+
+def totals(rows: Sequence[Table5Row]) -> dict:
+    original = sum(r.footprint.original_kb for r in rows)
+    csod = sum(r.footprint.csod_kb for r in rows)
+    asan = sum(r.footprint.asan_kb for r in rows)
+    return {
+        "original": original,
+        "csod": csod,
+        "asan": asan,
+        "csod_pct": 100.0 * csod / original,
+        "asan_pct": 100.0 * asan / original,
+    }
+
+
+def render_table5(rows: Sequence[Table5Row]) -> str:
+    body = []
+    for r in rows:
+        f = r.footprint
+        paper_csod = r.paper[1]
+        paper_asan = r.paper[3] if r.paper[3] is not None else "-"
+        body.append(
+            [
+                r.app,
+                f"{f.original_kb:,.0f}",
+                f"{f.csod_kb:,.0f}",
+                f"{f.csod_percent:.0f}%",
+                f"{f.asan_kb:,.0f}",
+                f"{f.asan_percent:.0f}%",
+                f"{paper_csod}/{paper_asan}",
+            ]
+        )
+    t = totals(rows)
+    body.append(
+        [
+            "TOTAL",
+            f"{t['original']:,.0f}",
+            f"{t['csod']:,.0f}",
+            f"{t['csod_pct']:.0f}%",
+            f"{t['asan']:,.0f}",
+            f"{t['asan_pct']:.0f}%",
+            f"{paper_data.TABLE5_TOTAL['csod']}/{paper_data.TABLE5_TOTAL['asan']}",
+        ]
+    )
+    return render_table(
+        ["Application", "Original KB", "CSOD KB", "CSOD %", "ASan KB", "ASan %", "paper CSOD/ASan KB"],
+        body,
+        title="Table V — memory usage",
+    )

@@ -1,0 +1,127 @@
+"""The published numbers, verbatim, for side-by-side comparison.
+
+Transcribed from the paper (CGO 2019).  Nothing in here feeds the
+simulation — these values are only printed next to the measured ones so
+the benchmark output shows paper-vs-measured for every table and figure.
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------------
+# Table I — applications used for effectiveness evaluation
+# ----------------------------------------------------------------------
+TABLE1 = {
+    "gzip": ("Over-write", "BugBench"),
+    "heartbleed": ("Over-read", "CVE-2014-0160"),
+    "libdwarf": ("Over-read", "CVE-2016-9276"),
+    "libhx": ("Over-write", "CVE-2010-2947"),
+    "libtiff": ("Over-write", "CVE-2013-4243"),
+    "memcached": ("Over-write", "CVE-2016-8706"),
+    "mysql": ("Over-write", "CVE-2012-5612"),
+    "polymorph": ("Over-write", "BugBench"),
+    "zziplib": ("Over-read", "CVE-2017-5974"),
+}
+
+# ----------------------------------------------------------------------
+# Table II — detections out of 1,000 executions, per replacement policy
+# ----------------------------------------------------------------------
+TABLE2 = {
+    # app: (naive, random, near_fifo)
+    "gzip": (1000, 1000, 1000),
+    "heartbleed": (0, 364, 396),
+    "libdwarf": (1000, 480, 459),
+    "libhx": (1000, 929, 885),
+    "libtiff": (1000, 1000, 1000),
+    "memcached": (0, 163, 183),
+    "mysql": (0, 161, 174),
+    "polymorph": (1000, 1000, 1000),
+    "zziplib": (0, 110, 102),
+}
+
+TABLE2_AVERAGE_DETECTION = 0.58  # "with 58% on average"
+
+# ----------------------------------------------------------------------
+# Table III — contexts/allocations, total and before the overflow
+# ----------------------------------------------------------------------
+TABLE3 = {
+    # app: (total contexts, total allocations, before contexts, before allocs)
+    "gzip": (1, 1, 1, 1),
+    "heartbleed": (307, 5403, 273, 5392),
+    "libdwarf": (26, 152, 24, 147),
+    "libhx": (4, 5, 1, 1),
+    "libtiff": (1, 1, 1, 1),
+    "memcached": (74, 442, 74, 442),
+    "mysql": (488, 57464, 445, 57356),
+    "polymorph": (1, 1, 1, 1),
+    "zziplib": (13, 17, 13, 17),
+}
+
+# ----------------------------------------------------------------------
+# Table IV — characteristics of the performance applications
+# ----------------------------------------------------------------------
+TABLE4 = {
+    # app: (LOC, calling contexts, allocations, watched times)
+    "blackscholes": (479, 4, 4, 4),
+    "bodytrack": (11938, 81, 431022, 325),
+    "canneal": (4530, 10, 30728172, 79),
+    "dedup": (37307, 93, 4074135, 182),
+    "facesim": (45748, 109, 4746070, 369),
+    "ferret": (40997, 118, 139246, 346),
+    "fluidanimate": (880, 2, 229910, 5),
+    "freqmine": (2709, 125, 4255, 218),
+    "raytrace": (36871, 63, 45037327, 561),
+    "streamcluster": (2043, 21, 8861, 30),
+    "swaptions": (1631, 10, 48001795, 370),
+    "vips": (206059, 400, 1425257, 259),
+    "x264": (33817, 60, 35753, 37),
+    "aget": (1205, 14, 46, 16),
+    "apache": (269126, 56, 357, 27),
+    "memcached": (14748, 85, 468, 79),
+    "mysql": (1290401, 1186, 1565311, 1362),
+    "pbzip2": (12108, 13, 57746, 58),
+    "pfscan": (1091, 6, 6, 5),
+}
+
+# ----------------------------------------------------------------------
+# Table V — memory usage in KB (original, CSOD, ASan-minimal-redzones)
+# ----------------------------------------------------------------------
+TABLE5 = {
+    # app: (original, csod_kb, csod_pct, asan_kb, asan_pct); None = crash
+    "blackscholes": (613, 630, 103, 673, 110),
+    "bodytrack": (34, 51, 151, 362, 1079),
+    "canneal": (940, 1353, 144, 1586, 169),
+    "dedup": (1599, 1781, 111, 1530, 96),
+    "facesim": (2422, 2462, 102, 3228, 133),
+    "ferret": (68, 90, 133, 413, 610),
+    "fluidanimate": (408, 434, 106, 489, 120),
+    "freqmine": (1241, 1262, 102, None, None),
+    "raytrace": (1135, 1306, 115, 2523, 222),
+    "streamcluster": (111, 128, 115, 151, 136),
+    "swaptions": (9, 27, 289, 390, 4178),
+    "vips": (59, 78, 133, 333, 570),
+    "x264": (486, 507, 104, 693, 142),
+    "aget": (7, 23, 359, 21, 320),
+    "apache": (5, 28, 523, 25, 477),
+    "memcached": (7, 26, 391, 24, 359),
+    "mysql": (124, 145, 117, 395, 317),
+    "pbzip2": (128, 148, 116, 411, 322),
+    "pfscan": (4044, 3688, 91, 4142, 102),
+}
+
+TABLE5_TOTAL = {"original": 13439, "csod": 14167, "asan": 17386}
+TABLE5_CSOD_TOTAL_PCT = 105
+TABLE5_ASAN_TOTAL_PCT = 143
+
+# ----------------------------------------------------------------------
+# Fig. 7 — headline overhead numbers (the text pins the averages)
+# ----------------------------------------------------------------------
+FIGURE7_CSOD_AVERAGE = 0.067
+FIGURE7_CSOD_NO_EVIDENCE_AVERAGE = 0.043
+FIGURE7_ASAN_AVERAGE = 0.39
+FIGURE7_OVER_10PCT_WITHOUT_EVIDENCE = ("canneal", "ferret", "raytrace")
+FIGURE7_ASAN_CRASHED = ("freqmine",)
+FIGURE7_TALLEST_ASAN_BARS = 2.24  # the clipped x264 bars
+
+# ASan detection coverage discussed alongside Table II: bugs inside
+# uninstrumented shared libraries are missed.
+ASAN_MISSED_APPS = ("libtiff", "libhx", "zziplib")

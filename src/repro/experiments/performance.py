@@ -1,0 +1,159 @@
+"""Fig. 7 — normalized performance overhead.
+
+For every application, four configurations are evaluated exactly as the
+figure plots them: CSOD without evidence, full CSOD, ASan with minimal
+redzones, and default ASan.  The CSOD columns come from replaying the
+trace under the real runtime and extrapolating the event ledger; the
+ASan columns combine the replayed allocation-side costs with the
+analytic access-check term (see :mod:`repro.perfmodel.accounting`).
+Freqmine carries no ASan bars — it crashed under ASan in the paper's
+environment, and the driver reproduces the omission.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.asan import ASanRuntime
+from repro.core import CSODConfig, CSODRuntime
+from repro.experiments import paper_data
+from repro.experiments.tables import render_table
+from repro.perfmodel.accounting import (
+    asan_crashes,
+    asan_overhead_fraction,
+    csod_overhead_fraction,
+)
+from repro.workloads.base import SimProcess
+from repro.workloads.perf import PERF_APPS, perf_app_for
+
+
+@dataclass(frozen=True)
+class Figure7Row:
+    """Normalized runtimes (1.0 = default Linux) for one application."""
+
+    app: str
+    csod_no_evidence: float
+    csod: float
+    asan_minimal: float
+    asan: float
+    paper_csod: float
+    paper_asan: float
+
+    def series(self) -> List[float]:
+        return [self.csod_no_evidence, self.csod, self.asan_minimal, self.asan]
+
+
+def measure_app(
+    name: str, seed: int = 7, sim_alloc_cap: int = 8000
+) -> Figure7Row:
+    """All four Fig. 7 configurations for one application."""
+    spec = PERF_APPS[name]
+    app = perf_app_for(name, sim_alloc_cap)
+
+    def csod_run(config: CSODConfig) -> float:
+        process = SimProcess(seed=seed)
+        csod = CSODRuntime(process.machine, process.heap, config, seed=seed)
+        measurement = app.run(process, csod)
+        csod.shutdown()
+        return csod_overhead_fraction(measurement)
+
+    f_no_evidence = csod_run(CSODConfig(evidence_enabled=False))
+    f_csod = csod_run(CSODConfig())
+
+    if asan_crashes(name):
+        f_asan_min = f_asan = float("nan")
+    else:
+        process = SimProcess(seed=seed)
+        asan = ASanRuntime(process.machine, process.heap)
+        measurement = app.run(process)
+        asan.shutdown()
+        f_asan_min = asan_overhead_fraction(measurement, minimal_redzones=True)
+        f_asan = asan_overhead_fraction(measurement, minimal_redzones=False)
+
+    return Figure7Row(
+        app=name,
+        csod_no_evidence=1.0 + f_no_evidence,
+        csod=1.0 + f_csod,
+        asan_minimal=1.0 + f_asan_min,
+        asan=1.0 + f_asan,
+        paper_csod=1.0 + spec.paper_csod_overhead,
+        paper_asan=(
+            1.0 + spec.paper_asan_overhead
+            if not math.isnan(spec.paper_asan_overhead)
+            else float("nan")
+        ),
+    )
+
+
+def run_figure7(
+    apps: Optional[Sequence[str]] = None,
+    seed: int = 7,
+    sim_alloc_cap: int = 8000,
+) -> List[Figure7Row]:
+    return [measure_app(name, seed, sim_alloc_cap) for name in apps or PERF_APPS]
+
+
+def averages(rows: Sequence[Figure7Row]) -> dict:
+    """The figure's Average cluster (ASan averages skip crashes)."""
+    asan_rows = [r for r in rows if not math.isnan(r.asan)]
+    return {
+        "csod_no_evidence": sum(r.csod_no_evidence for r in rows) / len(rows),
+        "csod": sum(r.csod for r in rows) / len(rows),
+        "asan_minimal": sum(r.asan_minimal for r in asan_rows) / len(asan_rows),
+        "asan": sum(r.asan for r in asan_rows) / len(asan_rows),
+    }
+
+
+def render_figure7_chart(rows: Sequence[Figure7Row]) -> str:
+    """The figure itself, as grouped ASCII bars (clipped like the paper)."""
+    from repro.experiments.charts import grouped_bar_chart
+
+    return grouped_bar_chart(
+        [r.app for r in rows],
+        ["CSOD w/o Evidence", "CSOD", "ASan min-redzones", "ASan"],
+        [r.series() for r in rows],
+        ceiling=2.0,
+        title="Figure 7 — normalized overhead (bars clipped at 2.0x)",
+    )
+
+
+def render_figure7(rows: Sequence[Figure7Row]) -> str:
+    body = [
+        [
+            r.app,
+            f"{r.csod_no_evidence:.3f}",
+            f"{r.csod:.3f}",
+            f"{r.asan_minimal:.3f}" if not math.isnan(r.asan_minimal) else "-",
+            f"{r.asan:.3f}" if not math.isnan(r.asan) else "-",
+            f"{r.paper_csod:.2f}",
+            f"{r.paper_asan:.2f}" if not math.isnan(r.paper_asan) else "-",
+        ]
+        for r in rows
+    ]
+    avg = averages(rows)
+    body.append(
+        [
+            "AVERAGE",
+            f"{avg['csod_no_evidence']:.3f}",
+            f"{avg['csod']:.3f}",
+            f"{avg['asan_minimal']:.3f}",
+            f"{avg['asan']:.3f}",
+            f"{1 + paper_data.FIGURE7_CSOD_AVERAGE:.3f}",
+            f"{1 + paper_data.FIGURE7_ASAN_AVERAGE:.3f}",
+        ]
+    )
+    return render_table(
+        [
+            "Application",
+            "CSOD w/o Evidence",
+            "CSOD",
+            "ASan min-redzones",
+            "ASan",
+            "paper CSOD",
+            "paper ASan",
+        ],
+        body,
+        title="Figure 7 — normalized overhead (1.0 = default Linux)",
+    )

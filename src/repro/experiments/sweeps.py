@@ -1,0 +1,98 @@
+"""Generic parameter sweeps over CSOD's configuration.
+
+The ablation benchmarks and the `parameter_explorer` example share one
+pattern: vary one `CSODConfig` field over a grid, estimate the
+detection rate per workload, and render the grid.  ``sweep_knob`` does
+that in one call, using the fast abstract model by default and the full
+simulation on request.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis import estimate_detection_rate
+from repro.core import CSODConfig, CSODRuntime
+from repro.errors import ExperimentError
+from repro.experiments.tables import render_table
+from repro.workloads.base import SimProcess
+from repro.workloads.buggy import app_for
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Detection rates for one knob grid over a set of workloads."""
+
+    knob: str
+    values: Sequence[object]
+    apps: Sequence[str]
+    rates: Dict[object, Dict[str, float]]  # value -> app -> rate
+    engine: str
+
+    def best_value(self, app: str) -> object:
+        return max(self.values, key=lambda v: self.rates[v][app])
+
+    def render(self) -> str:
+        body = []
+        for value in self.values:
+            body.append(
+                [value] + [f"{self.rates[value][app]:.1%}" for app in self.apps]
+            )
+        return render_table(
+            [self.knob] + list(self.apps),
+            body,
+            title=f"Sweep of {self.knob} ({self.engine} engine)",
+        )
+
+
+def _config_with(base: CSODConfig, knob: str, value: object) -> CSODConfig:
+    if knob not in {f.name for f in dataclasses.fields(CSODConfig)}:
+        raise ExperimentError(f"no such CSODConfig knob: {knob!r}")
+    return dataclasses.replace(base, **{knob: value})
+
+
+def _full_sim_rate(app_name: str, config: CSODConfig, runs: int) -> float:
+    app = app_for(app_name)
+    hits = 0
+    for seed in range(runs):
+        process = SimProcess(seed=seed)
+        csod = CSODRuntime(process.machine, process.heap, config, seed=seed)
+        app.run(process)
+        csod.shutdown()
+        hits += csod.detected_by_watchpoint
+    return hits / runs
+
+
+def sweep_knob(
+    knob: str,
+    values: Sequence[object],
+    apps: Sequence[str],
+    base: Optional[CSODConfig] = None,
+    runs: int = 150,
+    engine: str = "abstract",
+) -> SweepResult:
+    """Rate grid for one knob.
+
+    ``engine="abstract"`` uses :mod:`repro.analysis` (fast, statistically
+    faithful); ``engine="full"`` runs the complete simulation.
+    """
+    if engine not in ("abstract", "full"):
+        raise ExperimentError(f"unknown sweep engine {engine!r}")
+    base = base or CSODConfig(replacement_policy="random")
+    rates: Dict[object, Dict[str, float]] = {}
+    for value in values:
+        config = _config_with(base, knob, value)
+        per_app: Dict[str, float] = {}
+        for app_name in apps:
+            if engine == "abstract":
+                per_app[app_name] = estimate_detection_rate(
+                    app_for(app_name).spec, config, runs=runs
+                )
+            else:
+                per_app[app_name] = _full_sim_rate(app_name, config, runs)
+        rates[value] = per_app
+    return SweepResult(
+        knob=knob, values=list(values), apps=list(apps), rates=rates, engine=engine
+    )

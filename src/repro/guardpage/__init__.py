@@ -1,0 +1,23 @@
+"""A GWP-ASan-style guard-page sampling detector (beyond-paper baseline).
+
+Contemporaneous with CSOD, the GWP-ASan family samples a tiny fraction
+of allocations onto dedicated pages whose successor page is left
+unmapped; an overflowing access faults instantly, with perfect
+precision.  The trade against CSOD is the point of including it here:
+
+* guard pages sample *allocations uniformly* — catching a specific bug
+  needs the one overflowing object to be sampled, so per-execution
+  detection probability is ~(sample rate), orders below CSOD's
+  context-focused 10-100%;
+* each sampled live object costs a full page (plus a quarantined page
+  after free), versus CSOD's 40 bytes;
+* detection is crash-time (the process dies on the fault), versus
+  CSOD's report-and-continue trap.
+
+See :mod:`repro.guardpage.runtime` and the
+``benchmarks/test_beyond_guardpage.py`` comparison.
+"""
+
+from repro.guardpage.runtime import GuardPageConfig, GuardPageReport, GuardPageRuntime
+
+__all__ = ["GuardPageConfig", "GuardPageReport", "GuardPageRuntime"]

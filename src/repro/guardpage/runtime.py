@@ -1,0 +1,215 @@
+"""The guard-page runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.callstack.backtrace import Backtracer
+from repro.callstack.contexts import CallingContext
+from repro.errors import ReproError
+from repro.heap.interpose import RawHeap
+from repro.heap.size_classes import MIN_ALIGNMENT
+from repro.machine.address_space import PAGE_SIZE
+from repro.machine.machine import Machine
+from repro.machine.signals import SIGSEGV, SigInfo
+from repro.machine.threads import SimThread
+
+# A reserved VA range for guard slots, away from the main heap arena.
+GUARD_REGION_BASE = 0x7E00_0000_0000
+
+# Cost model: the sampling counter is nearly free; a sampled allocation
+# pays two mmap-grade syscalls (map the slot, later protect it).
+SAMPLE_CHECK_COST_NS = 2
+GUARD_SETUP_COST_NS = 2_500
+
+
+@dataclass(frozen=True)
+class GuardPageConfig:
+    """Tunables of the sampler."""
+
+    # One in `sample_every` allocations lands on a guarded slot
+    # (GWP-ASan ships with ~1/5000 in production).
+    sample_every: int = 1000
+    # Cap on concurrently guarded live objects (pool size).
+    max_guarded: int = 16
+
+    def __post_init__(self):
+        if self.sample_every < 1:
+            raise ReproError("sample_every must be >= 1")
+        if self.max_guarded < 1:
+            raise ReproError("max_guarded must be >= 1")
+
+
+@dataclass(frozen=True)
+class GuardPageReport:
+    """One guard-page fault attribution."""
+
+    kind: str  # "overflow" or "use-after-free"
+    fault_address: int
+    object_address: int
+    object_size: int
+    thread_id: int
+    allocation_context: CallingContext
+
+
+@dataclass
+class _GuardSlot:
+    page_base: int
+    object_address: int
+    object_size: int
+    context: CallingContext
+    freed: bool = False
+
+
+class GuardPageRuntime:
+    """Samples allocations onto guarded pages; faults become reports.
+
+    The process still dies on the fault (GWP-ASan reports from the crash
+    handler); experiment drivers catch the SegmentationFault and read
+    ``reports``.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        interposer,
+        config: Optional[GuardPageConfig] = None,
+        seed: int = 0,
+    ):
+        from repro.core.rng import PerThreadRNG
+
+        self.machine = machine
+        self.config = config or GuardPageConfig()
+        self._raw: RawHeap = interposer.raw
+        self._interposer = interposer
+        self._rng = PerThreadRNG(seed, machine.ledger)
+        self._backtracer = Backtracer(machine.ledger)
+        self._slots: Dict[int, _GuardSlot] = {}  # object address -> slot
+        self._freed_slots: Dict[int, _GuardSlot] = {}  # page base -> slot
+        self._next_page = GUARD_REGION_BASE
+        self.reports: List[GuardPageReport] = []
+        self.sampled_count = 0
+        self.allocation_count = 0
+        machine.signals.sigaction(SIGSEGV, self._on_segv)
+        interposer.preload(self)
+
+    # ------------------------------------------------------------------
+    # HeapLibrary surface
+    # ------------------------------------------------------------------
+    def malloc(self, thread: SimThread, size: int) -> int:
+        self.allocation_count += 1
+        self.machine.ledger.record(
+            "guardpage.sample_check", nanos_each=SAMPLE_CHECK_COST_NS
+        )
+        if (
+            size <= PAGE_SIZE
+            and len(self._slots) < self.config.max_guarded
+            and self._rng.below(thread.tid, self.config.sample_every) == 0
+        ):
+            return self._guarded_alloc(thread, size)
+        return self._raw.malloc(thread, size)
+
+    def memalign(self, thread: SimThread, alignment: int, size: int) -> int:
+        self.allocation_count += 1
+        return self._raw.memalign(thread, alignment, size)
+
+    def free(self, thread: SimThread, address: int) -> None:
+        slot = self._slots.pop(address, None)
+        if slot is None:
+            self._raw.free(thread, address)
+            return
+        # Unmap the slot page: any later touch (use-after-free) faults.
+        slot.freed = True
+        self.machine.memory.unmap_region(slot.page_base)
+        self._freed_slots[slot.page_base] = slot
+
+    def usable_size(self, address: int) -> int:
+        slot = self._slots.get(address)
+        if slot is not None:
+            return slot.object_size
+        return self._raw.usable_size(address)
+
+    # ------------------------------------------------------------------
+    # Guarded slots
+    # ------------------------------------------------------------------
+    def _guarded_alloc(self, thread: SimThread, size: int) -> int:
+        self.sampled_count += 1
+        self.machine.ledger.record(
+            "guardpage.setup", nanos_each=GUARD_SETUP_COST_NS
+        )
+        page = self._next_page
+        self._next_page += 2 * PAGE_SIZE  # slot page + (unmapped) guard page
+        self.machine.memory.map_region(page, PAGE_SIZE, name="guard-slot")
+        # Right-align the object against the guard page, subject to the
+        # 16-byte allocator alignment — the classic GWP-ASan slack: up
+        # to 15 bytes of the page may sit between object end and guard.
+        object_address = (page + PAGE_SIZE - size) & ~(MIN_ALIGNMENT - 1)
+        context = self._context_of(thread)
+        self._slots[object_address] = _GuardSlot(
+            page_base=page,
+            object_address=object_address,
+            object_size=size,
+            context=context,
+        )
+        return object_address
+
+    def _context_of(self, thread: SimThread) -> CallingContext:
+        frames = self._backtracer.full_frames(thread.call_stack)
+        return CallingContext(
+            return_addresses=tuple(f.return_address for f in frames),
+            frames=frames,
+        )
+
+    # ------------------------------------------------------------------
+    # Crash attribution
+    # ------------------------------------------------------------------
+    def _on_segv(self, signo: int, info: SigInfo, thread: SimThread) -> None:
+        fault = info.fault_address
+        # Overflow into the guard page right after a live slot?
+        for slot in self._slots.values():
+            guard = slot.page_base + PAGE_SIZE
+            if guard <= fault < guard + PAGE_SIZE:
+                self.reports.append(
+                    GuardPageReport(
+                        kind="overflow",
+                        fault_address=fault,
+                        object_address=slot.object_address,
+                        object_size=slot.object_size,
+                        thread_id=thread.tid,
+                        allocation_context=slot.context,
+                    )
+                )
+                return
+        # Touch of an unmapped freed slot?
+        for base, slot in self._freed_slots.items():
+            if base <= fault < base + PAGE_SIZE:
+                self.reports.append(
+                    GuardPageReport(
+                        kind="use-after-free",
+                        fault_address=fault,
+                        object_address=slot.object_address,
+                        object_size=slot.object_size,
+                        thread_id=thread.tid,
+                        allocation_context=slot.context,
+                    )
+                )
+                return
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def detected(self) -> bool:
+        return bool(self.reports)
+
+    def guarded_live(self) -> int:
+        return len(self._slots)
+
+    def memory_overhead_bytes(self) -> int:
+        """Pages held by guarded live + quarantined freed slots."""
+        return (len(self._slots) + len(self._freed_slots)) * PAGE_SIZE
+
+    def shutdown(self) -> None:
+        self._interposer.unload()
+        self.machine.signals.sigaction(SIGSEGV, None)

@@ -1,0 +1,32 @@
+"""Heap substrate: allocator, object layout, and interposition.
+
+The allocator carves objects out of the machine's mapped heap arena with
+real adjacency — the byte just past an object is a live, addressable
+location — which is what makes boundary watchpoints and canaries
+meaningful.  :mod:`repro.heap.interpose` provides the ``LD_PRELOAD``
+analogue: a process-wide slot where a runtime library (CSOD, ASan)
+replaces ``malloc``/``free`` without the application changing.
+"""
+
+from repro.heap.allocator import FreeListAllocator, HeapStats
+from repro.heap.interpose import LibraryInterposer, RawHeap
+from repro.heap.layout import (
+    CANARY_SIZE,
+    CSOD_HEADER_SIZE,
+    HEADER_IDENTIFIER,
+    ObjectHeader,
+)
+from repro.heap.size_classes import MIN_ALIGNMENT, round_up_size
+
+__all__ = [
+    "FreeListAllocator",
+    "HeapStats",
+    "LibraryInterposer",
+    "RawHeap",
+    "CANARY_SIZE",
+    "CSOD_HEADER_SIZE",
+    "HEADER_IDENTIFIER",
+    "ObjectHeader",
+    "MIN_ALIGNMENT",
+    "round_up_size",
+]

@@ -1,0 +1,207 @@
+"""A first-fit free-list allocator over the simulated arena.
+
+This is the "default Linux library" of the paper's evaluation — the
+baseline allocator that applications use directly, and that CSOD/ASan
+wrap.  It provides:
+
+* 16-byte-aligned first-fit allocation with block splitting,
+* address-ordered free list with coalescing of adjacent free blocks,
+* ``memalign`` via internal alignment padding,
+* double-free / invalid-free diagnosis, and
+* footprint statistics (live bytes, peak live bytes, peak block count)
+  that feed the Table V memory model.
+
+Objects are packed contiguously, so the word past one object is
+frequently the header or body of the next — exactly the adjacency that
+makes heap overflows silently destructive and boundary watchpoints
+informative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import DoubleFreeError, InvalidFreeError, OutOfMemoryError
+from repro.heap.size_classes import MIN_ALIGNMENT, align_up, round_up_size
+
+
+@dataclass
+class HeapStats:
+    """Footprint and traffic counters."""
+
+    total_allocations: int = 0
+    total_frees: int = 0
+    live_bytes: int = 0
+    live_blocks: int = 0
+    peak_live_bytes: int = 0
+    peak_live_blocks: int = 0
+
+    def on_alloc(self, size: int) -> None:
+        self.total_allocations += 1
+        self.live_bytes += size
+        self.live_blocks += 1
+        self.peak_live_bytes = max(self.peak_live_bytes, self.live_bytes)
+        self.peak_live_blocks = max(self.peak_live_blocks, self.live_blocks)
+
+    def on_free(self, size: int) -> None:
+        self.total_frees += 1
+        self.live_bytes -= size
+        self.live_blocks -= 1
+
+
+class FreeListAllocator:
+    """First-fit allocator with splitting and coalescing."""
+
+    def __init__(self, arena_start: int, arena_size: int):
+        if arena_size <= 0:
+            raise ValueError(f"arena size must be positive, got {arena_size}")
+        if arena_start % MIN_ALIGNMENT:
+            raise ValueError(
+                f"arena start {arena_start:#x} must be {MIN_ALIGNMENT}-byte aligned"
+            )
+        self.arena_start = arena_start
+        self.arena_size = arena_size
+        # Address-ordered list of (start, size) free extents.
+        self._free: List[Tuple[int, int]] = [(arena_start, arena_size)]
+        # address -> block size for live blocks.
+        self._live: Dict[int, int] = {}
+        self._freed_once: set = set()
+        self.stats = HeapStats()
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def malloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the block address."""
+        block_size = round_up_size(size)
+        for index, (start, extent) in enumerate(self._free):
+            if extent >= block_size:
+                self._take(index, start, block_size, extent)
+                self._record_alloc(start, block_size)
+                return start
+        raise OutOfMemoryError(size)
+
+    def memalign(self, alignment: int, size: int) -> int:
+        """Allocate ``size`` bytes at an ``alignment``-aligned address."""
+        block_size = round_up_size(size)
+        for index, (start, extent) in enumerate(self._free):
+            aligned = align_up(start, alignment)
+            padding = aligned - start
+            if extent >= padding + block_size:
+                # Return the leading padding to the free list, then carve.
+                del self._free[index]
+                if padding:
+                    self._free.insert(index, (start, padding))
+                    index += 1
+                remainder = extent - padding - block_size
+                if remainder:
+                    self._free.insert(index, (aligned + block_size, remainder))
+                self._record_alloc(aligned, block_size)
+                return aligned
+        raise OutOfMemoryError(size)
+
+    def _take(self, index: int, start: int, block_size: int, extent: int) -> None:
+        remainder = extent - block_size
+        if remainder:
+            self._free[index] = (start + block_size, remainder)
+        else:
+            del self._free[index]
+
+    def _record_alloc(self, address: int, block_size: int) -> None:
+        self._live[address] = block_size
+        self._freed_once.discard(address)
+        self.stats.on_alloc(block_size)
+
+    # ------------------------------------------------------------------
+    # Deallocation
+    # ------------------------------------------------------------------
+    def free(self, address: int) -> int:
+        """Release a block; returns its size.  Diagnoses bad frees."""
+        size = self._live.pop(address, None)
+        if size is None:
+            if address in self._freed_once:
+                raise DoubleFreeError(address)
+            raise InvalidFreeError(address)
+        self._freed_once.add(address)
+        self.stats.on_free(size)
+        self._insert_free(address, size)
+        return size
+
+    def _insert_free(self, address: int, size: int) -> None:
+        # Keep the list address-ordered and coalesce both neighbours.
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid][0] < address:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, (address, size))
+        self._coalesce_around(lo)
+
+    def _coalesce_around(self, index: int) -> None:
+        # Merge with the successor first, then the predecessor.
+        if index + 1 < len(self._free):
+            start, size = self._free[index]
+            nstart, nsize = self._free[index + 1]
+            if start + size == nstart:
+                self._free[index] = (start, size + nsize)
+                del self._free[index + 1]
+        if index > 0:
+            pstart, psize = self._free[index - 1]
+            start, size = self._free[index]
+            if pstart + psize == start:
+                self._free[index - 1] = (pstart, psize + size)
+                del self._free[index]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def usable_size(self, address: int) -> int:
+        """Block size behind a live allocation (``malloc_usable_size``)."""
+        size = self._live.get(address)
+        if size is None:
+            raise InvalidFreeError(address, reason="not a live allocation")
+        return size
+
+    def is_live(self, address: int) -> bool:
+        return address in self._live
+
+    def live_blocks(self) -> Dict[int, int]:
+        """Snapshot of live (address -> size) blocks."""
+        return dict(self._live)
+
+    def free_extents(self) -> List[Tuple[int, int]]:
+        return list(self._free)
+
+    def check_invariants(self) -> None:
+        """Assert the structural invariants (used by property tests).
+
+        * free extents are address-ordered, non-overlapping, and never
+          adjacent (adjacent extents must have been coalesced);
+        * live blocks never overlap each other or any free extent;
+        * live + free bytes never exceed the arena.
+        """
+        prev_end = None
+        for start, size in self._free:
+            assert size > 0, "empty free extent"
+            if prev_end is not None:
+                assert start > prev_end, "free list out of order or overlapping"
+                assert start != prev_end, "uncoalesced adjacent extents"
+            prev_end = start + size
+            assert self.arena_start <= start
+            assert prev_end <= self.arena_start + self.arena_size
+        spans = sorted(
+            [(a, a + s, "live") for a, s in self._live.items()]
+            + [(a, a + s, "free") for a, s in self._free]
+        )
+        for (s1, e1, _), (s2, e2, _) in zip(spans, spans[1:]):
+            assert e1 <= s2, f"overlapping spans [{s1:#x},{e1:#x}) and [{s2:#x},{e2:#x})"
+
+    def __repr__(self) -> str:
+        return (
+            f"FreeListAllocator(live_blocks={self.stats.live_blocks}, "
+            f"live_bytes={self.stats.live_bytes}, "
+            f"free_extents={len(self._free)})"
+        )

@@ -1,0 +1,97 @@
+"""Heap-layout dumps — a debugging lens over the simulated heap.
+
+``dump_heap`` renders the live blocks around an address with CSOD's
+envelope decoded: header validity, object size, canary state, and
+whether a hardware watchpoint is parked on the boundary word.  The
+output is what you want next to a bug report when deciding whether an
+overflow was continuous, how far it ran, and what it clobbered.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.heap import layout
+
+
+def _canary_state(process, csod, object_address: int, size: int) -> str:
+    value = layout.read_canary(process.machine.memory, object_address, size)
+    if csod is not None and csod.canary is not None:
+        return "OK" if value == csod.canary.canary_value else "CORRUPT"
+    return f"{value:#x}"
+
+
+def _watch_annotation(csod, object_address: int) -> str:
+    if csod is None:
+        return ""
+    watched = csod.wmu.find_by_object_address(object_address)
+    if watched is None:
+        return ""
+    return f"  [WATCHED slot {watched.slot_index} @ {watched.watch_address:#x}]"
+
+
+def dump_object(process, csod, object_address: int) -> str:
+    """One CSOD-managed object, fully decoded."""
+    memory = process.machine.memory
+    header = layout.read_header(memory, object_address)
+    lines: List[str] = [f"object @ {object_address:#x}"]
+    if header.is_valid:
+        lines.append(
+            f"  header: real={header.real_object_ptr:#x} "
+            f"size={header.object_size} ctx={header.context_ptr:#x}"
+        )
+        state = _canary_state(process, csod, object_address, header.object_size)
+        lines.append(
+            f"  canary @ {object_address + header.object_size:#x}: {state}"
+        )
+    else:
+        lines.append("  header: INVALID (clobbered, or not a CSOD object)")
+    annotation = _watch_annotation(csod, object_address)
+    if annotation:
+        lines.append(annotation.strip())
+    preview = memory.read_bytes(object_address, 16)
+    lines.append(f"  bytes: {preview.hex(' ')} ...")
+    return "\n".join(lines)
+
+
+def dump_heap(
+    process,
+    csod=None,
+    around: Optional[int] = None,
+    max_blocks: int = 24,
+) -> str:
+    """The live raw blocks (address order), annotated.
+
+    ``around`` centres the window on one address; otherwise the first
+    ``max_blocks`` blocks are shown.
+    """
+    blocks = sorted(process.allocator.live_blocks().items())
+    if around is not None:
+        index = next(
+            (i for i, (address, size) in enumerate(blocks)
+             if address <= around < address + size),
+            0,
+        )
+        lo = max(0, index - max_blocks // 2)
+        blocks = blocks[lo : lo + max_blocks]
+    else:
+        blocks = blocks[:max_blocks]
+    lines = [f"{len(process.allocator.live_blocks())} live raw blocks"]
+    memory = process.machine.memory
+    for address, size in blocks:
+        entry = f"  [{address:#x} +{size}]"
+        # A CSOD envelope? The user object would start 32 bytes in.
+        candidate = address + layout.CSOD_HEADER_SIZE
+        try:
+            header = layout.read_header(memory, candidate)
+        except Exception:
+            header = None
+        if header is not None and header.is_valid and header.real_object_ptr == address:
+            state = _canary_state(process, csod, candidate, header.object_size)
+            entry += (
+                f" csod-object @ {candidate:#x} size={header.object_size} "
+                f"canary={state}"
+            )
+            entry += _watch_annotation(csod, candidate)
+        lines.append(entry)
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Allocation-routine interposition — the ``LD_PRELOAD`` analogue.
+
+CSOD is "a drop-in library that can be linked to applications ... or be
+preloaded by setting the ``LD_PRELOAD`` environment variable" (§II-B).
+In the simulation, every application performs heap calls through a
+process-wide :class:`LibraryInterposer`.  By default the calls fall
+through to the :class:`RawHeap` (the "default Linux" allocator).
+Preloading a runtime library (CSOD, ASan) swaps the implementation
+without the application changing a line — the same contract the paper's
+deployment story relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.machine.machine import Machine
+from repro.machine.syscall_cost import EVENT_FREE, EVENT_MALLOC
+from repro.machine.threads import SimThread
+from repro.heap.allocator import FreeListAllocator
+
+# Calibrated cost of one glibc malloc/free call on the testbed.
+MALLOC_COST_NS = 45
+FREE_COST_NS = 35
+
+
+class HeapLibrary(Protocol):
+    """The allocation interface every heap implementation exposes."""
+
+    def malloc(self, thread: SimThread, size: int) -> int:  # pragma: no cover
+        ...
+
+    def free(self, thread: SimThread, address: int) -> None:  # pragma: no cover
+        ...
+
+    def memalign(
+        self, thread: SimThread, alignment: int, size: int
+    ) -> int:  # pragma: no cover
+        ...
+
+    def usable_size(self, address: int) -> int:  # pragma: no cover
+        ...
+
+
+class RawHeap:
+    """The unwrapped allocator: glibc's malloc in the paper's baseline."""
+
+    def __init__(self, machine: Machine, allocator: FreeListAllocator):
+        self._machine = machine
+        self.allocator = allocator
+
+    def malloc(self, thread: SimThread, size: int) -> int:
+        self._machine.ledger.record(EVENT_MALLOC, nanos_each=MALLOC_COST_NS)
+        return self.allocator.malloc(size)
+
+    def free(self, thread: SimThread, address: int) -> None:
+        self._machine.ledger.record(EVENT_FREE, nanos_each=FREE_COST_NS)
+        self.allocator.free(address)
+
+    def memalign(self, thread: SimThread, alignment: int, size: int) -> int:
+        self._machine.ledger.record(EVENT_MALLOC, nanos_each=MALLOC_COST_NS)
+        return self.allocator.memalign(alignment, size)
+
+    def usable_size(self, address: int) -> int:
+        return self.allocator.usable_size(address)
+
+
+class LibraryInterposer:
+    """Routes application heap calls to the preloaded library, if any."""
+
+    def __init__(self, raw: RawHeap):
+        self._raw = raw
+        self._library: Optional[HeapLibrary] = None
+
+    def preload(self, library: HeapLibrary) -> None:
+        """Install a runtime library (the LD_PRELOAD moment)."""
+        self._library = library
+
+    def unload(self) -> None:
+        self._library = None
+
+    @property
+    def active_library(self) -> HeapLibrary:
+        return self._library if self._library is not None else self._raw
+
+    @property
+    def raw(self) -> RawHeap:
+        return self._raw
+
+    # ------------------------------------------------------------------
+    # The application-facing malloc/free surface
+    # ------------------------------------------------------------------
+    def malloc(self, thread: SimThread, size: int) -> int:
+        return self.active_library.malloc(thread, size)
+
+    def calloc(self, thread: SimThread, count: int, size: int) -> int:
+        """calloc = malloc + zero fill (the fill happens in heap memory)."""
+        total = count * size
+        address = self.active_library.malloc(thread, total)
+        if total:
+            self._raw._machine.memory.write_bytes(address, bytes(total))
+        return address
+
+    def realloc(self, thread: SimThread, address: int, new_size: int) -> int:
+        """Naive realloc: allocate-copy-free (contents preserved)."""
+        if address == 0:
+            return self.active_library.malloc(thread, new_size)
+        memory = self._raw._machine.memory
+        old_size = self.active_library.usable_size(address)
+        new_address = self.active_library.malloc(thread, new_size)
+        payload = memory.read_bytes(address, min(old_size, new_size))
+        memory.write_bytes(new_address, payload)
+        self.active_library.free(thread, address)
+        return new_address
+
+    def free(self, thread: SimThread, address: int) -> None:
+        if address == 0:
+            return  # free(NULL) is a no-op
+        self.active_library.free(thread, address)
+
+    def memalign(self, thread: SimThread, alignment: int, size: int) -> int:
+        return self.active_library.memalign(thread, alignment, size)

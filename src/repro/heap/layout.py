@@ -1,0 +1,91 @@
+"""The evidence-based object layout of Fig. 5.
+
+When CSOD's canary mechanism is enabled, every user object is wrapped as::
+
+    | RealObjectPtr | ObjectSize | CallingContextPtr | Identifier | object ... | Canary |
+      8 bytes         8 bytes      8 bytes             8 bytes      size         8 bytes
+
+* ``RealObjectPtr`` — the address the underlying allocator returned, kept
+  so ``memalign`` objects can be freed correctly;
+* ``ObjectSize`` — locates the canary at deallocation time;
+* ``CallingContextPtr`` — lets the checker report the allocation context
+  when a corrupted canary is found;
+* ``Identifier`` — a magic word marking a CSOD-managed header.
+
+The paper's Table V attributes CSOD's memory overhead to exactly this
+32-byte header plus the 8-byte canary; the memory model reuses these
+constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.address_space import AddressSpace
+
+CSOD_HEADER_SIZE = 32
+CANARY_SIZE = 8
+HEADER_IDENTIFIER = 0xC50D_C50D_C50D_C50D  # "CSOD" magic
+
+_REAL_PTR_OFFSET = 0
+_SIZE_OFFSET = 8
+_CONTEXT_PTR_OFFSET = 16
+_IDENTIFIER_OFFSET = 24
+
+
+@dataclass(frozen=True)
+class ObjectHeader:
+    """Decoded header fields for one CSOD-managed object."""
+
+    real_object_ptr: int
+    object_size: int
+    context_ptr: int
+    identifier: int
+
+    @property
+    def is_valid(self) -> bool:
+        return self.identifier == HEADER_IDENTIFIER
+
+
+def header_address(object_address: int) -> int:
+    """Address of the header that precedes ``object_address``."""
+    return object_address - CSOD_HEADER_SIZE
+
+
+def canary_address(object_address: int, object_size: int) -> int:
+    """Address of the canary word just past the user object."""
+    return object_address + object_size
+
+
+def write_header(
+    memory: AddressSpace,
+    object_address: int,
+    real_object_ptr: int,
+    object_size: int,
+    context_ptr: int,
+) -> None:
+    """Serialize a header into the 32 bytes before the object."""
+    base = header_address(object_address)
+    memory.write_word(base + _REAL_PTR_OFFSET, real_object_ptr)
+    memory.write_word(base + _SIZE_OFFSET, object_size)
+    memory.write_word(base + _CONTEXT_PTR_OFFSET, context_ptr)
+    memory.write_word(base + _IDENTIFIER_OFFSET, HEADER_IDENTIFIER)
+
+
+def read_header(memory: AddressSpace, object_address: int) -> ObjectHeader:
+    """Deserialize the header preceding ``object_address``."""
+    base = header_address(object_address)
+    return ObjectHeader(
+        real_object_ptr=memory.read_word(base + _REAL_PTR_OFFSET),
+        object_size=memory.read_word(base + _SIZE_OFFSET),
+        context_ptr=memory.read_word(base + _CONTEXT_PTR_OFFSET),
+        identifier=memory.read_word(base + _IDENTIFIER_OFFSET),
+    )
+
+
+def write_canary(memory: AddressSpace, object_address: int, object_size: int, value: int) -> None:
+    memory.write_word(canary_address(object_address, object_size), value)
+
+
+def read_canary(memory: AddressSpace, object_address: int, object_size: int) -> int:
+    return memory.read_word(canary_address(object_address, object_size))

@@ -1,0 +1,163 @@
+"""A segregated size-class allocator.
+
+Production allocators (tcmalloc, jemalloc, glibc's tcache) serve small
+objects from per-size-class runs rather than a single first-fit list.
+The reproduction ships one because it changes the *adjacency* a
+continuous overflow lands in — with segregation, the byte past an
+object is usually another object of the same class, never a smaller
+header — and because it demonstrates a claim the paper makes against
+Sampler: CSOD "requires no custom memory allocator"; it interposes on
+whatever the process already uses.  The test suite runs the detection
+paths against both allocators.
+
+Design: size classes up to 4 KiB, each carving 16 KiB chunks from the
+arena on demand, bump allocation within a chunk, and a per-class LIFO
+free list for reuse.  Larger requests fall back to whole chunks of the
+exact rounded size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import DoubleFreeError, InvalidFreeError, OutOfMemoryError
+from repro.heap.allocator import HeapStats
+from repro.heap.size_classes import MIN_ALIGNMENT, align_up, round_up_size
+
+SIZE_CLASSES = (
+    16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 2048, 4096
+)
+CHUNK_SIZE = 16 * 1024
+
+
+def size_class_for(size: int) -> Optional[int]:
+    """The smallest class that fits ``size``, or None for large objects."""
+    rounded = round_up_size(size)
+    for cls in SIZE_CLASSES:
+        if rounded <= cls:
+            return cls
+    return None
+
+
+class SegregatedAllocator:
+    """Size-class allocator with the same surface as FreeListAllocator."""
+
+    def __init__(self, arena_start: int, arena_size: int):
+        if arena_size <= 0:
+            raise ValueError(f"arena size must be positive, got {arena_size}")
+        if arena_start % MIN_ALIGNMENT:
+            raise ValueError(
+                f"arena start {arena_start:#x} must be {MIN_ALIGNMENT}-byte aligned"
+            )
+        self.arena_start = arena_start
+        self.arena_size = arena_size
+        self._wilderness = arena_start  # bump cursor for new chunks
+        self._free_lists: Dict[int, List[int]] = {cls: [] for cls in SIZE_CLASSES}
+        # Current bump state per class: (cursor, chunk end).
+        self._bump: Dict[int, Tuple[int, int]] = {}
+        self._live: Dict[int, int] = {}  # address -> block size
+        self._block_class: Dict[int, int] = {}  # address -> class (or big size)
+        self._freed_once: set = set()
+        self.stats = HeapStats()
+        self.chunks_carved = 0
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def malloc(self, size: int) -> int:
+        cls = size_class_for(size)
+        if cls is None:
+            return self._alloc_large(round_up_size(size))
+        free_list = self._free_lists[cls]
+        if free_list:
+            address = free_list.pop()
+        else:
+            address = self._bump_alloc(cls)
+        self._record_alloc(address, cls, cls)
+        return address
+
+    def memalign(self, alignment: int, size: int) -> int:
+        """Aligned allocation via a dedicated padded large block."""
+        if alignment <= MIN_ALIGNMENT:
+            return self.malloc(size)
+        block = round_up_size(size)
+        raw = self._carve(block + alignment)
+        address = align_up(raw, alignment)
+        self._record_alloc(address, block, block)
+        return address
+
+    def _alloc_large(self, block: int) -> int:
+        address = self._carve(block)
+        self._record_alloc(address, block, block)
+        return address
+
+    def _bump_alloc(self, cls: int) -> int:
+        cursor, end = self._bump.get(cls, (0, 0))
+        if cursor + cls > end:
+            cursor = self._carve(CHUNK_SIZE)
+            end = cursor + CHUNK_SIZE
+            self.chunks_carved += 1
+        self._bump[cls] = (cursor + cls, end)
+        return cursor
+
+    def _carve(self, size: int) -> int:
+        address = self._wilderness
+        if address + size > self.arena_start + self.arena_size:
+            raise OutOfMemoryError(size)
+        self._wilderness += size
+        return address
+
+    def _record_alloc(self, address: int, size: int, cls: int) -> None:
+        self._live[address] = size
+        self._block_class[address] = cls
+        self._freed_once.discard(address)
+        self.stats.on_alloc(size)
+
+    # ------------------------------------------------------------------
+    # Deallocation
+    # ------------------------------------------------------------------
+    def free(self, address: int) -> int:
+        size = self._live.pop(address, None)
+        if size is None:
+            if address in self._freed_once:
+                raise DoubleFreeError(address)
+            raise InvalidFreeError(address)
+        self._freed_once.add(address)
+        cls = self._block_class.pop(address)
+        if cls in self._free_lists:
+            self._free_lists[cls].append(address)
+        # Large/aligned blocks are not recycled (wilderness-only), as in
+        # simple chunk allocators; fine for simulation footprints.
+        self.stats.on_free(size)
+        return size
+
+    # ------------------------------------------------------------------
+    # Introspection (FreeListAllocator-compatible surface)
+    # ------------------------------------------------------------------
+    def usable_size(self, address: int) -> int:
+        size = self._live.get(address)
+        if size is None:
+            raise InvalidFreeError(address, reason="not a live allocation")
+        return size
+
+    def is_live(self, address: int) -> bool:
+        return address in self._live
+
+    def live_blocks(self) -> Dict[int, int]:
+        return dict(self._live)
+
+    def check_invariants(self) -> None:
+        """Live blocks never overlap; free-list entries are dead."""
+        spans = sorted((a, a + s) for a, s in self._live.items())
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2, f"overlap [{s1:#x},{e1:#x}) and [{s2:#x},{e2:#x})"
+        for cls, free_list in self._free_lists.items():
+            for address in free_list:
+                assert address not in self._live
+        assert self._wilderness <= self.arena_start + self.arena_size
+
+    def __repr__(self) -> str:
+        return (
+            f"SegregatedAllocator(live_blocks={self.stats.live_blocks}, "
+            f"chunks={self.chunks_carved})"
+        )

@@ -1,0 +1,35 @@
+"""Size rounding and alignment rules.
+
+The allocator hands out 16-byte-aligned blocks rounded up to 16-byte
+multiples, matching glibc's malloc granularity on x86-64.  Rounding
+matters for the reproduction because it determines where the *boundary
+word* of an object lies: CSOD watches the first word past the requested
+size, which padding from rounding may place inside the same block.
+"""
+
+from __future__ import annotations
+
+MIN_ALIGNMENT = 16
+MIN_BLOCK_SIZE = 16
+WORD_SIZE = 8
+
+
+def round_up_size(size: int) -> int:
+    """Round a request up to the allocator's block granularity."""
+    if size < 0:
+        raise ValueError(f"allocation size cannot be negative: {size}")
+    if size == 0:
+        # malloc(0) returns a unique minimal block, as glibc does.
+        return MIN_BLOCK_SIZE
+    return (size + MIN_ALIGNMENT - 1) & ~(MIN_ALIGNMENT - 1)
+
+
+def align_up(address: int, alignment: int) -> int:
+    """Round ``address`` up to a multiple of ``alignment`` (a power of 2)."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError(f"alignment must be a positive power of two: {alignment}")
+    return (address + alignment - 1) & ~(alignment - 1)
+
+
+def is_aligned(address: int, alignment: int = MIN_ALIGNMENT) -> bool:
+    return address % alignment == 0

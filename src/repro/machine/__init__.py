@@ -1,0 +1,83 @@
+"""Simulated hardware/OS substrate.
+
+This package stands in for the pieces of a real Linux/x86 system that the
+CSOD paper depends on and that cannot be driven faithfully from Python:
+
+* a 64-bit virtual address space (:mod:`repro.machine.address_space`),
+* the four usable x86 debug registers
+  (:mod:`repro.machine.debug_registers`),
+* the ``perf_event_open`` watchpoint protocol
+  (:mod:`repro.machine.perf_events`),
+* POSIX-style signal dispositions and ``SIGTRAP`` delivery
+  (:mod:`repro.machine.signals`),
+* simulated threads and a deterministic scheduler
+  (:mod:`repro.machine.threads`, :mod:`repro.machine.scheduler`),
+* a CPU front-end that performs loads/stores and fires watchpoints
+  (:mod:`repro.machine.cpu`), and
+* virtual time plus syscall-cost accounting (:mod:`repro.machine.clock`,
+  :mod:`repro.machine.syscall_cost`).
+
+:class:`repro.machine.machine.Machine` wires them together.
+"""
+
+from repro.machine.address_space import AddressSpace, MappedRegion, PAGE_SIZE
+from repro.machine.clock import VirtualClock
+from repro.machine.cpu import CPU, AccessKind
+from repro.machine.debug_registers import (
+    DebugRegisterFile,
+    HardwareWatchpoint,
+    NUM_USABLE_DEBUG_REGISTERS,
+    TOTAL_DEBUG_REGISTERS,
+)
+from repro.machine.machine import Machine
+from repro.machine.perf_events import (
+    PerfEvent,
+    PerfEventAttr,
+    PerfEventManager,
+    PERF_TYPE_BREAKPOINT,
+    HW_BREAKPOINT_R,
+    HW_BREAKPOINT_W,
+    HW_BREAKPOINT_RW,
+)
+from repro.machine.scheduler import RoundRobinScheduler
+from repro.machine.signals import (
+    SIGTRAP,
+    SIGSEGV,
+    SIGABRT,
+    SigInfo,
+    SignalTable,
+    ProcessTerminated,
+)
+from repro.machine.syscall_cost import CostLedger
+from repro.machine.threads import SimThread, ThreadRegistry
+
+__all__ = [
+    "AddressSpace",
+    "MappedRegion",
+    "PAGE_SIZE",
+    "VirtualClock",
+    "CPU",
+    "AccessKind",
+    "DebugRegisterFile",
+    "HardwareWatchpoint",
+    "NUM_USABLE_DEBUG_REGISTERS",
+    "TOTAL_DEBUG_REGISTERS",
+    "Machine",
+    "PerfEvent",
+    "PerfEventAttr",
+    "PerfEventManager",
+    "PERF_TYPE_BREAKPOINT",
+    "HW_BREAKPOINT_R",
+    "HW_BREAKPOINT_W",
+    "HW_BREAKPOINT_RW",
+    "RoundRobinScheduler",
+    "SIGTRAP",
+    "SIGSEGV",
+    "SIGABRT",
+    "SigInfo",
+    "SignalTable",
+    "ProcessTerminated",
+    "CostLedger",
+    "SimThread",
+    "ThreadRegistry",
+]

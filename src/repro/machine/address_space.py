@@ -1,0 +1,186 @@
+"""A sparse 64-bit virtual address space with byte-level contents.
+
+The heap substrate places objects contiguously in this space, so the
+address "just past an object" — where CSOD installs its watchpoint and
+implants its canary — is a real, distinct location whose contents can be
+read, written, and corrupted, exactly as on the machine the paper used.
+
+Contents are stored per 4 KiB page in ``bytearray``s, allocated lazily,
+so multi-gigabyte simulated footprints cost memory only for pages that
+are actually touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import MachineError, SegmentationFault
+
+PAGE_SIZE = 4096
+_PAGE_SHIFT = 12
+_ADDRESS_LIMIT = 1 << 48  # canonical user-space addresses
+
+
+@dataclass(frozen=True)
+class MappedRegion:
+    """A contiguous mapped range ``[start, start + size)``."""
+
+    start: int
+    size: int
+    name: str
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    def contains(self, address: int, size: int = 1) -> bool:
+        return self.start <= address and address + size <= self.end
+
+    def overlaps(self, other: "MappedRegion") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+class AddressSpace:
+    """Sparse byte-addressable memory with explicit region mapping."""
+
+    def __init__(self):
+        self._regions: List[MappedRegion] = []
+        self._pages: Dict[int, bytearray] = {}
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+    def map_region(self, start: int, size: int, name: str = "anon") -> MappedRegion:
+        """Map ``[start, start + size)``; overlapping maps are an error."""
+        if size <= 0:
+            raise MachineError(f"cannot map region of size {size}")
+        if start < 0 or start + size > _ADDRESS_LIMIT:
+            raise MachineError(
+                f"region {start:#x}+{size:#x} is outside the canonical address range"
+            )
+        region = MappedRegion(start, size, name)
+        for existing in self._regions:
+            if region.overlaps(existing):
+                raise MachineError(
+                    f"region {name} at {start:#x} overlaps {existing.name} "
+                    f"at {existing.start:#x}"
+                )
+        self._regions.append(region)
+        self._regions.sort(key=lambda r: r.start)
+        return region
+
+    def unmap_region(self, start: int) -> None:
+        """Remove the region that begins at ``start``."""
+        for i, region in enumerate(self._regions):
+            if region.start == start:
+                del self._regions[i]
+                self._drop_pages(region)
+                return
+        raise MachineError(f"no region mapped at {start:#x}")
+
+    def _drop_pages(self, region: MappedRegion) -> None:
+        first = region.start >> _PAGE_SHIFT
+        last = (region.end - 1) >> _PAGE_SHIFT
+        for page in range(first, last + 1):
+            # A page may be shared with an adjacent region; only drop it
+            # when nothing mapped still covers it.
+            base = page << _PAGE_SHIFT
+            if not any(
+                r.start < base + PAGE_SIZE and base < r.end for r in self._regions
+            ):
+                self._pages.pop(page, None)
+
+    def regions(self) -> Iterator[MappedRegion]:
+        return iter(self._regions)
+
+    def region_at(self, address: int) -> Optional[MappedRegion]:
+        """The region containing ``address``, or None."""
+        for region in self._regions:
+            if region.contains(address):
+                return region
+        return None
+
+    def is_mapped(self, address: int, size: int = 1) -> bool:
+        """Whether every byte of ``[address, address + size)`` is mapped.
+
+        Ranges that straddle two adjacent regions count as mapped, which
+        matches hardware behaviour for contiguous mappings.
+        """
+        if size <= 0:
+            return False
+        cursor = address
+        end = address + size
+        while cursor < end:
+            region = self.region_at(cursor)
+            if region is None:
+                return False
+            cursor = region.end
+        return True
+
+    # ------------------------------------------------------------------
+    # Contents
+    # ------------------------------------------------------------------
+    def _check_mapped(self, address: int, size: int, kind: str) -> None:
+        if not self.is_mapped(address, size):
+            raise SegmentationFault(address, size, kind)
+
+    def _page(self, index: int) -> bytearray:
+        page = self._pages.get(index)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[index] = page
+        return page
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        """Store ``data`` starting at ``address`` (must be fully mapped).
+
+        Zero-length writes are no-ops, like ``memcpy(dst, src, 0)``.
+        """
+        if not data:
+            return
+        self._check_mapped(address, len(data), "write")
+        offset = 0
+        while offset < len(data):
+            page_index = (address + offset) >> _PAGE_SHIFT
+            in_page = (address + offset) & (PAGE_SIZE - 1)
+            chunk = min(len(data) - offset, PAGE_SIZE - in_page)
+            self._page(page_index)[in_page : in_page + chunk] = data[
+                offset : offset + chunk
+            ]
+            offset += chunk
+
+    def read_bytes(self, address: int, size: int) -> bytes:
+        """Load ``size`` bytes starting at ``address`` (0 bytes: no-op)."""
+        if size == 0:
+            return b""
+        self._check_mapped(address, size, "read")
+        out = bytearray(size)
+        offset = 0
+        while offset < size:
+            page_index = (address + offset) >> _PAGE_SHIFT
+            in_page = (address + offset) & (PAGE_SIZE - 1)
+            chunk = min(size - offset, PAGE_SIZE - in_page)
+            page = self._pages.get(page_index)
+            if page is not None:
+                out[offset : offset + chunk] = page[in_page : in_page + chunk]
+            offset += chunk
+        return bytes(out)
+
+    def write_word(self, address: int, value: int) -> None:
+        """Store a 64-bit little-endian word."""
+        self.write_bytes(address, (value & (2**64 - 1)).to_bytes(8, "little"))
+
+    def read_word(self, address: int) -> int:
+        """Load a 64-bit little-endian word."""
+        return int.from_bytes(self.read_bytes(address, 8), "little")
+
+    def touched_pages(self) -> int:
+        """Number of pages with materialized contents (footprint proxy)."""
+        return len(self._pages)
+
+    def __repr__(self) -> str:
+        return (
+            f"AddressSpace(regions={len(self._regions)}, "
+            f"touched_pages={len(self._pages)})"
+        )

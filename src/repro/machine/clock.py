@@ -1,0 +1,55 @@
+"""Virtual time.
+
+The CSOD sampling algorithm has two time-dependent rules (the 5,000
+allocations / 10 seconds throttle of §III-B2 and the watchpoint-ageing
+rule of §III-C2), and the overhead model charges nanoseconds for every
+libc call and syscall.  Both need a clock that is deterministic and fully
+under test control, so the machine keeps its own nanosecond counter
+instead of reading the host clock.
+"""
+
+from __future__ import annotations
+
+NANOS_PER_SECOND = 1_000_000_000
+
+
+class VirtualClock:
+    """A monotonically advancing nanosecond counter."""
+
+    def __init__(self, start_ns: int = 0):
+        if start_ns < 0:
+            raise ValueError("clock cannot start before time zero")
+        self._now_ns = start_ns
+
+    @property
+    def now_ns(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self._now_ns
+
+    @property
+    def now_seconds(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now_ns / NANOS_PER_SECOND
+
+    def advance(self, nanos: int) -> int:
+        """Advance the clock by ``nanos`` and return the new time.
+
+        Time never goes backwards; negative advances are rejected.
+        """
+        if nanos < 0:
+            raise ValueError(f"cannot advance clock by {nanos} ns")
+        self._now_ns += nanos
+        return self._now_ns
+
+    def advance_seconds(self, seconds: float) -> int:
+        """Advance the clock by a (possibly fractional) second count."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds} s")
+        return self.advance(int(seconds * NANOS_PER_SECOND))
+
+    def reset(self) -> None:
+        """Rewind to time zero (used between benchmark repetitions)."""
+        self._now_ns = 0
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now_ns={self._now_ns})"

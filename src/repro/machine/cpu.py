@@ -1,0 +1,154 @@
+"""The CPU front-end: loads and stores with watchpoint semantics.
+
+Every simulated memory access flows through :meth:`CPU.load` /
+:meth:`CPU.store`.  The CPU
+
+1. checks the mapping (an unmapped access raises a segmentation fault,
+   delivered as ``SIGSEGV`` so CSOD's termination unit can intercept it),
+2. performs the byte transfer, and
+3. consults the accessing thread's debug-register file; a hit delivers
+   the configured signal (``SIGTRAP``) to the thread named by the perf
+   event's ``F_SETOWN`` routing — which CSOD always points at the
+   accessing thread — with the fd in ``siginfo_t`` (§III-D1).
+
+Note a faithfully modelled hardware property: a watchpoint fires on the
+*address*, not on object identity, and fires after the access on x86
+(trap, not fault) — CSOD relies on this to report rather than prevent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SegmentationFault
+from repro.machine.address_space import AddressSpace
+from repro.machine.debug_registers import WATCH_READ, WATCH_WRITE
+from repro.machine.perf_events import PerfEventManager
+from repro.machine.signals import SIGSEGV, SigInfo, SignalTable
+from repro.machine.syscall_cost import CostLedger, EVENT_MEM_ACCESS
+from repro.machine.threads import SimThread
+
+
+class AccessKind:
+    """Access kind constants shared with the debug-register model."""
+
+    READ = WATCH_READ
+    WRITE = WATCH_WRITE
+
+
+class CPU:
+    """Executes accesses against the address space and fires watchpoints."""
+
+    def __init__(
+        self,
+        memory: AddressSpace,
+        signals: SignalTable,
+        perf: PerfEventManager,
+        ledger: Optional[CostLedger] = None,
+    ):
+        self._memory = memory
+        self._signals = signals
+        self._perf = perf
+        self._ledger = ledger or CostLedger()
+        self.trap_count = 0
+        # Pre-access hooks: the seam where compile-time instrumentation
+        # (ASan's shadow checks) observes every load/store.  Hooks run
+        # before the access and may raise to model a sanitizer abort.
+        self._access_hooks = []
+
+    def add_access_hook(self, hook) -> None:
+        """Register ``hook(thread, address, size, kind)`` on every access."""
+        self._access_hooks.append(hook)
+
+    def remove_access_hook(self, hook) -> None:
+        self._access_hooks.remove(hook)
+
+    # ------------------------------------------------------------------
+    # Access execution
+    # ------------------------------------------------------------------
+    def load(self, thread: SimThread, address: int, size: int = 8) -> bytes:
+        """Read ``size`` bytes as ``thread``; may raise or trap."""
+        self._ledger.record(EVENT_MEM_ACCESS)
+        for hook in self._access_hooks:
+            hook(thread, address, size, AccessKind.READ)
+        try:
+            data = self._memory.read_bytes(address, size)
+        except SegmentationFault as fault:
+            self._deliver_segv(thread, fault)
+            raise
+        self._check_watchpoints(thread, address, size, AccessKind.READ)
+        return data
+
+    def store(self, thread: SimThread, address: int, data: bytes) -> None:
+        """Write ``data`` as ``thread``; may raise or trap.
+
+        The write lands *before* the trap fires, matching x86 data
+        watchpoints (trap-type debug exceptions report after execution),
+        which is why CSOD is a detector rather than a preventer.
+        """
+        self._ledger.record(EVENT_MEM_ACCESS)
+        for hook in self._access_hooks:
+            hook(thread, address, len(data), AccessKind.WRITE)
+        try:
+            self._memory.write_bytes(address, data)
+        except SegmentationFault as fault:
+            self._deliver_segv(thread, fault)
+            raise
+        self._check_watchpoints(thread, address, len(data), AccessKind.WRITE)
+
+    def load_word(self, thread: SimThread, address: int) -> int:
+        return int.from_bytes(self.load(thread, address, 8), "little")
+
+    def store_word(self, thread: SimThread, address: int, value: int) -> None:
+        self.store(thread, address, (value & (2**64 - 1)).to_bytes(8, "little"))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_watchpoints(
+        self, thread: SimThread, address: int, size: int, kind: str
+    ) -> None:
+        hit = thread.debug_registers.check_access(address, size, kind)
+        if hit is None:
+            return
+        self.trap_count += 1
+        info = self._build_siginfo(hit.cookie, address, size, kind, thread)
+        signo = info.signo
+        if signo:
+            self._signals.deliver(signo, info, thread)
+
+    def _build_siginfo(
+        self, fd: int, address: int, size: int, kind: str, thread: SimThread
+    ) -> SigInfo:
+        try:
+            event = self._perf.event(fd)
+            signo = event.signo
+        except Exception:
+            # An armed register without a live perf event can only happen
+            # if a test armed the register directly; deliver nothing.
+            signo = 0
+        return SigInfo(
+            signo=signo,
+            si_fd=fd,
+            fault_address=address,
+            access_size=size,
+            access_kind=kind,
+            thread_id=thread.tid,
+        )
+
+    def _deliver_segv(self, thread: SimThread, fault: SegmentationFault) -> None:
+        info = SigInfo(
+            signo=SIGSEGV,
+            fault_address=fault.address,
+            access_size=fault.size,
+            access_kind=fault.kind,
+            thread_id=thread.tid,
+            detail=str(fault),
+        )
+        try:
+            self._signals.deliver(SIGSEGV, info, thread)
+        except Exception:
+            # Unhandled SIGSEGV terminates the process; the original
+            # fault propagates from the caller, so swallow the
+            # termination here to avoid double-raising.
+            pass

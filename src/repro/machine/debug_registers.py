@@ -1,0 +1,159 @@
+"""The x86 debug-register file.
+
+Intel hardware exposes six debug registers but only DR0-DR3 can hold
+watch addresses (DR6/DR7 are status/control) [paper §II-A].  That
+four-slot scarcity is the central constraint CSOD's sampling algorithm is
+designed around, so the model enforces it exactly: each simulated thread
+owns a :class:`DebugRegisterFile` with four usable slots, and arming a
+fifth watchpoint fails just as it would on hardware.
+
+A hardware watchpoint watches a naturally aligned 1/2/4/8-byte range and
+fires on reads and/or writes that *overlap* the watched bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import DebugRegisterError
+
+TOTAL_DEBUG_REGISTERS = 6
+NUM_USABLE_DEBUG_REGISTERS = 4
+
+_VALID_LENGTHS = (1, 2, 4, 8)
+
+WATCH_READ = "r"
+WATCH_WRITE = "w"
+WATCH_READWRITE = "rw"
+_VALID_KINDS = (WATCH_READ, WATCH_WRITE, WATCH_READWRITE)
+
+
+@dataclass(frozen=True)
+class HardwareWatchpoint:
+    """One armed debug register: address, length, and trigger kind."""
+
+    address: int
+    length: int = 8
+    kind: str = WATCH_READWRITE
+    cookie: int = -1  # opaque tag (the owning perf-event fd)
+
+    def __post_init__(self):
+        if self.length not in _VALID_LENGTHS:
+            raise DebugRegisterError(
+                f"watchpoint length must be one of {_VALID_LENGTHS}, "
+                f"got {self.length}"
+            )
+        if self.kind not in _VALID_KINDS:
+            raise DebugRegisterError(f"invalid watch kind {self.kind!r}")
+        if self.address < 0:
+            raise DebugRegisterError("watch address cannot be negative")
+
+    def triggers_on(self, address: int, size: int, access_kind: str) -> bool:
+        """Whether an access of ``size`` bytes at ``address`` fires this slot."""
+        if size <= 0:
+            return False
+        overlap = address < self.address + self.length and self.address < address + size
+        if not overlap:
+            return False
+        if self.kind == WATCH_READWRITE:
+            return True
+        return self.kind == access_kind
+
+
+class DebugRegisterFile:
+    """Four usable watchpoint slots for one hardware thread context."""
+
+    def __init__(self):
+        self._slots: List[Optional[HardwareWatchpoint]] = [
+            None
+        ] * NUM_USABLE_DEBUG_REGISTERS
+        self._dr6 = 0  # sticky B0-B3 hit bits, like the hardware's
+
+    def arm(self, watchpoint: HardwareWatchpoint) -> int:
+        """Claim a free slot for ``watchpoint``; returns the slot index.
+
+        Raises :class:`DebugRegisterError` when all four slots are busy —
+        the hardware condition that forces CSOD's replacement policies.
+        """
+        for index, slot in enumerate(self._slots):
+            if slot is None:
+                self._slots[index] = watchpoint
+                return index
+        raise DebugRegisterError("all usable debug registers are armed")
+
+    def disarm(self, slot_index: int) -> HardwareWatchpoint:
+        """Clear a slot and return what was armed there."""
+        if not 0 <= slot_index < NUM_USABLE_DEBUG_REGISTERS:
+            raise DebugRegisterError(f"no such debug register slot {slot_index}")
+        watchpoint = self._slots[slot_index]
+        if watchpoint is None:
+            raise DebugRegisterError(f"slot {slot_index} is not armed")
+        self._slots[slot_index] = None
+        return watchpoint
+
+    def disarm_cookie(self, cookie: int) -> bool:
+        """Clear the slot tagged with ``cookie``; False if absent."""
+        for index, slot in enumerate(self._slots):
+            if slot is not None and slot.cookie == cookie:
+                self._slots[index] = None
+                return True
+        return False
+
+    def slot(self, index: int) -> Optional[HardwareWatchpoint]:
+        return self._slots[index]
+
+    def armed(self) -> List[HardwareWatchpoint]:
+        """All currently armed watchpoints."""
+        return [slot for slot in self._slots if slot is not None]
+
+    def free_slots(self) -> int:
+        return sum(1 for slot in self._slots if slot is None)
+
+    def check_access(
+        self, address: int, size: int, access_kind: str
+    ) -> Optional[HardwareWatchpoint]:
+        """First armed watchpoint that the access fires, if any.
+
+        A hit sets the slot's sticky B bit in DR6, as hardware does.
+        """
+        for index, slot in enumerate(self._slots):
+            if slot is not None and slot.triggers_on(address, size, access_kind):
+                self._dr6 |= 1 << index
+                return slot
+        return None
+
+    # ------------------------------------------------------------------
+    # Register-level views (see repro.machine.dr_encoding)
+    # ------------------------------------------------------------------
+    @property
+    def dr7(self) -> int:
+        """The DR7 control word for the current slot configuration."""
+        from repro.machine.dr_encoding import encode_dr7
+
+        return encode_dr7(
+            [
+                None if slot is None else (slot.kind, slot.length)
+                for slot in self._slots
+            ]
+        )
+
+    @property
+    def dr6(self) -> int:
+        """The sticky DR6 status word (cleared via :meth:`clear_dr6`)."""
+        return self._dr6
+
+    def clear_dr6(self) -> None:
+        """Debuggers clear DR6 by hand; the hardware never does."""
+        self._dr6 = 0
+
+    def dr_address(self, index: int) -> int:
+        """DR0..DR3: the armed linear address of a slot (0 if free)."""
+        if not 0 <= index < NUM_USABLE_DEBUG_REGISTERS:
+            raise DebugRegisterError(f"no such debug register DR{index}")
+        slot = self._slots[index]
+        return 0 if slot is None else slot.address
+
+    def __repr__(self) -> str:
+        armed = NUM_USABLE_DEBUG_REGISTERS - self.free_slots()
+        return f"DebugRegisterFile(armed={armed}/{NUM_USABLE_DEBUG_REGISTERS})"

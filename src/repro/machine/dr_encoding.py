@@ -1,0 +1,107 @@
+"""Bit-level DR6/DR7 encoding.
+
+The x86 debug-register interface the paper's §II-A describes is two
+control/status registers plus four address registers:
+
+* **DR7** — per-slot local/global enable bits (L0-L3 at even bits 0..6,
+  G0-G3 at odd bits 1..7), a 2-bit R/W condition field per slot at bits
+  16+4k (01 = data write, 11 = data read/write), and a 2-bit LEN field
+  at bits 18+4k (00/01/11/10 = 1/2/4/8 bytes);
+* **DR6** — sticky B0-B3 hit bits at bits 0..3 naming the slot whose
+  condition fired.
+
+:class:`~repro.machine.debug_registers.DebugRegisterFile` exposes its
+state through these encodings (``.dr7``, ``.dr6``), so tests and tools
+can check the register file the way a kernel debugger would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import DebugRegisterError
+
+NUM_SLOTS = 4
+
+RW_EXECUTE = 0b00
+RW_WRITE = 0b01
+RW_IO = 0b10
+RW_READWRITE = 0b11
+
+_LEN_ENCODE = {1: 0b00, 2: 0b01, 4: 0b11, 8: 0b10}
+_LEN_DECODE = {code: length for length, code in _LEN_ENCODE.items()}
+
+_KIND_TO_RW = {"w": RW_WRITE, "rw": RW_READWRITE, "r": RW_READWRITE}
+# Hardware has no pure-read data watch; "r" maps onto read/write, as the
+# Linux HW_BREAKPOINT_R does under the hood.
+_RW_TO_KIND = {RW_WRITE: "w", RW_READWRITE: "rw"}
+
+
+def encode_len(length: int) -> int:
+    try:
+        return _LEN_ENCODE[length]
+    except KeyError:
+        raise DebugRegisterError(f"unencodable watch length {length}") from None
+
+
+def decode_len(code: int) -> int:
+    try:
+        return _LEN_DECODE[code & 0b11]
+    except KeyError:  # pragma: no cover - all 2-bit codes are mapped
+        raise DebugRegisterError(f"bad LEN code {code:#b}") from None
+
+
+def encode_dr7(slots: List[Optional[Tuple[str, int]]]) -> int:
+    """DR7 for up to four (kind, length) slot descriptors (None = off).
+
+    Watches are enabled *globally* (the G bits), matching how
+    perf_event installs them for a whole thread regardless of privilege
+    transitions.
+    """
+    if len(slots) > NUM_SLOTS:
+        raise DebugRegisterError(f"at most {NUM_SLOTS} slots, got {len(slots)}")
+    value = 0
+    for index, slot in enumerate(slots):
+        if slot is None:
+            continue
+        kind, length = slot
+        rw = _KIND_TO_RW.get(kind)
+        if rw is None:
+            raise DebugRegisterError(f"unencodable watch kind {kind!r}")
+        value |= 1 << (index * 2 + 1)  # G<index>
+        value |= rw << (16 + index * 4)
+        value |= encode_len(length) << (18 + index * 4)
+    return value
+
+
+def decode_dr7(value: int) -> Dict[int, Tuple[str, int]]:
+    """Slot index -> (kind, length) for every enabled slot in DR7."""
+    slots: Dict[int, Tuple[str, int]] = {}
+    for index in range(NUM_SLOTS):
+        local = value >> (index * 2) & 1
+        global_ = value >> (index * 2 + 1) & 1
+        if not (local or global_):
+            continue
+        rw = (value >> (16 + index * 4)) & 0b11
+        if rw not in _RW_TO_KIND:
+            raise DebugRegisterError(
+                f"slot {index}: unsupported R/W condition {rw:#b}"
+            )
+        length = decode_len(value >> (18 + index * 4))
+        slots[index] = (_RW_TO_KIND[rw], length)
+    return slots
+
+
+def encode_dr6(hit_slots) -> int:
+    """DR6 with the B bits of the given slot indexes set."""
+    value = 0
+    for index in hit_slots:
+        if not 0 <= index < NUM_SLOTS:
+            raise DebugRegisterError(f"no such slot {index}")
+        value |= 1 << index
+    return value
+
+
+def decode_dr6(value: int) -> List[int]:
+    """Slot indexes named by the B0-B3 bits."""
+    return [index for index in range(NUM_SLOTS) if value >> index & 1]

@@ -1,0 +1,62 @@
+"""The assembled simulated machine.
+
+One :class:`Machine` is one simulated process-on-a-host: an address
+space, a clock, a cost ledger, a signal table, a thread registry, the
+perf-event subsystem, and a CPU.  Everything above this layer — the heap,
+the CSOD runtime, the ASan baseline, the workloads — talks only to this
+facade, which makes it the seam where a future native backend could be
+swapped in.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.machine.address_space import AddressSpace
+from repro.machine.clock import VirtualClock
+from repro.machine.cpu import CPU
+from repro.machine.perf_events import PerfEventManager
+from repro.machine.scheduler import RoundRobinScheduler
+from repro.machine.signals import SignalTable
+from repro.machine.syscall_cost import CostLedger
+from repro.machine.threads import SimThread, ThreadRegistry
+
+# Base of the simulated heap arena; mirrors a typical mmap'd arena site.
+DEFAULT_HEAP_BASE = 0x7F00_0000_0000
+DEFAULT_HEAP_SIZE = 1 << 32  # 4 GiB of simulated arena
+
+
+class Machine:
+    """A fully wired simulated machine."""
+
+    def __init__(self, seed: int = 0, charge_time: bool = True):
+        self.clock = VirtualClock()
+        self.ledger = CostLedger(self.clock if charge_time else None)
+        self.memory = AddressSpace()
+        self.signals = SignalTable()
+        self.threads = ThreadRegistry()
+        self.perf = PerfEventManager(self.threads, self.ledger)
+        self.cpu = CPU(self.memory, self.signals, self.perf, self.ledger)
+        self.seed = seed
+
+    @property
+    def main_thread(self) -> SimThread:
+        return self.threads.main_thread
+
+    def new_scheduler(self, seed: Optional[int] = None) -> RoundRobinScheduler:
+        """A scheduler over this machine's thread registry."""
+        return RoundRobinScheduler(
+            self.threads, seed=self.seed if seed is None else seed
+        )
+
+    def map_heap_arena(
+        self, base: int = DEFAULT_HEAP_BASE, size: int = DEFAULT_HEAP_SIZE
+    ):
+        """Map the region the heap allocator will carve objects from."""
+        return self.memory.map_region(base, size, name="heap")
+
+    def __repr__(self) -> str:
+        return (
+            f"Machine(seed={self.seed}, threads={len(self.threads)}, "
+            f"now_ns={self.clock.now_ns})"
+        )

@@ -1,0 +1,125 @@
+"""POSIX-style signals for the simulated process.
+
+CSOD's detection path is signal-driven: an armed watchpoint raises
+``SIGTRAP`` in the *accessing* thread (the ``F_SETOWN`` configuration of
+Fig. 3), and the handler identifies the fired watchpoint through the fd
+carried in ``siginfo_t``.  The termination unit likewise intercepts
+``SIGSEGV``/``SIGABRT`` so canaries can be checked on erroneous exits
+(§IV-B).  This module models just enough of sigaction semantics for those
+paths: per-process dispositions, ``SA_SIGINFO``-style handlers receiving
+a :class:`SigInfo`, and synchronous delivery to a target thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import InvalidSignalError, ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.machine.threads import SimThread
+
+SIGTRAP = 5
+SIGABRT = 6
+SIGSEGV = 11
+
+_SIGNAL_NAMES = {SIGTRAP: "SIGTRAP", SIGABRT: "SIGABRT", SIGSEGV: "SIGSEGV"}
+
+SUPPORTED_SIGNALS = frozenset(_SIGNAL_NAMES)
+
+
+def signal_name(signo: int) -> str:
+    """Human-readable name for a supported signal number."""
+    try:
+        return _SIGNAL_NAMES[signo]
+    except KeyError:
+        raise InvalidSignalError(f"unsupported signal {signo}") from None
+
+
+class ProcessTerminated(ReproError):
+    """The simulated process died from an unhandled fatal signal."""
+
+    def __init__(self, signo: int, detail: str = ""):
+        self.signo = signo
+        message = f"process terminated by {signal_name(signo)}"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+@dataclass
+class SigInfo:
+    """The subset of ``siginfo_t`` CSOD's handlers consume."""
+
+    signo: int
+    si_fd: int = -1
+    fault_address: int = 0
+    access_size: int = 0
+    access_kind: str = ""
+    thread_id: int = -1
+    detail: str = ""
+
+
+SignalHandler = Callable[[int, SigInfo, "SimThread"], None]
+
+
+@dataclass
+class _Delivery:
+    signo: int
+    info: SigInfo
+    handled: bool
+
+
+class SignalTable:
+    """Per-process signal dispositions with synchronous delivery.
+
+    Real ``perf_event`` watchpoint signals are asynchronous but arrive
+    "immediately" at the faulting instruction; delivering synchronously
+    inside the simulated access reproduces the property the paper relies
+    on — the handler observes the exact faulting statement's stack.
+    """
+
+    def __init__(self):
+        self._handlers: Dict[int, SignalHandler] = {}
+        self._log: List[_Delivery] = []
+
+    def sigaction(self, signo: int, handler: Optional[SignalHandler]) -> None:
+        """Install (or with ``None``, reset) the handler for ``signo``."""
+        if signo not in SUPPORTED_SIGNALS:
+            raise InvalidSignalError(f"unsupported signal {signo}")
+        if handler is None:
+            self._handlers.pop(signo, None)
+        else:
+            self._handlers[signo] = handler
+
+    def handler_for(self, signo: int) -> Optional[SignalHandler]:
+        return self._handlers.get(signo)
+
+    def deliver(self, signo: int, info: SigInfo, thread: "SimThread") -> bool:
+        """Deliver ``signo`` to ``thread``.
+
+        Returns True if a handler consumed it.  Unhandled SIGTRAP is
+        ignored (matching the default disposition when a debugger is not
+        attached via ptrace); unhandled SIGSEGV/SIGABRT kill the process.
+        """
+        if signo not in SUPPORTED_SIGNALS:
+            raise InvalidSignalError(f"unsupported signal {signo}")
+        handler = self._handlers.get(signo)
+        self._log.append(_Delivery(signo, info, handled=handler is not None))
+        if handler is not None:
+            handler(signo, info, thread)
+            return True
+        if signo in (SIGSEGV, SIGABRT):
+            raise ProcessTerminated(signo, info.detail)
+        return False
+
+    def deliveries(self, signo: Optional[int] = None) -> List[SigInfo]:
+        """Recorded deliveries, optionally filtered by signal number."""
+        return [d.info for d in self._log if signo is None or d.signo == signo]
+
+    def delivery_count(self, signo: Optional[int] = None) -> int:
+        return len(self.deliveries(signo))
+
+    def clear_log(self) -> None:
+        self._log.clear()

@@ -1,0 +1,96 @@
+"""Event-count and cost accounting.
+
+The paper attributes CSOD's overhead to concrete event counts: context
+lookups and RNG draws on every allocation, and eight system calls per
+watchpoint install/remove pair per thread (§V-B).  The ledger records
+those events as they happen in the simulated runtime; the analytic
+overhead model in :mod:`repro.perfmodel` later converts counts into
+normalized runtime using calibrated unit costs.
+
+The ledger optionally drives the virtual clock, so that time-dependent
+sampling rules (the 10-second throttle window, watchpoint ageing) observe
+a timeline consistent with the work performed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional
+
+from repro.machine.clock import VirtualClock
+
+
+class CostLedger:
+    """Counts named events and optionally charges virtual time for them."""
+
+    def __init__(self, clock: Optional[VirtualClock] = None):
+        self._clock = clock
+        self._counts: Counter = Counter()
+        self._nanos: Counter = Counter()
+
+    def record(self, event: str, count: int = 1, nanos_each: int = 0) -> None:
+        """Record ``count`` occurrences of ``event``.
+
+        ``nanos_each`` is charged to the virtual clock (if one is
+        attached) and accumulated per event for later inspection.
+        """
+        if count < 0:
+            raise ValueError(f"negative event count: {count}")
+        if nanos_each < 0:
+            raise ValueError(f"negative event cost: {nanos_each}")
+        self._counts[event] += count
+        total_nanos = count * nanos_each
+        self._nanos[event] += total_nanos
+        if self._clock is not None and total_nanos:
+            self._clock.advance(total_nanos)
+
+    def count(self, event: str) -> int:
+        """Number of recorded occurrences of ``event``."""
+        return self._counts[event]
+
+    def nanos(self, event: str) -> int:
+        """Total nanoseconds charged for ``event``."""
+        return self._nanos[event]
+
+    def total_nanos(self) -> int:
+        """Total nanoseconds charged across all events."""
+        return sum(self._nanos.values())
+
+    def counts(self) -> Dict[str, int]:
+        """A snapshot of all event counts."""
+        return dict(self._counts)
+
+    def merge(self, other: "CostLedger") -> None:
+        """Fold another ledger's counts into this one (no clock charge)."""
+        self._counts.update(other._counts)
+        self._nanos.update(other._nanos)
+
+    def reset(self) -> None:
+        """Clear all recorded events."""
+        self._counts.clear()
+        self._nanos.clear()
+
+    def __repr__(self) -> str:
+        events = len(self._counts)
+        return f"CostLedger(events={events}, total_nanos={self.total_nanos()})"
+
+
+# Canonical event names used across the package.  Keeping them in one
+# place prevents typo'd categories from silently splitting counts.
+EVENT_SYSCALL = "syscall"
+EVENT_PERF_EVENT_OPEN = "syscall.perf_event_open"
+EVENT_FCNTL = "syscall.fcntl"
+EVENT_IOCTL = "syscall.ioctl"
+EVENT_CLOSE = "syscall.close"
+EVENT_MALLOC = "libc.malloc"
+EVENT_FREE = "libc.free"
+EVENT_BACKTRACE_FULL = "libc.backtrace"
+EVENT_CONTEXT_LOOKUP = "csod.context_lookup"
+EVENT_RNG_DRAW = "csod.rng_draw"
+EVENT_WATCH_INSTALL = "csod.watch_install"
+EVENT_WATCH_REMOVE = "csod.watch_remove"
+EVENT_CANARY_SET = "csod.canary_set"
+EVENT_CANARY_CHECK = "csod.canary_check"
+EVENT_ASAN_CHECK = "asan.access_check"
+EVENT_ASAN_POISON = "asan.poison"
+EVENT_MEM_ACCESS = "mem.access"

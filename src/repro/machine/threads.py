@@ -1,0 +1,105 @@
+"""Simulated threads.
+
+CSOD installs every watchpoint on *all alive threads*, because there is
+no way to know which thread will perform the overflowing access (Fig. 3).
+To support that, the machine keeps a registry of alive
+:class:`SimThread`\\ s, and exposes a ``pthread_create`` interposition
+hook — the analogue of CSOD intercepting ``pthread_create()`` to learn
+each new thread's id.
+
+Each thread owns its own :class:`~repro.machine.debug_registers.DebugRegisterFile`
+(hardware debug registers are per-CPU-context) and its own call stack.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.callstack.frames import CallStack
+from repro.errors import ThreadError
+from repro.machine.debug_registers import DebugRegisterFile
+
+ThreadHook = Callable[["SimThread"], None]
+
+
+class SimThread:
+    """One simulated thread: a tid, debug registers, and a call stack."""
+
+    def __init__(self, tid: int, name: str = ""):
+        self.tid = tid
+        self.name = name or f"thread-{tid}"
+        self.debug_registers = DebugRegisterFile()
+        self.call_stack = CallStack()
+        self.alive = True
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"SimThread(tid={self.tid}, name={self.name!r}, {state})"
+
+
+class ThreadRegistry:
+    """Tracks alive threads and notifies creation/exit hooks.
+
+    The main thread (tid 1) always exists; ``create()`` models
+    ``pthread_create`` and fires any registered creation hooks, which is
+    how the CSOD runtime re-installs active watchpoints on late-spawned
+    threads.
+    """
+
+    def __init__(self):
+        self._tids = itertools.count(1)
+        self._threads: Dict[int, SimThread] = {}
+        self._create_hooks: List[ThreadHook] = []
+        self._exit_hooks: List[ThreadHook] = []
+        self.main_thread = self.create("main", _notify=False)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def create(self, name: str = "", _notify: bool = True) -> SimThread:
+        """Spawn a new alive thread (the ``pthread_create`` analogue)."""
+        thread = SimThread(next(self._tids), name)
+        self._threads[thread.tid] = thread
+        if _notify:
+            for hook in self._create_hooks:
+                hook(thread)
+        return thread
+
+    def exit(self, tid: int) -> None:
+        """Mark a thread dead and notify exit hooks."""
+        thread = self.get(tid)
+        if not thread.alive:
+            raise ThreadError(f"thread {tid} already exited")
+        if thread is self.main_thread:
+            raise ThreadError("the main thread cannot exit via pthread_exit")
+        thread.alive = False
+        for hook in self._exit_hooks:
+            hook(thread)
+
+    def get(self, tid: int) -> SimThread:
+        try:
+            return self._threads[tid]
+        except KeyError:
+            raise ThreadError(f"no such thread {tid}") from None
+
+    def alive_threads(self) -> List[SimThread]:
+        """All currently alive threads (the paper's ``aliveThreads`` list)."""
+        return [t for t in self._threads.values() if t.alive]
+
+    def __iter__(self) -> Iterator[SimThread]:
+        return iter(self.alive_threads())
+
+    def __len__(self) -> int:
+        return len(self.alive_threads())
+
+    # ------------------------------------------------------------------
+    # Interposition hooks
+    # ------------------------------------------------------------------
+    def on_create(self, hook: ThreadHook) -> None:
+        """Register a ``pthread_create`` interposition callback."""
+        self._create_hooks.append(hook)
+
+    def on_exit(self, hook: ThreadHook) -> None:
+        """Register a thread-exit interposition callback."""
+        self._exit_hooks.append(hook)

@@ -1,0 +1,33 @@
+"""Analytic overhead and memory models.
+
+The paper's Fig. 7 and Table V measured wall-clock slowdown and peak RSS
+on a 16-core Xeon testbed.  A Python simulation cannot time-travel to
+that machine, but the paper itself decomposes both quantities into event
+counts (§V-B: context lookups, RNG draws, watchpoint syscalls per
+thread; §V-C: the 32-byte header + 8-byte canary, redzones, shadow):
+
+* :mod:`repro.perfmodel.accounting` converts a replayed trace's event
+  ledger into normalized-runtime overhead, per runtime configuration;
+* :mod:`repro.perfmodel.memory` computes the Table V footprint from the
+  object-envelope arithmetic;
+* :mod:`repro.perfmodel.costs` pins the calibrated unit costs in one
+  place.
+"""
+
+from repro.perfmodel.accounting import (
+    OverheadBreakdown,
+    asan_overhead_fraction,
+    csod_overhead_fraction,
+)
+from repro.perfmodel.costs import CSOD_INIT_COST_S, CSOD_OVERHEAD_EVENTS
+from repro.perfmodel.memory import MemoryFootprint, memory_for
+
+__all__ = [
+    "OverheadBreakdown",
+    "asan_overhead_fraction",
+    "csod_overhead_fraction",
+    "CSOD_INIT_COST_S",
+    "CSOD_OVERHEAD_EVENTS",
+    "MemoryFootprint",
+    "memory_for",
+]

@@ -1,0 +1,19 @@
+"""A Sampler-style PMU access-sampling detector (related-work baseline).
+
+The paper's §VII discusses Sampler [MICRO'18], concurrent work that
+"utilizes PMU-based memory access sampling to detect buffer overflows
+and use-after-frees, with similar overhead to that of CSOD.  However,
+Sampler requires a custom memory allocator, and change of the underlying
+OS."
+
+The reproduction models that design point: a custom allocator pads every
+object with a right-hand *tripwire zone*, and the PMU delivers every
+Nth memory access to a handler that checks whether the sampled address
+landed in any tripwire.  Detection therefore needs the overflowing
+*access* to be the one sampled — a per-access lottery, where CSOD plays
+a per-object lottery weighted by calling context.
+"""
+
+from repro.sampler.runtime import SamplerConfig, SamplerReport, SamplerRuntime
+
+__all__ = ["SamplerConfig", "SamplerReport", "SamplerRuntime"]

@@ -1,0 +1,144 @@
+"""The PMU access-sampling runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.callstack.backtrace import Backtracer
+from repro.callstack.contexts import CallingContext
+from repro.errors import ReproError
+from repro.heap.interpose import RawHeap
+from repro.machine.machine import Machine
+from repro.machine.threads import SimThread
+
+# Cost model: the PMU counts for free; each delivered sample costs an
+# interrupt + handler walk.
+PMU_SAMPLE_COST_NS = 1_800
+
+TRIPWIRE_BYTES = 16
+
+
+@dataclass(frozen=True)
+class SamplerConfig:
+    """PMU sampling period: one sample every N memory accesses."""
+
+    sample_period: int = 10_000
+
+    def __post_init__(self):
+        if self.sample_period < 1:
+            raise ReproError("sample_period must be >= 1")
+
+
+@dataclass(frozen=True)
+class SamplerReport:
+    """One sampled access that landed in a tripwire zone."""
+
+    fault_address: int
+    object_address: int
+    object_size: int
+    access_kind: str
+    thread_id: int
+    allocation_context: CallingContext
+
+
+class SamplerRuntime:
+    """Custom allocator (tripwire zones) + PMU access sampling."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        interposer,
+        config: Optional[SamplerConfig] = None,
+        seed: int = 0,
+    ):
+        from repro.core.rng import PerThreadRNG
+
+        self.machine = machine
+        self.config = config or SamplerConfig()
+        self._raw: RawHeap = interposer.raw
+        self._interposer = interposer
+        self._backtracer = Backtracer(machine.ledger)
+        # The PMU's sampling phase differs per run; derive it from seed.
+        rng = PerThreadRNG(seed)
+        self._countdown = 1 + rng.below(1, self.config.sample_period)
+        # object address -> (size, context)
+        self._live: Dict[int, Tuple[int, CallingContext]] = {}
+        self.reports: List[SamplerReport] = []
+        self.accesses_seen = 0
+        self.samples_taken = 0
+        machine.cpu.add_access_hook(self._on_access)
+        interposer.preload(self)
+
+    # ------------------------------------------------------------------
+    # The custom allocator: every object carries a tripwire zone
+    # ------------------------------------------------------------------
+    def malloc(self, thread: SimThread, size: int) -> int:
+        address = self._raw.malloc(thread, size + TRIPWIRE_BYTES)
+        frames = self._backtracer.full_frames(thread.call_stack)
+        context = CallingContext(
+            return_addresses=tuple(f.return_address for f in frames),
+            frames=frames,
+        )
+        self._live[address] = (size, context)
+        return address
+
+    def memalign(self, thread: SimThread, alignment: int, size: int) -> int:
+        address = self._raw.memalign(thread, alignment, size + TRIPWIRE_BYTES)
+        frames = self._backtracer.full_frames(thread.call_stack)
+        self._live[address] = (
+            size,
+            CallingContext(
+                return_addresses=tuple(f.return_address for f in frames),
+                frames=frames,
+            ),
+        )
+        return address
+
+    def free(self, thread: SimThread, address: int) -> None:
+        self._live.pop(address, None)
+        self._raw.free(thread, address)
+
+    def usable_size(self, address: int) -> int:
+        entry = self._live.get(address)
+        if entry is not None:
+            return entry[0]
+        return self._raw.usable_size(address)
+
+    # ------------------------------------------------------------------
+    # PMU sampling
+    # ------------------------------------------------------------------
+    def _on_access(self, thread: SimThread, address: int, size: int, kind: str):
+        self.accesses_seen += 1
+        self._countdown -= 1
+        if self._countdown > 0:
+            return
+        self._countdown = self.config.sample_period
+        self.samples_taken += 1
+        self.machine.ledger.record("sampler.pmu_sample", nanos_each=PMU_SAMPLE_COST_NS)
+        self._check_sample(thread, address, size, kind)
+
+    def _check_sample(self, thread, address, size, kind) -> None:
+        for base, (length, context) in self._live.items():
+            zone_start = base + length
+            zone_end = zone_start + TRIPWIRE_BYTES
+            if address < zone_end and zone_start < address + size:
+                self.reports.append(
+                    SamplerReport(
+                        fault_address=address,
+                        object_address=base,
+                        object_size=length,
+                        access_kind=kind,
+                        thread_id=thread.tid,
+                        allocation_context=context,
+                    )
+                )
+                return
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.reports)
+
+    def shutdown(self) -> None:
+        self.machine.cpu.remove_access_hook(self._on_access)
+        self._interposer.unload()

@@ -1,0 +1,30 @@
+"""The paper's applications, rebuilt synthetically.
+
+The original evaluation ran nine real buggy applications (Table I/III)
+and nineteen performance applications (Table IV).  Neither the binaries,
+the buggy inputs, nor the testbed are reproducible from Python, so each
+application is rebuilt as a *synthetic program* whose heap behaviour
+matches the published characteristics: number of allocation calling
+contexts, number of allocations, position of the overflowing object and
+of the overflow access, bug kind (over-read/over-write), and the module
+the bug lives in (which decides whether ASan's instrumentation covers
+it).
+
+:mod:`repro.workloads.base` holds the program framework;
+:mod:`repro.workloads.buggy` the nine Table I applications;
+:mod:`repro.workloads.perf` the nineteen Table IV applications.
+"""
+
+from repro.workloads.base import (
+    AllocationEvent,
+    BuggyAppSpec,
+    SimProcess,
+    SyntheticBuggyApp,
+)
+
+__all__ = [
+    "AllocationEvent",
+    "BuggyAppSpec",
+    "SimProcess",
+    "SyntheticBuggyApp",
+]

@@ -1,0 +1,18 @@
+"""The nine buggy applications of Table I / Table III.
+
+Each module defines one :class:`~repro.workloads.base.BuggyAppSpec`
+whose structure reproduces the published characteristics — number of
+allocation calling contexts, number of allocations, where the
+overflowing object is allocated, where the overflow access happens, and
+which module the bug lives in.  :mod:`repro.workloads.buggy.registry`
+collects them.
+"""
+
+from repro.workloads.buggy.registry import (
+    BUGGY_APPS,
+    EFFECTIVENESS_SCALE,
+    app_for,
+    spec_for,
+)
+
+__all__ = ["BUGGY_APPS", "EFFECTIVENESS_SCALE", "app_for", "spec_for"]

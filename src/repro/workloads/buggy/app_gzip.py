@@ -1,0 +1,27 @@
+"""Gzip-1.2.4 — BugBench's classic heap over-write.
+
+The real bug: ``gzip`` copies the input file name into a fixed-size
+buffer without checking its length; a long command-line argument
+overruns it.  BugBench ships the buggy build and a triggering input.
+
+Structure (Table III): a single allocation from a single calling
+context, overflowed immediately — the simplest possible shape.  All
+three replacement policies detect it in every execution (Table II:
+1000/1000/1000): the very first allocation is always watched
+("installation due to availability") and nothing can evict it before
+the overflow.
+"""
+
+from repro.workloads.base import BuggyAppSpec, KIND_OVER_WRITE
+
+GZIP = BuggyAppSpec(
+    name="gzip",
+    bug_kind=KIND_OVER_WRITE,
+    vuln_module="GZIP",
+    reference="BugBench",
+    total_contexts=1,
+    total_allocations=1,
+    before_contexts=1,
+    before_allocations=1,
+    victim_alloc_index=1,
+)

@@ -1,0 +1,41 @@
+"""Heartbleed — CVE-2014-0160, the over-READ that motivated the paper.
+
+The real bug: OpenSSL's TLS heartbeat handler trusts the
+attacker-declared payload length and ``memcpy``s up to 64 KB from a
+request buffer that may be far smaller, leaking adjacent heap contents
+(private keys included).  Nothing is written, so canaries, DoubleTake,
+and HeapTherapy's write-evidence are all blind; CSOD's read/write
+watchpoint on the boundary word fires on the read itself.
+
+Structure (Table III): the paper's Nginx-1.3.9 + OpenSSL-1.0.1f setup
+performs 5,403 allocations over 307 calling contexts; the overflowed
+request buffer is allocated as the 5,392nd allocation, with 273
+contexts already seen.  The buggy context (the BN_CTX/request-buffer
+site) has a handful of earlier allocations, which is what pulls its
+sampling probability to the ~0.36-0.40 per-execution detection band the
+paper reports.  The naive policy never detects it: by allocation 5,392
+all four watchpoints hold long-lived startup objects.
+
+Known data quirk, documented in EXPERIMENTS.md: the paper's totals name
+34 contexts that first appear within only 11 post-overflow allocations,
+which cannot all materialize.
+"""
+
+from repro.workloads.base import BuggyAppSpec, KIND_OVER_READ
+
+HEARTBLEED = BuggyAppSpec(
+    name="heartbleed",
+    bug_kind=KIND_OVER_READ,
+    vuln_module="OPENSSL",
+    reference="CVE-2014-0160",
+    total_contexts=307,
+    total_allocations=5403,
+    before_contexts=273,
+    before_allocations=5392,
+    victim_alloc_index=5392,
+    victim_context_prior_allocs=3,
+    churn=0.55,
+    churn_lifetime=24,
+    structural_seed=160,
+    work_ns_per_alloc=5_000_000,
+)

@@ -1,0 +1,38 @@
+"""Libdwarf-20161021 — CVE-2016-9276, a heap over-read in
+``dwarf_get_aranges_list``.
+
+The real bug: parsing a malformed ``.debug_aranges`` section walks past
+the end of a heap buffer allocated early during DWARF loading.
+
+Structure (Table III): 152 allocations over 26 contexts; 147
+allocations and 24 contexts occur before the overflow access.  The
+overflowing object itself is allocated *within the first four
+allocations* — the property the paper's §V-A1 explanation calls out —
+so the naive policy pins a watchpoint on it at startup and always
+detects (1000/1000).  Under random/near-FIFO the watchpoint must
+survive ~145 further allocations of a churny allocate-parse-free loop;
+it does so roughly half the time (paper: 480/459 per 1000), which makes
+libdwarf the cleanest illustration of preemption risk on early-allocated
+victims.
+"""
+
+from repro.workloads.base import BuggyAppSpec, KIND_OVER_READ
+
+LIBDWARF = BuggyAppSpec(
+    name="libdwarf",
+    bug_kind=KIND_OVER_READ,
+    vuln_module="LIBDWARF",
+    reference="CVE-2016-9276",
+    total_contexts=26,
+    total_allocations=152,
+    before_contexts=24,
+    before_allocations=147,
+    victim_alloc_index=2,
+    victim_context_prior_allocs=0,
+    churn=0.93,
+    churn_lifetime=2,
+    long_lived_first=0,
+    victim_position_jitter=2,
+    structural_seed=9276,
+    work_ns_per_alloc=30_000_000,
+)

@@ -1,0 +1,37 @@
+"""LibHX-3.4 — CVE-2010-2947, a heap over-write in ``HX_split()``.
+
+The real bug: ``HX_split`` miscounts delimiters and writes one pointer
+past the end of the field array it allocated.  Crucially the overflow
+happens *inside* ``libHX.so`` — a prebuilt shared library — which is
+why the paper reports ASan missing it when libraries are not rebuilt
+with instrumentation, while CSOD (which interposes at the allocator and
+watches addresses, not instructions) is oblivious to where the code
+lives.
+
+Structure: 5 allocations over 4 contexts with the victim allocated
+first.  The single fifth allocation (a fresh context at ~50%
+probability) is the only event that can evict the victim's watchpoint,
+which is what produces the just-under-perfect Table II rates (929/885
+per 1000).  Which of the first few field arrays overflows varies with
+the input line, modelled by the per-run victim-position jitter.
+
+Documented deviation: the paper's Table III lists 1 context / 1
+allocation "before overflow", which is inconsistent with those
+sub-1000 rates; see EXPERIMENTS.md.
+"""
+
+from repro.workloads.base import BuggyAppSpec, KIND_OVER_WRITE
+
+LIBHX = BuggyAppSpec(
+    name="libhx",
+    bug_kind=KIND_OVER_WRITE,
+    vuln_module="LIBHX.SO",
+    reference="CVE-2010-2947",
+    total_contexts=4,
+    total_allocations=5,
+    before_contexts=4,
+    before_allocations=5,
+    victim_alloc_index=1,
+    victim_position_jitter=3,
+    structural_seed=2947,
+)

@@ -1,0 +1,27 @@
+"""Libtiff-4.0.1 — CVE-2013-4243, a heap over-write in
+``readgifimage()`` (the ``gif2tiff`` converter).
+
+The real bug: the GIF reader trusts the declared image dimensions and
+writes decoded pixels past the heap buffer sized from an earlier,
+smaller declaration.  The overflow executes inside ``libtiff.so`` —
+uninstrumented in the paper's ASan configuration, hence one of the
+three bugs ASan misses and CSOD catches.
+
+Structure: like gzip, a single-allocation single-context program whose
+only object is watched by availability and overflowed immediately —
+always detected under every policy.
+"""
+
+from repro.workloads.base import BuggyAppSpec, KIND_OVER_WRITE
+
+LIBTIFF = BuggyAppSpec(
+    name="libtiff",
+    bug_kind=KIND_OVER_WRITE,
+    vuln_module="LIBTIFF.SO",
+    reference="CVE-2013-4243",
+    total_contexts=1,
+    total_allocations=1,
+    before_contexts=1,
+    before_allocations=1,
+    victim_alloc_index=1,
+)

@@ -1,0 +1,39 @@
+"""Memcached-1.4.25 — CVE-2016-8706, a heap over-write in the SASL
+authentication path (TALOS-2016-0221).
+
+The real bug: a crafted SASL negotiation makes the server copy
+attacker-controlled data past the end of a freshly allocated item — a
+remote-code-execution primitive in a service that typically runs for
+months.
+
+Structure (Table III): 442 allocations over 74 contexts, with the
+overflowed item allocated *last* — the canonical late-victim server
+shape.  By then all four watchpoints are held by long-lived startup
+objects, so the naive policy never detects (0/1000); the adaptive
+policies preempt their way in at the ~16-18% per-execution band.  The
+overflow is performed by a request-handling worker thread, not the
+allocating thread — exercising the install-on-every-thread design of
+Fig. 3.  Because it is an over-write, the canary always records
+evidence, making this the paper's showcase for the second-execution
+guarantee (§V-A2).
+"""
+
+from repro.workloads.base import BuggyAppSpec, KIND_OVER_WRITE
+
+MEMCACHED = BuggyAppSpec(
+    name="memcached",
+    bug_kind=KIND_OVER_WRITE,
+    vuln_module="MEMCACHED",
+    reference="CVE-2016-8706",
+    total_contexts=74,
+    total_allocations=442,
+    before_contexts=74,
+    before_allocations=442,
+    victim_alloc_index=442,
+    victim_context_prior_allocs=6,
+    churn=0.30,
+    churn_lifetime=40,
+    overflow_from_worker=True,
+    structural_seed=8706,
+    work_ns_per_alloc=100_000_000,
+)

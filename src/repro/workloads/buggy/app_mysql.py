@@ -1,0 +1,40 @@
+"""MySQL-5.5.19 — CVE-2012-5612, a heap over-write ("zeroday" PoC on
+exploit-db 23076).
+
+The real bug: a sequence of client commands overruns a heap buffer in
+the server's protocol handling.  At 1.3M lines of code and hundreds of
+distinct allocation sites, MySQL is the paper's scalability witness:
+context-sensitive sampling must cope with 488 calling contexts and
+57,464 allocations in a single run.
+
+Structure (Table III): the overflowed buffer is allocated as the
+57,356th allocation with 445 contexts already active; 108 allocations
+follow before the program ends.  Naive never detects; random/near-FIFO
+sit at ~16-17% per execution.  The buggy context has a few earlier
+allocations (halving its probability once or twice), and long virtual
+runtime lets the watchpoint-ageing rule make the startup-pinned slots
+evictable.  The overflow runs on a connection-handler thread.
+
+The 1,000-execution protocol replays a 1/20-scale structural shrink
+(see ``BuggyAppSpec.scaled``); Table III is measured at full scale.
+"""
+
+from repro.workloads.base import BuggyAppSpec, KIND_OVER_WRITE
+
+MYSQL = BuggyAppSpec(
+    name="mysql",
+    bug_kind=KIND_OVER_WRITE,
+    vuln_module="MYSQL",
+    reference="CVE-2012-5612",
+    total_contexts=488,
+    total_allocations=57464,
+    before_contexts=445,
+    before_allocations=57356,
+    victim_alloc_index=57356,
+    victim_context_prior_allocs=6,
+    churn=0.45,
+    churn_lifetime=64,
+    overflow_from_worker=True,
+    structural_seed=5612,
+    work_ns_per_alloc=2_000_000,
+)

@@ -1,0 +1,21 @@
+"""Polymorph-0.4.0 — BugBench's filename-conversion over-write.
+
+The real bug: the Windows-to-Unix filename converter copies an
+over-long filename into a fixed heap buffer.  Like gzip, a
+single-allocation program whose object is availability-watched and
+overflowed immediately: detected in every execution by every policy.
+"""
+
+from repro.workloads.base import BuggyAppSpec, KIND_OVER_WRITE
+
+POLYMORPH = BuggyAppSpec(
+    name="polymorph",
+    bug_kind=KIND_OVER_WRITE,
+    vuln_module="POLYMORPH",
+    reference="BugBench",
+    total_contexts=1,
+    total_allocations=1,
+    before_contexts=1,
+    before_allocations=1,
+    victim_alloc_index=1,
+)

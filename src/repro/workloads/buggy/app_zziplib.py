@@ -1,0 +1,34 @@
+"""Zziplib-0.13.62 — CVE-2017-5974, a heap over-read in
+``__zzip_get32`` (fetch.c).
+
+The real bug: parsing a malformed ZIP central directory reads a 32-bit
+word past the end of a heap buffer.  The access executes inside
+``zziplib.so`` — the third of the paper's uninstrumented-library bugs
+that ASan misses while CSOD detects.
+
+Structure (Table III): 17 allocations over 13 contexts, victim near the
+end of the run, first-four objects long-lived: the naive policy never
+detects.  The buggy context allocated a few times earlier (each watch
+halving its probability), and the small program's short wall-clock
+keeps most slots fresh; the adaptive policies land around the paper's
+~10-11% per-execution band.  As an over-read it leaves no canary
+evidence — a watchpoint is the only thing that ever sees it.
+"""
+
+from repro.workloads.base import BuggyAppSpec, KIND_OVER_READ
+
+ZZIPLIB = BuggyAppSpec(
+    name="zziplib",
+    bug_kind=KIND_OVER_READ,
+    vuln_module="ZZIPLIB.SO",
+    reference="CVE-2017-5974",
+    total_contexts=13,
+    total_allocations=17,
+    before_contexts=13,
+    before_allocations=17,
+    victim_alloc_index=15,
+    victim_context_prior_allocs=4,
+    churn=0.0,
+    structural_seed=5974,
+    work_ns_per_alloc=4_000_000_000,
+)

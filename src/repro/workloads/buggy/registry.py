@@ -1,0 +1,58 @@
+"""Registry of the nine buggy applications.
+
+``spec_for(name)`` returns the full-scale Table III structure;
+``app_for(name, scale=None)`` returns a (cached) runnable app, by
+default at the *effectiveness scale* — a structurally similar shrink of
+the largest applications so that the 1,000-execution Table II runs are
+tractable in pure Python.  Full-scale runs (``scale=1.0``) are used for
+the Table III characteristics, which are measured once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.workloads.base import BuggyAppSpec, SyntheticBuggyApp
+from repro.workloads.buggy.specs import ALL_SPECS
+
+BUGGY_APPS: Dict[str, BuggyAppSpec] = {spec.name: spec for spec in ALL_SPECS}
+
+# Scale factors for the repeated-execution experiments.  Only the two
+# applications with tens of thousands of allocations are shrunk; the
+# allocations-per-context ratio and the victim's relative position are
+# preserved (see BuggyAppSpec.scaled).
+EFFECTIVENESS_SCALE: Dict[str, float] = {
+    "heartbleed": 0.25,
+    "mysql": 0.05,
+}
+
+_app_cache: Dict[Tuple[str, float], SyntheticBuggyApp] = {}
+
+
+def spec_for(name: str) -> BuggyAppSpec:
+    """The full-scale structural spec for one application."""
+    try:
+        return BUGGY_APPS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown buggy application {name!r}; "
+            f"expected one of {sorted(BUGGY_APPS)}"
+        ) from None
+
+
+def app_for(name: str, scale: Optional[float] = None) -> SyntheticBuggyApp:
+    """A runnable app, cached per (name, scale).
+
+    ``scale=None`` selects the effectiveness scale (1.0 for most apps).
+    Caching matters: building the MySQL schedule walks 57k events, and
+    the Table II driver re-runs each app hundreds of times.
+    """
+    if scale is None:
+        scale = EFFECTIVENESS_SCALE.get(name, 1.0)
+    key = (name, scale)
+    app = _app_cache.get(key)
+    if app is None:
+        app = SyntheticBuggyApp(spec_for(name).scaled(scale))
+        _app_cache[key] = app
+    return app

@@ -1,0 +1,23 @@
+"""The nineteen performance applications of Table IV / Table V / Fig. 7.
+
+Thirteen PARSEC benchmarks plus MySQL, Apache, Memcached, Aget, Pbzip2,
+and Pfscan.  Each is a :class:`~repro.workloads.perf.specs.PerfAppSpec`
+carrying the published characteristics (LOC, calling contexts,
+allocations, original memory footprint) plus the modelling inputs the
+paper implies but does not tabulate (base runtime, memory-access
+intensity, instrumented fraction, thread count).
+"""
+
+from repro.workloads.perf.app import PerfApp, PerfRunMeasurement
+from repro.workloads.perf.registry import PERF_APPS, perf_app_for, perf_spec_for
+from repro.workloads.perf.specs import ALL_PERF_SPECS, PerfAppSpec
+
+__all__ = [
+    "PerfApp",
+    "PerfRunMeasurement",
+    "PERF_APPS",
+    "perf_app_for",
+    "perf_spec_for",
+    "ALL_PERF_SPECS",
+    "PerfAppSpec",
+]

@@ -1,0 +1,168 @@
+"""The thirteen PARSEC benchmarks of Table IV (native inputs, 16 threads).
+
+Each spec carries the published Table IV/V columns plus the modelling
+inputs DESIGN.md §2 documents.  The per-app notes record what the paper
+says (or implies) about each one and why its modelling inputs look the
+way they do.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.perf.specs import PerfAppSpec
+
+# Blackscholes: the smallest heap client in the suite — four allocations
+# total, so CSOD's cost is pure initialization.  Its Table IV row
+# (CC=4, allocations=4, WT=4) is the degenerate everything-is-watched
+# case.
+BLACKSCHOLES = PerfAppSpec(
+    name="blackscholes", suite="parsec", loc=479,
+    contexts=4, allocations=4, threads=16,
+    base_runtime_s=40.0, mem_original_kb=613, peak_live_objects=8,
+    access_intensity=0.10,
+    paper_watched_times=4, paper_csod_overhead=0.01, paper_asan_overhead=0.10,
+)
+
+# Bodytrack: moderate allocation traffic (431k) against a tiny 34 KB
+# footprint — which is why its Table V ASan row explodes (1079%) while
+# CSOD adds 17 KB.
+BODYTRACK = PerfAppSpec(
+    name="bodytrack", suite="parsec", loc=11_938,
+    contexts=81, allocations=431_022, threads=16,
+    base_runtime_s=25.0, mem_original_kb=34, peak_live_objects=100,
+    access_intensity=0.45, churn=0.15, churn_lifetime=64,
+    paper_watched_times=325, paper_csod_overhead=0.03, paper_asan_overhead=0.45,
+)
+
+# Canneal: 30.7M allocations from only 10 contexts — the first of the
+# paper's three >10% CSOD outliers ("checking their contexts accounts
+# for the majority of the overhead", §V-B).
+CANNEAL = PerfAppSpec(
+    name="canneal", suite="parsec", loc=4_530,
+    contexts=10, allocations=30_728_172, threads=16,
+    base_runtime_s=38.0, mem_original_kb=940, peak_live_objects=10_000,
+    access_intensity=0.60, churn=0.60, churn_lifetime=64,
+    paper_watched_times=79, paper_csod_overhead=0.17, paper_asan_overhead=0.55,
+)
+
+# Dedup: pipeline-parallel compression; a large share of its access time
+# sits in zlib, which the paper's ASan build did not instrument
+# (instrumented_fraction 0.6).  Also the Table V anomaly where the
+# paper's ASan RSS measured *below* the original (96%) — VmHWM noise we
+# do not reproduce.
+DEDUP = PerfAppSpec(
+    name="dedup", suite="parsec", loc=37_307,
+    contexts=93, allocations=4_074_135, threads=16,
+    base_runtime_s=20.0, mem_original_kb=1_599, peak_live_objects=4000,
+    access_intensity=0.35, instrumented_fraction=0.6,
+    churn=0.02, churn_lifetime=64,
+    paper_watched_times=182, paper_csod_overhead=0.06, paper_asan_overhead=0.25,
+)
+
+# Facesim: the physics simulator; big footprint, modest allocation rate
+# relative to its runtime — low single-digit CSOD overhead.
+FACESIM = PerfAppSpec(
+    name="facesim", suite="parsec", loc=45_748,
+    contexts=109, allocations=4_746_070, threads=16,
+    base_runtime_s=45.0, mem_original_kb=2_422, peak_live_objects=600,
+    access_intensity=0.40, churn=0.5, churn_lifetime=128,
+    paper_watched_times=369, paper_csod_overhead=0.03, paper_asan_overhead=0.30,
+)
+
+# Ferret: the second CSOD outlier — not allocation volume (139k) but
+# runtime: "Ferret runs for less than five seconds, which exaggerates
+# the proportion of CSOD's initialization overhead" (§V-B).
+FERRET = PerfAppSpec(
+    name="ferret", suite="parsec", loc=40_997,
+    contexts=118, allocations=139_246, threads=16,
+    base_runtime_s=3.5, mem_original_kb=68, peak_live_objects=100,
+    access_intensity=0.40, churn=0.12, churn_lifetime=64,
+    paper_watched_times=346, paper_csod_overhead=0.16, paper_asan_overhead=0.50,
+)
+
+# Fluidanimate: two allocation contexts and five watched-times over
+# 230k allocations — the sampler collapses to near-zero work instantly.
+FLUIDANIMATE = PerfAppSpec(
+    name="fluidanimate", suite="parsec", loc=880,
+    contexts=2, allocations=229_910, threads=16,
+    base_runtime_s=30.0, mem_original_kb=408, peak_live_objects=200,
+    access_intensity=0.45, churn=0.02, churn_lifetime=64,
+    paper_watched_times=5, paper_csod_overhead=0.02, paper_asan_overhead=0.40,
+)
+
+# Freqmine: crashed under ASan in the paper's environment — Fig. 7 and
+# Table V carry no ASan entries for it, and the drivers reproduce the
+# omission.
+FREQMINE = PerfAppSpec(
+    name="freqmine", suite="parsec", loc=2_709,
+    contexts=125, allocations=4_255, threads=16,
+    base_runtime_s=35.0, mem_original_kb=1_241, peak_live_objects=120,
+    access_intensity=0.50, churn=0.02, churn_lifetime=64,
+    paper_watched_times=218, paper_csod_overhead=0.02,
+    paper_asan_overhead=float("nan"),
+)
+
+# Raytrace: 45M allocations — the third >10% CSOD outlier.
+RAYTRACE = PerfAppSpec(
+    name="raytrace", suite="parsec", loc=36_871,
+    contexts=63, allocations=45_037_327, threads=16,
+    base_runtime_s=62.0, mem_original_kb=1_135, peak_live_objects=4000,
+    access_intensity=0.50, churn=0.65, churn_lifetime=48,
+    paper_watched_times=561, paper_csod_overhead=0.15, paper_asan_overhead=0.40,
+)
+
+# Streamcluster: compute-bound with under 9k allocations; near-zero
+# CSOD cost, mid-pack ASan cost (access checking dominates).
+STREAMCLUSTER = PerfAppSpec(
+    name="streamcluster", suite="parsec", loc=2_043,
+    contexts=21, allocations=8_861, threads=16,
+    base_runtime_s=55.0, mem_original_kb=111, peak_live_objects=20,
+    access_intensity=0.55, churn=0.0, churn_lifetime=64,
+    paper_watched_times=30, paper_csod_overhead=0.01, paper_asan_overhead=0.45,
+)
+
+# Swaptions: 48M allocations from 10 contexts, nearly all short-lived —
+# the workload §III-B2's throttle rule exists for ("calling contexts
+# with an extremely large number of allocations").  Its 9 KB footprint
+# against that traffic is also Table V's ASan worst case (4178%).
+SWAPTIONS = PerfAppSpec(
+    name="swaptions", suite="parsec", loc=1_631,
+    contexts=10, allocations=48_001_795, threads=16,
+    base_runtime_s=210.0, mem_original_kb=9, peak_live_objects=50,
+    access_intensity=0.35, churn=0.98, churn_lifetime=2,
+    paper_watched_times=370, paper_csod_overhead=0.05, paper_asan_overhead=0.35,
+)
+
+# Vips: the context-count stressor — 400 distinct allocation sites.
+VIPS = PerfAppSpec(
+    name="vips", suite="parsec", loc=206_059,
+    contexts=400, allocations=1_425_257, threads=16,
+    base_runtime_s=18.0, mem_original_kb=59, peak_live_objects=60,
+    access_intensity=0.45, churn=0.005, churn_lifetime=64,
+    paper_watched_times=259, paper_csod_overhead=0.04, paper_asan_overhead=0.45,
+)
+
+# X264: the most access-intense member — the Fig. 7 bars ASan clips at
+# 2.23/2.24x — with trivial CSOD cost (36k allocations).
+X264 = PerfAppSpec(
+    name="x264", suite="parsec", loc=33_817,
+    contexts=60, allocations=35_753, threads=16,
+    base_runtime_s=20.0, mem_original_kb=486, peak_live_objects=120,
+    access_intensity=1.15, churn=0.0, churn_lifetime=64,
+    paper_watched_times=37, paper_csod_overhead=0.01, paper_asan_overhead=1.24,
+)
+
+PARSEC_SPECS = (
+    BLACKSCHOLES,
+    BODYTRACK,
+    CANNEAL,
+    DEDUP,
+    FACESIM,
+    FERRET,
+    FLUIDANIMATE,
+    FREQMINE,
+    RAYTRACE,
+    STREAMCLUSTER,
+    SWAPTIONS,
+    VIPS,
+    X264,
+)

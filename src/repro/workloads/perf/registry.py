@@ -1,0 +1,33 @@
+"""Registry of the 19 performance applications."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.workloads.perf.app import DEFAULT_SIM_ALLOC_CAP, PerfApp
+from repro.workloads.perf.specs import ALL_PERF_SPECS, PerfAppSpec
+
+PERF_APPS: Dict[str, PerfAppSpec] = {spec.name: spec for spec in ALL_PERF_SPECS}
+
+_cache: Dict[Tuple[str, int], PerfApp] = {}
+
+
+def perf_spec_for(name: str) -> PerfAppSpec:
+    try:
+        return PERF_APPS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown performance application {name!r}; "
+            f"expected one of {sorted(PERF_APPS)}"
+        ) from None
+
+
+def perf_app_for(name: str, sim_alloc_cap: int = DEFAULT_SIM_ALLOC_CAP) -> PerfApp:
+    """A (cached) replayable app; trace construction is the costly part."""
+    key = (name, sim_alloc_cap)
+    app = _cache.get(key)
+    if app is None:
+        app = PerfApp(perf_spec_for(name), sim_alloc_cap)
+        _cache[key] = app
+    return app

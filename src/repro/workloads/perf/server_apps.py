@@ -1,0 +1,50 @@
+"""The server workloads of Table IV: MySQL, Apache, Memcached.
+
+All three were driven by load generators in the paper (sysbench with 16
+clients and 100k requests; ab with 100k requests; python-memcached with
+20 loop iterations), with Fig. 7 normalizing *throughput* rather than
+wall-clock — equivalent for the overhead fraction the model computes.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.perf.specs import PerfAppSpec
+
+# MySQL under sysbench: 1.3M LOC, 1,186 allocation contexts — the
+# largest context population in the study and the biggest WT (1,362).
+# Per-request allocation traffic dominates CSOD's cost; modest in a
+# throughput-bound server.
+MYSQL_PERF = PerfAppSpec(
+    name="mysql", suite="real", loc=1_290_401,
+    contexts=1_186, allocations=1_565_311, threads=16,
+    base_runtime_s=30.0, mem_original_kb=124, peak_live_objects=100,
+    access_intensity=0.35, instrumented_fraction=0.85,
+    churn=0.15, churn_lifetime=64,
+    paper_watched_times=1_362, paper_csod_overhead=0.05, paper_asan_overhead=0.35,
+)
+
+# Apache under ab: only 357 allocations for 100k requests (per-request
+# memory comes from its own pool allocator, which malloc interposition
+# does not see) — near-zero CSOD overhead, and a Table V row dominated
+# by CSOD's fixed hash table (5 KB -> 28 KB).
+APACHE = PerfAppSpec(
+    name="apache", suite="real", loc=269_126,
+    contexts=56, allocations=357, threads=16,
+    base_runtime_s=30.0, mem_original_kb=5, peak_live_objects=200,
+    access_intensity=0.12, instrumented_fraction=0.8,
+    churn=0.02, churn_lifetime=64,
+    paper_watched_times=27, paper_csod_overhead=0.01, paper_asan_overhead=0.08,
+)
+
+# Memcached under python-memcached: slab-allocated items mean few
+# malloc-level allocations (468); like Apache, a tiny footprint whose
+# Table V percentage is all fixed cost.
+MEMCACHED_PERF = PerfAppSpec(
+    name="memcached", suite="real", loc=14_748,
+    contexts=85, allocations=468, threads=16,
+    base_runtime_s=25.0, mem_original_kb=7, peak_live_objects=70,
+    access_intensity=0.18, churn=0.12, churn_lifetime=64,
+    paper_watched_times=79, paper_csod_overhead=0.02, paper_asan_overhead=0.12,
+)
+
+SERVER_SPECS = (MYSQL_PERF, APACHE, MEMCACHED_PERF)

@@ -1,0 +1,129 @@
+"""An interleaving-dependent overflow.
+
+The paper's introduction motivates production detection with exactly
+this class of bug: "some bugs are only exposed in one particular
+interleaving, and the number of interleavings is exponentially
+proportional to the number of statements" (§I).  No test-time input can
+reliably trigger them; an always-on detector sees them when they happen.
+
+The workload is a classic TOCTOU between a producer and a consumer:
+
+* the producer allocates a 64-byte message buffer, later decides the
+  message grew to 128 bytes, publishes the new length, and *then*
+  reallocates the buffer;
+* the consumer reads the published length and copies that many bytes
+  into whatever buffer pointer it sees.
+
+If the scheduler runs the consumer inside the window between "publish
+new length" and "swap buffer", 128 bytes land in a 64-byte object — a
+heap over-write.  Under most interleavings nothing bad happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.callstack.frames import CallSite
+from repro.workloads.base import SimProcess
+
+SMALL_SIZE = 64
+LARGE_SIZE = 128
+
+
+@dataclass
+class RaceRunResult:
+    """What one interleaving produced."""
+
+    triggered: bool  # did the consumer copy into the small buffer?
+    buffer_address: int
+    interleaving_steps: int
+
+
+class RaceOverflowApp:
+    """The producer/consumer TOCTOU workload."""
+
+    def __init__(self):
+        self.alloc_small = CallSite("RACED", "producer.c", 21, "make_message")
+        self.alloc_large = CallSite("RACED", "producer.c", 58, "grow_message")
+        self.copy_site = CallSite("RACED", "consumer.c", 90, "deliver_message")
+
+    def sites(self):
+        return (self.alloc_small, self.alloc_large, self.copy_site)
+
+    def run(self, process: SimProcess, scheduler_seed: int = 0) -> RaceRunResult:
+        for site in self.sites():
+            try:
+                process.symbols.add(site)
+            except ValueError:
+                pass
+        scheduler = process.machine.new_scheduler(seed=scheduler_seed)
+        heap = process.heap
+        cpu = process.machine.cpu
+        main = process.main_thread
+
+        shared = {
+            "buffer": 0,
+            "length": 0,
+            "published": False,
+            "done": False,
+            "copied_into": 0,
+        }
+
+        def producer():
+            with main.call_stack.calling(self.alloc_small):
+                shared["buffer"] = heap.malloc(main, SMALL_SIZE)
+            shared["small_buffer"] = shared["buffer"]
+            shared["length"] = SMALL_SIZE
+            shared["published"] = True
+            yield  # some unrelated work
+            yield
+            # The message grew: publish the length FIRST (the bug)...
+            shared["length"] = LARGE_SIZE
+            yield  # <-- the race window
+            # ...then swap in a large-enough buffer.
+            with main.call_stack.calling(self.alloc_large):
+                new_buffer = heap.malloc(main, LARGE_SIZE)
+            old = shared["buffer"]
+            shared["buffer"] = new_buffer
+            heap.free(main, old)
+            yield
+            shared["done"] = True
+
+        def consumer(thread):
+            while not shared["published"]:
+                yield
+            # Deliver exactly once, at whatever moment the scheduler
+            # lets this thread run.
+            with thread.call_stack.calling(self.copy_site):
+                buffer = shared["buffer"]
+                length = shared["length"]
+                shared["copied_into"] = buffer
+                shared["copied_length"] = length
+                cpu.store(thread, buffer, b"\x42" * length)
+            yield
+            while not shared["done"]:
+                yield
+
+        holder = {}
+
+        def consumer_body():
+            yield from consumer(holder["thread"])
+
+        scheduler.adopt_main(producer())
+        holder["thread"] = scheduler.spawn(consumer_body(), name="consumer")
+        steps = scheduler.run()
+        heap.free(main, shared["buffer"])
+
+        # Triggered iff the oversized copy landed in the ORIGINAL small
+        # buffer: the consumer read the new length while the pointer
+        # still named the 64-byte allocation.
+        triggered = (
+            shared.get("copied_length", 0) > SMALL_SIZE
+            and shared["copied_into"] == shared["small_buffer"]
+        )
+        return RaceRunResult(
+            triggered=triggered,
+            buffer_address=shared["copied_into"],
+            interleaving_steps=steps,
+        )

@@ -1,0 +1,257 @@
+"""Heap-trace recording and replay.
+
+A downstream user of this reproduction usually wants one thing first:
+*run CSOD against the allocation behaviour of my own program*.  The
+trace subsystem supports that workflow:
+
+* :class:`TraceRecorder` hooks a process's heap interposer and CPU and
+  records every malloc/free (with the full calling-context locations)
+  and every out-of-bounds-relevant access into a list of events;
+* :func:`save_trace` / :func:`load_trace` serialize that list as JSON;
+* :class:`TraceApp` replays a trace inside a fresh simulated process —
+  under CSOD, under ASan, or bare — reconstructing one
+  :class:`~repro.callstack.frames.CallSite` chain per distinct recorded
+  location.
+
+Replaying keeps allocation *order*, sizes, lifetimes, and contexts; the
+concrete addresses are re-assigned by the replay allocator, and recorded
+accesses are re-issued relative to the object they touched.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.callstack.frames import CallSite
+from repro.errors import WorkloadError
+from repro.workloads.base import SimProcess
+
+TRACE_VERSION = 1
+
+OP_MALLOC = "malloc"
+OP_FREE = "free"
+OP_LOAD = "load"
+OP_STORE = "store"
+
+_OPS = (OP_MALLOC, OP_FREE, OP_LOAD, OP_STORE)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded heap-relevant event.
+
+    * malloc: ``obj`` is the object's trace id, ``size`` its size,
+      ``context`` the allocation chain (outermost first);
+    * free: ``obj`` names the object;
+    * load/store: ``obj`` names the object the access is relative to,
+      ``offset`` may run past ``size`` (that is the overflow), and
+      ``context`` is the accessing chain.
+    """
+
+    op: str
+    obj: int
+    size: int = 0
+    offset: int = 0
+    context: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.op not in _OPS:
+            raise WorkloadError(f"unknown trace op {self.op!r}")
+
+    def to_json(self) -> dict:
+        return {
+            "op": self.op,
+            "obj": self.obj,
+            "size": self.size,
+            "offset": self.offset,
+            "context": list(self.context),
+        }
+
+    @staticmethod
+    def from_json(payload: dict) -> "TraceEvent":
+        return TraceEvent(
+            op=payload["op"],
+            obj=int(payload["obj"]),
+            size=int(payload.get("size", 0)),
+            offset=int(payload.get("offset", 0)),
+            context=tuple(payload.get("context", ())),
+        )
+
+
+class TraceRecorder:
+    """Records a process's heap activity into a list of events.
+
+    Attach *before* the workload runs; detach (or just read ``events``)
+    afterwards.  Recording wraps the interposer's active library, so it
+    observes exactly what the application asked for — independent of
+    whether CSOD/ASan is preloaded underneath.
+    """
+
+    def __init__(self, process: SimProcess):
+        self._process = process
+        self.events: List[TraceEvent] = []
+        self._object_ids: Dict[int, int] = {}  # live address -> trace id
+        self._sizes: Dict[int, int] = {}
+        self._next_id = 0
+        self._inner = process.heap.active_library
+        process.heap.preload(self)
+        process.machine.cpu.add_access_hook(self._on_access)
+
+    def detach(self) -> None:
+        self._process.heap.preload(self._inner)
+        self._process.machine.cpu.remove_access_hook(self._on_access)
+
+    # ------------------------------------------------------------------
+    # HeapLibrary surface (recording wrapper)
+    # ------------------------------------------------------------------
+    def _context_of(self, thread) -> Tuple[str, ...]:
+        return tuple(str(frame) for frame in thread.call_stack)
+
+    def malloc(self, thread, size: int) -> int:
+        address = self._inner.malloc(thread, size)
+        obj = self._next_id
+        self._next_id += 1
+        self._object_ids[address] = obj
+        self._sizes[address] = size
+        self.events.append(
+            TraceEvent(OP_MALLOC, obj, size=size, context=self._context_of(thread))
+        )
+        return address
+
+    def memalign(self, thread, alignment: int, size: int) -> int:
+        address = self._inner.memalign(thread, alignment, size)
+        obj = self._next_id
+        self._next_id += 1
+        self._object_ids[address] = obj
+        self._sizes[address] = size
+        self.events.append(
+            TraceEvent(OP_MALLOC, obj, size=size, context=self._context_of(thread))
+        )
+        return address
+
+    def free(self, thread, address: int) -> None:
+        obj = self._object_ids.pop(address, None)
+        self._sizes.pop(address, None)
+        self._inner.free(thread, address)
+        if obj is not None:
+            self.events.append(TraceEvent(OP_FREE, obj))
+
+    def usable_size(self, address: int) -> int:
+        return self._inner.usable_size(address)
+
+    # ------------------------------------------------------------------
+    # Access recording
+    # ------------------------------------------------------------------
+    def _on_access(self, thread, address: int, size: int, kind: str) -> None:
+        # Attribute the access to the closest live object at or below
+        # the address; record the offset (which may exceed the size —
+        # an overflow, the thing worth replaying).
+        for base, obj in self._object_ids.items():
+            length = self._sizes[base]
+            if base <= address <= base + length + 64:
+                self.events.append(
+                    TraceEvent(
+                        OP_STORE if kind == "w" else OP_LOAD,
+                        obj,
+                        size=size,
+                        offset=address - base,
+                        context=self._context_of(thread),
+                    )
+                )
+                return
+
+
+def save_trace(events: List[TraceEvent], path: str) -> None:
+    payload = {"version": TRACE_VERSION, "events": [e.to_json() for e in events]}
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def load_trace(path: str) -> List[TraceEvent]:
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("version") != TRACE_VERSION:
+        raise WorkloadError(f"unsupported trace version in {path}")
+    return [TraceEvent.from_json(e) for e in payload["events"]]
+
+
+class TraceApp:
+    """Replays a recorded trace inside a fresh process."""
+
+    def __init__(self, events: List[TraceEvent], name: str = "trace"):
+        self.events = list(events)
+        self.name = name
+        self._sites: Dict[str, CallSite] = {}
+        self._validate()
+
+    @staticmethod
+    def from_file(path: str, name: Optional[str] = None) -> "TraceApp":
+        return TraceApp(load_trace(path), name=name or path)
+
+    def _validate(self) -> None:
+        live: set = set()
+        for event in self.events:
+            if event.op == OP_MALLOC:
+                if event.obj in live:
+                    raise WorkloadError(f"object {event.obj} allocated twice")
+                live.add(event.obj)
+            elif event.op == OP_FREE:
+                if event.obj not in live:
+                    raise WorkloadError(f"free of unknown object {event.obj}")
+                live.discard(event.obj)
+            elif event.obj not in live:
+                raise WorkloadError(f"access to dead object {event.obj}")
+
+    def _site_for(self, location: str) -> CallSite:
+        site = self._sites.get(location)
+        if site is None:
+            module, _, rest = location.partition("/")
+            file, _, line = rest.rpartition(":")
+            site = CallSite(
+                module or "TRACE",
+                file or "unknown.c",
+                int(line) if line.isdigit() else 0,
+                f"fn_{len(self._sites)}",
+            )
+            self._sites[location] = site
+        return site
+
+    def run(self, process: SimProcess) -> Dict[int, int]:
+        """Replay; returns the trace-id -> replay-address mapping."""
+        thread = process.main_thread
+        heap = process.heap
+        cpu = process.machine.cpu
+        addresses: Dict[int, int] = {}
+        sizes: Dict[int, int] = {}
+        for event in self.events:
+            guards = [
+                thread.call_stack.calling(self._site_for(loc))
+                for loc in event.context
+            ]
+            for guard in guards:
+                guard.__enter__()
+            try:
+                if event.op == OP_MALLOC:
+                    addresses[event.obj] = heap.malloc(thread, event.size)
+                    sizes[event.obj] = event.size
+                elif event.op == OP_FREE:
+                    heap.free(thread, addresses[event.obj])
+                elif event.op == OP_LOAD:
+                    cpu.load(thread, addresses[event.obj] + event.offset, event.size)
+                else:
+                    cpu.store(
+                        thread,
+                        addresses[event.obj] + event.offset,
+                        b"\xee" * event.size,
+                    )
+            finally:
+                for guard in reversed(guards):
+                    guard.__exit__(None, None, None)
+        for site in self._sites.values():
+            try:
+                process.symbols.add(site)
+            except ValueError:
+                pass
+        return addresses

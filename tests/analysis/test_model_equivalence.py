@@ -1,0 +1,105 @@
+"""The abstract model's sampling rules must track the real unit exactly.
+
+The abstract detector re-implements §III-B2 for speed; this property
+test drives both implementations with identical operation sequences and
+requires bit-identical probabilities — any drift between them would
+silently invalidate every abstract-model result.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.abstract_model import AbstractDetector
+from repro.callstack.contexts import ContextInterner
+from repro.callstack.frames import CallSite, CallStack
+from repro.core.config import CSODConfig
+from repro.core.rng import PerThreadRNG
+from repro.core.sampling import SamplingManagementUnit
+from repro.machine.clock import VirtualClock
+from repro.workloads.base import BuggyAppSpec
+
+
+def _real_unit(config):
+    clock = VirtualClock()
+    unit = SamplingManagementUnit(
+        config, clock, PerThreadRNG(0), ContextInterner()
+    )
+    stacks = []
+    for i in range(5):
+        stack = CallStack()
+        stack.push(CallSite("EQ", "m.c", 1, "main"))
+        stack.push(CallSite("EQ", "a.c", 10 + i, f"ctx{i}"))
+        stacks.append(stack)
+    return unit, clock, stacks
+
+
+def _abstract_unit(config):
+    spec = BuggyAppSpec(
+        name="eq",
+        bug_kind="over-write",
+        vuln_module="EQ",
+        reference="eq",
+        total_contexts=1,
+        total_allocations=1,
+        before_contexts=1,
+        before_allocations=1,
+        victim_alloc_index=1,
+    )
+    return AbstractDetector(spec, config, seed=0)
+
+
+# (context index, watched?, clock advance ns); revive_chance is pinned
+# to the deterministic extremes so no RNG enters the comparison.
+operations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),
+        st.booleans(),
+        st.integers(min_value=0, max_value=40_000_000_000),
+    ),
+    max_size=120,
+)
+
+
+@given(operations, st.sampled_from([0.0, 1.0]))
+@settings(max_examples=80, deadline=None)
+def test_probability_evolution_identical(ops, revive_chance):
+    config = CSODConfig(
+        replacement_policy="random", revive_chance=revive_chance
+    )
+    real, clock, stacks = _real_unit(config)
+    abstract = _abstract_unit(config)
+
+    for index, watched, advance in ops:
+        clock.advance(advance)
+        abstract._now_ns += advance
+        real_record = real.on_allocation(stacks[index])
+        abstract_ctx = abstract._on_allocation(index)
+        if watched:
+            real.on_watched(real_record)
+            abstract._on_watched(abstract_ctx)
+        assert abstract_ctx.probability == real_record.probability, (
+            index,
+            watched,
+        )
+        assert abstract._effective(abstract_ctx) == real.effective_probability(
+            real_record
+        )
+        assert abstract_ctx.allocation_count == real_record.allocation_count
+
+
+@given(operations)
+@settings(max_examples=40, deadline=None)
+def test_throttle_state_identical(ops):
+    config = CSODConfig(
+        replacement_policy="random",
+        revive_chance=0.0,
+        throttle_alloc_threshold=10,  # engage it quickly
+    )
+    real, clock, stacks = _real_unit(config)
+    abstract = _abstract_unit(config)
+    for index, _watched, advance in ops:
+        clock.advance(advance)
+        abstract._now_ns += advance
+        record = real.on_allocation(stacks[index])
+        ctx = abstract._on_allocation(index)
+        assert ctx.throttled_until_ns == record.throttled_until_ns
+        assert ctx.window_alloc_count == record.window_alloc_count

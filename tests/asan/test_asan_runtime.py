@@ -1,0 +1,145 @@
+"""The ASan runtime end to end."""
+
+import pytest
+
+from repro.asan import ASanRuntime
+from repro.asan.instrumentation import InstrumentationPolicy
+from repro.callstack.frames import CallSite
+from repro.errors import ReproError
+from repro.workloads.base import SimProcess
+
+
+def make(seed=6, **kwargs):
+    process = SimProcess(seed=seed)
+    asan = ASanRuntime(process.machine, process.heap, **kwargs)
+    return process, asan
+
+
+def app_frame(process, module="APP"):
+    site = CallSite(module, "use.c", 3, "worker")
+    return process.main_thread.call_stack.calling(site)
+
+
+def test_malloc_object_usable():
+    process, asan = make()
+    with app_frame(process):
+        address = process.heap.malloc(process.main_thread, 64)
+        process.machine.cpu.store(process.main_thread, address, b"x" * 64)
+    assert not asan.detected
+
+
+def test_overflow_into_redzone_detected():
+    process, asan = make()
+    with app_frame(process):
+        address = process.heap.malloc(process.main_thread, 64)
+        process.machine.cpu.store(process.main_thread, address + 64, b"!" * 8)
+    assert asan.detected
+    assert asan.reports[0].kind == "heap-buffer-overflow"
+
+
+def test_underflow_into_left_redzone_detected():
+    process, asan = make()
+    with app_frame(process):
+        address = process.heap.malloc(process.main_thread, 64)
+        process.machine.cpu.load(process.main_thread, address - 4, 4)
+    assert asan.detected
+
+
+def test_uninstrumented_module_misses():
+    process, asan = make()
+    with app_frame(process, module="EVIL.SO"):
+        address = process.heap.malloc(process.main_thread, 64)
+        process.machine.cpu.store(process.main_thread, address + 64, b"!" * 8)
+    assert not asan.detected
+
+
+def test_instrument_all_catches_library_bug():
+    process, asan = make(instrumentation=InstrumentationPolicy(instrument_all=True))
+    with app_frame(process, module="EVIL.SO"):
+        address = process.heap.malloc(process.main_thread, 64)
+        process.machine.cpu.store(process.main_thread, address + 64, b"!" * 8)
+    assert asan.detected
+
+
+def test_use_after_free_detected():
+    process, asan = make()
+    with app_frame(process):
+        address = process.heap.malloc(process.main_thread, 64)
+        process.heap.free(process.main_thread, address)
+        process.machine.cpu.load(process.main_thread, address, 8)
+    assert asan.reports[0].kind == "heap-use-after-free"
+
+
+def test_quarantine_delays_reuse():
+    process, asan = make()
+    with app_frame(process):
+        a = process.heap.malloc(process.main_thread, 64)
+        process.heap.free(process.main_thread, a)
+        b = process.heap.malloc(process.main_thread, 64)
+    assert b != a  # the freed block is parked, not recycled
+    assert asan.quarantine_footprint() >= 64
+
+
+def test_quarantine_cap_evicts_oldest():
+    process, asan = make(quarantine_bytes=256)
+    with app_frame(process):
+        for _ in range(16):
+            address = process.heap.malloc(process.main_thread, 64)
+            process.heap.free(process.main_thread, address)
+    assert asan.quarantine_footprint() <= 256
+
+
+def test_memalign():
+    process, asan = make()
+    with app_frame(process):
+        address = process.heap.memalign(process.main_thread, 256, 64)
+        assert address % 256 == 0
+        process.machine.cpu.store(process.main_thread, address + 64, b"x")
+    assert asan.detected
+
+
+def test_usable_size():
+    process, asan = make()
+    with app_frame(process):
+        address = process.heap.malloc(process.main_thread, 50)
+    assert asan.usable_size(address) == 50
+
+
+def test_free_unknown_pointer_rejected():
+    process, asan = make()
+    with pytest.raises(ReproError):
+        process.heap.free(process.main_thread, 0x1234)
+
+
+def test_halt_on_error():
+    process, asan = make(halt_on_error=True)
+    with app_frame(process):
+        address = process.heap.malloc(process.main_thread, 64)
+        with pytest.raises(ReproError):
+            process.machine.cpu.store(process.main_thread, address + 64, b"!")
+
+
+def test_shutdown_detaches():
+    process, asan = make()
+    asan.shutdown()
+    with app_frame(process):
+        address = process.heap.malloc(process.main_thread, 16)
+    assert process.allocator.is_live(address)
+
+
+def test_checks_counted():
+    process, asan = make()
+    with app_frame(process):
+        address = process.heap.malloc(process.main_thread, 8)
+        process.machine.cpu.load(process.main_thread, address, 8)
+    assert asan.checks_performed >= 1
+
+
+def test_non_continuous_overflow_within_redzone_detected():
+    """ASan's advantage over CSOD (§VI): stride can skip the boundary."""
+    process, asan = make()
+    with app_frame(process):
+        address = process.heap.malloc(process.main_thread, 64)
+        # Skip the boundary word, land in the middle of the redzone.
+        process.machine.cpu.store(process.main_thread, address + 72, b"zz")
+    assert asan.detected

@@ -1,0 +1,37 @@
+"""Per-module instrumentation policy."""
+
+from repro.asan.instrumentation import InstrumentationPolicy
+
+
+def test_application_code_covered_by_default():
+    policy = InstrumentationPolicy()
+    assert policy.covers("GZIP")
+    assert policy.covers("MYSQL")
+
+
+def test_shared_libraries_not_covered():
+    policy = InstrumentationPolicy()
+    assert not policy.covers("LIBTIFF.SO")
+    assert not policy.covers("LIBHX.SO")
+    assert not policy.covers("ZZIPLIB.SO")
+
+
+def test_suffix_check_case_insensitive():
+    assert not InstrumentationPolicy().covers("libfoo.so")
+
+
+def test_explicitly_instrumented_library():
+    policy = InstrumentationPolicy(instrumented=["LIBTIFF.SO"])
+    assert policy.covers("LIBTIFF.SO")
+    assert not policy.covers("LIBHX.SO")
+
+
+def test_instrument_method():
+    policy = InstrumentationPolicy()
+    policy.instrument("LIBHX.SO")
+    assert policy.covers("LIBHX.SO")
+
+
+def test_instrument_all():
+    policy = InstrumentationPolicy(instrument_all=True)
+    assert policy.covers("ANYTHING.SO")

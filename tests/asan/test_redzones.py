@@ -1,0 +1,32 @@
+"""Redzone sizing policies."""
+
+import pytest
+
+from repro.asan.redzones import DEFAULT_MAX_REDZONE, MIN_REDZONE, redzone_size
+
+
+def test_minimal_is_16_bytes():
+    """The paper's ASan configuration: minimal 16-byte redzones."""
+    assert MIN_REDZONE == 16
+    for size in (0, 1, 64, 4096, 1 << 20):
+        assert redzone_size(size, minimal=True) == 16
+
+
+def test_default_grows_with_object():
+    assert redzone_size(16, minimal=False) == 16
+    assert redzone_size(4096, minimal=False) > 16
+
+
+def test_default_capped():
+    assert redzone_size(1 << 26, minimal=False) <= DEFAULT_MAX_REDZONE
+
+
+def test_default_is_power_of_two():
+    for size in (100, 1000, 10_000, 100_000):
+        zone = redzone_size(size, minimal=False)
+        assert zone & (zone - 1) == 0
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        redzone_size(-1)

@@ -1,0 +1,92 @@
+"""Shadow memory encoding."""
+
+import pytest
+
+from repro.asan.shadow import (
+    GRANULE,
+    ShadowMemory,
+    TAG_ADDRESSABLE,
+    TAG_FREED,
+    TAG_REDZONE,
+)
+
+BASE = 0x10_000
+
+
+def test_unpoisoned_is_clean():
+    assert ShadowMemory().check(BASE, 8) is None
+
+
+def test_poison_then_check():
+    shadow = ShadowMemory()
+    shadow.poison(BASE, 16, TAG_REDZONE)
+    assert shadow.check(BASE, 1) == TAG_REDZONE
+    assert shadow.check(BASE + 15, 1) == TAG_REDZONE
+
+
+def test_access_spanning_into_redzone_faults():
+    shadow = ShadowMemory()
+    shadow.poison(BASE + 16, 16, TAG_REDZONE)
+    assert shadow.check(BASE + 12, 8) == TAG_REDZONE
+
+
+def test_freed_tag_distinct():
+    shadow = ShadowMemory()
+    shadow.poison(BASE, 16, TAG_FREED)
+    assert shadow.check(BASE, 8) == TAG_FREED
+
+
+def test_bad_tag_rejected():
+    with pytest.raises(ValueError):
+        ShadowMemory().poison(BASE, 8, 0x42)
+
+
+def test_unpoison_clears():
+    shadow = ShadowMemory()
+    shadow.poison(BASE, 32, TAG_REDZONE)
+    shadow.unpoison(BASE, 32)
+    assert shadow.check(BASE, 32) is None
+
+
+def test_partial_granule_prefix_is_addressable():
+    shadow = ShadowMemory()
+    shadow.poison(BASE, 16, TAG_REDZONE)
+    shadow.unpoison(BASE, 5)  # 5-byte object in an 8-byte granule
+    assert shadow.check(BASE, 5) is None
+
+
+def test_partial_granule_suffix_faults():
+    shadow = ShadowMemory()
+    shadow.poison(BASE, 16, TAG_REDZONE)
+    shadow.unpoison(BASE, 5)
+    assert shadow.check(BASE, 8) is not None
+    assert shadow.check(BASE + 5, 1) is not None
+
+
+def test_zero_size_operations_are_noops():
+    shadow = ShadowMemory()
+    shadow.poison(BASE, 0, TAG_REDZONE)
+    shadow.unpoison(BASE, 0)
+    assert shadow.check(BASE, 0) is None
+    assert shadow.poisoned_granules() == 0
+
+
+def test_poisoned_granules_counter():
+    shadow = ShadowMemory()
+    shadow.poison(BASE, 32, TAG_REDZONE)
+    assert shadow.poisoned_granules() == 4
+
+
+def test_intra_granule_detection_regardless_of_stride():
+    """§VI: ASan detects inside redzones regardless of stride."""
+    shadow = ShadowMemory()
+    shadow.poison(BASE + 64, 16, TAG_REDZONE)
+    for offset in range(16):
+        assert shadow.check(BASE + 64 + offset, 1) == TAG_REDZONE
+
+
+def test_nothing_beyond_redzone():
+    """§VI: ASan cannot detect beyond the redzone."""
+    shadow = ShadowMemory()
+    shadow.poison(BASE + 64, 16, TAG_REDZONE)
+    assert shadow.check(BASE + 80, 8) is None

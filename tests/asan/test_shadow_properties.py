@@ -1,0 +1,82 @@
+"""Property-based shadow-memory invariants (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.asan.shadow import ShadowMemory, TAG_FREED, TAG_REDZONE
+
+BASE = 0x100_000
+
+regions = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4096),  # offset
+        st.integers(min_value=1, max_value=256),  # size
+        st.sampled_from([TAG_REDZONE, TAG_FREED, None]),  # None = unpoison
+    ),
+    max_size=40,
+)
+
+
+def apply_ops(ops):
+    shadow = ShadowMemory()
+    # A byte-accurate reference model.
+    reference = {}
+    for offset, size, tag in ops:
+        address = BASE + offset * 8  # keep operations granule-aligned
+        if tag is None:
+            shadow.unpoison(address, size)
+            for b in range(address, address + size):
+                reference.pop(b, None)
+        else:
+            shadow.poison(address, size, tag)
+            # Poisoning is granule-granular: the whole covered granule
+            # range becomes poisoned in the model too.
+            first = (address // 8) * 8
+            last = ((address + size - 1) // 8) * 8 + 8
+            for b in range(first, last):
+                reference[b] = tag
+    return shadow, reference
+
+
+@given(regions, st.integers(min_value=0, max_value=4600))
+@settings(max_examples=150, deadline=None)
+def test_single_byte_checks_match_reference(ops, probe_offset):
+    shadow, reference = apply_ops(ops)
+    address = BASE + probe_offset
+    expected = reference.get(address)
+    got = shadow.check(address, 1)
+    if expected is None:
+        # The reference may under-approximate partial-granule encodings:
+        # a clean byte must never be reported poisoned with a *freed*
+        # tag, and a fully clean granule must check clean.
+        granule = (address // 8) * 8
+        granule_clean = all(
+            reference.get(b) is None for b in range(granule, granule + 8)
+        )
+        if granule_clean:
+            assert got is None
+    else:
+        assert got is not None
+
+
+@given(regions)
+@settings(max_examples=100, deadline=None)
+def test_unpoison_everything_clears_everything(ops):
+    shadow, _ = apply_ops(ops)
+    shadow.unpoison(BASE - 64, 8192)
+    assert shadow.check(BASE - 64, 8192) is None
+
+
+@given(
+    st.integers(min_value=0, max_value=512),
+    st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=100, deadline=None)
+def test_object_unpoison_right_edge(offset, size):
+    """After carving an object out of poison, in-bounds accesses are
+    clean and the first byte past the object is poisoned."""
+    shadow = ShadowMemory()
+    address = BASE + offset * 16
+    shadow.poison(address, ((size + 23) // 8) * 8, TAG_REDZONE)
+    shadow.unpoison(address, size)
+    assert shadow.check(address, size) is None
+    assert shadow.check(address + size, 1) is not None

@@ -1,0 +1,67 @@
+"""Cheap peek vs. expensive full unwind."""
+
+from repro.callstack.backtrace import (
+    Backtracer,
+    FULL_UNWIND_BASE_NS,
+    FULL_UNWIND_PER_FRAME_NS,
+    PEEK_COST_NS,
+)
+from repro.callstack.frames import CallSite, CallStack
+from repro.machine.syscall_cost import CostLedger, EVENT_BACKTRACE_FULL
+
+
+def stack_of(depth):
+    stack = CallStack()
+    for i in range(depth):
+        stack.push(CallSite("APP", "f.c", i, f"f{i}"))
+    return stack
+
+
+def test_peek_returns_top():
+    stack = stack_of(3)
+    tracer = Backtracer()
+    assert tracer.peek_caller(stack).site.function == "f2"
+    assert tracer.peek_caller(stack, level=2).site.function == "f0"
+
+
+def test_peek_on_empty_stack():
+    assert Backtracer().peek_caller(CallStack()) is None
+
+
+def test_full_backtrace_order():
+    stack = stack_of(3)
+    addresses = Backtracer().full_backtrace(stack)
+    assert addresses == stack.return_addresses()
+
+
+def test_full_frames_match_backtrace():
+    stack = stack_of(4)
+    tracer = Backtracer()
+    frames = tracer.full_frames(stack)
+    assert tuple(f.return_address for f in frames) == stack.return_addresses()
+
+
+def test_peek_is_cheap():
+    ledger = CostLedger()
+    tracer = Backtracer(ledger)
+    tracer.peek_caller(stack_of(50))
+    assert ledger.total_nanos() == PEEK_COST_NS
+
+
+def test_full_unwind_cost_scales_with_depth():
+    ledger = CostLedger()
+    tracer = Backtracer(ledger)
+    tracer.full_backtrace(stack_of(10))
+    expected = FULL_UNWIND_BASE_NS + 10 * FULL_UNWIND_PER_FRAME_NS
+    assert ledger.nanos(EVENT_BACKTRACE_FULL) == expected
+
+
+def test_cost_asymmetry():
+    """The §III-A1 rationale: peeking is orders cheaper than unwinding."""
+    ledger = CostLedger()
+    tracer = Backtracer(ledger)
+    stack = stack_of(20)
+    tracer.peek_caller(stack)
+    peek = ledger.total_nanos()
+    tracer.full_backtrace(stack)
+    assert ledger.total_nanos() - peek > 50 * peek

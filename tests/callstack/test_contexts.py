@@ -1,0 +1,112 @@
+"""Context keys and interning, including collision behaviour."""
+
+from repro.callstack.backtrace import Backtracer
+from repro.callstack.contexts import ContextInterner, ContextKey
+from repro.callstack.frames import CallSite, CallStack
+from repro.machine.syscall_cost import CostLedger, EVENT_BACKTRACE_FULL
+
+
+def chain(*names, frame_size=48):
+    return [CallSite("APP", "f.c", i, n, frame_size=frame_size) for i, n in enumerate(names)]
+
+
+def push_all(stack, sites):
+    for site in sites:
+        stack.push(site)
+
+
+def test_key_combines_ra_and_offset():
+    stack = CallStack()
+    sites = chain("main", "alloc")
+    push_all(stack, sites)
+    key = ContextInterner().key_for(stack)
+    assert key.first_level_ra == sites[-1].return_address
+    assert key.stack_offset == stack.stack_offset
+
+
+def test_intern_miss_then_hit():
+    interner = ContextInterner()
+    stack = CallStack()
+    push_all(stack, chain("main", "alloc"))
+    key1, ctx1 = interner.intern(stack)
+    key2, ctx2 = interner.intern(stack)
+    assert key1 == key2
+    assert ctx1 is ctx2
+    assert interner.misses == 1
+    assert interner.hits == 1
+
+
+def test_different_chains_different_keys():
+    interner = ContextInterner()
+    s1, s2 = CallStack(), CallStack()
+    push_all(s1, chain("main", "a"))
+    push_all(s2, chain("main", "b"))
+    k1, _ = interner.intern(s1)
+    k2, _ = interner.intern(s2)
+    assert k1 != k2
+
+
+def test_full_backtrace_only_on_miss():
+    ledger = CostLedger()
+    interner = ContextInterner(Backtracer(ledger))
+    stack = CallStack()
+    push_all(stack, chain("main", "mid", "alloc"))
+    interner.intern(stack)
+    unwinds_after_miss = ledger.count(EVENT_BACKTRACE_FULL)
+    interner.intern(stack)
+    assert ledger.count(EVENT_BACKTRACE_FULL) == unwinds_after_miss == 1
+
+
+def test_context_records_frames_and_addresses():
+    interner = ContextInterner()
+    stack = CallStack()
+    sites = chain("main", "alloc")
+    push_all(stack, sites)
+    _, context = interner.intern(stack)
+    assert context.depth == 2
+    assert context.return_addresses == stack.return_addresses()
+    assert "f.c:1" in str(context)
+
+
+def test_collision_aliases_contexts():
+    """The paper's accepted imprecision: same (RA, offset) => same record."""
+    interner = ContextInterner()
+    shared_alloc = CallSite("APP", "alloc.c", 9, "alloc", frame_size=16)
+    a, b = CallSite("APP", "a.c", 1, "a", frame_size=32), CallSite(
+        "APP", "b.c", 2, "b", frame_size=32
+    )
+    s1, s2 = CallStack(), CallStack()
+    push_all(s1, [a, shared_alloc])
+    push_all(s2, [b, shared_alloc])
+    assert s1.stack_offset == s2.stack_offset
+    k1, ctx1 = interner.intern(s1)
+    k2, ctx2 = interner.intern(s2)
+    assert k1 == k2
+    assert ctx1 is ctx2  # the second context is silently aliased
+
+
+def test_distinct_offsets_prevent_collision():
+    interner = ContextInterner()
+    shared_alloc = CallSite("APP", "alloc.c", 9, "alloc", frame_size=16)
+    a = CallSite("APP", "a.c", 1, "a", frame_size=32)
+    b = CallSite("APP", "b.c", 2, "b", frame_size=64)  # different frame size
+    s1, s2 = CallStack(), CallStack()
+    push_all(s1, [a, shared_alloc])
+    push_all(s2, [b, shared_alloc])
+    k1, _ = interner.intern(s1)
+    k2, _ = interner.intern(s2)
+    assert k1 != k2
+
+
+def test_lookup_by_key():
+    interner = ContextInterner()
+    stack = CallStack()
+    push_all(stack, chain("main", "alloc"))
+    key, context = interner.intern(stack)
+    assert interner.lookup(key) is context
+    assert key in interner
+    assert len(interner) == 1
+
+
+def test_lookup_unknown_key():
+    assert ContextInterner().lookup(ContextKey(0x1, 2)) is None

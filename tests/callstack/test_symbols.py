@@ -1,0 +1,63 @@
+"""Symbolization (addr2line analogue)."""
+
+import pytest
+
+from repro.callstack.frames import CallSite
+from repro.callstack.symbols import SymbolTable
+
+
+def test_addr2line_known():
+    site = CallSite("NGINX", "core/nginx.c", 415, "main")
+    table = SymbolTable([site])
+    assert table.addr2line(site.return_address) == "NGINX/core/nginx.c:415"
+
+
+def test_addr2line_unknown_prints_hex():
+    table = SymbolTable()
+    assert table.addr2line(0x400123) == "0x400123"
+
+
+def test_stripped_module_prints_hex():
+    """§III-D2: stripped binaries report raw addresses."""
+    site = CallSite("LIBHX.SO", "hx.c", 10, "HX_split")
+    table = SymbolTable([site])
+    table.strip_module("LIBHX.SO")
+    assert table.addr2line(site.return_address) == hex(site.return_address)
+
+
+def test_symbolize_whole_context():
+    sites = [CallSite("A", "a.c", 1, "a"), CallSite("B", "b.c", 2, "b")]
+    table = SymbolTable(sites)
+    lines = table.symbolize([s.return_address for s in sites])
+    assert lines == ["A/a.c:1", "B/b.c:2"]
+
+
+def test_add_idempotent_for_same_site():
+    site = CallSite("A", "a.c", 1, "a")
+    table = SymbolTable()
+    table.add(site)
+    table.add(site)
+    assert len(table) == 1
+
+
+def test_add_conflicting_site_rejected():
+    site = CallSite("A", "a.c", 1, "a")
+    clone = CallSite("B", "b.c", 2, "b")
+    object.__setattr__(clone, "return_address", site.return_address)
+    table = SymbolTable([site])
+    with pytest.raises(ValueError):
+        table.add(clone)
+
+
+def test_site_for():
+    site = CallSite("A", "a.c", 1, "a")
+    table = SymbolTable([site])
+    assert table.site_for(site.return_address) is site
+    assert table.site_for(0xBAD) is None
+
+
+def test_add_all():
+    sites = [CallSite("A", "a.c", i, f"f{i}") for i in range(5)]
+    table = SymbolTable()
+    table.add_all(sites)
+    assert len(table) == 5

@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CSODConfig, CSODRuntime
+from repro.machine.machine import Machine
+from repro.workloads.base import BuggyAppSpec, SimProcess, SyntheticBuggyApp
+
+
+@pytest.fixture
+def machine():
+    """A fresh simulated machine (time charging on)."""
+    return Machine(seed=42)
+
+
+@pytest.fixture
+def process():
+    """A fresh simulated process with a mapped heap."""
+    return SimProcess(seed=42)
+
+
+@pytest.fixture
+def csod(process):
+    """A CSOD runtime preloaded into ``process`` (evidence on)."""
+    return CSODRuntime(process.machine, process.heap, CSODConfig(), seed=42)
+
+
+@pytest.fixture
+def csod_no_evidence(process):
+    return CSODRuntime(
+        process.machine, process.heap, CSODConfig(evidence_enabled=False), seed=42
+    )
+
+
+@pytest.fixture
+def tiny_write_spec():
+    """A one-object over-write program (gzip-shaped)."""
+    return BuggyAppSpec(
+        name="tinywrite",
+        bug_kind="over-write",
+        vuln_module="TINY",
+        reference="test",
+        total_contexts=1,
+        total_allocations=1,
+        before_contexts=1,
+        before_allocations=1,
+        victim_alloc_index=1,
+    )
+
+
+@pytest.fixture
+def tiny_read_spec():
+    """A one-object over-read program."""
+    return BuggyAppSpec(
+        name="tinyread",
+        bug_kind="over-read",
+        vuln_module="TINY.SO",
+        reference="test",
+        total_contexts=1,
+        total_allocations=1,
+        before_contexts=1,
+        before_allocations=1,
+        victim_alloc_index=1,
+    )
+
+
+@pytest.fixture
+def tiny_write_app(tiny_write_spec):
+    return SyntheticBuggyApp(tiny_write_spec)
+
+
+@pytest.fixture
+def tiny_read_app(tiny_read_spec):
+    return SyntheticBuggyApp(tiny_read_spec)

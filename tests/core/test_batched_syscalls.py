@@ -1,0 +1,119 @@
+"""The §V-B custom-syscall extension (batched install/remove)."""
+
+import pytest
+
+from repro.core import CSODConfig, CSODRuntime
+from repro.errors import DebugRegisterError
+from repro.machine.machine import Machine
+from repro.machine.perf_events import PerfEventAttr
+from repro.machine.signals import SIGTRAP
+from repro.machine.syscall_cost import EVENT_SYSCALL
+from repro.workloads.base import SimProcess
+from repro.workloads.buggy import app_for
+
+
+def test_batch_install_arms_all_threads():
+    machine = Machine(seed=1)
+    machine.map_heap_arena()
+    tids = [machine.main_thread.tid] + [machine.threads.create().tid for _ in range(3)]
+    before = machine.ledger.count(EVENT_SYSCALL)
+    fds = machine.perf.batch_install(
+        PerfEventAttr(bp_addr=0x7F00_0000_0040), tids, SIGTRAP
+    )
+    assert set(fds) == set(tids)
+    assert machine.ledger.count(EVENT_SYSCALL) - before == 1  # ONE syscall
+    for tid in tids:
+        assert machine.threads.get(tid).debug_registers.free_slots() == 3
+
+
+def test_batch_remove_single_syscall():
+    machine = Machine(seed=1)
+    machine.map_heap_arena()
+    fds = machine.perf.batch_install(
+        PerfEventAttr(bp_addr=0x7F00_0000_0040), [machine.main_thread.tid], SIGTRAP
+    )
+    before = machine.ledger.count(EVENT_SYSCALL)
+    machine.perf.batch_remove(fds.values())
+    assert machine.ledger.count(EVENT_SYSCALL) - before == 1
+    assert machine.main_thread.debug_registers.free_slots() == 4
+
+
+def test_batch_install_is_all_or_nothing():
+    machine = Machine(seed=1)
+    machine.map_heap_arena()
+    tid = machine.main_thread.tid
+    for i in range(4):
+        machine.perf.batch_install(
+            PerfEventAttr(bp_addr=0x7F00_0000_0000 + 16 * i), [tid], SIGTRAP
+        )
+    other = machine.threads.create().tid
+    with pytest.raises(DebugRegisterError):
+        machine.perf.batch_install(
+            PerfEventAttr(bp_addr=0x7F00_0000_0100), [other, tid], SIGTRAP
+        )
+    # The partial install on `other` was rolled back.
+    assert machine.threads.get(other).debug_registers.free_slots() == 4
+
+
+def test_batched_runtime_detects_identically():
+    for batched in (False, True):
+        process = SimProcess(seed=3)
+        csod = CSODRuntime(
+            process.machine,
+            process.heap,
+            CSODConfig(batched_syscalls=batched),
+            seed=3,
+        )
+        app_for("gzip").run(process)
+        csod.shutdown()
+        assert csod.detected_by_watchpoint, f"batched={batched}"
+
+
+def test_batched_mode_saves_syscalls():
+    def syscalls(batched):
+        process = SimProcess(seed=3)
+        for _ in range(7):
+            process.spawn_thread()
+        csod = CSODRuntime(
+            process.machine,
+            process.heap,
+            CSODConfig(batched_syscalls=batched),
+            seed=3,
+        )
+        app_for("libdwarf").run(process)
+        csod.shutdown()
+        return process.machine.ledger.count(EVENT_SYSCALL)
+
+    plain = syscalls(False)
+    batched = syscalls(True)
+    assert batched < plain / 5
+
+
+def test_batched_trap_still_carries_fd():
+    process = SimProcess(seed=3)
+    csod = CSODRuntime(
+        process.machine, process.heap, CSODConfig(batched_syscalls=True), seed=3
+    )
+    app_for("libtiff").run(process)
+    csod.shutdown()
+    report = next(r for r in csod.reports if r.source == "watchpoint")
+    assert report.kind == "over-write"
+
+
+def test_late_thread_covered_in_batched_mode():
+    from repro.callstack.frames import CallSite
+
+    process = SimProcess(seed=3)
+    csod = CSODRuntime(
+        process.machine, process.heap, CSODConfig(batched_syscalls=True), seed=3
+    )
+    site = CallSite("APP", "a.c", 1, "alloc")
+    process.symbols.add(site)
+    with process.main_thread.call_stack.calling(site):
+        address = process.heap.malloc(process.main_thread, 64)
+    late = process.spawn_thread("late")
+    use = CallSite("APP", "u.c", 2, "use")
+    process.symbols.add(use)
+    with late.call_stack.calling(use):
+        process.machine.cpu.store(late, address + 64, b"x" * 8)
+    assert csod.detected_by_watchpoint

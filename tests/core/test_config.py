@@ -1,0 +1,71 @@
+"""CSODConfig validation and derivation."""
+
+import pytest
+
+from repro.core.config import (
+    CSODConfig,
+    POLICY_NAIVE,
+    POLICY_NEAR_FIFO,
+    POLICY_RANDOM,
+)
+from repro.errors import CSODError
+
+
+def test_defaults_match_the_paper():
+    config = CSODConfig()
+    assert config.initial_probability == 0.5  # 50%
+    assert config.degradation_per_alloc == 1e-5  # 0.001%
+    assert config.watch_degradation_factor == 0.5  # halved per watch
+    assert config.floor_probability == 1e-5  # 0.001%
+    assert config.throttle_alloc_threshold == 5000
+    assert config.throttle_window_seconds == 10.0
+    assert config.throttle_probability == 1e-6  # 0.0001%
+    assert config.revive_probability == 1e-4  # 0.01%
+    assert config.replacement_policy == POLICY_NEAR_FIFO
+    assert config.evidence_enabled
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(CSODError):
+        CSODConfig(replacement_policy="lifo")
+
+
+@pytest.mark.parametrize(
+    "field", ["initial_probability", "floor_probability", "revive_chance"]
+)
+def test_probabilities_validated(field):
+    with pytest.raises(CSODError):
+        CSODConfig(**{field: 1.5})
+    with pytest.raises(CSODError):
+        CSODConfig(**{field: -0.1})
+
+
+def test_floor_cannot_exceed_initial():
+    with pytest.raises(CSODError):
+        CSODConfig(initial_probability=0.01, floor_probability=0.02)
+
+
+def test_nonpositive_thresholds_rejected():
+    with pytest.raises(CSODError):
+        CSODConfig(throttle_alloc_threshold=0)
+    with pytest.raises(CSODError):
+        CSODConfig(throttle_window_seconds=0)
+    with pytest.raises(CSODError):
+        CSODConfig(watchpoint_age_seconds=0)
+
+
+def test_without_evidence():
+    config = CSODConfig(persistence_path="/tmp/x.json").without_evidence()
+    assert not config.evidence_enabled
+    assert config.persistence_path is None
+    assert config.initial_probability == 0.5
+
+
+def test_with_policy():
+    for policy in (POLICY_NAIVE, POLICY_RANDOM, POLICY_NEAR_FIFO):
+        assert CSODConfig().with_policy(policy).replacement_policy == policy
+
+
+def test_with_policy_preserves_other_fields():
+    config = CSODConfig(initial_probability=0.3).with_policy(POLICY_RANDOM)
+    assert config.initial_probability == 0.3

@@ -1,0 +1,89 @@
+"""The bucketed calling-context hash table."""
+
+import pytest
+
+from repro.callstack.contexts import ContextKey
+from repro.core.context_key import ContextHashTable, LOOKUP_COST_NS
+from repro.machine.syscall_cost import CostLedger, EVENT_CONTEXT_LOOKUP
+
+
+def key(ra=0x400100, offset=96):
+    return ContextKey(first_level_ra=ra, stack_offset=offset)
+
+
+def test_get_missing_returns_none():
+    assert ContextHashTable().get(key()) is None
+
+
+def test_put_then_get():
+    table = ContextHashTable()
+    table.put(key(), "record")
+    assert table.get(key()) == "record"
+
+
+def test_put_replaces():
+    table = ContextHashTable()
+    table.put(key(), "a")
+    table.put(key(), "b")
+    assert table.get(key()) == "b"
+    assert len(table) == 1
+
+
+def test_distinct_keys_coexist():
+    table = ContextHashTable()
+    table.put(key(ra=0x1), "a")
+    table.put(key(ra=0x2), "b")
+    assert table.get(key(ra=0x1)) == "a"
+    assert table.get(key(ra=0x2)) == "b"
+    assert len(table) == 2
+
+
+def test_contains():
+    table = ContextHashTable()
+    table.put(key(), 1)
+    assert key() in table
+    assert key(ra=0x999) not in table
+
+
+def test_items_and_values():
+    table = ContextHashTable()
+    table.put(key(ra=1), "a")
+    table.put(key(ra=2), "b")
+    assert dict(table.items()) == {key(ra=1): "a", key(ra=2): "b"}
+    assert sorted(table.values()) == ["a", "b"]
+
+
+def test_chaining_under_forced_conflicts():
+    table = ContextHashTable(bucket_count=1)  # everything collides
+    for i in range(20):
+        table.put(key(ra=i), i)
+    assert len(table) == 20
+    assert all(table.get(key(ra=i)) == i for i in range(20))
+    assert table.conflicted_buckets() == 1
+    assert table.max_chain_length() == 20
+
+
+def test_large_table_has_few_conflicts():
+    table = ContextHashTable()
+    for i in range(1200):  # MySQL-scale context count
+        table.put(key(ra=0x400000 + i * 0x20, offset=i * 16), i)
+    assert table.conflicted_buckets() <= 2
+
+
+def test_lock_acquisitions_counted():
+    table = ContextHashTable()
+    table.put(key(), 1)
+    table.get(key())
+    assert table.lock_acquisitions == 2
+
+
+def test_lookup_cost_charged():
+    ledger = CostLedger()
+    table = ContextHashTable(ledger=ledger)
+    table.get(key())
+    assert ledger.nanos(EVENT_CONTEXT_LOOKUP) == LOOKUP_COST_NS
+
+
+def test_invalid_bucket_count():
+    with pytest.raises(ValueError):
+        ContextHashTable(bucket_count=0)

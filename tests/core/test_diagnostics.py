@@ -1,0 +1,97 @@
+"""Runtime diagnostics snapshots."""
+
+import pytest
+
+from repro.core import CSODConfig, CSODRuntime
+from repro.core.diagnostics import render_snapshot, snapshot
+from repro.workloads.base import SimProcess
+from repro.workloads.buggy import app_for
+
+
+@pytest.fixture
+def live_runtime():
+    process = SimProcess(seed=4)
+    runtime = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=4)
+    app_for("memcached").run(process)
+    return process, runtime
+
+
+def test_snapshot_counts(live_runtime):
+    _, runtime = live_runtime
+    snap = snapshot(runtime)
+    assert snap.allocations == 442
+    assert snap.watched_times >= 4
+    assert sum(count for _, count in snap.probability_histogram) == 74
+
+
+def test_snapshot_top_contexts_sorted(live_runtime):
+    _, runtime = live_runtime
+    snap = snapshot(runtime, top_contexts=5)
+    assert len(snap.contexts) == 5
+    allocs = [c.allocations for c in snap.contexts]
+    assert allocs == sorted(allocs, reverse=True)
+
+
+def test_snapshot_watch_rows():
+    from repro.callstack.frames import CallSite
+
+    process = SimProcess(seed=4)
+    runtime = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=4)
+    site = CallSite("APP", "w.c", 1, "alloc")
+    with process.main_thread.call_stack.calling(site):
+        for _ in range(4):
+            process.heap.malloc(process.main_thread, 64)
+    snap = snapshot(runtime)
+    assert len(snap.watches) == 4  # live objects hold all four slots
+    for watch in snap.watches:
+        assert watch.watch_address == watch.object_address + watch.object_size
+
+
+def test_pinned_context_visible_after_detection():
+    process = SimProcess(seed=1)
+    runtime = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=1)
+    app_for("gzip").run(process)
+    snap = snapshot(runtime)
+    assert any(c.pinned for c in snap.contexts)
+    assert snap.probability_histogram[0][1] >= 1  # the pinned bucket
+
+
+def test_render_snapshot(live_runtime):
+    _, runtime = live_runtime
+    out = render_snapshot(snapshot(runtime))
+    assert "Probability distribution" in out
+    assert "Hottest contexts" in out
+    # memcached's teardown freed every object, so no slots are armed
+    # and the watchpoint table is omitted.
+    assert "Armed watchpoints" not in out
+
+
+def test_render_snapshot_with_armed_watches():
+    from repro.callstack.frames import CallSite
+
+    process = SimProcess(seed=4)
+    runtime = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=4)
+    site = CallSite("APP", "w.c", 1, "alloc")
+    with process.main_thread.call_stack.calling(site):
+        process.heap.malloc(process.main_thread, 64)
+    out = render_snapshot(snapshot(runtime))
+    assert "Armed watchpoints" in out
+
+
+def test_cli_inspect(capsys):
+    from repro.cli import main
+
+    assert main(["inspect", "memcached", "--seed", "2", "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Hottest contexts" in out
+
+
+def test_cli_run_json(capsys):
+    import json
+
+    from repro.cli import main
+
+    assert main(["run", "gzip", "--json"]) == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out[: out.rindex("]") + 1])
+    assert payload[0]["kind"] == "over-write"

@@ -1,0 +1,61 @@
+"""The HeapTherapy-style evidence-only configuration (§VII contrast)."""
+
+import pytest
+
+from repro.core import CSODConfig, CSODRuntime
+from repro.workloads.base import SimProcess
+from repro.workloads.buggy import BUGGY_APPS, app_for
+
+EVIDENCE_ONLY = CSODConfig(watchpoints_enabled=False)
+
+
+def run(name, seed=1, config=EVIDENCE_ONLY):
+    process = SimProcess(seed=seed)
+    csod = CSODRuntime(process.machine, process.heap, config, seed=seed)
+    app_for(name).run(process)
+    csod.shutdown()
+    return csod
+
+
+def test_no_watchpoints_installed():
+    csod = run("gzip")
+    assert csod.stats().watched_times == 0
+    assert csod.stats().traps_handled == 0
+
+
+def test_overwrites_still_detected_via_canary():
+    csod = run("gzip")
+    assert csod.detected
+    assert not csod.detected_by_watchpoint
+    assert all(r.source in ("free-canary", "exit-canary") for r in csod.reports)
+
+
+def test_evidence_reports_lack_faulting_statement():
+    """The precision CSOD adds over canary-only tools: the overflowing
+    statement's context exists only in watchpoint reports."""
+    csod = run("gzip")
+    report = csod.reports[0]
+    assert not report.access_frames
+    assert "corrupted canary" in report.render()
+
+
+def test_overreads_invisible_to_evidence_only():
+    """HeapTherapy-style tools cannot see Heartbleed."""
+    for name in ("heartbleed", "libdwarf", "zziplib"):
+        csod = run(name)
+        assert not csod.detected, name
+
+
+def test_all_overwrites_caught_every_run():
+    for name, spec in BUGGY_APPS.items():
+        if spec.bug_kind != "over-write":
+            continue
+        for seed in range(3):
+            assert run(name, seed=seed).detected, name
+
+
+def test_watchpoints_enabled_flag_composable():
+    config = CSODConfig(watchpoints_enabled=False).with_policy("random")
+    assert not config.watchpoints_enabled
+    csod = run("gzip", config=config)
+    assert csod.stats().watched_times == 0

@@ -1,0 +1,140 @@
+"""The Alloc/Dealloc Monitoring Unit, through a full runtime."""
+
+import pytest
+
+from repro.core import CSODConfig, CSODRuntime
+from repro.heap import layout
+from repro.workloads.base import SimProcess
+
+
+def make(evidence=True, seed=3):
+    process = SimProcess(seed=seed)
+    config = CSODConfig() if evidence else CSODConfig(evidence_enabled=False)
+    runtime = CSODRuntime(process.machine, process.heap, config, seed=seed)
+    return process, runtime
+
+
+def push_context(process, name="alloc"):
+    from repro.callstack.frames import CallSite
+
+    site = CallSite("APP", "m.c", 1, name)
+    process.symbols.add(site)
+    return process.main_thread.call_stack.calling(site)
+
+
+def test_malloc_returns_writable_object():
+    process, runtime = make()
+    with push_context(process):
+        address = process.heap.malloc(process.main_thread, 64)
+    process.machine.memory.write_bytes(address, b"\x11" * 64)
+    assert process.machine.memory.read_bytes(address, 64) == b"\x11" * 64
+
+
+def test_evidence_malloc_wraps_with_header():
+    process, runtime = make(evidence=True)
+    with push_context(process):
+        address = process.heap.malloc(process.main_thread, 64)
+    assert layout.read_header(process.machine.memory, address).is_valid
+
+
+def test_no_evidence_malloc_is_raw():
+    process, runtime = make(evidence=False)
+    with push_context(process):
+        address = process.heap.malloc(process.main_thread, 64)
+    assert process.allocator.is_live(address)
+
+
+def test_usable_size_with_evidence():
+    process, runtime = make(evidence=True)
+    with push_context(process):
+        address = process.heap.malloc(process.main_thread, 50)
+    assert runtime.monitor.usable_size(address) == 50
+
+
+def test_usable_size_without_evidence_rounds_up():
+    process, runtime = make(evidence=False)
+    with push_context(process):
+        address = process.heap.malloc(process.main_thread, 50)
+    assert runtime.monitor.usable_size(address) == 64
+
+
+def test_free_with_evidence_returns_block():
+    process, runtime = make(evidence=True)
+    live_before = process.allocator.stats.live_blocks
+    with push_context(process):
+        address = process.heap.malloc(process.main_thread, 64)
+    process.heap.free(process.main_thread, address)
+    assert process.allocator.stats.live_blocks == live_before
+
+
+def test_free_removes_watchpoint():
+    process, runtime = make()
+    with push_context(process):
+        address = process.heap.malloc(process.main_thread, 64)
+    assert runtime.wmu.find_by_object_address(address) is not None
+    process.heap.free(process.main_thread, address)
+    assert runtime.wmu.find_by_object_address(address) is None
+
+
+def test_corrupted_canary_reported_at_free():
+    process, runtime = make()
+    with push_context(process):
+        address = process.heap.malloc(process.main_thread, 64)
+    process.machine.memory.write_bytes(address + 64, b"overflow")
+    process.heap.free(process.main_thread, address)
+    assert any(r.source == "free-canary" for r in runtime.reports)
+
+
+def test_corrupted_canary_boosts_context():
+    process, runtime = make()
+    with push_context(process):
+        address = process.heap.malloc(process.main_thread, 64)
+    record = runtime.wmu.find_by_object_address(address).record
+    process.machine.memory.write_bytes(address + 64, b"overflow")
+    process.heap.free(process.main_thread, address)
+    assert record.pinned()
+
+
+def test_first_allocations_watched_by_availability():
+    process, runtime = make()
+    with push_context(process):
+        for _ in range(4):
+            process.heap.malloc(process.main_thread, 32)
+    assert runtime.wmu.free_slots() == 0
+    assert runtime.stats().watched_times == 4
+
+
+def test_memalign_through_monitor():
+    process, runtime = make()
+    with push_context(process):
+        address = process.heap.memalign(process.main_thread, 512, 64)
+    assert address % 512 == 0
+    process.heap.free(process.main_thread, address)
+
+
+def test_allocation_and_free_counters():
+    process, runtime = make()
+    with push_context(process):
+        a = process.heap.malloc(process.main_thread, 16)
+        b = process.heap.malloc(process.main_thread, 16)
+    process.heap.free(process.main_thread, a)
+    stats = runtime.stats()
+    assert stats.allocations == 2
+    assert stats.frees == 1
+
+
+def test_rng_draw_happens_every_allocation():
+    process, runtime = make()
+    before = process.machine.ledger.count("csod.rng_draw")
+    with push_context(process):
+        for _ in range(10):
+            process.heap.malloc(process.main_thread, 16)
+    assert process.machine.ledger.count("csod.rng_draw") - before >= 10
+
+
+def test_watch_address_is_object_boundary():
+    process, runtime = make()
+    with push_context(process):
+        address = process.heap.malloc(process.main_thread, 40)
+    watched = runtime.wmu.find_by_object_address(address)
+    assert watched.watch_address == address + 40

@@ -1,0 +1,108 @@
+"""Replacement policies (§III-C2)."""
+
+import pytest
+
+from repro.core.config import POLICY_NAIVE, POLICY_NEAR_FIFO, POLICY_RANDOM
+from repro.core.policies import (
+    NaivePolicy,
+    NearFifoPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.core.rng import PerThreadRNG
+from repro.errors import CSODError
+
+FULL = [(0, 0.25), (1, 0.25), (2, 0.25), (3, 0.25)]
+
+
+@pytest.fixture
+def rng():
+    return PerThreadRNG(7)
+
+
+def test_make_policy_by_name():
+    assert isinstance(make_policy(POLICY_NAIVE), NaivePolicy)
+    assert isinstance(make_policy(POLICY_RANDOM), RandomPolicy)
+    assert isinstance(make_policy(POLICY_NEAR_FIFO), NearFifoPolicy)
+
+
+def test_make_policy_unknown():
+    with pytest.raises(CSODError):
+        make_policy("mru")
+
+
+def test_naive_never_preempts(rng):
+    policy = NaivePolicy()
+    assert policy.select_victim(FULL, 0.99, rng, tid=1) is None
+
+
+def test_random_declines_when_all_stronger(rng):
+    policy = RandomPolicy()
+    assert policy.select_victim(FULL, 0.1, rng, tid=1) is None
+
+
+def test_random_finds_the_single_weak_slot(rng):
+    policy = RandomPolicy()
+    slots = [(0, 0.9), (1, 0.9), (2, 0.05), (3, 0.9)]
+    for _ in range(20):
+        assert policy.select_victim(slots, 0.5, rng, tid=1) == 2
+
+
+def test_random_spreads_over_equal_slots(rng):
+    policy = RandomPolicy()
+    chosen = {policy.select_victim(FULL, 0.5, rng, tid=1) for _ in range(200)}
+    assert chosen == {0, 1, 2, 3}
+
+
+def test_random_empty_slots(rng):
+    assert RandomPolicy().select_victim([], 0.5, rng, tid=1) is None
+
+
+def test_near_fifo_starts_at_pointer(rng):
+    policy = NearFifoPolicy()
+    assert policy.select_victim(FULL, 0.5, rng, tid=1) == 0
+
+
+def test_near_fifo_pointer_advances_on_replacement(rng):
+    policy = NearFifoPolicy()
+    victim = policy.select_victim(FULL, 0.5, rng, tid=1)
+    policy.on_replaced(victim)
+    assert policy.select_victim(FULL, 0.5, rng, tid=1) == 1
+
+
+def test_near_fifo_wraps(rng):
+    policy = NearFifoPolicy()
+    for expected in (0, 1, 2, 3, 0):
+        victim = policy.select_victim(FULL, 0.5, rng, tid=1)
+        assert victim == expected
+        policy.on_replaced(victim)
+
+
+def test_near_fifo_skips_stronger_slots(rng):
+    policy = NearFifoPolicy()
+    slots = [(0, 0.9), (1, 0.9), (2, 0.1), (3, 0.9)]
+    assert policy.select_victim(slots, 0.5, rng, tid=1) == 2
+
+
+def test_near_fifo_declines_when_all_stronger(rng):
+    policy = NearFifoPolicy()
+    assert policy.select_victim(FULL, 0.2, rng, tid=1) is None
+
+
+def test_near_fifo_handles_holes(rng):
+    """Deallocations leave holes; the pointer scan must skip them."""
+    policy = NearFifoPolicy()
+    slots = [(1, 0.25), (3, 0.25)]  # slots 0 and 2 are free
+    assert policy.select_victim(slots, 0.5, rng, tid=1) == 1
+
+
+def test_equal_probability_does_not_evict(rng):
+    """Replacement needs strictly greater probability (§III-C2)."""
+    assert RandomPolicy().select_victim(FULL, 0.25, rng, tid=1) is None
+    assert NearFifoPolicy().select_victim(FULL, 0.25, rng, tid=1) is None
+
+
+def test_policy_names():
+    assert NaivePolicy().name == POLICY_NAIVE
+    assert RandomPolicy().name == POLICY_RANDOM
+    assert NearFifoPolicy().name == POLICY_NEAR_FIFO

@@ -1,0 +1,106 @@
+"""OverflowReport rendering (Fig. 6 format)."""
+
+from repro.callstack.contexts import CallingContext
+from repro.callstack.frames import CallSite, CallStack
+from repro.callstack.symbols import SymbolTable
+from repro.core.reporting import (
+    KIND_OVER_READ,
+    KIND_OVER_WRITE,
+    OverflowReport,
+    SOURCE_EXIT_CANARY,
+    SOURCE_FREE_CANARY,
+    SOURCE_WATCHPOINT,
+)
+
+
+def build(kind=KIND_OVER_READ, source=SOURCE_WATCHPOINT):
+    alloc_sites = [
+        CallSite("OPENSSL", "crypto/mem.c", 312, "CRYPTO_malloc"),
+        CallSite("NGINX", "http/ngx_http_request.c", 577, "ngx_http_alloc"),
+    ]
+    # Pushed outermost-first: the innermost frame (the memcpy) is the
+    # faulting statement and must render first, as in Fig. 6.
+    access_sites = [
+        CallSite("OPENSSL", "ssl/t1_lib.c", 2588, "tls1_process_heartbeat"),
+        CallSite("GLIBC", "memcpy-sse2-unaligned.S", 81, "memcpy"),
+    ]
+    symbols = SymbolTable(alloc_sites + access_sites)
+    stack = CallStack()
+    for site in alloc_sites:
+        stack.push(site)
+    context = CallingContext(
+        return_addresses=stack.return_addresses(),
+        frames=stack.frames_innermost_first(),
+    )
+    access_stack = CallStack()
+    for site in access_sites:
+        access_stack.push(site)
+    report = OverflowReport(
+        kind=kind,
+        source=source,
+        fault_address=0x7F0000001040,
+        object_address=0x7F0000001000,
+        object_size=64,
+        thread_id=3,
+        time_ns=123,
+        allocation_context=context,
+        access_return_addresses=access_stack.return_addresses(),
+        access_frames=access_stack.frames_innermost_first(),
+    )
+    return report, symbols
+
+
+def test_render_matches_figure6_layout():
+    report, symbols = build()
+    text = report.render(symbols)
+    lines = text.splitlines()
+    assert lines[0] == "A buffer over-read problem is detected at:"
+    assert lines[1] == "GLIBC/memcpy-sse2-unaligned.S:81"
+    assert lines[2] == "OPENSSL/ssl/t1_lib.c:2588"
+    assert "This object is allocated at:" in lines
+    assert "NGINX/http/ngx_http_request.c:577" in text
+
+
+def test_render_without_symbols_prints_addresses():
+    report, _ = build()
+    text = report.render(None)
+    assert "0x" in text
+
+
+def test_render_stripped_module():
+    report, symbols = build()
+    symbols.strip_module("GLIBC")
+    text = report.render(symbols)
+    assert "GLIBC/" not in text.splitlines()[1]
+    assert text.splitlines()[1].startswith("0x")
+
+
+def test_canary_sources_have_no_faulting_statement():
+    for source in (SOURCE_FREE_CANARY, SOURCE_EXIT_CANARY):
+        report, symbols = build(kind=KIND_OVER_WRITE, source=source)
+        text = report.render(symbols)
+        assert "corrupted canary" in text
+        assert "t1_lib" not in text.splitlines()[1]
+
+
+def test_summary_one_line():
+    report, _ = build()
+    summary = report.summary()
+    assert "\n" not in summary
+    assert "over-read" in summary
+    assert "watchpoint" in summary
+
+
+def test_summary_without_frames():
+    report, _ = build()
+    bare = OverflowReport(
+        kind=report.kind,
+        source=report.source,
+        fault_address=report.fault_address,
+        object_address=report.object_address,
+        object_size=report.object_size,
+        thread_id=report.thread_id,
+        time_ns=report.time_ns,
+        allocation_context=report.allocation_context,
+    )
+    assert hex(report.fault_address) in bare.summary()

@@ -1,0 +1,91 @@
+"""Per-thread RNG streams."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rng import PerThreadRNG, XorShiftStream
+from repro.machine.syscall_cost import CostLedger, EVENT_RNG_DRAW
+
+
+def test_stream_deterministic():
+    a = XorShiftStream(seed=5)
+    b = XorShiftStream(seed=5)
+    assert [a.next_u64() for _ in range(10)] == [b.next_u64() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    a = XorShiftStream(seed=1)
+    b = XorShiftStream(seed=2)
+    assert [a.next_u64() for _ in range(5)] != [b.next_u64() for _ in range(5)]
+
+
+def test_zero_seed_not_stuck():
+    stream = XorShiftStream(seed=0)
+    values = {stream.next_u64() for _ in range(100)}
+    assert len(values) == 100
+
+
+def test_uniform_in_unit_interval():
+    stream = XorShiftStream(seed=3)
+    for _ in range(1000):
+        value = stream.uniform()
+        assert 0.0 <= value < 1.0
+
+
+def test_uniform_mean_reasonable():
+    stream = XorShiftStream(seed=9)
+    mean = sum(stream.uniform() for _ in range(20_000)) / 20_000
+    assert 0.48 < mean < 0.52
+
+
+def test_below_bounds():
+    stream = XorShiftStream(seed=4)
+    for _ in range(500):
+        assert 0 <= stream.below(7) < 7
+
+
+def test_below_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        XorShiftStream(seed=1).below(0)
+
+
+def test_per_thread_streams_are_independent():
+    rng = PerThreadRNG(process_seed=11)
+    seq1 = [rng.next_u64(tid=1) for _ in range(5)]
+    seq2 = [rng.next_u64(tid=2) for _ in range(5)]
+    assert seq1 != seq2
+    assert rng.streams_created() == 2
+
+
+def test_same_process_seed_reproducible():
+    a = PerThreadRNG(process_seed=11)
+    b = PerThreadRNG(process_seed=11)
+    assert [a.uniform(1) for _ in range(10)] == [b.uniform(1) for _ in range(10)]
+
+
+def test_different_process_seeds_differ():
+    a = PerThreadRNG(process_seed=1)
+    b = PerThreadRNG(process_seed=2)
+    assert [a.uniform(1) for _ in range(5)] != [b.uniform(1) for _ in range(5)]
+
+
+def test_draws_charged_to_ledger():
+    ledger = CostLedger()
+    rng = PerThreadRNG(0, ledger)
+    rng.uniform(1)
+    rng.below(1, 10)
+    assert ledger.count(EVENT_RNG_DRAW) == 2
+
+
+@given(st.integers(min_value=0, max_value=2**63), st.integers(min_value=1, max_value=10**6))
+@settings(max_examples=200, deadline=None)
+def test_below_always_in_range(seed, bound):
+    assert 0 <= XorShiftStream(seed).below(bound) < bound
+
+
+@given(st.integers(min_value=0, max_value=2**63))
+@settings(max_examples=100, deadline=None)
+def test_uniform_always_in_unit_interval(seed):
+    stream = XorShiftStream(seed)
+    for _ in range(20):
+        assert 0.0 <= stream.uniform() < 1.0

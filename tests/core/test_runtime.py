@@ -1,0 +1,100 @@
+"""The assembled CSODRuntime."""
+
+import pytest
+
+from repro.core import CSODConfig, CSODRuntime
+from repro.workloads.base import SimProcess, SyntheticBuggyApp
+
+
+def test_preloads_into_interposer():
+    process = SimProcess(seed=1)
+    runtime = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=1)
+    assert process.heap.active_library is runtime.monitor
+
+
+def test_shutdown_unloads_and_tears_down(tiny_write_app):
+    process = SimProcess(seed=1)
+    runtime = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=1)
+    tiny_write_app.run(process)
+    runtime.shutdown()
+    assert process.heap.active_library is process.heap.raw
+    assert process.machine.perf.enabled_event_count() == 0
+
+
+def test_no_evidence_mode_has_no_canary_units():
+    process = SimProcess(seed=1)
+    runtime = CSODRuntime(
+        process.machine, process.heap, CSODConfig(evidence_enabled=False), seed=1
+    )
+    assert runtime.canary is None
+    assert runtime.termination is None
+
+
+def test_detects_tiny_overwrite(tiny_write_app):
+    process = SimProcess(seed=1)
+    runtime = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=1)
+    tiny_write_app.run(process)
+    runtime.shutdown()
+    assert runtime.detected_by_watchpoint
+    assert runtime.reports[0].kind == "over-write"
+
+
+def test_detects_tiny_overread(tiny_read_app):
+    process = SimProcess(seed=1)
+    runtime = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=1)
+    tiny_read_app.run(process)
+    runtime.shutdown()
+    assert runtime.detected_by_watchpoint
+    assert runtime.reports[0].kind == "over-read"
+
+
+def test_overread_leaves_no_canary_evidence(tiny_read_app):
+    """Over-reads cannot corrupt canaries — only the watchpoint sees them."""
+    process = SimProcess(seed=1)
+    runtime = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=1)
+    tiny_read_app.run(process)
+    runtime.shutdown()
+    assert all(r.source == "watchpoint" for r in runtime.reports)
+
+
+def test_no_false_positives_on_clean_program():
+    from repro.workloads.perf import perf_app_for
+
+    process = SimProcess(seed=1)
+    runtime = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=1)
+    perf_app_for("streamcluster", 2000).run(process, runtime)
+    runtime.shutdown()
+    assert not runtime.detected
+
+
+def test_stats_snapshot(tiny_write_app):
+    process = SimProcess(seed=1)
+    runtime = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=1)
+    tiny_write_app.run(process)
+    stats = runtime.stats()
+    assert stats.allocations == 1
+    assert stats.frees == 1
+    assert stats.contexts == 1
+    assert stats.watched_times == 1
+    assert stats.traps_handled >= 1
+
+
+def test_same_seed_reproducible(tiny_write_app):
+    outcomes = []
+    for _ in range(2):
+        process = SimProcess(seed=77)
+        runtime = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=77)
+        tiny_write_app.run(process)
+        runtime.shutdown()
+        outcomes.append([r.summary() for r in runtime.reports])
+    assert outcomes[0] == outcomes[1]
+
+
+def test_evidence_disabled_still_detects_via_watchpoint(tiny_write_app):
+    process = SimProcess(seed=1)
+    runtime = CSODRuntime(
+        process.machine, process.heap, CSODConfig(evidence_enabled=False), seed=1
+    )
+    tiny_write_app.run(process)
+    runtime.shutdown()
+    assert runtime.detected_by_watchpoint

@@ -1,0 +1,102 @@
+"""The Signal Handling Unit: trap -> dual-context report."""
+
+import pytest
+
+from repro.callstack.frames import CallSite
+from repro.core import CSODConfig, CSODRuntime
+from repro.core.reporting import KIND_OVER_READ, KIND_OVER_WRITE, SOURCE_WATCHPOINT
+from repro.machine.signals import SIGTRAP, SigInfo
+from repro.workloads.base import SimProcess
+
+
+@pytest.fixture
+def env():
+    process = SimProcess(seed=2)
+    runtime = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=2)
+    alloc_site = CallSite("APP", "alloc.c", 5, "make_buffer")
+    access_site = CallSite("APP", "use.c", 9, "copy_loop")
+    process.symbols.add_all([alloc_site, access_site])
+    with process.main_thread.call_stack.calling(alloc_site):
+        address = process.heap.malloc(process.main_thread, 64)
+    return process, runtime, address, access_site
+
+
+def overflow(process, address, size, kind="w"):
+    thread = process.main_thread
+    if kind == "w":
+        process.machine.cpu.store(thread, address + size, b"\xaa" * 8)
+    else:
+        process.machine.cpu.load(thread, address + size, 8)
+
+
+def test_overwrite_produces_watchpoint_report(env):
+    process, runtime, address, access_site = env
+    with process.main_thread.call_stack.calling(access_site):
+        overflow(process, address, 64, "w")
+    (report,) = [r for r in runtime.reports if r.source == SOURCE_WATCHPOINT]
+    assert report.kind == KIND_OVER_WRITE
+    assert report.object_address == address
+    assert report.fault_address == address + 64
+
+
+def test_overread_classified(env):
+    process, runtime, address, access_site = env
+    with process.main_thread.call_stack.calling(access_site):
+        overflow(process, address, 64, "r")
+    assert runtime.reports[0].kind == KIND_OVER_READ
+
+
+def test_report_contains_both_contexts(env):
+    process, runtime, address, access_site = env
+    with process.main_thread.call_stack.calling(access_site):
+        overflow(process, address, 64)
+    text = runtime.reports[0].render(process.symbols)
+    assert "APP/use.c:9" in text  # the overflowing site
+    assert "APP/alloc.c:5" in text  # the allocation site
+    assert "detected at:" in text
+    assert "allocated at:" in text
+
+
+def test_detection_pins_context(env):
+    process, runtime, address, access_site = env
+    record = runtime.wmu.find_by_object_address(address).record
+    with process.main_thread.call_stack.calling(access_site):
+        overflow(process, address, 64)
+    assert record.pinned()
+
+
+def test_repeated_faults_deduplicated(env):
+    process, runtime, address, access_site = env
+    with process.main_thread.call_stack.calling(access_site):
+        for _ in range(5):
+            overflow(process, address, 64)
+    watchpoint_reports = [r for r in runtime.reports if r.source == SOURCE_WATCHPOINT]
+    assert len(watchpoint_reports) == 1
+    assert runtime.signal_unit.traps_handled == 5
+
+
+def test_distinct_fault_sites_reported_separately(env):
+    process, runtime, address, access_site = env
+    other_site = CallSite("APP", "other.c", 3, "other_loop")
+    process.symbols.add(other_site)
+    with process.main_thread.call_stack.calling(access_site):
+        overflow(process, address, 64)
+    with process.main_thread.call_stack.calling(other_site):
+        overflow(process, address, 64)
+    assert len([r for r in runtime.reports if r.source == SOURCE_WATCHPOINT]) == 2
+
+
+def test_stale_fd_ignored(env):
+    process, runtime, _, _ = env
+    runtime.signal_unit._handle(
+        SIGTRAP, SigInfo(signo=SIGTRAP, si_fd=424242), process.main_thread
+    )
+    assert runtime.signal_unit.traps_ignored == 1
+    assert not runtime.reports
+
+
+def test_report_thread_id(env):
+    process, runtime, address, access_site = env
+    with process.main_thread.call_stack.calling(access_site):
+        overflow(process, address, 64)
+    assert runtime.reports[0].thread_id == process.main_thread.tid

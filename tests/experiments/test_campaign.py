@@ -1,0 +1,84 @@
+"""Campaign driver and Wilson intervals."""
+
+import math
+
+import pytest
+
+from repro.experiments.campaign import (
+    CampaignResult,
+    expected_executions,
+    render_campaigns,
+    run_campaign,
+    wilson_interval,
+)
+
+
+def test_wilson_interval_contains_point_estimate():
+    lo, hi = wilson_interval(30, 100)
+    assert lo < 0.3 < hi
+
+
+def test_wilson_interval_bounds():
+    assert wilson_interval(0, 10)[0] == 0.0
+    assert wilson_interval(10, 10)[1] == 1.0
+
+
+def test_wilson_shrinks_with_trials():
+    lo1, hi1 = wilson_interval(5, 10)
+    lo2, hi2 = wilson_interval(500, 1000)
+    assert (hi2 - lo2) < (hi1 - lo1)
+
+
+def test_wilson_validates():
+    with pytest.raises(ValueError):
+        wilson_interval(1, 0)
+    with pytest.raises(ValueError):
+        wilson_interval(5, 3)
+
+
+def test_expected_executions():
+    assert expected_executions(0.5) == 2.0
+    assert expected_executions(0.0) == math.inf
+
+
+def test_campaign_result_properties():
+    result = CampaignResult("x", 4, [False, True, False, True], False)
+    assert result.hits == 2
+    assert result.rate == 0.5
+    assert result.first_detection == 2
+    assert result.cumulative_curve() == [0.0, 1.0, 1.0, 1.0]
+
+
+def test_campaign_never_detected():
+    result = CampaignResult("x", 2, [False, False], False)
+    assert result.first_detection is None
+
+
+def test_gzip_campaign_all_hits():
+    result = run_campaign("gzip", executions=5)
+    assert result.rate == 1.0
+    assert result.first_detection == 1
+
+
+def test_memcached_campaign_eventually_catches():
+    result = run_campaign("memcached", executions=40)
+    assert 0 < result.hits < 40
+    assert result.first_detection is not None
+
+
+def test_evidence_sharing_accelerates(tmp_path):
+    independent = run_campaign("memcached", executions=30)
+    shared = run_campaign(
+        "memcached", executions=30, share_evidence=True, workdir=str(tmp_path)
+    )
+    # After the first catch (or first evidence upload), a shared
+    # campaign detects every execution; independent ones keep missing.
+    assert shared.hits > independent.hits
+    first = shared.first_detection
+    assert all(shared.detections[first:])
+
+
+def test_render():
+    result = run_campaign("gzip", executions=3)
+    out = render_campaigns([result])
+    assert "gzip" in out and "95% CI" in out

@@ -1,0 +1,54 @@
+"""Table III / Table IV drivers."""
+
+from repro.experiments import paper_data
+from repro.experiments.characteristics import (
+    render_table3,
+    render_table4,
+    run_table3,
+    run_table4,
+)
+
+
+def test_table3_small_apps_exact():
+    rows = {r.app: r for r in run_table3(apps=["gzip", "zziplib", "memcached"])}
+    for name in rows:
+        paper = paper_data.TABLE3[name]
+        row = rows[name]
+        assert row.total_contexts == paper[0]
+        assert row.total_allocations == paper[1]
+        assert row.before_contexts == paper[2]
+        assert row.before_allocations == paper[3]
+
+
+def test_table3_mysql_full_scale():
+    (row,) = run_table3(apps=["mysql"])
+    assert row.total_allocations == 57_464
+    assert row.total_contexts == 488
+    assert row.before_allocations == 57_356
+
+
+def test_table3_render():
+    out = render_table3(run_table3(apps=["gzip"]))
+    assert "Table III" in out and "gzip" in out
+
+
+def test_table4_rows():
+    rows = {r.app: r for r in run_table4(apps=["streamcluster", "aget"], sim_alloc_cap=2000)}
+    for name, row in rows.items():
+        paper = paper_data.TABLE4[name]
+        assert row.loc == paper[0]
+        assert row.contexts == paper[1]
+        assert row.allocations == paper[2]
+        assert row.paper_watched_times == paper[3]
+        assert row.watched_times > 0
+
+
+def test_table4_wt_same_order_of_magnitude():
+    rows = run_table4(apps=["aget", "pfscan", "blackscholes"], sim_alloc_cap=2000)
+    for row in rows:
+        assert row.watched_times <= 10 * max(1, row.paper_watched_times)
+
+
+def test_table4_render():
+    out = render_table4(run_table4(apps=["aget"], sim_alloc_cap=500))
+    assert "Table IV" in out and "aget" in out

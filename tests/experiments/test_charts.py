@@ -1,0 +1,67 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.experiments.charts import grouped_bar_chart, horizontal_bar
+
+
+def test_bar_scales_to_width():
+    bar = horizontal_bar(0.5, ceiling=1.0, width=10)
+    assert bar.startswith("#" * 5 + "." * 5)
+
+
+def test_full_bar():
+    assert horizontal_bar(1.0, 1.0, 8).startswith("#" * 8)
+
+
+def test_clipping_annotated():
+    bar = horizontal_bar(2.3, ceiling=2.0, width=10)
+    assert "clipped" in bar
+    assert bar.startswith("#" * 10)
+
+
+def test_nan_bar():
+    assert horizontal_bar(float("nan"), 1.0, 10) == "(n/a)"
+
+
+def test_grouped_chart_structure():
+    out = grouped_bar_chart(
+        ["appA", "appB"],
+        ["csod", "asan"],
+        [[1.05, 1.4], [1.1, 2.2]],
+        ceiling=2.0,
+        title="Figure 7",
+    )
+    assert out.splitlines()[0] == "Figure 7"
+    assert "appA:" in out
+    assert "csod" in out and "asan" in out
+    assert "scale: full bar = 2.00" in out
+
+
+def test_grouped_chart_auto_ceiling():
+    out = grouped_bar_chart(["a"], ["s"], [[3.0]])
+    assert "full bar = 3.00" in out
+
+
+def test_grouped_chart_validates_shapes():
+    with pytest.raises(ValueError):
+        grouped_bar_chart(["a"], ["s"], [])
+    with pytest.raises(ValueError):
+        grouped_bar_chart(["a"], ["s1", "s2"], [[1.0]])
+
+
+def test_report_to_dict_roundtrips_through_json():
+    import json
+
+    from repro.core import CSODConfig, CSODRuntime
+    from repro.workloads.base import SimProcess
+    from repro.workloads.buggy import app_for
+
+    process = SimProcess(seed=1)
+    csod = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=1)
+    app_for("gzip").run(process)
+    csod.shutdown()
+    payload = json.dumps([r.to_dict(process.symbols) for r in csod.reports])
+    decoded = json.loads(payload)
+    assert decoded[0]["kind"] == "over-write"
+    assert any("alloc.c:500" in line for line in decoded[0]["allocation_context"])

@@ -1,0 +1,69 @@
+"""The Table II driver at reduced run counts."""
+
+import pytest
+
+from repro.core.config import POLICY_NAIVE, POLICY_RANDOM
+from repro.experiments.effectiveness import (
+    asan_detection,
+    average_detection_rate,
+    figure6_report,
+    render_table1,
+    render_table2,
+    run_app_once,
+    run_table2,
+    table1_rows,
+)
+from repro.experiments import paper_data
+
+
+def test_run_app_once_returns_runtime():
+    csod = run_app_once("gzip", seed=0)
+    assert csod.detected_by_watchpoint
+
+
+def test_simple_apps_always_detected_small():
+    rows = run_table2(runs=10, apps=["gzip", "libtiff", "polymorph"])
+    for row in rows:
+        for policy in row.detections:
+            assert row.detections[policy] == 10
+
+
+def test_naive_never_detects_memcached():
+    rows = run_table2(runs=10, apps=["memcached"], policies=[POLICY_NAIVE])
+    assert rows[0].detections[POLICY_NAIVE] == 0
+    # ...but the evidence canaries still record the over-write.
+    assert rows[0].evidence_detections[POLICY_NAIVE] == 10
+
+
+def test_average_detection_rate():
+    rows = run_table2(runs=5, apps=["gzip", "libtiff"])
+    assert average_detection_rate(rows, POLICY_RANDOM) == 1.0
+
+
+def test_render_table2():
+    rows = run_table2(runs=5, apps=["gzip"])
+    out = render_table2(rows)
+    assert "gzip" in out
+    assert "AVERAGE" in out
+
+
+def test_table1_rows_match_paper():
+    rows = table1_rows()
+    assert len(rows) == 9
+    for name, kind, ref, paper_kind, paper_ref in rows:
+        assert kind == paper_kind
+        assert ref == paper_ref
+    assert "gzip" in render_table1()
+
+
+def test_asan_misses_exactly_the_library_bugs():
+    results = asan_detection()
+    missed = {name for name, detected in results.items() if not detected}
+    assert missed == set(paper_data.ASAN_MISSED_APPS)
+
+
+def test_figure6_report_shape():
+    report = figure6_report()
+    assert report.startswith("A buffer over-read problem is detected at:")
+    assert "This object is allocated at:" in report
+    assert "OPENSSL" in report

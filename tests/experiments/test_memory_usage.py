@@ -1,0 +1,25 @@
+"""The Table V driver."""
+
+from repro.experiments.memory_usage import render_table5, run_table5, totals
+
+
+def test_rows_for_all_apps():
+    rows = run_table5()
+    assert len(rows) == 19
+
+
+def test_totals():
+    t = totals(run_table5())
+    assert t["csod"] > t["original"]
+    assert t["asan"] > t["csod"]
+
+
+def test_render_contains_total_row():
+    out = render_table5(run_table5())
+    assert "TOTAL" in out
+    assert "Table V" in out
+
+
+def test_subset():
+    rows = run_table5(apps=["aget", "swaptions"])
+    assert [r.app for r in rows] == ["aget", "swaptions"]

@@ -1,0 +1,50 @@
+"""Consistency of the transcribed paper data."""
+
+from repro.experiments import paper_data
+
+
+def test_table2_covers_all_table1_apps():
+    assert set(paper_data.TABLE2) == set(paper_data.TABLE1)
+    assert set(paper_data.TABLE3) == set(paper_data.TABLE1)
+
+
+def test_table2_naive_split():
+    """§V-A1: naive detects 5 apps always, 4 apps never."""
+    always = [a for a, row in paper_data.TABLE2.items() if row[0] == 1000]
+    never = [a for a, row in paper_data.TABLE2.items() if row[0] == 0]
+    assert len(always) == 5 and len(never) == 4
+
+
+def test_table2_random_average_is_58_percent():
+    rates = [row[1] / 1000 for row in paper_data.TABLE2.values()]
+    assert abs(sum(rates) / len(rates) - paper_data.TABLE2_AVERAGE_DETECTION) < 0.02
+
+
+def test_table2_band_10_to_100():
+    for row in paper_data.TABLE2.values():
+        for value in row[1:]:
+            assert 100 <= value <= 1000
+
+
+def test_table4_and_table5_cover_19_apps():
+    assert len(paper_data.TABLE4) == 19
+    assert len(paper_data.TABLE5) == 19
+    assert set(paper_data.TABLE4) == set(paper_data.TABLE5)
+
+
+def test_table5_totals_are_consistent():
+    # The printed total is 13,439 while the rows sum to 13,440 — a
+    # rounding slip in the paper itself; accept +/- 2 KB.
+    total_orig = sum(row[0] for row in paper_data.TABLE5.values())
+    assert abs(total_orig - paper_data.TABLE5_TOTAL["original"]) <= 2
+
+
+def test_freqmine_has_no_asan_row():
+    assert paper_data.TABLE5["freqmine"][3] is None
+    assert "freqmine" in paper_data.FIGURE7_ASAN_CRASHED
+
+
+def test_headline_averages():
+    assert paper_data.FIGURE7_CSOD_AVERAGE == 0.067
+    assert paper_data.FIGURE7_CSOD_NO_EVIDENCE_AVERAGE == 0.043
+    assert paper_data.FIGURE7_ASAN_AVERAGE == 0.39

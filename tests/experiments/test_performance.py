@@ -1,0 +1,44 @@
+"""The Fig. 7 driver."""
+
+import math
+
+from repro.experiments.performance import (
+    averages,
+    measure_app,
+    render_figure7,
+    run_figure7,
+)
+
+
+def test_measure_app_series():
+    row = measure_app("streamcluster", sim_alloc_cap=2000)
+    assert row.csod_no_evidence >= 1.0
+    assert row.csod >= row.csod_no_evidence
+    assert row.asan_minimal > 1.0
+    assert row.asan >= row.asan_minimal
+
+
+def test_freqmine_has_no_asan_bars():
+    row = measure_app("freqmine", sim_alloc_cap=2000)
+    assert math.isnan(row.asan)
+    assert math.isnan(row.asan_minimal)
+    assert row.csod > 1.0
+
+
+def test_io_bound_apps_near_baseline():
+    row = measure_app("aget", sim_alloc_cap=2000)
+    assert row.csod < 1.03
+    assert row.asan < 1.06
+
+
+def test_averages_skip_nan():
+    rows = run_figure7(apps=["freqmine", "aget"], sim_alloc_cap=1000)
+    avg = averages(rows)
+    assert not math.isnan(avg["asan"])
+
+
+def test_render_figure7():
+    rows = run_figure7(apps=["aget", "pfscan"], sim_alloc_cap=500)
+    out = render_figure7(rows)
+    assert "Figure 7" in out
+    assert "AVERAGE" in out

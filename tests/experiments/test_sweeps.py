@@ -1,0 +1,54 @@
+"""The generic knob-sweep utility."""
+
+import pytest
+
+from repro.core import CSODConfig
+from repro.errors import ExperimentError
+from repro.experiments.sweeps import sweep_knob
+
+
+def test_sweep_shape():
+    result = sweep_knob(
+        "initial_probability", [0.1, 0.5], ["memcached"], runs=60
+    )
+    assert result.values == [0.1, 0.5]
+    assert set(result.rates) == {0.1, 0.5}
+    assert 0.0 <= result.rates[0.5]["memcached"] <= 1.0
+
+
+def test_sweep_render():
+    result = sweep_knob("initial_probability", [0.5], ["gzip"], runs=5)
+    out = result.render()
+    assert "initial_probability" in out and "gzip" in out
+
+
+def test_best_value():
+    result = sweep_knob(
+        "initial_probability", [0.05, 0.5], ["memcached"], runs=120
+    )
+    assert result.best_value("memcached") == 0.5
+
+
+def test_unknown_knob_rejected():
+    with pytest.raises(ExperimentError):
+        sweep_knob("temperature", [1], ["gzip"], runs=1)
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ExperimentError):
+        sweep_knob("initial_probability", [0.5], ["gzip"], engine="quantum")
+
+
+def test_full_engine_agrees_on_trivial_app():
+    result = sweep_knob(
+        "initial_probability", [0.5], ["gzip"], runs=5, engine="full"
+    )
+    assert result.rates[0.5]["gzip"] == 1.0
+
+
+def test_policy_knob_sweepable():
+    result = sweep_knob(
+        "replacement_policy", ["naive", "random"], ["memcached"], runs=40
+    )
+    assert result.rates["naive"]["memcached"] == 0.0
+    assert result.rates["random"]["memcached"] > 0.0

@@ -1,0 +1,35 @@
+"""ASCII table rendering."""
+
+from repro.experiments.tables import render_table
+
+
+def test_headers_and_rows_aligned():
+    out = render_table(["a", "long header"], [[1, 2], [333, 4]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert len(set(len(line.rstrip()) for line in lines[1:2])) == 1
+
+
+def test_title_prepended():
+    out = render_table(["x"], [[1]], title="Table T")
+    assert out.splitlines()[0] == "Table T"
+
+
+def test_thousands_separator():
+    out = render_table(["n"], [[1234567]])
+    assert "1,234,567" in out
+
+
+def test_float_formatting():
+    out = render_table(["f"], [[0.123456]])
+    assert "0.123" in out
+
+
+def test_nan_renders_dash():
+    out = render_table(["f"], [[float("nan")]])
+    assert "-" in out.splitlines()[-1]
+
+
+def test_empty_rows():
+    out = render_table(["a", "b"], [])
+    assert len(out.splitlines()) == 2

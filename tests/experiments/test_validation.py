@@ -1,0 +1,36 @@
+"""The paper-claims scorecard."""
+
+import pytest
+
+from repro.experiments.validation import (
+    ClaimResult,
+    render_validation,
+    validate,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    # Small but sufficient scale; the full protocol runs in benchmarks.
+    return validate(runs=25, cap=2000, evidence_attempts=5)
+
+
+def test_seven_claims_checked(results):
+    assert len(results) == 7
+
+
+def test_all_claims_pass(results):
+    failing = [r for r in results if not r.passed]
+    assert not failing, render_validation(results)
+
+
+def test_render(results):
+    out = render_validation(results)
+    assert "Paper-claims scorecard" in out
+    assert "7/7 claims validated" in out
+
+
+def test_claim_result_shape(results):
+    for result in results:
+        assert isinstance(result, ClaimResult)
+        assert result.claim and result.detail

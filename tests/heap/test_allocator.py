@@ -1,0 +1,162 @@
+"""The first-fit free-list allocator."""
+
+import pytest
+
+from repro.errors import DoubleFreeError, InvalidFreeError, OutOfMemoryError
+from repro.heap.allocator import FreeListAllocator
+
+BASE = 0x1_0000
+SIZE = 1 << 20
+
+
+@pytest.fixture
+def allocator():
+    return FreeListAllocator(BASE, SIZE)
+
+
+def test_first_allocation_at_arena_start(allocator):
+    assert allocator.malloc(64) == BASE
+
+
+def test_allocations_are_16_aligned(allocator):
+    for size in (1, 7, 23, 100):
+        assert allocator.malloc(size) % 16 == 0
+
+
+def test_allocations_do_not_overlap(allocator):
+    a = allocator.malloc(64)
+    b = allocator.malloc(64)
+    assert abs(a - b) >= 64
+
+
+def test_adjacent_packing(allocator):
+    """Objects pack contiguously — the overflow-adjacency property."""
+    a = allocator.malloc(64)
+    b = allocator.malloc(64)
+    assert b == a + 64
+
+
+def test_usable_size_rounds_up(allocator):
+    address = allocator.malloc(20)
+    assert allocator.usable_size(address) == 32
+
+
+def test_usable_size_of_unknown_rejected(allocator):
+    with pytest.raises(InvalidFreeError):
+        allocator.usable_size(BASE + 128)
+
+
+def test_free_then_reuse(allocator):
+    a = allocator.malloc(64)
+    allocator.free(a)
+    assert allocator.malloc(64) == a
+
+
+def test_free_returns_size(allocator):
+    a = allocator.malloc(60)
+    assert allocator.free(a) == 64
+
+
+def test_double_free_detected(allocator):
+    a = allocator.malloc(64)
+    allocator.free(a)
+    with pytest.raises(DoubleFreeError):
+        allocator.free(a)
+
+
+def test_invalid_free_detected(allocator):
+    with pytest.raises(InvalidFreeError):
+        allocator.free(BASE + 64)
+
+
+def test_realloc_cycle_resets_double_free_tracking(allocator):
+    a = allocator.malloc(64)
+    allocator.free(a)
+    b = allocator.malloc(64)
+    assert b == a
+    allocator.free(b)  # must not be flagged as double free
+
+
+def test_out_of_memory():
+    small = FreeListAllocator(BASE, 128)
+    small.malloc(64)
+    with pytest.raises(OutOfMemoryError):
+        small.malloc(128)
+
+
+def test_coalescing_recovers_full_arena(allocator):
+    addresses = [allocator.malloc(64) for _ in range(8)]
+    for address in addresses:
+        allocator.free(address)
+    assert allocator.free_extents() == [(BASE, SIZE)]
+
+
+def test_coalescing_out_of_order_frees(allocator):
+    addresses = [allocator.malloc(64) for _ in range(4)]
+    for address in (addresses[2], addresses[0], addresses[3], addresses[1]):
+        allocator.free(address)
+    assert allocator.free_extents() == [(BASE, SIZE)]
+
+
+def test_memalign_returns_aligned(allocator):
+    allocator.malloc(48)  # misalign the cursor relative to 256
+    address = allocator.memalign(256, 64)
+    assert address % 256 == 0
+
+
+def test_memalign_block_is_usable(allocator):
+    address = allocator.memalign(128, 100)
+    assert allocator.usable_size(address) == 112
+
+
+def test_memalign_free(allocator):
+    address = allocator.memalign(512, 64)
+    allocator.free(address)
+    assert not allocator.is_live(address)
+
+
+def test_memalign_out_of_memory():
+    small = FreeListAllocator(BASE, 256)
+    with pytest.raises(OutOfMemoryError):
+        small.memalign(4096, 4096)
+
+
+def test_stats_track_live_and_peak(allocator):
+    a = allocator.malloc(64)
+    b = allocator.malloc(64)
+    allocator.free(a)
+    stats = allocator.stats
+    assert stats.total_allocations == 2
+    assert stats.total_frees == 1
+    assert stats.live_blocks == 1
+    assert stats.peak_live_blocks == 2
+    assert stats.peak_live_bytes == 128
+
+
+def test_live_blocks_snapshot(allocator):
+    a = allocator.malloc(32)
+    blocks = allocator.live_blocks()
+    assert blocks == {a: 32}
+
+
+def test_invariants_hold_after_mixed_workload(allocator):
+    import random
+
+    rng = random.Random(1)
+    live = []
+    for _ in range(500):
+        if live and rng.random() < 0.4:
+            allocator.free(live.pop(rng.randrange(len(live))))
+        else:
+            live.append(allocator.malloc(rng.choice((16, 48, 100, 256))))
+        allocator.check_invariants()
+
+
+def test_unaligned_arena_start_rejected():
+    with pytest.raises(ValueError):
+        FreeListAllocator(BASE + 3, SIZE)
+
+
+def test_empty_arena_rejected():
+    with pytest.raises(ValueError):
+        FreeListAllocator(BASE, 0)

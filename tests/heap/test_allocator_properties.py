@@ -1,0 +1,91 @@
+"""Property-based allocator invariants (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import OutOfMemoryError
+from repro.heap.allocator import FreeListAllocator
+
+BASE = 0x2_0000
+ARENA = 1 << 18
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("malloc"), st.integers(min_value=0, max_value=512)),
+        st.tuples(st.just("free"), st.integers(min_value=0, max_value=63)),
+        st.tuples(
+            st.just("memalign"),
+            st.sampled_from((16, 32, 64, 128, 256)),
+        ),
+    ),
+    max_size=120,
+)
+
+
+def run_ops(ops):
+    allocator = FreeListAllocator(BASE, ARENA)
+    live = []
+    for op in ops:
+        if op[0] == "malloc":
+            try:
+                live.append(allocator.malloc(op[1]))
+            except OutOfMemoryError:
+                pass
+        elif op[0] == "memalign":
+            try:
+                live.append(allocator.memalign(op[1], 64))
+            except OutOfMemoryError:
+                pass
+        elif live:
+            allocator.free(live.pop(op[1] % len(live)))
+    return allocator, live
+
+
+@given(operations)
+@settings(max_examples=120, deadline=None)
+def test_structural_invariants_always_hold(ops):
+    allocator, _ = run_ops(ops)
+    allocator.check_invariants()
+
+
+@given(operations)
+@settings(max_examples=80, deadline=None)
+def test_live_accounting_matches(ops):
+    allocator, live = run_ops(ops)
+    assert allocator.stats.live_blocks == len(live)
+    assert set(allocator.live_blocks()) == set(live)
+
+
+@given(operations)
+@settings(max_examples=80, deadline=None)
+def test_freeing_everything_restores_one_extent(ops):
+    allocator, live = run_ops(ops)
+    for address in live:
+        allocator.free(address)
+    # After total teardown the arena must coalesce back to one extent
+    # covering everything (no lost or duplicated bytes).
+    extents = allocator.free_extents()
+    assert sum(size for _, size in extents) == ARENA
+    assert extents == [(BASE, ARENA)]
+
+
+@given(st.integers(min_value=0, max_value=4096))
+@settings(max_examples=60, deadline=None)
+def test_usable_size_at_least_requested(size):
+    allocator = FreeListAllocator(BASE, ARENA)
+    address = allocator.malloc(size)
+    assert allocator.usable_size(address) >= size
+
+
+@given(st.lists(st.integers(min_value=1, max_value=128), min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_no_two_live_blocks_overlap(sizes):
+    allocator = FreeListAllocator(BASE, ARENA)
+    spans = []
+    for size in sizes:
+        address = allocator.malloc(size)
+        usable = allocator.usable_size(address)
+        spans.append((address, address + usable))
+    spans.sort()
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 <= s2

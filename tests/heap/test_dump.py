@@ -1,0 +1,69 @@
+"""Heap-layout dumps."""
+
+import pytest
+
+from repro.callstack.frames import CallSite
+from repro.core import CSODConfig, CSODRuntime
+from repro.heap.dump import dump_heap, dump_object
+from repro.workloads.base import SimProcess
+
+
+@pytest.fixture
+def env():
+    process = SimProcess(seed=6)
+    csod = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=6)
+    site = CallSite("APP", "d.c", 1, "alloc")
+    process.symbols.add(site)
+    with process.main_thread.call_stack.calling(site):
+        address = process.heap.malloc(process.main_thread, 64)
+    return process, csod, address
+
+
+def test_dump_object_decodes_header(env):
+    process, csod, address = env
+    out = dump_object(process, csod, address)
+    assert f"object @ {address:#x}" in out
+    assert "size=64" in out
+    assert "canary" in out and "OK" in out
+
+
+def test_dump_object_shows_watch(env):
+    process, csod, address = env
+    out = dump_object(process, csod, address)
+    assert "WATCHED slot" in out
+
+
+def test_dump_object_flags_corruption(env):
+    process, csod, address = env
+    process.machine.memory.write_bytes(address + 64, b"\x00" * 8)
+    assert "CORRUPT" in dump_object(process, csod, address)
+
+
+def test_dump_object_invalid_header(env):
+    process, csod, address = env
+    out = dump_object(process, csod, address + 8)  # misaligned view
+    assert "INVALID" in out
+
+
+def test_dump_heap_lists_blocks(env):
+    process, csod, address = env
+    with process.main_thread.call_stack.calling(
+        CallSite("APP", "d.c", 2, "more")
+    ):
+        process.heap.malloc(process.main_thread, 32)
+    out = dump_heap(process, csod)
+    assert "live raw blocks" in out
+    assert "csod-object" in out
+
+
+def test_dump_heap_window_around(env):
+    process, csod, address = env
+    out = dump_heap(process, csod, around=address, max_blocks=4)
+    assert f"{address:#x}" in out
+
+
+def test_dump_heap_without_csod():
+    process = SimProcess(seed=1)
+    address = process.heap.malloc(process.main_thread, 48)
+    out = dump_heap(process)
+    assert f"{address:#x}" in out

@@ -1,0 +1,112 @@
+"""The LD_PRELOAD-style interposition seam."""
+
+import pytest
+
+from repro.workloads.base import SimProcess
+
+
+@pytest.fixture
+def process():
+    return SimProcess(seed=1)
+
+
+def thread(process):
+    return process.main_thread
+
+
+def test_default_routes_to_raw_heap(process):
+    address = process.heap.malloc(process.main_thread, 64)
+    assert process.allocator.is_live(address)
+
+
+def test_free_null_is_noop(process):
+    process.heap.free(process.main_thread, 0)
+
+
+def test_calloc_zero_fills(process):
+    t = process.main_thread
+    # Dirty some memory first so the zero-fill is observable.
+    a = process.heap.malloc(t, 32)
+    process.machine.memory.write_bytes(a, b"\xff" * 32)
+    process.heap.free(t, a)
+    b = process.heap.calloc(t, 4, 8)
+    assert process.machine.memory.read_bytes(b, 32) == bytes(32)
+
+
+def test_realloc_grows_and_preserves(process):
+    t = process.main_thread
+    a = process.heap.malloc(t, 16)
+    process.machine.memory.write_bytes(a, b"0123456789abcdef")
+    b = process.heap.realloc(t, a, 64)
+    assert process.machine.memory.read_bytes(b, 16) == b"0123456789abcdef"
+    assert not process.allocator.is_live(a) or a == b
+
+
+def test_realloc_shrinks(process):
+    t = process.main_thread
+    a = process.heap.malloc(t, 64)
+    process.machine.memory.write_bytes(a, b"x" * 64)
+    b = process.heap.realloc(t, a, 8)
+    assert process.machine.memory.read_bytes(b, 8) == b"x" * 8
+
+
+def test_realloc_null_behaves_like_malloc(process):
+    t = process.main_thread
+    address = process.heap.realloc(t, 0, 32)
+    assert process.allocator.is_live(address)
+
+
+def test_memalign_via_interposer(process):
+    address = process.heap.memalign(process.main_thread, 128, 50)
+    assert address % 128 == 0
+
+
+def test_preload_swaps_implementation(process):
+    calls = []
+
+    class FakeLib:
+        def malloc(self, thread, size):
+            calls.append(("malloc", size))
+            return 0xDEAD000
+
+        def free(self, thread, address):
+            calls.append(("free", address))
+
+        def memalign(self, thread, alignment, size):
+            calls.append(("memalign", alignment))
+            return 0xDEAD000
+
+        def usable_size(self, address):
+            return 64
+
+    process.heap.preload(FakeLib())
+    t = process.main_thread
+    assert process.heap.malloc(t, 10) == 0xDEAD000
+    process.heap.free(t, 0xDEAD000)
+    assert calls == [("malloc", 10), ("free", 0xDEAD000)]
+
+
+def test_unload_restores_raw(process):
+    class FakeLib:
+        def malloc(self, thread, size):
+            return 0xDEAD000
+
+        def free(self, thread, address):
+            pass
+
+        def memalign(self, thread, alignment, size):
+            return 0xDEAD000
+
+        def usable_size(self, address):
+            return 0
+
+    process.heap.preload(FakeLib())
+    process.heap.unload()
+    address = process.heap.malloc(process.main_thread, 16)
+    assert process.allocator.is_live(address)
+
+
+def test_malloc_cost_charged(process):
+    before = process.machine.ledger.count("libc.malloc")
+    process.heap.malloc(process.main_thread, 16)
+    assert process.machine.ledger.count("libc.malloc") == before + 1

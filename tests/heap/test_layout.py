@@ -1,0 +1,67 @@
+"""The Fig. 5 object layout."""
+
+import pytest
+
+from repro.heap import layout
+from repro.machine.address_space import AddressSpace
+
+BASE = 0x5_0000
+
+
+@pytest.fixture
+def memory():
+    space = AddressSpace()
+    space.map_region(BASE, 1 << 16, "heap")
+    return space
+
+
+OBJ = BASE + layout.CSOD_HEADER_SIZE
+
+
+def test_header_size_matches_paper():
+    """Table V attributes CSOD's overhead to a 32B header + 8B canary."""
+    assert layout.CSOD_HEADER_SIZE == 32
+    assert layout.CANARY_SIZE == 8
+
+
+def test_header_roundtrip(memory):
+    layout.write_header(memory, OBJ, real_object_ptr=BASE, object_size=64, context_ptr=0x400100)
+    header = layout.read_header(memory, OBJ)
+    assert header.real_object_ptr == BASE
+    assert header.object_size == 64
+    assert header.context_ptr == 0x400100
+    assert header.identifier == layout.HEADER_IDENTIFIER
+    assert header.is_valid
+
+
+def test_header_address(memory):
+    assert layout.header_address(OBJ) == BASE
+
+
+def test_canary_address():
+    assert layout.canary_address(OBJ, 64) == OBJ + 64
+
+
+def test_canary_roundtrip(memory):
+    layout.write_canary(memory, OBJ, 64, 0xABCD)
+    assert layout.read_canary(memory, OBJ, 64) == 0xABCD
+
+
+def test_corrupted_identifier_invalidates(memory):
+    layout.write_header(memory, OBJ, BASE, 64, 0)
+    memory.write_word(BASE + 24, 0x1234)  # clobber the identifier
+    assert not layout.read_header(memory, OBJ).is_valid
+
+
+def test_overwrite_past_object_corrupts_canary(memory):
+    """The evidence mechanism: a continuous over-write hits the canary."""
+    layout.write_header(memory, OBJ, BASE, 64, 0)
+    layout.write_canary(memory, OBJ, 64, 0xFEED)
+    memory.write_bytes(OBJ + 64, b"\x00" * 8)  # one-word overflow
+    assert layout.read_canary(memory, OBJ, 64) != 0xFEED
+
+
+def test_in_bounds_write_preserves_canary(memory):
+    layout.write_canary(memory, OBJ, 64, 0xFEED)
+    memory.write_bytes(OBJ, b"\xff" * 64)
+    assert layout.read_canary(memory, OBJ, 64) == 0xFEED

@@ -1,0 +1,165 @@
+"""The segregated size-class allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DoubleFreeError, InvalidFreeError, OutOfMemoryError
+from repro.heap.segregated import (
+    CHUNK_SIZE,
+    SIZE_CLASSES,
+    SegregatedAllocator,
+    size_class_for,
+)
+
+BASE = 0x4_0000
+ARENA = 1 << 22
+
+
+@pytest.fixture
+def allocator():
+    return SegregatedAllocator(BASE, ARENA)
+
+
+def test_size_class_selection():
+    assert size_class_for(1) == 16
+    assert size_class_for(16) == 16
+    assert size_class_for(17) == 32
+    assert size_class_for(100) == 128
+    assert size_class_for(4096) == 4096
+    assert size_class_for(4097) is None
+
+
+def test_same_class_objects_are_adjacent(allocator):
+    """Bump allocation packs same-class objects back to back — the
+    adjacency a continuous overflow exploits."""
+    a = allocator.malloc(64)
+    b = allocator.malloc(64)
+    assert b == a + 64
+
+
+def test_different_classes_live_in_different_chunks(allocator):
+    a = allocator.malloc(16)
+    b = allocator.malloc(512)
+    assert abs(a - b) >= CHUNK_SIZE - 512
+
+
+def test_free_then_reuse_same_class(allocator):
+    a = allocator.malloc(64)
+    allocator.free(a)
+    assert allocator.malloc(64) == a
+
+
+def test_freed_block_not_reused_across_classes(allocator):
+    a = allocator.malloc(64)
+    allocator.free(a)
+    b = allocator.malloc(128)
+    assert b != a
+
+
+def test_large_allocation(allocator):
+    address = allocator.malloc(100_000)
+    assert allocator.usable_size(address) >= 100_000
+
+
+def test_memalign(allocator):
+    allocator.malloc(48)
+    address = allocator.memalign(4096, 64)
+    assert address % 4096 == 0
+    allocator.free(address)
+
+
+def test_double_free_detected(allocator):
+    a = allocator.malloc(32)
+    allocator.free(a)
+    with pytest.raises(DoubleFreeError):
+        allocator.free(a)
+
+
+def test_invalid_free_detected(allocator):
+    with pytest.raises(InvalidFreeError):
+        allocator.free(BASE + 64)
+
+
+def test_out_of_memory():
+    small = SegregatedAllocator(BASE, CHUNK_SIZE)
+    small.malloc(64)
+    with pytest.raises(OutOfMemoryError):
+        small.malloc(8192)
+
+
+def test_stats(allocator):
+    a = allocator.malloc(64)
+    allocator.malloc(64)
+    allocator.free(a)
+    assert allocator.stats.total_allocations == 2
+    assert allocator.stats.live_blocks == 1
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("malloc"), st.integers(min_value=0, max_value=6000)),
+            st.tuples(st.just("free"), st.integers(min_value=0, max_value=63)),
+        ),
+        max_size=150,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_invariants_under_random_workload(ops):
+    allocator = SegregatedAllocator(BASE, ARENA)
+    live = []
+    for op, value in ops:
+        if op == "malloc":
+            try:
+                live.append(allocator.malloc(value))
+            except OutOfMemoryError:
+                pass
+        elif live:
+            allocator.free(live.pop(value % len(live)))
+        allocator.check_invariants()
+    assert allocator.stats.live_blocks == len(live)
+
+
+def test_csod_detects_on_segregated_allocator():
+    """The allocator-independence claim: same detection, no changes."""
+    from repro.core import CSODConfig, CSODRuntime
+    from repro.workloads.base import SimProcess
+    from repro.workloads.buggy import app_for
+
+    for allocator in ("first_fit", "segregated"):
+        process = SimProcess(seed=1, allocator=allocator)
+        csod = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=1)
+        app_for("gzip").run(process)
+        csod.shutdown()
+        assert csod.detected_by_watchpoint, allocator
+
+
+def test_detection_rates_comparable_across_allocators():
+    from repro.core import CSODConfig, CSODRuntime
+    from repro.workloads.base import SimProcess
+    from repro.workloads.buggy import app_for
+
+    rates = {}
+    for allocator in ("first_fit", "segregated"):
+        hits = 0
+        for seed in range(40):
+            process = SimProcess(seed=seed, allocator=allocator)
+            csod = CSODRuntime(
+                process.machine,
+                process.heap,
+                CSODConfig(replacement_policy="random"),
+                seed=seed,
+            )
+            app_for("memcached").run(process)
+            csod.shutdown()
+            hits += csod.detected_by_watchpoint
+        rates[allocator] = hits / 40
+    assert abs(rates["first_fit"] - rates["segregated"]) < 0.15
+
+
+def test_unknown_allocator_rejected():
+    from repro.errors import WorkloadError
+    from repro.workloads.base import SimProcess
+
+    with pytest.raises(WorkloadError):
+        SimProcess(allocator="slab")

@@ -1,0 +1,60 @@
+"""Size rounding and alignment."""
+
+import pytest
+
+from repro.heap.size_classes import (
+    MIN_ALIGNMENT,
+    MIN_BLOCK_SIZE,
+    align_up,
+    is_aligned,
+    round_up_size,
+)
+
+
+def test_zero_gets_minimal_block():
+    assert round_up_size(0) == MIN_BLOCK_SIZE
+
+
+def test_small_sizes_round_to_16():
+    assert round_up_size(1) == 16
+    assert round_up_size(16) == 16
+    assert round_up_size(17) == 32
+
+
+def test_multiples_unchanged():
+    assert round_up_size(64) == 64
+    assert round_up_size(4096) == 4096
+
+
+def test_negative_rejected():
+    with pytest.raises(ValueError):
+        round_up_size(-1)
+
+
+def test_rounding_is_monotonic():
+    previous = 0
+    for size in range(0, 300):
+        rounded = round_up_size(size)
+        assert rounded >= size
+        assert rounded >= previous
+        previous = rounded
+
+
+def test_align_up():
+    assert align_up(0, 16) == 0
+    assert align_up(1, 16) == 16
+    assert align_up(16, 16) == 16
+    assert align_up(17, 64) == 64
+
+
+def test_align_up_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        align_up(10, 12)
+    with pytest.raises(ValueError):
+        align_up(10, 0)
+
+
+def test_is_aligned():
+    assert is_aligned(32)
+    assert not is_aligned(33)
+    assert is_aligned(64, 64)

@@ -1,0 +1,100 @@
+"""Failure injection: the runtime must stay consistent when the world
+around it misbehaves."""
+
+import pytest
+
+from repro.callstack.frames import CallSite
+from repro.core import CSODConfig, CSODRuntime
+from repro.errors import InvalidFreeError, OutOfMemoryError
+from repro.workloads.base import SimProcess
+
+
+def make_process(heap_size=1 << 32, seed=2):
+    return SimProcess(seed=seed, heap_size=heap_size)
+
+
+def with_site(process, name="f"):
+    site = CallSite("APP", "fi.c", 1, name)
+    try:
+        process.symbols.add(site)
+    except ValueError:
+        pass
+    return process.main_thread.call_stack.calling(site)
+
+
+def test_oom_propagates_and_runtime_survives():
+    # A 4 KiB arena exhausts quickly under CSOD's 40-byte envelopes.
+    process = make_process(heap_size=4096)
+    csod = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=2)
+    thread = process.main_thread
+    allocated = []
+    with pytest.raises(OutOfMemoryError):
+        with with_site(process):
+            for _ in range(1000):
+                allocated.append(process.heap.malloc(thread, 64))
+    # The runtime is still coherent: frees work, shutdown sweeps.
+    with with_site(process):
+        for address in allocated:
+            process.heap.free(thread, address)
+    csod.shutdown()
+    assert not csod.detected
+
+
+def test_invalid_free_diagnosed_through_csod():
+    process = make_process()
+    csod = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=2)
+    with pytest.raises(Exception):
+        process.heap.free(process.main_thread, 0xDEAD_0000)
+    csod.shutdown()
+
+
+def test_double_shutdown_is_idempotent():
+    process = make_process()
+    csod = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=2)
+    with with_site(process):
+        address = process.heap.malloc(process.main_thread, 64)
+    process.machine.memory.write_bytes(address + 64, b"\x00" * 8)
+    first = csod.shutdown()
+    second = csod.shutdown()
+    assert first and not second
+    assert len([r for r in csod.reports if r.source == "exit-canary"]) == 1
+
+
+def test_unwritable_persistence_path_does_not_crash(tmp_path):
+    path = str(tmp_path / "no" / "such" / "dir" / "evidence.json")
+    process = make_process()
+    csod = CSODRuntime(
+        process.machine,
+        process.heap,
+        CSODConfig(persistence_path=path),
+        seed=2,
+    )
+    with with_site(process):
+        address = process.heap.malloc(process.main_thread, 64)
+    process.machine.memory.write_bytes(address + 64, b"\x00" * 8)
+    reports = csod.shutdown()  # persist() must swallow the OSError
+    assert reports  # detection itself still worked
+    assert csod.termination.persist() == -1
+
+
+def test_allocations_after_shutdown_fall_through_to_raw():
+    process = make_process()
+    csod = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=2)
+    csod.shutdown()
+    with with_site(process):
+        address = process.heap.malloc(process.main_thread, 32)
+    assert process.allocator.is_live(address)
+    assert csod.stats().allocations == 0
+
+
+def test_free_of_object_allocated_before_preload():
+    """An object malloc'd before LD_PRELOAD-time must still free safely
+    through the raw path after CSOD unloads (real preload tools face
+    this ordering constraint)."""
+    process = make_process()
+    with with_site(process):
+        early = process.heap.malloc(process.main_thread, 64)
+    csod = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=2)
+    csod.shutdown()
+    process.heap.free(process.main_thread, early)
+    assert not process.allocator.is_live(early)

@@ -1,0 +1,97 @@
+"""Multithreaded detection: watchpoints armed on every alive thread."""
+
+import pytest
+
+from repro.callstack.frames import CallSite
+from repro.core import CSODConfig, CSODRuntime
+from repro.workloads.base import SimProcess
+
+
+@pytest.fixture
+def env():
+    process = SimProcess(seed=8)
+    runtime = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=8)
+    site = CallSite("APP", "alloc.c", 1, "make_shared_buffer")
+    process.symbols.add(site)
+    return process, runtime, site
+
+
+def test_other_thread_overflow_detected(env):
+    """Thread A allocates; thread B overflows; B's trap is reported."""
+    process, runtime, site = env
+    worker = process.spawn_thread("worker")
+    with process.main_thread.call_stack.calling(site):
+        address = process.heap.malloc(process.main_thread, 64)
+    use = CallSite("APP", "worker.c", 9, "worker_loop")
+    process.symbols.add(use)
+    with worker.call_stack.calling(use):
+        process.machine.cpu.store(worker, address + 64, b"\xbb" * 8)
+    assert runtime.detected_by_watchpoint
+    assert runtime.reports[0].thread_id == worker.tid
+
+
+def test_late_spawned_thread_is_covered(env):
+    """pthread_create interposition arms existing watchpoints."""
+    process, runtime, site = env
+    with process.main_thread.call_stack.calling(site):
+        address = process.heap.malloc(process.main_thread, 64)
+    late = process.spawn_thread("late")  # spawned AFTER the watch
+    use = CallSite("APP", "late.c", 2, "late_loop")
+    process.symbols.add(use)
+    with late.call_stack.calling(use):
+        process.machine.cpu.load(late, address + 64, 8)
+    assert runtime.detected_by_watchpoint
+    assert runtime.reports[0].thread_id == late.tid
+
+
+def test_faulting_thread_stack_is_reported(env):
+    """F_SETOWN routing: the report shows the *accessing* thread's stack."""
+    process, runtime, site = env
+    worker = process.spawn_thread("worker")
+    with process.main_thread.call_stack.calling(site):
+        address = process.heap.malloc(process.main_thread, 32)
+    use = CallSite("APP", "hot.c", 77, "hot_loop")
+    process.symbols.add(use)
+    with worker.call_stack.calling(use):
+        process.machine.cpu.store(worker, address + 32, b"x" * 8)
+    text = runtime.reports[0].render(process.symbols)
+    assert "APP/hot.c:77" in text
+
+
+def test_free_removes_watch_from_all_threads(env):
+    process, runtime, site = env
+    workers = [process.spawn_thread(f"w{i}") for i in range(3)]
+    with process.main_thread.call_stack.calling(site):
+        address = process.heap.malloc(process.main_thread, 64)
+    process.heap.free(process.main_thread, address)
+    for thread in [process.main_thread] + workers:
+        assert thread.debug_registers.free_slots() == 4
+
+
+def test_interleaved_scheduler_execution(env):
+    """Workload bodies driven by the seeded scheduler still detect."""
+    process, runtime, site = env
+    scheduler = process.machine.new_scheduler(seed=3)
+    address_box = {}
+
+    def allocator_body():
+        with process.main_thread.call_stack.calling(site):
+            address_box["address"] = process.heap.malloc(process.main_thread, 64)
+        yield
+
+    holder = {}
+
+    def overflower_body():
+        thread = holder["thread"]  # resolved lazily, at first step
+        while "address" not in address_box:
+            yield
+        use = CallSite("APP", "ov.c", 1, "overflow_fn")
+        process.symbols.add(use)
+        with thread.call_stack.calling(use):
+            process.machine.cpu.store(thread, address_box["address"] + 64, b"!" * 8)
+        yield
+
+    scheduler.adopt_main(allocator_body())
+    holder["thread"] = scheduler.spawn(overflower_body(), name="worker")
+    scheduler.run()
+    assert runtime.detected_by_watchpoint

@@ -1,0 +1,22 @@
+"""The README's quickstart snippet must actually work as printed."""
+
+from repro.callstack.frames import CallSite
+from repro.core import CSODConfig, CSODRuntime
+from repro.workloads.base import SimProcess
+
+
+def test_readme_quickstart_snippet():
+    process = SimProcess(seed=1)
+    csod = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=1)
+
+    site = CallSite("DEMO", "buffer.c", 12, "make_buffer")
+    process.symbols.add(site)
+    thread = process.main_thread
+    with thread.call_stack.calling(site):
+        buf = process.heap.malloc(thread, 64)
+    process.machine.cpu.store(thread, buf + 64, b"overflow")
+
+    csod.shutdown()
+    rendered = csod.reports[0].render(process.symbols)
+    assert "A buffer over-write problem is detected at:" in rendered
+    assert "DEMO/buffer.c:12" in rendered

@@ -1,0 +1,45 @@
+"""Seed robustness — the Table II rates are not tuned to specific seeds.
+
+The structural knobs were calibrated against executions seeded 0..N.  If
+the published-band agreement only held on those seeds, the reproduction
+would be curve-fitting noise.  These tests measure disjoint seed ranges
+and require consistent rates.
+"""
+
+import pytest
+
+from repro.analysis import estimate_detection_rate
+from repro.core import CSODConfig
+from repro.workloads.buggy import app_for
+
+
+@pytest.mark.parametrize("name", ["memcached", "heartbleed", "libdwarf"])
+def test_disjoint_seed_ranges_agree(name):
+    spec = app_for(name).spec
+    config = CSODConfig(replacement_policy="random")
+    tuned_range = estimate_detection_rate(spec, config, runs=250, seed_base=0)
+    fresh_range = estimate_detection_rate(
+        spec, config, runs=250, seed_base=100_000
+    )
+    assert abs(tuned_range - fresh_range) < 0.12, (name, tuned_range, fresh_range)
+
+
+def test_full_simulation_agrees_on_fresh_seeds():
+    from repro.core import CSODRuntime
+    from repro.workloads.base import SimProcess
+
+    hits = 0
+    runs = 60
+    for seed in range(50_000, 50_000 + runs):
+        process = SimProcess(seed=seed)
+        csod = CSODRuntime(
+            process.machine,
+            process.heap,
+            CSODConfig(replacement_policy="random"),
+            seed=seed,
+        )
+        app_for("memcached").run(process)
+        csod.shutdown()
+        hits += csod.detected_by_watchpoint
+    # Paper band: 16.3%; accept a generous Monte-Carlo margin.
+    assert 0.04 <= hits / runs <= 0.33

@@ -1,0 +1,83 @@
+"""Stress: long mixed workloads with cross-layer invariant checks.
+
+After every burst of operations: the allocator's structural invariants
+hold, the WMU's logical slots exactly mirror every thread's armed debug
+registers, and the canary registry matches the live allocation set.
+"""
+
+import random
+
+import pytest
+
+from repro.callstack.frames import CallSite
+from repro.core import CSODConfig, CSODRuntime
+from repro.workloads.base import SimProcess
+
+
+def run_stress(seed, policy, threads=3, operations=600, check_every=40):
+    process = SimProcess(seed=seed)
+    csod = CSODRuntime(
+        process.machine,
+        process.heap,
+        CSODConfig(replacement_policy=policy),
+        seed=seed,
+    )
+    workers = [process.main_thread] + [
+        process.spawn_thread(f"w{i}") for i in range(threads - 1)
+    ]
+    sites = [CallSite("STRESS", f"s{i}.c", i, f"ctx{i}") for i in range(12)]
+    rng = random.Random(seed)
+    live = []
+    for step in range(operations):
+        thread = rng.choice(workers)
+        if live and rng.random() < 0.45:
+            address, owner = live.pop(rng.randrange(len(live)))
+            process.heap.free(owner, address)
+        else:
+            site = rng.choice(sites)
+            with thread.call_stack.calling(site):
+                size = rng.choice((16, 32, 64, 128, 256))
+                live.append((process.heap.malloc(thread, size), thread))
+        if rng.random() < 0.1 and live:
+            # Random in-bounds traffic (must never trap).
+            address, _ = rng.choice(live)
+            process.machine.cpu.store(thread, address, b"\x11" * 8)
+        if step % check_every == 0:
+            csod.wmu.check_invariants()
+            process.allocator.check_invariants()
+            assert csod.canary.live_count() == len(live)
+    for address, owner in live:
+        process.heap.free(owner, address)
+    csod.wmu.check_invariants()
+    csod.shutdown()
+    return csod
+
+
+@pytest.mark.parametrize("policy", ["naive", "random", "near_fifo"])
+def test_stress_invariants_per_policy(policy):
+    csod = run_stress(seed=11, policy=policy)
+    assert not csod.detected  # clean workload: zero false positives
+
+
+def test_stress_many_seeds():
+    for seed in range(5):
+        csod = run_stress(seed=seed, policy="random", operations=300)
+        assert not csod.detected
+
+
+def test_stress_with_thread_exits():
+    process = SimProcess(seed=9)
+    csod = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=9)
+    site = CallSite("STRESS", "t.c", 1, "alloc")
+    rng = random.Random(9)
+    for round_ in range(12):
+        worker = process.spawn_thread(f"ephemeral{round_}")
+        with process.main_thread.call_stack.calling(site):
+            address = process.heap.malloc(process.main_thread, 64)
+        csod.wmu.check_invariants()
+        process.machine.threads.exit(worker.tid)
+        csod.wmu.check_invariants()
+        if rng.random() < 0.5:
+            process.heap.free(process.main_thread, address)
+        csod.wmu.check_invariants()
+    csod.shutdown()

@@ -1,0 +1,129 @@
+"""AddressSpace mapping and contents."""
+
+import pytest
+
+from repro.errors import MachineError, SegmentationFault
+from repro.machine.address_space import PAGE_SIZE, AddressSpace
+
+BASE = 0x10_0000
+
+
+@pytest.fixture
+def memory():
+    space = AddressSpace()
+    space.map_region(BASE, 64 * PAGE_SIZE, "test")
+    return space
+
+
+def test_mapped_range_is_mapped(memory):
+    assert memory.is_mapped(BASE, 8)
+    assert memory.is_mapped(BASE + 64 * PAGE_SIZE - 1, 1)
+
+
+def test_unmapped_range_is_not_mapped(memory):
+    assert not memory.is_mapped(BASE - 1, 1)
+    assert not memory.is_mapped(BASE + 64 * PAGE_SIZE, 1)
+
+
+def test_range_straddling_end_is_not_mapped(memory):
+    assert not memory.is_mapped(BASE + 64 * PAGE_SIZE - 4, 8)
+
+
+def test_zero_size_is_not_mapped(memory):
+    assert not memory.is_mapped(BASE, 0)
+
+
+def test_adjacent_regions_count_as_contiguous():
+    space = AddressSpace()
+    space.map_region(BASE, PAGE_SIZE, "lo")
+    space.map_region(BASE + PAGE_SIZE, PAGE_SIZE, "hi")
+    assert space.is_mapped(BASE + PAGE_SIZE - 4, 8)
+
+
+def test_overlapping_map_rejected(memory):
+    with pytest.raises(MachineError):
+        memory.map_region(BASE + PAGE_SIZE, PAGE_SIZE, "overlap")
+
+
+def test_empty_map_rejected():
+    with pytest.raises(MachineError):
+        AddressSpace().map_region(BASE, 0)
+
+
+def test_out_of_canonical_range_rejected():
+    with pytest.raises(MachineError):
+        AddressSpace().map_region(1 << 47, (1 << 47) + 16)
+
+
+def test_unmap_removes_region(memory):
+    memory.unmap_region(BASE)
+    assert not memory.is_mapped(BASE, 1)
+
+
+def test_unmap_unknown_start_rejected(memory):
+    with pytest.raises(MachineError):
+        memory.unmap_region(BASE + 1)
+
+
+def test_region_at(memory):
+    region = memory.region_at(BASE + 100)
+    assert region is not None
+    assert region.name == "test"
+    assert memory.region_at(BASE - 1) is None
+
+
+def test_write_then_read_roundtrip(memory):
+    memory.write_bytes(BASE + 10, b"hello world")
+    assert memory.read_bytes(BASE + 10, 11) == b"hello world"
+
+
+def test_unwritten_memory_reads_zero(memory):
+    assert memory.read_bytes(BASE, 16) == bytes(16)
+
+
+def test_write_across_page_boundary(memory):
+    address = BASE + PAGE_SIZE - 3
+    memory.write_bytes(address, b"abcdef")
+    assert memory.read_bytes(address, 6) == b"abcdef"
+
+
+def test_word_roundtrip(memory):
+    memory.write_word(BASE + 8, 0xDEADBEEF_CAFEBABE)
+    assert memory.read_word(BASE + 8) == 0xDEADBEEF_CAFEBABE
+
+
+def test_word_wraps_to_64_bits(memory):
+    memory.write_word(BASE, (1 << 64) + 5)
+    assert memory.read_word(BASE) == 5
+
+
+def test_read_unmapped_faults(memory):
+    with pytest.raises(SegmentationFault) as excinfo:
+        memory.read_bytes(BASE - 8, 8)
+    assert excinfo.value.address == BASE - 8
+
+
+def test_write_unmapped_faults(memory):
+    with pytest.raises(SegmentationFault):
+        memory.write_bytes(BASE + 64 * PAGE_SIZE, b"x")
+
+
+def test_fault_reports_kind(memory):
+    with pytest.raises(SegmentationFault) as excinfo:
+        memory.write_bytes(0, b"x")
+    assert excinfo.value.kind == "write"
+
+
+def test_touched_pages_lazy(memory):
+    assert memory.touched_pages() == 0
+    memory.write_bytes(BASE, b"x")
+    assert memory.touched_pages() == 1
+
+
+def test_unmap_drops_private_pages():
+    space = AddressSpace()
+    space.map_region(BASE, PAGE_SIZE, "a")
+    space.write_bytes(BASE, b"data")
+    space.unmap_region(BASE)
+    space.map_region(BASE, PAGE_SIZE, "b")
+    assert space.read_bytes(BASE, 4) == bytes(4)

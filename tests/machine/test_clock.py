@@ -1,0 +1,71 @@
+"""VirtualClock behaviour."""
+
+import pytest
+
+from repro.machine.clock import NANOS_PER_SECOND, VirtualClock
+
+
+def test_starts_at_zero():
+    assert VirtualClock().now_ns == 0
+
+
+def test_custom_start():
+    assert VirtualClock(start_ns=50).now_ns == 50
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        VirtualClock(start_ns=-1)
+
+
+def test_advance_accumulates():
+    clock = VirtualClock()
+    clock.advance(10)
+    clock.advance(15)
+    assert clock.now_ns == 25
+
+
+def test_advance_returns_new_time():
+    clock = VirtualClock()
+    assert clock.advance(7) == 7
+
+
+def test_advance_zero_is_noop():
+    clock = VirtualClock()
+    clock.advance(0)
+    assert clock.now_ns == 0
+
+
+def test_negative_advance_rejected():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        clock.advance(-1)
+
+
+def test_now_seconds():
+    clock = VirtualClock()
+    clock.advance(3 * NANOS_PER_SECOND)
+    assert clock.now_seconds == pytest.approx(3.0)
+
+
+def test_advance_seconds():
+    clock = VirtualClock()
+    clock.advance_seconds(1.5)
+    assert clock.now_ns == 1_500_000_000
+
+
+def test_advance_seconds_negative_rejected():
+    with pytest.raises(ValueError):
+        VirtualClock().advance_seconds(-0.1)
+
+
+def test_reset():
+    clock = VirtualClock()
+    clock.advance(100)
+    clock.reset()
+    assert clock.now_ns == 0
+
+
+def test_repr_mentions_time():
+    clock = VirtualClock(start_ns=5)
+    assert "5" in repr(clock)

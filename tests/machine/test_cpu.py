@@ -1,0 +1,153 @@
+"""CPU access execution, watchpoint traps, and hooks."""
+
+import pytest
+
+from repro.errors import SegmentationFault
+from repro.machine.machine import Machine
+from repro.machine.perf_events import (
+    F_SETOWN,
+    F_SETSIG,
+    PERF_EVENT_IOC_ENABLE,
+    PerfEventAttr,
+)
+from repro.machine.signals import SIGTRAP, ProcessTerminated
+
+BASE = 0x7F00_0000_0000
+
+
+@pytest.fixture
+def machine():
+    m = Machine(seed=1)
+    m.map_heap_arena()
+    return m
+
+
+def armed_fd(machine, address, tid=None):
+    tid = tid or machine.main_thread.tid
+    fd = machine.perf.perf_event_open(PerfEventAttr(bp_addr=address), tid)
+    machine.perf.fcntl(fd, F_SETSIG, SIGTRAP)
+    machine.perf.fcntl(fd, F_SETOWN, tid)
+    machine.perf.ioctl(fd, PERF_EVENT_IOC_ENABLE)
+    return fd
+
+
+def test_store_then_load_roundtrip(machine):
+    thread = machine.main_thread
+    machine.cpu.store(thread, BASE, b"abcdefgh")
+    assert machine.cpu.load(thread, BASE, 8) == b"abcdefgh"
+
+
+def test_word_helpers(machine):
+    thread = machine.main_thread
+    machine.cpu.store_word(thread, BASE, 123456789)
+    assert machine.cpu.load_word(thread, BASE) == 123456789
+
+
+def test_unmapped_load_faults(machine):
+    with pytest.raises(SegmentationFault):
+        machine.cpu.load(machine.main_thread, 0x10, 8)
+
+
+def test_unmapped_store_faults(machine):
+    with pytest.raises(SegmentationFault):
+        machine.cpu.store(machine.main_thread, 0x10, b"x")
+
+
+def test_segv_handler_runs_before_fault_propagates(machine):
+    seen = []
+    machine.signals.sigaction(11, lambda s, info, t: seen.append(info.fault_address))
+    with pytest.raises(SegmentationFault):
+        machine.cpu.load(machine.main_thread, 0x10, 8)
+    assert seen == [0x10]
+
+
+def test_watchpoint_fires_sigtrap_with_fd(machine):
+    thread = machine.main_thread
+    seen = []
+    machine.signals.sigaction(SIGTRAP, lambda s, info, t: seen.append(info))
+    fd = armed_fd(machine, BASE + 64)
+    machine.cpu.load(thread, BASE + 64, 8)
+    assert len(seen) == 1
+    assert seen[0].si_fd == fd
+    assert seen[0].access_kind == "r"
+
+
+def test_watchpoint_fires_on_write(machine):
+    thread = machine.main_thread
+    seen = []
+    machine.signals.sigaction(SIGTRAP, lambda s, info, t: seen.append(info))
+    armed_fd(machine, BASE + 64)
+    machine.cpu.store(thread, BASE + 64, b"overflow")
+    assert seen[0].access_kind == "w"
+
+
+def test_write_lands_before_trap(machine):
+    """x86 data watchpoints are traps: the access completes first."""
+    thread = machine.main_thread
+    observed = []
+    machine.signals.sigaction(
+        SIGTRAP,
+        lambda s, info, t: observed.append(machine.memory.read_bytes(BASE + 64, 4)),
+    )
+    armed_fd(machine, BASE + 64)
+    machine.cpu.store(thread, BASE + 64, b"xyzw")
+    assert observed == [b"xyzw"]
+
+
+def test_partial_overlap_fires(machine):
+    thread = machine.main_thread
+    seen = []
+    machine.signals.sigaction(SIGTRAP, lambda s, info, t: seen.append(1))
+    armed_fd(machine, BASE + 64)
+    machine.cpu.store(thread, BASE + 60, b"12345678")  # overlaps first 4 bytes
+    assert seen
+
+
+def test_non_overlapping_access_silent(machine):
+    thread = machine.main_thread
+    seen = []
+    machine.signals.sigaction(SIGTRAP, lambda s, info, t: seen.append(1))
+    armed_fd(machine, BASE + 64)
+    machine.cpu.load(thread, BASE, 8)
+    machine.cpu.load(thread, BASE + 72, 8)
+    assert not seen
+
+
+def test_watchpoint_is_per_thread(machine):
+    other = machine.threads.create()
+    seen = []
+    machine.signals.sigaction(SIGTRAP, lambda s, info, t: seen.append(t.tid))
+    armed_fd(machine, BASE + 64, tid=machine.main_thread.tid)
+    # `other` has no armed registers: its access is silent.
+    machine.cpu.load(other, BASE + 64, 8)
+    assert not seen
+    machine.cpu.load(machine.main_thread, BASE + 64, 8)
+    assert seen == [machine.main_thread.tid]
+
+
+def test_trap_count(machine):
+    thread = machine.main_thread
+    machine.signals.sigaction(SIGTRAP, lambda *a: None)
+    armed_fd(machine, BASE + 64)
+    machine.cpu.load(thread, BASE + 64, 8)
+    machine.cpu.load(thread, BASE + 64, 8)
+    assert machine.cpu.trap_count == 2
+
+
+def test_access_hooks_observe_accesses(machine):
+    thread = machine.main_thread
+    seen = []
+    machine.cpu.add_access_hook(lambda t, a, s, k: seen.append((a, s, k)))
+    machine.cpu.store(thread, BASE, b"ab")
+    machine.cpu.load(thread, BASE, 2)
+    assert seen == [(BASE, 2, "w"), (BASE, 2, "r")]
+
+
+def test_access_hook_removal(machine):
+    thread = machine.main_thread
+    seen = []
+    hook = lambda t, a, s, k: seen.append(1)
+    machine.cpu.add_access_hook(hook)
+    machine.cpu.remove_access_hook(hook)
+    machine.cpu.load(thread, BASE, 8)
+    assert not seen

@@ -1,0 +1,121 @@
+"""The 4-slot debug register file."""
+
+import pytest
+
+from repro.errors import DebugRegisterError
+from repro.machine.debug_registers import (
+    NUM_USABLE_DEBUG_REGISTERS,
+    TOTAL_DEBUG_REGISTERS,
+    DebugRegisterFile,
+    HardwareWatchpoint,
+    WATCH_READ,
+    WATCH_READWRITE,
+    WATCH_WRITE,
+)
+
+
+def wp(address=0x1000, length=8, kind=WATCH_READWRITE, cookie=1):
+    return HardwareWatchpoint(address=address, length=length, kind=kind, cookie=cookie)
+
+
+def test_hardware_constants_match_x86():
+    assert TOTAL_DEBUG_REGISTERS == 6
+    assert NUM_USABLE_DEBUG_REGISTERS == 4
+
+
+def test_arm_returns_slot_indexes_in_order():
+    drf = DebugRegisterFile()
+    assert [drf.arm(wp(cookie=i)) for i in range(4)] == [0, 1, 2, 3]
+
+
+def test_fifth_arm_fails():
+    drf = DebugRegisterFile()
+    for i in range(4):
+        drf.arm(wp(cookie=i))
+    with pytest.raises(DebugRegisterError):
+        drf.arm(wp(cookie=99))
+
+
+def test_disarm_frees_slot():
+    drf = DebugRegisterFile()
+    slot = drf.arm(wp())
+    drf.disarm(slot)
+    assert drf.free_slots() == 4
+
+
+def test_disarm_empty_slot_fails():
+    with pytest.raises(DebugRegisterError):
+        DebugRegisterFile().disarm(0)
+
+
+def test_disarm_out_of_range_fails():
+    with pytest.raises(DebugRegisterError):
+        DebugRegisterFile().disarm(4)
+
+
+def test_disarm_cookie():
+    drf = DebugRegisterFile()
+    drf.arm(wp(cookie=7))
+    assert drf.disarm_cookie(7)
+    assert not drf.disarm_cookie(7)
+
+
+def test_invalid_length_rejected():
+    with pytest.raises(DebugRegisterError):
+        HardwareWatchpoint(address=0x1000, length=3)
+
+
+def test_invalid_kind_rejected():
+    with pytest.raises(DebugRegisterError):
+        HardwareWatchpoint(address=0x1000, kind="x")
+
+
+def test_negative_address_rejected():
+    with pytest.raises(DebugRegisterError):
+        HardwareWatchpoint(address=-1)
+
+
+def test_triggers_on_overlap():
+    watch = wp(address=0x1000, length=8)
+    assert watch.triggers_on(0x1000, 8, WATCH_READ)
+    assert watch.triggers_on(0x0FFC, 8, WATCH_WRITE)  # straddles the start
+    assert watch.triggers_on(0x1007, 1, WATCH_READ)  # last byte
+
+
+def test_does_not_trigger_outside():
+    watch = wp(address=0x1000, length=8)
+    assert not watch.triggers_on(0x0FF8, 8, WATCH_READ)
+    assert not watch.triggers_on(0x1008, 8, WATCH_READ)
+
+
+def test_read_only_watch_ignores_writes():
+    watch = wp(kind=WATCH_READ)
+    assert watch.triggers_on(0x1000, 8, WATCH_READ)
+    assert not watch.triggers_on(0x1000, 8, WATCH_WRITE)
+
+
+def test_write_only_watch_ignores_reads():
+    watch = wp(kind=WATCH_WRITE)
+    assert not watch.triggers_on(0x1000, 8, WATCH_READ)
+    assert watch.triggers_on(0x1000, 8, WATCH_WRITE)
+
+
+def test_check_access_returns_hit():
+    drf = DebugRegisterFile()
+    drf.arm(wp(address=0x2000, cookie=5))
+    hit = drf.check_access(0x2000, 8, WATCH_READ)
+    assert hit is not None and hit.cookie == 5
+
+
+def test_check_access_misses():
+    drf = DebugRegisterFile()
+    drf.arm(wp(address=0x2000))
+    assert drf.check_access(0x3000, 8, WATCH_READ) is None
+
+
+def test_armed_lists_only_live():
+    drf = DebugRegisterFile()
+    drf.arm(wp(cookie=1))
+    slot = drf.arm(wp(address=0x2000, cookie=2))
+    drf.disarm(slot)
+    assert [w.cookie for w in drf.armed()] == [1]

@@ -1,0 +1,99 @@
+"""Bit-level DR6/DR7 encoding."""
+
+import pytest
+
+from repro.errors import DebugRegisterError
+from repro.machine.debug_registers import DebugRegisterFile, HardwareWatchpoint
+from repro.machine.dr_encoding import (
+    RW_READWRITE,
+    RW_WRITE,
+    decode_dr6,
+    decode_dr7,
+    encode_dr6,
+    encode_dr7,
+    encode_len,
+)
+
+
+def test_len_encoding_matches_the_manual():
+    assert encode_len(1) == 0b00
+    assert encode_len(2) == 0b01
+    assert encode_len(4) == 0b11
+    assert encode_len(8) == 0b10
+
+
+def test_len_encoding_rejects_odd_lengths():
+    with pytest.raises(DebugRegisterError):
+        encode_len(3)
+
+
+def test_dr7_single_slot():
+    value = encode_dr7([("rw", 8)])
+    assert value & 0b10  # G0 set
+    assert (value >> 16) & 0b11 == RW_READWRITE
+    assert (value >> 18) & 0b11 == 0b10  # LEN=8
+
+
+def test_dr7_write_only_slot():
+    value = encode_dr7([None, ("w", 4)])
+    assert value & 0b1000  # G1
+    assert (value >> 20) & 0b11 == RW_WRITE
+    assert (value >> 22) & 0b11 == 0b11  # LEN=4
+
+
+def test_dr7_roundtrip():
+    slots = [("rw", 8), None, ("w", 2), ("rw", 1)]
+    decoded = decode_dr7(encode_dr7(slots))
+    assert decoded == {0: ("rw", 8), 2: ("w", 2), 3: ("rw", 1)}
+
+
+def test_dr7_empty():
+    assert encode_dr7([None, None, None, None]) == 0
+    assert decode_dr7(0) == {}
+
+
+def test_dr7_rejects_too_many_slots():
+    with pytest.raises(DebugRegisterError):
+        encode_dr7([("rw", 8)] * 5)
+
+
+def test_dr7_rejects_execute_condition():
+    # RW=00 is an execute breakpoint; CSOD only uses data watches.
+    with pytest.raises(DebugRegisterError):
+        decode_dr7(0b10)  # G0 enabled, RW field 00
+
+
+def test_dr6_roundtrip():
+    assert decode_dr6(encode_dr6([0, 3])) == [0, 3]
+    assert decode_dr6(0) == []
+
+
+def test_dr6_rejects_bad_slot():
+    with pytest.raises(DebugRegisterError):
+        encode_dr6([4])
+
+
+def test_register_file_exposes_dr7():
+    drf = DebugRegisterFile()
+    drf.arm(HardwareWatchpoint(address=0x1000, length=8, kind="rw", cookie=1))
+    decoded = decode_dr7(drf.dr7)
+    assert decoded == {0: ("rw", 8)}
+
+
+def test_register_file_dr6_is_sticky():
+    drf = DebugRegisterFile()
+    drf.arm(HardwareWatchpoint(address=0x1000, length=8, cookie=1))
+    drf.check_access(0x1000, 8, "r")
+    drf.check_access(0x9000, 8, "r")  # miss: must not clear B0
+    assert decode_dr6(drf.dr6) == [0]
+    drf.clear_dr6()
+    assert drf.dr6 == 0
+
+
+def test_register_file_dr_addresses():
+    drf = DebugRegisterFile()
+    drf.arm(HardwareWatchpoint(address=0x2000, length=8, cookie=1))
+    assert drf.dr_address(0) == 0x2000
+    assert drf.dr_address(1) == 0
+    with pytest.raises(DebugRegisterError):
+        drf.dr_address(4)

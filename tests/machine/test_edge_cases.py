@@ -1,0 +1,84 @@
+"""Edge cases across the machine substrate."""
+
+import pytest
+
+from repro.errors import SegmentationFault
+from repro.machine.address_space import AddressSpace, PAGE_SIZE
+from repro.machine.machine import Machine
+from repro.machine.signals import SIGTRAP, SigInfo, SignalTable
+from repro.machine.threads import ThreadRegistry
+
+BASE = 0x50_0000
+HEAP = 0x7F00_0000_0000
+
+
+def test_zero_length_write_is_noop_even_unmapped():
+    space = AddressSpace()
+    space.write_bytes(0xDEAD, b"")  # memcpy(p, q, 0) never faults
+
+
+def test_zero_length_read_is_noop_even_unmapped():
+    assert AddressSpace().read_bytes(0xDEAD, 0) == b""
+
+
+def test_zero_length_cpu_store_does_not_trap():
+    machine = Machine(seed=1)
+    machine.map_heap_arena()
+    seen = []
+    machine.signals.sigaction(SIGTRAP, lambda *a: seen.append(1))
+    from repro.machine.perf_events import (
+        F_SETOWN,
+        F_SETSIG,
+        PERF_EVENT_IOC_ENABLE,
+        PerfEventAttr,
+    )
+
+    tid = machine.main_thread.tid
+    fd = machine.perf.perf_event_open(PerfEventAttr(bp_addr=HEAP + 64), tid)
+    machine.perf.fcntl(fd, F_SETSIG, SIGTRAP)
+    machine.perf.fcntl(fd, F_SETOWN, tid)
+    machine.perf.ioctl(fd, PERF_EVENT_IOC_ENABLE)
+    machine.cpu.store(machine.main_thread, HEAP + 64, b"")
+    assert not seen
+
+
+def test_handler_exception_propagates():
+    table = SignalTable()
+    registry = ThreadRegistry()
+
+    def bad_handler(signo, info, thread):
+        raise RuntimeError("handler bug")
+
+    table.sigaction(SIGTRAP, bad_handler)
+    with pytest.raises(RuntimeError):
+        table.deliver(SIGTRAP, SigInfo(signo=SIGTRAP), registry.main_thread)
+
+
+def test_access_straddling_region_boundary_faults_cleanly():
+    space = AddressSpace()
+    space.map_region(BASE, PAGE_SIZE, "only")
+    with pytest.raises(SegmentationFault):
+        space.read_bytes(BASE + PAGE_SIZE - 4, 8)
+    # The mapped prefix is untouched and still readable.
+    assert space.read_bytes(BASE + PAGE_SIZE - 4, 4) == bytes(4)
+
+
+def test_word_access_at_region_edge():
+    space = AddressSpace()
+    space.map_region(BASE, PAGE_SIZE, "r")
+    space.write_word(BASE + PAGE_SIZE - 8, 0x1234)
+    assert space.read_word(BASE + PAGE_SIZE - 8) == 0x1234
+
+
+def test_clock_survives_huge_advances():
+    machine = Machine(seed=0)
+    machine.clock.advance(10**15)  # ~11.5 virtual days
+    machine.ledger.record("x", nanos_each=10)
+    assert machine.clock.now_ns == 10**15 + 10
+
+
+def test_many_threads_each_get_four_registers():
+    machine = Machine(seed=0)
+    threads = [machine.threads.create() for _ in range(64)]
+    for thread in threads:
+        assert thread.debug_registers.free_slots() == 4

@@ -1,0 +1,39 @@
+"""The Machine facade wiring."""
+
+from repro.machine.machine import DEFAULT_HEAP_BASE, Machine
+
+
+def test_components_wired():
+    machine = Machine(seed=3)
+    assert machine.cpu is not None
+    assert machine.perf is not None
+    assert machine.main_thread is machine.threads.main_thread
+
+
+def test_ledger_drives_clock():
+    machine = Machine(seed=0, charge_time=True)
+    machine.ledger.record("x", nanos_each=50)
+    assert machine.clock.now_ns == 50
+
+
+def test_charge_time_off():
+    machine = Machine(seed=0, charge_time=False)
+    machine.ledger.record("x", nanos_each=50)
+    assert machine.clock.now_ns == 0
+
+
+def test_map_heap_arena():
+    machine = Machine()
+    region = machine.map_heap_arena()
+    assert region.start == DEFAULT_HEAP_BASE
+    assert machine.memory.is_mapped(region.start, 4096)
+
+
+def test_new_scheduler_uses_machine_seed():
+    machine = Machine(seed=9)
+    sched = machine.new_scheduler()
+    assert sched is not None
+
+
+def test_repr():
+    assert "seed=5" in repr(Machine(seed=5))

@@ -1,0 +1,173 @@
+"""The perf_event_open watchpoint protocol."""
+
+import pytest
+
+from repro.errors import DebugRegisterError, PerfEventError
+from repro.machine.perf_events import (
+    F_GETFL,
+    F_SETFL,
+    F_SETOWN,
+    F_SETSIG,
+    HW_BREAKPOINT_RW,
+    PERF_EVENT_IOC_DISABLE,
+    PERF_EVENT_IOC_ENABLE,
+    PerfEventAttr,
+    PerfEventManager,
+)
+from repro.machine.signals import SIGTRAP
+from repro.machine.syscall_cost import CostLedger, EVENT_SYSCALL
+from repro.machine.threads import ThreadRegistry
+
+
+@pytest.fixture
+def setup():
+    threads = ThreadRegistry()
+    ledger = CostLedger()
+    return threads, ledger, PerfEventManager(threads, ledger)
+
+
+def open_event(perf, tid, addr=0x1000):
+    return perf.perf_event_open(PerfEventAttr(bp_addr=addr), tid)
+
+
+def test_open_returns_distinct_fds(setup):
+    threads, _, perf = setup
+    fd1 = open_event(perf, threads.main_thread.tid)
+    fd2 = open_event(perf, threads.main_thread.tid)
+    assert fd1 != fd2
+
+
+def test_open_validates_tid(setup):
+    _, _, perf = setup
+    with pytest.raises(Exception):
+        open_event(perf, 999)
+
+
+def test_open_rejects_non_breakpoint_type(setup):
+    threads, _, perf = setup
+    with pytest.raises(PerfEventError):
+        perf.perf_event_open(PerfEventAttr(type=0), threads.main_thread.tid)
+
+
+def test_enable_arms_debug_register(setup):
+    threads, _, perf = setup
+    tid = threads.main_thread.tid
+    fd = open_event(perf, tid, addr=0x2000)
+    perf.ioctl(fd, PERF_EVENT_IOC_ENABLE)
+    hit = threads.main_thread.debug_registers.check_access(0x2000, 8, "r")
+    assert hit is not None and hit.cookie == fd
+
+
+def test_enable_is_idempotent(setup):
+    threads, _, perf = setup
+    fd = open_event(perf, threads.main_thread.tid)
+    perf.ioctl(fd, PERF_EVENT_IOC_ENABLE)
+    perf.ioctl(fd, PERF_EVENT_IOC_ENABLE)
+    assert threads.main_thread.debug_registers.free_slots() == 3
+
+
+def test_disable_disarms(setup):
+    threads, _, perf = setup
+    fd = open_event(perf, threads.main_thread.tid)
+    perf.ioctl(fd, PERF_EVENT_IOC_ENABLE)
+    perf.ioctl(fd, PERF_EVENT_IOC_DISABLE)
+    assert threads.main_thread.debug_registers.free_slots() == 4
+
+
+def test_fifth_enable_on_same_thread_fails(setup):
+    threads, _, perf = setup
+    tid = threads.main_thread.tid
+    for i in range(4):
+        perf.ioctl(open_event(perf, tid, addr=0x1000 + 16 * i), PERF_EVENT_IOC_ENABLE)
+    fd = open_event(perf, tid, addr=0x9000)
+    with pytest.raises(DebugRegisterError):
+        perf.ioctl(fd, PERF_EVENT_IOC_ENABLE)
+
+
+def test_four_watchpoints_per_thread_not_global(setup):
+    threads, _, perf = setup
+    other = threads.create()
+    for tid in (threads.main_thread.tid, other.tid):
+        for i in range(4):
+            fd = open_event(perf, tid, addr=0x1000 + 16 * i)
+            perf.ioctl(fd, PERF_EVENT_IOC_ENABLE)
+    assert perf.enabled_event_count() == 8
+
+
+def test_fcntl_setsig_and_setown(setup):
+    threads, _, perf = setup
+    tid = threads.main_thread.tid
+    fd = open_event(perf, tid)
+    perf.fcntl(fd, F_SETSIG, SIGTRAP)
+    perf.fcntl(fd, F_SETOWN, tid)
+    event = perf.event(fd)
+    assert event.signo == SIGTRAP
+    assert event.owner_tid == tid
+
+
+def test_fcntl_setown_validates_tid(setup):
+    threads, _, perf = setup
+    fd = open_event(perf, threads.main_thread.tid)
+    with pytest.raises(Exception):
+        perf.fcntl(fd, F_SETOWN, 12345)
+
+
+def test_fcntl_getfl_and_setfl(setup):
+    threads, _, perf = setup
+    fd = open_event(perf, threads.main_thread.tid)
+    flags = perf.fcntl(fd, F_GETFL)
+    perf.fcntl(fd, F_SETFL, flags)
+    assert perf.event(fd).async_notify
+
+
+def test_fcntl_unknown_command_rejected(setup):
+    threads, _, perf = setup
+    fd = open_event(perf, threads.main_thread.tid)
+    with pytest.raises(PerfEventError):
+        perf.fcntl(fd, "F_BOGUS")
+
+
+def test_ioctl_unknown_command_rejected(setup):
+    threads, _, perf = setup
+    fd = open_event(perf, threads.main_thread.tid)
+    with pytest.raises(PerfEventError):
+        perf.ioctl(fd, "BOGUS")
+
+
+def test_close_tears_down_enabled_event(setup):
+    threads, _, perf = setup
+    fd = open_event(perf, threads.main_thread.tid)
+    perf.ioctl(fd, PERF_EVENT_IOC_ENABLE)
+    perf.close(fd)
+    assert threads.main_thread.debug_registers.free_slots() == 4
+    with pytest.raises(PerfEventError):
+        perf.event(fd)
+
+
+def test_double_close_rejected(setup):
+    threads, _, perf = setup
+    fd = open_event(perf, threads.main_thread.tid)
+    perf.close(fd)
+    with pytest.raises(PerfEventError):
+        perf.close(fd)
+
+
+def test_operations_on_bad_fd_rejected(setup):
+    _, _, perf = setup
+    with pytest.raises(PerfEventError):
+        perf.ioctl(12345, PERF_EVENT_IOC_ENABLE)
+
+
+def test_syscalls_are_charged(setup):
+    threads, ledger, perf = setup
+    tid = threads.main_thread.tid
+    fd = open_event(perf, tid)
+    perf.fcntl(fd, F_GETFL)
+    perf.fcntl(fd, F_SETFL)
+    perf.fcntl(fd, F_SETSIG, SIGTRAP)
+    perf.fcntl(fd, F_SETOWN, tid)
+    perf.ioctl(fd, PERF_EVENT_IOC_ENABLE)
+    perf.ioctl(fd, PERF_EVENT_IOC_DISABLE)
+    perf.close(fd)
+    # open + 4 fcntl + 2 ioctl + close = the paper's 8 syscalls.
+    assert ledger.count(EVENT_SYSCALL) == 8

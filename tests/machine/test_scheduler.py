@@ -1,0 +1,115 @@
+"""Cooperative scheduler determinism and interleaving."""
+
+import pytest
+
+from repro.errors import ThreadError
+from repro.machine.scheduler import RoundRobinScheduler
+from repro.machine.threads import ThreadRegistry
+
+
+def make(seed=0, jitter=True):
+    registry = ThreadRegistry()
+    return registry, RoundRobinScheduler(registry, seed=seed, jitter=jitter)
+
+
+def body(log, name, steps):
+    for i in range(steps):
+        log.append((name, i))
+        yield
+
+
+def test_single_thread_runs_to_completion():
+    _, sched = make()
+    log = []
+    sched.spawn(body(log, "a", 3))
+    sched.run()
+    assert log == [("a", 0), ("a", 1), ("a", 2)]
+
+
+def test_all_threads_complete():
+    _, sched = make()
+    log = []
+    sched.spawn(body(log, "a", 5))
+    sched.spawn(body(log, "b", 5))
+    sched.run()
+    assert len(log) == 10
+    assert {name for name, _ in log} == {"a", "b"}
+
+
+def test_same_seed_same_interleaving():
+    logs = []
+    for _ in range(2):
+        _, sched = make(seed=7)
+        log = []
+        sched.spawn(body(log, "a", 10))
+        sched.spawn(body(log, "b", 10))
+        sched.run()
+        logs.append(log)
+    assert logs[0] == logs[1]
+
+
+def test_different_seeds_differ():
+    logs = []
+    for seed in (1, 2):
+        _, sched = make(seed=seed)
+        log = []
+        sched.spawn(body(log, "a", 20))
+        sched.spawn(body(log, "b", 20))
+        sched.run()
+        logs.append(log)
+    assert logs[0] != logs[1]
+
+
+def test_no_jitter_is_round_robin_on_first():
+    _, sched = make(jitter=False)
+    log = []
+    sched.spawn(body(log, "a", 2))
+    sched.spawn(body(log, "b", 2))
+    sched.run()
+    # Without jitter the scheduler always drains the first runnable.
+    assert log == [("a", 0), ("a", 1), ("b", 0), ("b", 1)]
+
+
+def test_spawned_threads_registered_and_exited():
+    registry, sched = make()
+    log = []
+    thread = sched.spawn(body(log, "a", 1))
+    assert thread.alive
+    sched.run()
+    assert not thread.alive
+
+
+def test_adopt_main():
+    registry, sched = make()
+    log = []
+    thread = sched.adopt_main(body(log, "main", 2))
+    assert thread is registry.main_thread
+    sched.run()
+    assert thread.alive  # main never pthread_exits
+    assert len(log) == 2
+
+
+def test_adopt_main_twice_rejected():
+    _, sched = make()
+    sched.adopt_main(body([], "m", 1))
+    with pytest.raises(ThreadError):
+        sched.adopt_main(body([], "m", 1))
+
+
+def test_max_steps_guard():
+    _, sched = make()
+
+    def forever():
+        while True:
+            yield
+
+    sched.spawn(forever())
+    with pytest.raises(ThreadError):
+        sched.run(max_steps=100)
+
+
+def test_step_count():
+    _, sched = make()
+    sched.spawn(body([], "a", 3))
+    sched.run()
+    assert sched.steps == 4  # 3 yields + StopIteration

@@ -1,0 +1,99 @@
+"""Signal dispositions and delivery."""
+
+import pytest
+
+from repro.errors import InvalidSignalError
+from repro.machine.signals import (
+    SIGABRT,
+    SIGSEGV,
+    SIGTRAP,
+    ProcessTerminated,
+    SigInfo,
+    SignalTable,
+    signal_name,
+)
+from repro.machine.threads import ThreadRegistry
+
+
+@pytest.fixture
+def table():
+    return SignalTable()
+
+
+@pytest.fixture
+def thread():
+    return ThreadRegistry().main_thread
+
+
+def test_signal_names():
+    assert signal_name(SIGTRAP) == "SIGTRAP"
+    assert signal_name(SIGSEGV) == "SIGSEGV"
+    assert signal_name(SIGABRT) == "SIGABRT"
+
+
+def test_unknown_signal_name_rejected():
+    with pytest.raises(InvalidSignalError):
+        signal_name(99)
+
+
+def test_handler_receives_siginfo(table, thread):
+    seen = []
+    table.sigaction(SIGTRAP, lambda s, info, t: seen.append((s, info.si_fd, t.tid)))
+    table.deliver(SIGTRAP, SigInfo(signo=SIGTRAP, si_fd=42), thread)
+    assert seen == [(SIGTRAP, 42, thread.tid)]
+
+
+def test_handled_delivery_returns_true(table, thread):
+    table.sigaction(SIGTRAP, lambda *a: None)
+    assert table.deliver(SIGTRAP, SigInfo(signo=SIGTRAP), thread)
+
+
+def test_unhandled_sigtrap_is_ignored(table, thread):
+    assert not table.deliver(SIGTRAP, SigInfo(signo=SIGTRAP), thread)
+
+
+def test_unhandled_sigsegv_terminates(table, thread):
+    with pytest.raises(ProcessTerminated) as excinfo:
+        table.deliver(SIGSEGV, SigInfo(signo=SIGSEGV), thread)
+    assert excinfo.value.signo == SIGSEGV
+
+
+def test_unhandled_sigabrt_terminates(table, thread):
+    with pytest.raises(ProcessTerminated):
+        table.deliver(SIGABRT, SigInfo(signo=SIGABRT), thread)
+
+
+def test_handled_sigsegv_does_not_terminate(table, thread):
+    table.sigaction(SIGSEGV, lambda *a: None)
+    assert table.deliver(SIGSEGV, SigInfo(signo=SIGSEGV), thread)
+
+
+def test_sigaction_none_resets(table, thread):
+    table.sigaction(SIGTRAP, lambda *a: None)
+    table.sigaction(SIGTRAP, None)
+    assert table.handler_for(SIGTRAP) is None
+
+
+def test_sigaction_unknown_signal_rejected(table):
+    with pytest.raises(InvalidSignalError):
+        table.sigaction(7, lambda *a: None)
+
+
+def test_deliver_unknown_signal_rejected(table, thread):
+    with pytest.raises(InvalidSignalError):
+        table.deliver(7, SigInfo(signo=7), thread)
+
+
+def test_delivery_log(table, thread):
+    table.sigaction(SIGTRAP, lambda *a: None)
+    table.deliver(SIGTRAP, SigInfo(signo=SIGTRAP, si_fd=1), thread)
+    table.deliver(SIGTRAP, SigInfo(signo=SIGTRAP, si_fd=2), thread)
+    assert table.delivery_count(SIGTRAP) == 2
+    assert [d.si_fd for d in table.deliveries(SIGTRAP)] == [1, 2]
+
+
+def test_clear_log(table, thread):
+    table.sigaction(SIGTRAP, lambda *a: None)
+    table.deliver(SIGTRAP, SigInfo(signo=SIGTRAP), thread)
+    table.clear_log()
+    assert table.delivery_count() == 0

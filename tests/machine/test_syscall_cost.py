@@ -1,0 +1,80 @@
+"""CostLedger accounting."""
+
+import pytest
+
+from repro.machine.clock import VirtualClock
+from repro.machine.syscall_cost import CostLedger
+
+
+def test_counts_events():
+    ledger = CostLedger()
+    ledger.record("x")
+    ledger.record("x", count=2)
+    assert ledger.count("x") == 3
+
+
+def test_unknown_event_counts_zero():
+    assert CostLedger().count("nothing") == 0
+
+
+def test_nanos_accumulate():
+    ledger = CostLedger()
+    ledger.record("x", count=3, nanos_each=10)
+    assert ledger.nanos("x") == 30
+
+
+def test_total_nanos_spans_events():
+    ledger = CostLedger()
+    ledger.record("a", nanos_each=5)
+    ledger.record("b", count=2, nanos_each=7)
+    assert ledger.total_nanos() == 19
+
+
+def test_clock_charged():
+    clock = VirtualClock()
+    ledger = CostLedger(clock)
+    ledger.record("x", count=4, nanos_each=25)
+    assert clock.now_ns == 100
+
+
+def test_zero_cost_event_does_not_touch_clock():
+    clock = VirtualClock()
+    CostLedger(clock).record("x")
+    assert clock.now_ns == 0
+
+
+def test_negative_count_rejected():
+    with pytest.raises(ValueError):
+        CostLedger().record("x", count=-1)
+
+
+def test_negative_cost_rejected():
+    with pytest.raises(ValueError):
+        CostLedger().record("x", nanos_each=-5)
+
+
+def test_counts_snapshot_is_copy():
+    ledger = CostLedger()
+    ledger.record("x")
+    snapshot = ledger.counts()
+    snapshot["x"] = 99
+    assert ledger.count("x") == 1
+
+
+def test_merge_folds_counts_without_clock():
+    clock = VirtualClock()
+    a = CostLedger(clock)
+    b = CostLedger()
+    b.record("y", count=2, nanos_each=10)
+    a.merge(b)
+    assert a.count("y") == 2
+    assert a.nanos("y") == 20
+    assert clock.now_ns == 0  # merge never advances time
+
+
+def test_reset_clears_everything():
+    ledger = CostLedger()
+    ledger.record("x", nanos_each=10)
+    ledger.reset()
+    assert ledger.count("x") == 0
+    assert ledger.total_nanos() == 0

@@ -1,0 +1,95 @@
+"""Thread registry and interposition hooks."""
+
+import pytest
+
+from repro.errors import ThreadError
+from repro.machine.threads import ThreadRegistry
+
+
+def test_main_thread_exists():
+    registry = ThreadRegistry()
+    assert registry.main_thread.tid == 1
+    assert registry.main_thread.alive
+
+
+def test_create_assigns_unique_tids():
+    registry = ThreadRegistry()
+    a = registry.create("a")
+    b = registry.create("b")
+    assert a.tid != b.tid != registry.main_thread.tid
+
+
+def test_alive_threads_lists_all():
+    registry = ThreadRegistry()
+    registry.create()
+    assert len(registry.alive_threads()) == 2
+    assert len(registry) == 2
+
+
+def test_exit_removes_from_alive():
+    registry = ThreadRegistry()
+    thread = registry.create()
+    registry.exit(thread.tid)
+    assert not thread.alive
+    assert len(registry) == 1
+
+
+def test_double_exit_rejected():
+    registry = ThreadRegistry()
+    thread = registry.create()
+    registry.exit(thread.tid)
+    with pytest.raises(ThreadError):
+        registry.exit(thread.tid)
+
+
+def test_main_thread_cannot_exit():
+    registry = ThreadRegistry()
+    with pytest.raises(ThreadError):
+        registry.exit(registry.main_thread.tid)
+
+
+def test_get_unknown_tid_rejected():
+    with pytest.raises(ThreadError):
+        ThreadRegistry().get(999)
+
+
+def test_create_hook_fires():
+    registry = ThreadRegistry()
+    seen = []
+    registry.on_create(lambda t: seen.append(t.tid))
+    thread = registry.create()
+    assert seen == [thread.tid]
+
+
+def test_create_hook_not_fired_for_preexisting_main():
+    registry = ThreadRegistry()
+    seen = []
+    registry.on_create(lambda t: seen.append(t.tid))
+    assert seen == []
+
+
+def test_exit_hook_fires():
+    registry = ThreadRegistry()
+    seen = []
+    registry.on_exit(lambda t: seen.append(t.tid))
+    thread = registry.create()
+    registry.exit(thread.tid)
+    assert seen == [thread.tid]
+
+
+def test_each_thread_has_own_debug_registers():
+    registry = ThreadRegistry()
+    a = registry.create()
+    assert a.debug_registers is not registry.main_thread.debug_registers
+
+
+def test_each_thread_has_own_call_stack():
+    registry = ThreadRegistry()
+    a = registry.create()
+    assert a.call_stack is not registry.main_thread.call_stack
+
+
+def test_default_names():
+    registry = ThreadRegistry()
+    thread = registry.create()
+    assert thread.name == f"thread-{thread.tid}"

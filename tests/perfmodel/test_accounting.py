@@ -1,0 +1,99 @@
+"""Overhead accounting (Fig. 7 model)."""
+
+import math
+
+import pytest
+
+from repro.asan import ASanRuntime
+from repro.core import CSODConfig, CSODRuntime
+from repro.perfmodel.accounting import (
+    asan_crashes,
+    asan_overhead_breakdown,
+    asan_overhead_fraction,
+    csod_overhead_breakdown,
+    csod_overhead_fraction,
+)
+from repro.perfmodel.costs import CSOD_INIT_COST_S
+from repro.workloads.base import SimProcess
+from repro.workloads.perf import perf_app_for
+
+
+def measure_csod(name, cap=2000, evidence=True, seed=7):
+    process = SimProcess(seed=seed)
+    config = CSODConfig() if evidence else CSODConfig(evidence_enabled=False)
+    csod = CSODRuntime(process.machine, process.heap, config, seed=seed)
+    measurement = perf_app_for(name, cap).run(process, csod)
+    csod.shutdown()
+    return measurement
+
+
+def measure_asan(name, cap=2000, seed=7):
+    process = SimProcess(seed=seed)
+    asan = ASanRuntime(process.machine, process.heap)
+    measurement = perf_app_for(name, cap).run(process)
+    asan.shutdown()
+    return measurement
+
+
+def test_breakdown_components_positive():
+    breakdown = csod_overhead_breakdown(measure_csod("dedup"))
+    assert breakdown.per_allocation_s > 0
+    assert breakdown.watchpoint_syscalls_s > 0
+    assert breakdown.initialization_s == CSOD_INIT_COST_S
+    assert breakdown.access_checks_s == 0
+    assert breakdown.total_s == pytest.approx(
+        breakdown.per_allocation_s
+        + breakdown.watchpoint_syscalls_s
+        + breakdown.initialization_s
+    )
+
+
+def test_normalized_runtime():
+    breakdown = csod_overhead_breakdown(measure_csod("dedup"))
+    assert breakdown.normalized_runtime == pytest.approx(1 + breakdown.fraction)
+
+
+def test_evidence_costs_more_than_no_evidence():
+    with_ev = csod_overhead_fraction(measure_csod("canneal", evidence=True))
+    without = csod_overhead_fraction(measure_csod("canneal", evidence=False))
+    assert with_ev > without
+
+
+def test_allocation_heavy_app_costs_more():
+    canneal = csod_overhead_fraction(measure_csod("canneal"))
+    streamcluster = csod_overhead_fraction(measure_csod("streamcluster"))
+    assert canneal > 3 * streamcluster
+
+
+def test_per_allocation_cost_extrapolates_with_scale():
+    small = csod_overhead_breakdown(measure_csod("canneal", cap=1000))
+    large = csod_overhead_breakdown(measure_csod("canneal", cap=4000))
+    # Different slice sizes must extrapolate to a similar full-run cost.
+    assert small.per_allocation_s == pytest.approx(
+        large.per_allocation_s, rel=0.25
+    )
+
+
+def test_asan_tracks_access_intensity_not_allocations():
+    x264 = asan_overhead_fraction(measure_asan("x264"))
+    aget = asan_overhead_fraction(measure_asan("aget"))
+    assert x264 > 1.0  # the clipped Fig. 7 bars
+    assert aget < 0.05  # IO-bound
+
+
+def test_asan_default_redzones_cost_more_than_minimal():
+    measurement = measure_asan("bodytrack")
+    minimal = asan_overhead_fraction(measurement, minimal_redzones=True)
+    default = asan_overhead_fraction(measurement, minimal_redzones=False)
+    assert default > minimal
+
+
+def test_asan_breakdown_has_access_term():
+    breakdown = asan_overhead_breakdown(measure_asan("canneal"))
+    assert breakdown.access_checks_s > 0
+    assert breakdown.watchpoint_syscalls_s == 0
+
+
+def test_freqmine_crashes_under_asan():
+    assert asan_crashes("freqmine")
+    assert not asan_crashes("canneal")

@@ -1,0 +1,74 @@
+"""The Table V memory model."""
+
+import pytest
+
+from repro.perfmodel.memory import (
+    asan_memory_kb,
+    csod_memory_kb,
+    memory_for,
+)
+from repro.workloads.perf import PERF_APPS
+
+
+def test_csod_adds_40_bytes_per_live_object():
+    spec = PERF_APPS["canneal"]
+    base = csod_memory_kb(spec)
+    import dataclasses
+
+    doubled = dataclasses.replace(spec, peak_live_objects=spec.peak_live_objects * 2)
+    delta_kb = csod_memory_kb(doubled) - base
+    assert delta_kb == pytest.approx(spec.peak_live_objects * 40 / 1024)
+
+
+def test_csod_fixed_cost_dominates_tiny_apps():
+    """Aget: 7 KB -> ~23 KB, almost all of it the fixed hash table."""
+    footprint = memory_for(PERF_APPS["aget"])
+    assert footprint.csod_percent > 250
+    assert footprint.csod_kb - footprint.original_kb < 30
+
+
+def test_csod_overhead_vanishes_for_large_apps():
+    footprint = memory_for(PERF_APPS["pfscan"])
+    assert footprint.csod_percent < 105
+
+
+def test_asan_shadow_scales_with_footprint():
+    facesim = memory_for(PERF_APPS["facesim"])
+    assert facesim.asan_kb - facesim.original_kb > PERF_APPS[
+        "facesim"
+    ].mem_original_kb / 8
+
+
+def test_asan_explodes_on_allocation_hot_tiny_apps():
+    """Swaptions: 9 KB original, hundreds of KB under ASan."""
+    footprint = memory_for(PERF_APPS["swaptions"])
+    assert footprint.asan_percent > 1000
+    assert footprint.csod_percent < footprint.asan_percent / 5
+
+
+def test_asan_quarantine_capped():
+    small = asan_memory_kb(PERF_APPS["aget"])
+    # Aget's 46 allocations cannot fill the quarantine cap.
+    assert small < 30
+
+
+def test_csod_below_asan_for_every_multithreaded_parsec_app():
+    for name in ("bodytrack", "canneal", "ferret", "raytrace", "vips"):
+        footprint = memory_for(PERF_APPS[name])
+        assert footprint.csod_kb < footprint.asan_kb
+
+
+def test_totals_shape_matches_paper():
+    """Paper: CSOD ~105% of original in total, ASan ~143%."""
+    from repro.experiments.memory_usage import run_table5, totals
+
+    t = totals(run_table5())
+    assert 103 <= t["csod_pct"] <= 115
+    assert 130 <= t["asan_pct"] <= 160
+
+
+def test_memory_footprint_percentages():
+    footprint = memory_for(PERF_APPS["mysql"])
+    assert footprint.csod_percent == pytest.approx(
+        100 * footprint.csod_kb / footprint.original_kb
+    )

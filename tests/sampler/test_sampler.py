@@ -1,0 +1,96 @@
+"""The Sampler-style PMU baseline."""
+
+import pytest
+
+from repro.callstack.frames import CallSite
+from repro.errors import ReproError
+from repro.sampler import SamplerConfig, SamplerRuntime
+from repro.workloads.base import SimProcess
+
+
+def make(period=1, seed=4):
+    process = SimProcess(seed=seed)
+    runtime = SamplerRuntime(
+        process.machine, process.heap, SamplerConfig(sample_period=period), seed=seed
+    )
+    return process, runtime
+
+
+def alloc(process, size=64):
+    site = CallSite("APP", "a.c", 7, "make_buf")
+    try:
+        process.symbols.add(site)
+    except ValueError:
+        pass
+    with process.main_thread.call_stack.calling(site):
+        return process.heap.malloc(process.main_thread, size)
+
+
+def test_config_validation():
+    with pytest.raises(ReproError):
+        SamplerConfig(sample_period=0)
+
+
+def test_every_access_sampled_catches_overflow():
+    process, runtime = make(period=1)
+    address = alloc(process)
+    process.machine.cpu.store(process.main_thread, address + 64, b"!" * 8)
+    assert runtime.detected
+    report = runtime.reports[0]
+    assert report.object_address == address
+    assert "a.c:7" in str(report.allocation_context)
+
+
+def test_in_bounds_accesses_never_reported():
+    process, runtime = make(period=1)
+    address = alloc(process)
+    for offset in range(0, 64, 8):
+        process.machine.cpu.store(process.main_thread, address + offset, b"x" * 8)
+    assert not runtime.detected
+
+
+def test_sparse_sampling_misses_single_shot_overflow():
+    process, runtime = make(period=10_000)
+    address = alloc(process)
+    process.machine.cpu.store(process.main_thread, address + 64, b"!" * 8)
+    assert not runtime.detected  # the one bad access was not the sample
+
+
+def test_repeated_overflow_eventually_sampled():
+    process, runtime = make(period=50)
+    address = alloc(process)
+    for _ in range(200):
+        process.machine.cpu.load(process.main_thread, address + 64, 8)
+    assert runtime.detected
+
+
+def test_sampling_rate_honoured():
+    process, runtime = make(period=10)
+    address = alloc(process)
+    for _ in range(100):
+        process.machine.cpu.load(process.main_thread, address, 8)
+    assert 8 <= runtime.samples_taken <= 12
+
+
+def test_free_clears_tripwire():
+    process, runtime = make(period=1)
+    address = alloc(process)
+    process.heap.free(process.main_thread, address)
+    # The address range may be reused; no stale tripwire reports.
+    fresh = alloc(process, 64)
+    process.machine.cpu.store(process.main_thread, fresh, b"y" * 8)
+    assert not runtime.detected
+
+
+def test_shutdown_detaches():
+    process, runtime = make(period=1)
+    runtime.shutdown()
+    address = alloc(process)
+    process.machine.cpu.store(process.main_thread, address + 64, b"!" * 8)
+    assert not runtime.detected
+
+
+def test_usable_size_excludes_tripwire():
+    process, runtime = make(period=1)
+    address = alloc(process, 40)
+    assert runtime.usable_size(address) == 40

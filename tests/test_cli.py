@@ -1,0 +1,81 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_apps_lists_workloads(capsys):
+    assert main(["apps"]) == 0
+    out = capsys.readouterr().out
+    assert "heartbleed" in out
+    assert "canneal" in out
+
+
+def test_run_gzip_detects(capsys):
+    assert main(["run", "gzip", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "A buffer over-write problem is detected at:" in out
+    assert "detected: True" in out
+
+
+def test_run_without_runtime(capsys):
+    assert main(["run", "gzip", "--runtime", "none"]) == 0
+    assert "silently" in capsys.readouterr().out
+
+
+def test_run_asan_misses_library_bug(capsys):
+    assert main(["run", "libtiff", "--runtime", "asan"]) == 1
+    assert "detected: False" in capsys.readouterr().out
+
+
+def test_run_asan_detects_app_bug(capsys):
+    assert main(["run", "gzip", "--runtime", "asan"]) == 0
+    out = capsys.readouterr().out
+    assert "heap-buffer-overflow" in out
+
+
+def test_run_no_evidence(capsys):
+    assert main(["run", "polymorph", "--runtime", "csod-noevidence"]) == 0
+
+
+def test_run_rejects_unknown_app():
+    with pytest.raises(SystemExit):
+        main(["run", "doom"])
+
+
+def test_table1(capsys):
+    assert main(["table", "1"]) == 0
+    assert "Table I" in capsys.readouterr().out
+
+
+def test_table2_small(capsys):
+    assert main(["effectiveness", "gzip", "--runs", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "gzip" in out and "100.0%" in out
+
+
+def test_table5(capsys):
+    assert main(["table", "5"]) == 0
+    assert "TOTAL" in capsys.readouterr().out
+
+
+def test_evidence_persistence_via_cli(tmp_path, capsys):
+    path = str(tmp_path / "ev.json")
+    # First execution records evidence even if the watchpoint missed.
+    main(["run", "memcached", "--seed", "0", "--evidence-file", path])
+    capsys.readouterr()
+    # Second execution must detect (§V-A2).
+    assert main(["run", "memcached", "--seed", "123", "--evidence-file", path]) == 0
+    assert "detected: True" in capsys.readouterr().out
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0

@@ -1,0 +1,41 @@
+"""CLI coverage of the experiment subcommands."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_table3(capsys):
+    assert main(["table", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Table III" in out and "mysql" in out
+
+
+def test_table4_small_cap(capsys):
+    assert main(["table", "4", "--cap", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "Table IV" in out and "WT" in out
+
+
+def test_figure7_small_cap(capsys):
+    assert main(["figure7", "--cap", "300"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 7" in out
+    assert "AVERAGE" in out
+
+
+def test_evidence_subcommand(capsys):
+    assert main(["evidence", "--attempts", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "guarantee" in out
+
+
+def test_run_with_policy(capsys):
+    assert main(["run", "libdwarf", "--policy", "naive", "--seed", "2"]) == 0
+    assert "detected: True" in capsys.readouterr().out
+
+
+def test_effectiveness_multiple_apps(capsys):
+    assert main(["effectiveness", "gzip", "polymorph", "--runs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "gzip" in out and "polymorph" in out

@@ -1,0 +1,25 @@
+"""The one-command reproduction driver."""
+
+import os
+
+from repro.cli import main
+
+
+def test_reproduce_writes_all_artifacts(tmp_path, capsys):
+    out = str(tmp_path / "artifacts")
+    assert main(["reproduce", "--out", out, "--runs", "3", "--cap", "400"]) == 0
+    names = sorted(os.listdir(out))
+    assert names == [
+        "evidence.txt",
+        "figure6.txt",
+        "figure7.txt",
+        "table1.txt",
+        "table2.txt",
+        "table3.txt",
+        "table4.txt",
+        "table5.txt",
+    ]
+    table2 = (tmp_path / "artifacts" / "table2.txt").read_text()
+    assert "AVERAGE" in table2
+    figure7 = (tmp_path / "artifacts" / "figure7.txt").read_text()
+    assert "clipped" in figure7  # the chart rendering is included

@@ -1,0 +1,48 @@
+"""The exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_hierarchy():
+    assert issubclass(errors.MachineError, errors.ReproError)
+    assert issubclass(errors.SegmentationFault, errors.MachineError)
+    assert issubclass(errors.HeapError, errors.ReproError)
+    assert issubclass(errors.OutOfMemoryError, errors.HeapError)
+    assert issubclass(errors.DoubleFreeError, errors.InvalidFreeError)
+    assert issubclass(errors.CSODError, errors.ReproError)
+    assert issubclass(errors.WorkloadError, errors.ReproError)
+
+
+def test_segfault_carries_details():
+    fault = errors.SegmentationFault(0xDEAD, size=8, kind="write")
+    assert fault.address == 0xDEAD
+    assert fault.size == 8
+    assert "write" in str(fault)
+    assert "0xdead" in str(fault)
+
+
+def test_oom_carries_request():
+    oom = errors.OutOfMemoryError(1 << 40)
+    assert oom.requested == 1 << 40
+
+
+def test_invalid_free_message():
+    error = errors.InvalidFreeError(0x100, reason="wild pointer")
+    assert "wild pointer" in str(error)
+
+
+def test_double_free_message():
+    assert "double free" in str(errors.DoubleFreeError(0x100))
+
+
+def test_catching_base_class_catches_everything():
+    for exc in (
+        errors.SegmentationFault(1),
+        errors.OutOfMemoryError(1),
+        errors.CSODError("x"),
+        errors.WorkloadError("y"),
+    ):
+        with pytest.raises(errors.ReproError):
+            raise exc

@@ -1,0 +1,112 @@
+"""Package-level imports and public API surface."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_machine_public_api():
+    import repro.machine as machine
+
+    for name in machine.__all__:
+        assert hasattr(machine, name), name
+
+
+def test_heap_public_api():
+    import repro.heap as heap
+
+    for name in heap.__all__:
+        assert hasattr(heap, name), name
+
+
+def test_callstack_public_api():
+    import repro.callstack as callstack
+
+    for name in callstack.__all__:
+        assert hasattr(callstack, name), name
+
+
+def test_core_public_api():
+    import repro.core as core
+
+    for name in core.__all__:
+        assert hasattr(core, name), name
+
+
+def test_asan_public_api():
+    import repro.asan as asan
+
+    for name in asan.__all__:
+        assert hasattr(asan, name), name
+
+
+def test_workloads_public_api():
+    import repro.workloads as workloads
+    import repro.workloads.buggy as buggy
+    import repro.workloads.perf as perf
+
+    for module in (workloads, buggy, perf):
+        for name in module.__all__:
+            assert hasattr(module, name), (module.__name__, name)
+
+
+def test_perfmodel_public_api():
+    import repro.perfmodel as perfmodel
+
+    for name in perfmodel.__all__:
+        assert hasattr(perfmodel, name), name
+
+
+def test_analysis_public_api():
+    import repro.analysis as analysis
+
+    for name in analysis.__all__:
+        assert hasattr(analysis, name), name
+
+
+def test_guardpage_public_api():
+    import repro.guardpage as guardpage
+
+    for name in guardpage.__all__:
+        assert hasattr(guardpage, name), name
+
+
+def test_sampler_public_api():
+    import repro.sampler as sampler
+
+    for name in sampler.__all__:
+        assert hasattr(sampler, name), name
+
+
+def test_cli_public_api():
+    import repro.cli as cli
+
+    for name in cli.__all__:
+        assert hasattr(cli, name), name
+
+
+def test_experiments_importable():
+    from repro.experiments import (
+        characteristics,
+        effectiveness,
+        evidence,
+        memory_usage,
+        paper_data,
+        performance,
+        tables,
+    )
+
+    assert all(
+        m is not None
+        for m in (
+            characteristics,
+            effectiveness,
+            evidence,
+            memory_usage,
+            paper_data,
+            performance,
+            tables,
+        )
+    )

@@ -1,0 +1,182 @@
+"""The workload framework: specs, schedules, and execution."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.base import (
+    BuggyAppSpec,
+    KIND_OVER_READ,
+    KIND_OVER_WRITE,
+    SimProcess,
+    SyntheticBuggyApp,
+    build_schedule,
+)
+
+
+def spec(**overrides):
+    base = dict(
+        name="testapp",
+        bug_kind=KIND_OVER_WRITE,
+        vuln_module="TESTAPP",
+        reference="test",
+        total_contexts=8,
+        total_allocations=40,
+        before_contexts=6,
+        before_allocations=30,
+        victim_alloc_index=10,
+        structural_seed=5,
+    )
+    base.update(overrides)
+    return BuggyAppSpec(**base)
+
+
+def test_spec_validation():
+    with pytest.raises(WorkloadError):
+        spec(bug_kind="over-everything")
+    with pytest.raises(WorkloadError):
+        spec(before_contexts=0)
+    with pytest.raises(WorkloadError):
+        spec(before_allocations=50)  # exceeds total
+    with pytest.raises(WorkloadError):
+        spec(victim_alloc_index=31)  # after the overflow
+    with pytest.raises(WorkloadError):
+        spec(churn=1.5)
+
+
+def test_schedule_counts():
+    events, victim = build_schedule(spec())
+    assert len(events) == 40
+    assert events[victim].is_victim
+    assert victim == 9  # 0-based
+
+
+def test_schedule_before_phase_contexts():
+    s = spec()
+    events, _ = build_schedule(s)
+    before = events[: s.before_allocations]
+    assert len({e.context_id for e in before}) == s.before_contexts
+
+
+def test_schedule_total_contexts():
+    s = spec(total_allocations=60, total_contexts=8, before_contexts=6,
+             before_allocations=30)
+    events, _ = build_schedule(s)
+    assert len({e.context_id for e in events}) == 8
+
+
+def test_victim_context_is_zero():
+    events, victim = build_schedule(spec())
+    assert events[victim].context_id == 0
+
+
+def test_victim_prior_allocs():
+    s = spec(victim_context_prior_allocs=3)
+    events, victim = build_schedule(s)
+    priors = [e for e in events[:victim] if e.context_id == 0]
+    assert len(priors) == 3
+
+
+def test_victim_context_not_reused_as_filler():
+    s = spec(victim_context_prior_allocs=0, total_allocations=100,
+             before_allocations=90, victim_alloc_index=10)
+    events, victim = build_schedule(s)
+    uses = [e for e in events if e.context_id == 0]
+    assert len(uses) == 1  # only the victim itself
+
+
+def test_victim_never_scheduled_for_free():
+    events, victim = build_schedule(spec(churn=1.0))
+    assert events[victim].free_after is None
+
+
+def test_long_lived_first_objects():
+    events, _ = build_schedule(spec(churn=1.0, long_lived_first=4))
+    for event in events[:4]:
+        assert event.free_after is None
+
+
+def test_schedule_is_deterministic():
+    a, _ = build_schedule(spec())
+    b, _ = build_schedule(spec())
+    assert a == b
+
+
+def test_different_structural_seeds_differ():
+    a, _ = build_schedule(spec(structural_seed=1))
+    b, _ = build_schedule(spec(structural_seed=2))
+    assert a != b
+
+
+def test_run_performs_overflow(tiny_write_app):
+    process = SimProcess(seed=0)
+    result = tiny_write_app.run(process)
+    assert result.overflow_performed
+    assert result.victim_address > 0
+
+
+def test_run_frees_everything(tiny_write_app):
+    process = SimProcess(seed=0)
+    tiny_write_app.run(process)
+    assert process.allocator.stats.live_blocks == 0
+
+
+def test_run_without_runtime_is_harmless():
+    app = SyntheticBuggyApp(spec())
+    process = SimProcess(seed=0)
+    result = app.run(process)
+    assert result.allocations == 40
+
+
+def test_scaled_preserves_structure():
+    s = spec(
+        total_contexts=100,
+        total_allocations=10_000,
+        before_contexts=90,
+        before_allocations=9_000,
+        victim_alloc_index=9_000,
+        work_ns_per_alloc=1_000_000,
+    )
+    scaled = s.scaled(0.1)
+    assert scaled.total_allocations == 1000
+    assert scaled.before_allocations == 900
+    assert scaled.victim_alloc_index == 900
+    # Context count shrinks with sqrt(scale).
+    assert 25 <= scaled.total_contexts <= 40
+    # Total virtual runtime is preserved.
+    assert scaled.work_ns_per_alloc == 10_000_000
+
+
+def test_scaled_identity_for_factor_one():
+    s = spec()
+    assert s.scaled(1.0) is s
+
+
+def test_scaled_rejects_nonpositive():
+    with pytest.raises(WorkloadError):
+        spec().scaled(0.0)
+
+
+def test_victim_jitter_varies_position_per_seed():
+    s = spec(
+        total_contexts=4,
+        total_allocations=8,
+        before_contexts=4,
+        before_allocations=8,
+        victim_alloc_index=1,
+        victim_position_jitter=3,
+    )
+    app = SyntheticBuggyApp(s)
+    positions = set()
+    for seed in range(30):
+        events = app._events_for_run(seed)
+        positions.add(next(i for i, e in enumerate(events) if e.is_victim))
+    assert len(positions) > 1
+    assert positions <= {0, 1, 2, 3}
+
+
+def test_jitter_keeps_exactly_one_victim():
+    s = spec(victim_position_jitter=5)
+    app = SyntheticBuggyApp(s)
+    for seed in range(10):
+        events = app._events_for_run(seed)
+        assert sum(e.is_victim for e in events) == 1

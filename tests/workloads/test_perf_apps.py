@@ -1,0 +1,108 @@
+"""The 19 Table IV performance applications."""
+
+import pytest
+
+from repro.core import CSODConfig, CSODRuntime
+from repro.errors import WorkloadError
+from repro.experiments import paper_data
+from repro.workloads.base import SimProcess
+from repro.workloads.perf import PERF_APPS, PerfApp, perf_app_for, perf_spec_for
+
+
+def test_all_nineteen_present():
+    assert set(PERF_APPS) == set(paper_data.TABLE4)
+
+
+def test_table4_columns_match_paper():
+    for name, (loc, cc, allocs, wt) in paper_data.TABLE4.items():
+        spec = PERF_APPS[name]
+        assert spec.loc == loc
+        assert spec.contexts == cc
+        assert spec.allocations == allocs
+        assert spec.paper_watched_times == wt
+
+
+def test_table5_original_matches_paper():
+    for name, row in paper_data.TABLE5.items():
+        assert PERF_APPS[name].mem_original_kb == row[0]
+
+
+def test_io_bound_apps_have_low_access_intensity():
+    assert PERF_APPS["aget"].access_intensity < 0.1
+    assert PERF_APPS["pfscan"].access_intensity < 0.1
+
+
+def test_x264_is_the_asan_outlier():
+    assert PERF_APPS["x264"].access_intensity == max(
+        s.access_intensity for s in PERF_APPS.values()
+    )
+
+
+def test_ferret_runs_under_five_seconds():
+    assert PERF_APPS["ferret"].base_runtime_s < 5.0
+
+
+def test_all_run_with_16_threads():
+    assert all(s.threads == 16 for s in PERF_APPS.values())
+
+
+def test_trace_capped():
+    app = perf_app_for("canneal", 500)
+    assert app.sim_allocations == 500
+    assert app.scale == pytest.approx(500 / 30_728_172)
+
+
+def test_trace_not_padded_beyond_spec():
+    app = PerfApp(PERF_APPS["blackscholes"], 500)
+    assert app.sim_allocations == 4
+    assert app.scale == 1.0
+
+
+def test_trace_covers_all_contexts():
+    app = PerfApp(PERF_APPS["vips"], 2000)
+    contexts = {e.context_id for e in app._trace}
+    assert len(contexts) == 400
+
+
+def test_trace_deterministic():
+    a = PerfApp(PERF_APPS["dedup"], 1000)
+    b = PerfApp(PERF_APPS["dedup"], 1000)
+    assert a._trace == b._trace
+
+
+def test_replay_under_csod():
+    process = SimProcess(seed=1)
+    csod = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=1)
+    app = perf_app_for("streamcluster", 2000)
+    measurement = app.run(process, csod)
+    csod.shutdown()
+    assert measurement.sim_allocations == 2000
+    assert measurement.watched_times >= 4
+    assert measurement.contexts_seen == 21
+    assert not csod.detected  # clean program, no false positives
+
+
+def test_replay_spawns_threads():
+    process = SimProcess(seed=1)
+    perf_app_for("pfscan", 100).run(process)
+    assert len(process.machine.threads) == 16
+
+
+def test_replay_advances_virtual_time_at_true_rate():
+    process = SimProcess(seed=1)
+    spec = PERF_APPS["streamcluster"]
+    app = perf_app_for("streamcluster", 2000)
+    app.run(process)
+    elapsed = process.machine.clock.now_seconds
+    expected = 2000 * spec.work_ns_per_alloc / 1e9
+    assert elapsed == pytest.approx(expected, rel=0.05)
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(WorkloadError):
+        perf_spec_for("doom")
+
+
+def test_work_rate_property():
+    spec = PERF_APPS["swaptions"]
+    assert spec.allocation_rate_per_s == pytest.approx(48_001_795 / 210.0)

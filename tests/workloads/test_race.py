@@ -1,0 +1,72 @@
+"""The interleaving-dependent overflow workload."""
+
+import pytest
+
+from repro.core import CSODConfig, CSODRuntime
+from repro.workloads.base import SimProcess
+from repro.workloads.race import LARGE_SIZE, SMALL_SIZE, RaceOverflowApp
+
+
+def run(scheduler_seed, with_csod=True, process_seed=5):
+    process = SimProcess(seed=process_seed)
+    csod = None
+    if with_csod:
+        csod = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=process_seed)
+    result = RaceOverflowApp().run(process, scheduler_seed=scheduler_seed)
+    if csod:
+        csod.shutdown()
+    return result, csod, process
+
+
+def trigger_profile(seeds=40):
+    outcomes = []
+    for seed in range(seeds):
+        result, _, _ = run(seed, with_csod=False)
+        outcomes.append(result.triggered)
+    return outcomes
+
+
+def test_some_interleavings_trigger_and_some_do_not():
+    outcomes = trigger_profile()
+    assert any(outcomes)
+    assert not all(outcomes)
+
+
+def test_same_scheduler_seed_same_outcome():
+    a, _, _ = run(11, with_csod=False)
+    b, _, _ = run(11, with_csod=False)
+    assert a.triggered == b.triggered
+
+
+def test_triggered_run_detected_by_csod():
+    for seed in range(40):
+        result, csod, process = run(seed)
+        if result.triggered:
+            # Both objects in this program are within the first four
+            # allocations -> availability-watched -> always detected.
+            assert csod.detected_by_watchpoint
+            report = next(r for r in csod.reports if r.source == "watchpoint")
+            assert report.kind == "over-write"
+            assert "RACED/consumer.c:90" in report.render(process.symbols)
+            return
+    pytest.fail("no interleaving triggered the race in 40 seeds")
+
+
+def test_untriggered_run_is_clean():
+    for seed in range(40):
+        result, csod, process = run(seed)
+        if not result.triggered:
+            assert not csod.detected_by_watchpoint
+            return
+    pytest.fail("every interleaving triggered the race")
+
+
+def test_overflow_size_is_the_grown_length():
+    for seed in range(40):
+        result, csod, process = run(seed)
+        if result.triggered and csod.detected_by_watchpoint:
+            report = next(r for r in csod.reports if r.source == "watchpoint")
+            assert report.object_size == SMALL_SIZE
+            assert LARGE_SIZE > SMALL_SIZE
+            return
+    pytest.fail("no detected triggering interleaving found")

@@ -1,0 +1,86 @@
+"""Property-based schedule invariants (hypothesis)."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.workloads.base import BuggyAppSpec, KIND_OVER_WRITE, build_schedule
+
+
+@st.composite
+def specs(draw):
+    total_allocs = draw(st.integers(min_value=1, max_value=300))
+    before_allocs = draw(st.integers(min_value=1, max_value=total_allocs))
+    before_ctx = draw(st.integers(min_value=1, max_value=before_allocs))
+    total_ctx = draw(st.integers(min_value=before_ctx, max_value=max(before_ctx, 40)))
+    victim = draw(st.integers(min_value=1, max_value=before_allocs))
+    prior = draw(st.integers(min_value=0, max_value=max(0, victim - 1)))
+    # The before-phase needs room for the victim, its priors, and one
+    # slot per other before-context.
+    assume(before_allocs >= 1 + prior + (before_ctx - 1))
+    return BuggyAppSpec(
+        name="prop",
+        bug_kind=KIND_OVER_WRITE,
+        vuln_module="PROP",
+        reference="prop",
+        total_contexts=total_ctx,
+        total_allocations=total_allocs,
+        before_contexts=before_ctx,
+        before_allocations=before_allocs,
+        victim_alloc_index=victim,
+        victim_context_prior_allocs=prior,
+        churn=draw(st.floats(min_value=0.0, max_value=1.0)),
+        structural_seed=draw(st.integers(min_value=0, max_value=1000)),
+    )
+
+
+@given(specs())
+@settings(max_examples=120, deadline=None)
+def test_schedule_has_exactly_one_victim(spec):
+    events, victim = build_schedule(spec)
+    assert sum(e.is_victim for e in events) == 1
+    assert events[victim].is_victim
+    assert victim == spec.victim_alloc_index - 1
+
+
+@given(specs())
+@settings(max_examples=120, deadline=None)
+def test_before_phase_context_count_exact(spec):
+    events, _ = build_schedule(spec)
+    before = events[: spec.before_allocations]
+    assert len({e.context_id for e in before}) == spec.before_contexts
+
+
+@given(specs())
+@settings(max_examples=120, deadline=None)
+def test_total_allocation_count_exact(spec):
+    events, _ = build_schedule(spec)
+    assert len(events) == spec.total_allocations
+
+
+@given(specs())
+@settings(max_examples=120, deadline=None)
+def test_victim_prior_allocations_exact(spec):
+    events, victim = build_schedule(spec)
+    priors = sum(1 for e in events[:victim] if e.context_id == 0)
+    if spec.before_contexts == 1:
+        # Degenerate single-context programs: every allocation is from
+        # the buggy context, the knob cannot apply.
+        assert priors == victim
+    else:
+        assert priors == min(spec.victim_context_prior_allocs, victim)
+
+
+@given(specs())
+@settings(max_examples=120, deadline=None)
+def test_frees_always_after_allocation(spec):
+    events, _ = build_schedule(spec)
+    for event in events:
+        if event.free_after is not None:
+            assert event.free_after > event.index
+
+
+@given(specs())
+@settings(max_examples=120, deadline=None)
+def test_context_ids_in_range(spec):
+    events, _ = build_schedule(spec)
+    for event in events:
+        assert 0 <= event.context_id < spec.total_contexts

@@ -1,0 +1,54 @@
+"""Consistency of the per-app spec modules with the registries."""
+
+from repro.workloads.buggy import BUGGY_APPS
+from repro.workloads.buggy.specs import ALL_SPECS
+from repro.workloads.perf import ALL_PERF_SPECS, PERF_APPS
+from repro.workloads.perf.parsec_apps import PARSEC_SPECS
+from repro.workloads.perf.server_apps import SERVER_SPECS
+from repro.workloads.perf.utility_apps import UTILITY_SPECS
+
+
+def test_buggy_aggregator_matches_registry():
+    assert {spec.name for spec in ALL_SPECS} == set(BUGGY_APPS)
+    for spec in ALL_SPECS:
+        assert BUGGY_APPS[spec.name] is spec
+
+
+def test_perf_suites_partition_the_nineteen():
+    names = [spec.name for spec in ALL_PERF_SPECS]
+    assert len(names) == 19
+    assert len(set(names)) == 19
+    assert len(PARSEC_SPECS) == 13
+    assert len(SERVER_SPECS) == 3
+    assert len(UTILITY_SPECS) == 3
+
+
+def test_perf_aggregator_matches_registry():
+    for spec in ALL_PERF_SPECS:
+        assert PERF_APPS[spec.name] is spec
+
+
+def test_suite_labels_consistent():
+    for spec in PARSEC_SPECS:
+        assert spec.suite == "parsec"
+    for spec in SERVER_SPECS + UTILITY_SPECS:
+        assert spec.suite == "real"
+
+
+def test_every_buggy_module_documents_its_bug():
+    import importlib
+
+    for name in BUGGY_APPS:
+        module = importlib.import_module(
+            f"repro.workloads.buggy.app_{name}"
+        )
+        assert module.__doc__ and len(module.__doc__) > 100, name
+
+
+def test_repo_metadata_files_exist():
+    import pathlib
+
+    root = pathlib.Path(__file__).parent.parent.parent
+    for name in ("LICENSE", "CITATION.cff", "README.md", "DESIGN.md",
+                 "EXPERIMENTS.md"):
+        assert (root / name).is_file(), name

@@ -1,0 +1,152 @@
+"""Trace recording and replay."""
+
+import pytest
+
+from repro.core import CSODConfig, CSODRuntime
+from repro.callstack.frames import CallSite
+from repro.errors import WorkloadError
+from repro.workloads.base import SimProcess
+from repro.workloads.trace import (
+    OP_FREE,
+    OP_LOAD,
+    OP_MALLOC,
+    OP_STORE,
+    TraceApp,
+    TraceEvent,
+    TraceRecorder,
+    load_trace,
+    save_trace,
+)
+
+
+def record_session():
+    """A small program recorded: two objects, one overflowing store."""
+    process = SimProcess(seed=1)
+    recorder = TraceRecorder(process)
+    thread = process.main_thread
+    a_site = CallSite("APP", "a.c", 1, "alloc_a")
+    b_site = CallSite("APP", "b.c", 2, "alloc_b")
+    use = CallSite("APP", "use.c", 3, "use_a")
+    with thread.call_stack.calling(a_site):
+        a = process.heap.malloc(thread, 64)
+    with thread.call_stack.calling(b_site):
+        b = process.heap.malloc(thread, 32)
+    with thread.call_stack.calling(use):
+        process.machine.cpu.store(thread, a + 64, b"\xcc" * 8)  # overflow
+    process.heap.free(thread, b)
+    process.heap.free(thread, a)
+    recorder.detach()
+    return recorder.events
+
+
+def test_recording_captures_ops():
+    events = record_session()
+    ops = [e.op for e in events]
+    assert ops == [OP_MALLOC, OP_MALLOC, OP_STORE, OP_FREE, OP_FREE]
+
+
+def test_recording_captures_contexts():
+    events = record_session()
+    assert events[0].context == ("APP/a.c:1",)
+    assert events[2].context == ("APP/use.c:3",)
+
+
+def test_recording_captures_overflow_offset():
+    events = record_session()
+    store = events[2]
+    assert store.obj == 0  # first object
+    assert store.offset == 64  # one word past a 64-byte object
+    assert store.size == 8
+
+
+def test_roundtrip_serialization(tmp_path):
+    events = record_session()
+    path = str(tmp_path / "trace.json")
+    save_trace(events, path)
+    assert load_trace(path) == events
+
+
+def test_load_rejects_wrong_version(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"version": 99, "events": []}')
+    with pytest.raises(WorkloadError):
+        load_trace(str(path))
+
+
+def test_unknown_op_rejected():
+    with pytest.raises(WorkloadError):
+        TraceEvent(op="mmap", obj=0)
+
+
+def test_validation_rejects_double_alloc():
+    with pytest.raises(WorkloadError):
+        TraceApp([TraceEvent(OP_MALLOC, 0, size=8), TraceEvent(OP_MALLOC, 0, size=8)])
+
+
+def test_validation_rejects_use_after_free():
+    with pytest.raises(WorkloadError):
+        TraceApp(
+            [
+                TraceEvent(OP_MALLOC, 0, size=8),
+                TraceEvent(OP_FREE, 0),
+                TraceEvent(OP_LOAD, 0, size=8),
+            ]
+        )
+
+
+def test_replay_under_csod_detects_recorded_overflow():
+    events = record_session()
+    app = TraceApp(events)
+    process = SimProcess(seed=9)
+    csod = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=9)
+    app.run(process)
+    csod.shutdown()
+    assert csod.detected_by_watchpoint
+    report = next(r for r in csod.reports if r.source == "watchpoint")
+    assert report.kind == "over-write"
+    assert "APP/a.c:1" in report.render(process.symbols)
+
+
+def test_replay_preserves_allocation_count():
+    events = record_session()
+    process = SimProcess(seed=3)
+    addresses = TraceApp(events).run(process)
+    assert len(addresses) == 2
+
+
+def test_replay_from_file(tmp_path):
+    events = record_session()
+    path = str(tmp_path / "t.json")
+    save_trace(events, path)
+    app = TraceApp.from_file(path)
+    process = SimProcess(seed=5)
+    app.run(process)
+    assert process.allocator.stats.total_allocations == 2
+
+
+def test_recorder_detach_restores_previous_library():
+    process = SimProcess(seed=1)
+    raw = process.heap.active_library
+    recorder = TraceRecorder(process)
+    assert process.heap.active_library is recorder
+    recorder.detach()
+    assert process.heap.active_library is raw
+
+
+def test_recording_on_top_of_csod():
+    """Recording wraps whatever is preloaded — including CSOD itself."""
+    process = SimProcess(seed=2)
+    csod = CSODRuntime(process.machine, process.heap, CSODConfig(), seed=2)
+    recorder = TraceRecorder(process)
+    site = CallSite("APP", "x.c", 1, "f")
+    with process.main_thread.call_stack.calling(site):
+        address = process.heap.malloc(process.main_thread, 16)
+    process.heap.free(process.main_thread, address)
+    recorder.detach()
+    csod.shutdown()
+    assert [e.op for e in recorder.events if e.op in (OP_MALLOC, OP_FREE)] == [
+        OP_MALLOC,
+        OP_FREE,
+    ]
+    # CSOD still saw the allocation through the wrapper.
+    assert csod.stats().allocations == 1
