@@ -1,0 +1,60 @@
+"""Fleet throughput — serial vs. parallel campaign wall-clock.
+
+The fleet subsystem's reason to exist: the 1,000-execution protocol was
+the slowest path in the repo because ``campaign.py`` ran every execution
+serially in one interpreter.  This bench times the same campaign through
+``run_fleet`` at one and two workers and records the speedup.  On a
+single-core runner the 2-worker fleet only amortises fork overhead, so
+the assertion is on correctness (identical aggregated results) and on
+parallel overhead staying bounded, not on a mandatory speedup.
+"""
+
+import time
+
+from conftest import once
+
+from repro.experiments.campaign import wilson_interval
+from repro.fleet import run_fleet
+
+APP = "libtiff"
+EXECUTIONS = 32
+
+
+def _timed_fleet(workers: int):
+    start = time.perf_counter()
+    result = run_fleet(APP, executions=EXECUTIONS, workers=workers)
+    return result, time.perf_counter() - start
+
+
+def test_fleet_throughput(benchmark, artifact):
+    def run():
+        serial, serial_s = _timed_fleet(workers=1)
+        parallel, parallel_s = _timed_fleet(workers=2)
+        return serial, serial_s, parallel, parallel_s
+
+    serial, serial_s, parallel, parallel_s = once(benchmark, run)
+
+    # Parallelism must never change what the fleet finds.
+    assert serial.aggregator.to_dict() == parallel.aggregator.to_dict()
+
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    hits = serial.aggregator.executions_detected
+    lo, hi = wilson_interval(hits, EXECUTIONS)
+    lines = [
+        f"fleet throughput: {APP} x {EXECUTIONS} executions",
+        f"  serial   (1 worker):  {serial_s:8.3f} s "
+        f"({EXECUTIONS / serial_s:6.1f} exec/s)",
+        f"  parallel (2 workers): {parallel_s:8.3f} s "
+        f"({EXECUTIONS / parallel_s:6.1f} exec/s)",
+        f"  speedup: {speedup:.2f}x",
+        f"  detection rate: {hits}/{EXECUTIONS} "
+        f"(95% CI [{lo:.1%}, {hi:.1%}])",
+        f"  unique reports: {serial.aggregator.unique_reports()} "
+        f"(dedup {serial.aggregator.dedup_ratio:.1f}x)",
+    ]
+    artifact("fleet_throughput.txt", "\n".join(lines))
+
+    # The process pool must not catastrophically regress the campaign
+    # even on one core (fork + pickling overhead stays bounded).
+    assert parallel_s < serial_s * 5
+    assert serial.aggregator.executions_detected > 0

@@ -10,6 +10,8 @@ would be driven:
 * ``figure7``     — regenerate the overhead figure;
 * ``evidence``    — run the §V-A2 two-execution protocol;
 * ``effectiveness`` — the Table II sweep with configurable runs;
+* ``fleet``       — a parallel fleet campaign with central report
+                    aggregation, evidence sharing, and telemetry;
 * ``apps``        — list the available workloads.
 """
 

@@ -65,6 +65,31 @@ def build_parser() -> argparse.ArgumentParser:
     eff.add_argument("apps", nargs="*", default=None)
     eff.add_argument("--runs", type=int, default=100)
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a parallel fleet campaign with central aggregation",
+    )
+    fleet.add_argument("--app", required=True, choices=sorted(BUGGY_APPS))
+    fleet.add_argument("--executions", type=int, default=100)
+    fleet.add_argument(
+        "--workers", type=int, default=2, help="worker processes (1 = inline)"
+    )
+    fleet.add_argument("--policy", choices=POLICIES, default=POLICY_NEAR_FIFO)
+    fleet.add_argument("--seed", type=int, default=0, help="base seed")
+    fleet.add_argument(
+        "--share-evidence",
+        action="store_true",
+        help="propagate canary evidence fleet-wide between waves",
+    )
+    fleet.add_argument(
+        "--timeout", type=float, default=60.0, help="per-execution timeout (s)"
+    )
+    fleet.add_argument(
+        "--out",
+        default="fleet-out",
+        help="directory for telemetry.jsonl / aggregate.json / evidence.json",
+    )
+
     sub.add_parser("apps", help="list available workloads")
 
     reproduce = sub.add_parser(
@@ -192,6 +217,78 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    if args.executions <= 0:
+        print(
+            f"repro fleet: error: --executions must be positive, "
+            f"got {args.executions}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers < 0:
+        print(
+            f"repro fleet: error: --workers must be >= 0, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+
+    from repro.fleet import (
+        EvidenceStore,
+        JsonlEventLog,
+        render_fleet_report,
+        run_fleet,
+    )
+
+    os.makedirs(args.out, exist_ok=True)
+    store = (
+        EvidenceStore(os.path.join(args.out, "evidence.json"))
+        if args.share_evidence
+        else None
+    )
+    with JsonlEventLog(os.path.join(args.out, "telemetry.jsonl")) as log:
+        result = run_fleet(
+            args.app,
+            executions=args.executions,
+            workers=args.workers,
+            policy=args.policy,
+            share_evidence=args.share_evidence,
+            seed_base=args.seed,
+            evidence_store=store,
+            event_log=log,
+            timeout_seconds=args.timeout,
+        )
+    aggregate_path = os.path.join(args.out, "aggregate.json")
+    with open(aggregate_path, "w") as handle:
+        json.dump(result.aggregator.to_dict(), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(
+        render_fleet_report(
+            result.aggregator,
+            title=(
+                f"Fleet campaign: {args.app} x {args.executions} executions, "
+                f"{args.workers} workers, policy={args.policy}"
+            ),
+        )
+    )
+    snapshot = result.metrics.snapshot()
+    wall = snapshot["histograms"].get("execution_wall_ms", {})
+    print(
+        f"telemetry: {snapshot['counters'].get('watchpoint_arms', 0)} "
+        f"watchpoint arms, "
+        f"{snapshot['counters'].get('worker_retries', 0)} retries, "
+        f"wall/exec p50={wall.get('p50', 0):.1f}ms "
+        f"p95={wall.get('p95', 0):.1f}ms"
+    )
+    print(f"[fleet] wrote {aggregate_path}")
+    print(f"[fleet] wrote {os.path.join(args.out, 'telemetry.jsonl')}")
+    if store is not None:
+        print(f"[fleet] evidence store: {store.path} ({len(store)} signatures)")
+    return 0 if result.aggregator.executions_detected else 1
+
+
 def _cmd_apps(args: argparse.Namespace) -> int:
     print("buggy applications (Table I):")
     for name in sorted(BUGGY_APPS):
@@ -261,6 +358,7 @@ _COMMANDS = {
     "figure7": _cmd_figure7,
     "evidence": _cmd_evidence,
     "effectiveness": _cmd_effectiveness,
+    "fleet": _cmd_fleet,
     "apps": _cmd_apps,
 }
 

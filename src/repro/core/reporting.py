@@ -70,6 +70,38 @@ class OverflowReport:
             return [hex(ra) for ra in context.return_addresses]
         return symbols.symbolize(context.return_addresses)
 
+    def signature(self) -> str:
+        """A stable identity for fleet-wide deduplication.
+
+        Two reports of the same bug raised by different executions (or
+        different machines) must collapse to one signature, so it is
+        built from (kind, allocation context, access context) only —
+        never from addresses, thread ids, or timestamps, which vary per
+        execution.  Source locations are preferred over synthetic
+        return addresses for the same reason evidence persistence keys
+        on them (see :func:`repro.core.sampling.context_signature`).
+        """
+        return "|".join(
+            (
+                self.kind,
+                "alloc:" + self._stable_context_lines(
+                    self.allocation_context.frames,
+                    self.allocation_context.return_addresses,
+                ),
+                "access:" + self._stable_context_lines(
+                    self.access_frames, self.access_return_addresses
+                ),
+            )
+        )
+
+    @staticmethod
+    def _stable_context_lines(frames, return_addresses) -> str:
+        if frames:
+            return ">".join(frame.site.location() for frame in frames)
+        if return_addresses:
+            return ">".join(hex(ra) for ra in return_addresses)
+        return "-"
+
     def to_dict(self, symbols: Optional[SymbolTable] = None) -> dict:
         """A JSON-ready form (the crash-backend upload format)."""
         def lines(addresses):

@@ -9,21 +9,23 @@ across the 1,000-execution protocol no bug was missed.
 This driver quantifies that: cumulative detection curves, time-to-first
 detection, Wilson confidence intervals on the per-execution rate, and
 the evidence-sharing acceleration for over-writes.
+
+The executions themselves run on the fleet subsystem
+(:mod:`repro.fleet`): ``workers=1`` (the default) keeps the historical
+serial semantics — evidence persisted by execution *i* is visible to
+execution *i+1* — while ``workers=N`` fans the campaign out over N
+worker processes with evidence synchronised at wave boundaries.
 """
 
 from __future__ import annotations
 
 import math
 import os
-import tempfile
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.core import CSODConfig, CSODRuntime
 from repro.core.config import POLICY_RANDOM
 from repro.experiments.tables import render_table
-from repro.workloads.base import SimProcess
-from repro.workloads.buggy import app_for
 
 
 def wilson_interval(hits: int, trials: int, z: float = 1.96):
@@ -93,31 +95,44 @@ def run_campaign(
     share_evidence: bool = False,
     seed_base: int = 0,
     workdir: Optional[str] = None,
+    workers: int = 1,
 ) -> CampaignResult:
-    """Execute ``app_name`` repeatedly, optionally sharing evidence."""
-    evidence_path = None
-    if share_evidence:
-        workdir = workdir or tempfile.mkdtemp(prefix="csod-campaign-")
-        evidence_path = os.path.join(workdir, f"{app_name}.json")
-    app = app_for(app_name)
-    detections = []
-    for seed in range(seed_base, seed_base + executions):
-        process = SimProcess(seed=seed)
-        csod = CSODRuntime(
-            process.machine,
-            process.heap,
-            CSODConfig(
-                replacement_policy=policy, persistence_path=evidence_path
-            ),
-            seed=seed,
+    """Execute ``app_name`` repeatedly, optionally sharing evidence.
+
+    ``workdir`` names a directory for the shared evidence file (kept
+    for the caller to inspect); without it a temporary store is used
+    and removed afterwards — even when an execution raises, which the
+    old ``tempfile.mkdtemp`` plumbing never cleaned up.
+    """
+    # Imported here, not at module level: fleet.aggregate reuses this
+    # module's wilson_interval, so a top-level import would be circular.
+    from repro.fleet.evidence_store import EvidenceStore, TemporaryEvidenceStore
+    from repro.fleet.runner import run_fleet
+
+    store = None
+    try:
+        if share_evidence:
+            store = (
+                EvidenceStore(os.path.join(workdir, f"{app_name}.json"))
+                if workdir
+                else TemporaryEvidenceStore(prefix="csod-campaign-")
+            )
+        fleet = run_fleet(
+            app_name,
+            executions=executions,
+            workers=workers,
+            policy=policy,
+            share_evidence=share_evidence,
+            seed_base=seed_base,
+            evidence_store=store,
         )
-        app.run(process)
-        csod.shutdown()
-        detections.append(csod.detected_by_watchpoint)
+    finally:
+        if isinstance(store, TemporaryEvidenceStore):
+            store.cleanup()
     return CampaignResult(
         app=app_name,
         executions=executions,
-        detections=detections,
+        detections=fleet.detections,
         share_evidence=share_evidence,
     )
 

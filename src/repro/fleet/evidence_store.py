@@ -1,0 +1,98 @@
+"""The fleet-wide evidence store (DoubleTake's insight, fleet-scale).
+
+CSOD's evidence-based canary makes over-write detection certain by the
+*second execution of one process* (§IV-B, §V-A2).  A fleet generalises
+that: any execution that observed an overflow uploads the allocation
+context's signature, the coordinator merges it here, and every
+execution dispatched afterwards preloads the merged set — so the whole
+fleet converges after *one* detection anywhere, not one per process.
+
+The on-disk format is exactly the termination unit's persistence file
+(``{"version": 1, "contexts": [...]}``), so a store file can be handed
+straight to ``CSODConfig(persistence_path=...)`` and vice versa; writes
+are atomic (write-temp + rename), and only the coordinator writes, so
+workers can never race on it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import FrozenSet, Iterable, Optional, Set
+
+from repro.core.termination import _PERSIST_VERSION, load_persisted
+
+
+class EvidenceStore:
+    """A file-backed, merge-only set of overflowing context signatures."""
+
+    def __init__(self, path: Optional[str] = None):
+        """``path=None`` keeps the store purely in memory."""
+        self.path = path
+        self._signatures: Set[str] = set(load_persisted(path))
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def snapshot(self) -> FrozenSet[str]:
+        """The current merged signature set (safe to share with specs)."""
+        return frozenset(self._signatures)
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def __contains__(self, signature: str) -> bool:
+        return signature in self._signatures
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def merge(self, signatures: Iterable[str]) -> int:
+        """Fold in new signatures; returns how many were actually new.
+
+        The file is rewritten only when the set grew, keeping the
+        no-detection steady state write-free.
+        """
+        incoming = set(signatures)
+        new = incoming - self._signatures
+        if not new:
+            return 0
+        self._signatures |= new
+        self._flush()
+        return len(new)
+
+    def _flush(self) -> None:
+        if self.path is None:
+            return
+        payload = {
+            "version": _PERSIST_VERSION,
+            "contexts": sorted(self._signatures),
+        }
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "w") as handle:
+            json.dump(payload, handle, indent=1)
+        os.replace(tmp_path, self.path)
+
+
+class TemporaryEvidenceStore(EvidenceStore):
+    """An EvidenceStore in a self-cleaning temporary directory.
+
+    Replaces the campaign driver's old ad-hoc ``tempfile.mkdtemp``
+    plumbing, which leaked its directory on every run (and its evidence
+    file whenever an execution raised).  Use as a context manager, or
+    call :meth:`cleanup` from a ``finally`` block.
+    """
+
+    def __init__(self, prefix: str = "csod-fleet-"):
+        self._tmpdir = tempfile.TemporaryDirectory(prefix=prefix)
+        super().__init__(os.path.join(self._tmpdir.name, "evidence.json"))
+
+    def cleanup(self) -> None:
+        self._tmpdir.cleanup()
+
+    def __enter__(self) -> "TemporaryEvidenceStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.cleanup()

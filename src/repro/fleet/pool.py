@@ -1,0 +1,229 @@
+"""The fleet worker pool.
+
+Fans :class:`ExecutionSpec`s out over a ``ProcessPoolExecutor`` of
+independent OS processes — the closest a simulation gets to the paper's
+deployment story, where each production process runs its own sampled
+CSOD and only reports flow back centrally.  Three failure policies keep
+one bad execution from killing a campaign:
+
+* a **per-execution timeout** — a stuck execution is recorded as
+  ``timeout`` and its executor is recycled so the remaining specs still
+  run;
+* **retry-once-on-worker-crash** — a spec whose worker died (or raised)
+  is re-executed once, inline in the coordinator, deterministically;
+* executions that fail twice come back as failed
+  :class:`ExecutionResult`s rather than exceptions.
+
+``workers <= 1`` runs every spec inline with the same bookkeeping, so
+serial callers (and single-core machines) share one code path and one
+set of semantics with the parallel fleet.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from typing import Iterable, List, Optional
+
+from repro.core import CSODConfig, CSODRuntime
+from repro.core.sampling import context_signature
+from repro.fleet.specs import (
+    OUTCOME_CRASH,
+    OUTCOME_OK,
+    OUTCOME_TIMEOUT,
+    ExecutionResult,
+    ExecutionSpec,
+    ReportRecord,
+)
+from repro.workloads.base import SimProcess
+from repro.workloads.buggy import app_for
+
+DEFAULT_TIMEOUT_SECONDS = 60.0
+
+
+def execute_spec(spec: ExecutionSpec) -> ExecutionResult:
+    """Run one simulated execution; the worker-side entry point.
+
+    Evidence flows through the spec/result, never through worker-side
+    files: the coordinator owns the store, so two workers can never
+    race on a persistence path.
+    """
+    started = time.perf_counter()
+    # Workers must not write evidence files of their own.
+    config = spec.config
+    if config.persistence_path is not None:
+        config = CSODConfig(**{**config.__dict__, "persistence_path": None})
+    app = app_for(spec.app)
+    process = SimProcess(seed=spec.seed)
+    runtime = CSODRuntime(process.machine, process.heap, config, seed=spec.seed)
+    if spec.evidence:
+        runtime.sampling.preload_known_bad(set(spec.evidence))
+    app.run(process)
+    runtime.shutdown()
+    stats = runtime.stats()
+    new_evidence = tuple(
+        sorted(
+            context_signature(record.context)
+            for record in runtime.sampling.records()
+            if record.overflow_observed
+        )
+    )
+    reports = [
+        ReportRecord(
+            signature=report.signature(),
+            kind=report.kind,
+            source=report.source,
+            allocation_context=tuple(
+                str(frame) for frame in report.allocation_context.frames
+            ),
+            access_context=tuple(str(frame) for frame in report.access_frames),
+        )
+        for report in runtime.reports
+    ]
+    return ExecutionResult(
+        app=spec.app,
+        seed=spec.seed,
+        index=spec.index,
+        outcome=OUTCOME_OK,
+        detected=runtime.detected,
+        detected_by_watchpoint=runtime.detected_by_watchpoint,
+        reports=reports,
+        new_evidence=new_evidence,
+        allocations=stats.allocations,
+        contexts=stats.contexts,
+        watched_times=stats.watched_times,
+        traps_handled=stats.traps_handled,
+        canary_corruptions=stats.canary_corruptions,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+class FleetPool:
+    """Executes specs across worker processes, surviving bad executions."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        timeout_seconds: Optional[float] = DEFAULT_TIMEOUT_SECONDS,
+        retry_crashed: bool = True,
+    ):
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+        self.timeout_seconds = timeout_seconds
+        self.retry_crashed = retry_crashed
+        self.crashes = 0
+        self.timeouts = 0
+        self.retries = 0
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self, specs: Iterable[ExecutionSpec]) -> List[ExecutionResult]:
+        """Execute every spec; results come back in spec order."""
+        specs = list(specs)
+        if not specs:
+            return []
+        if self.workers <= 1:
+            return [self._run_inline(spec) for spec in specs]
+        return self._run_parallel(specs)
+
+    # ------------------------------------------------------------------
+    # Serial path (also the retry path)
+    # ------------------------------------------------------------------
+    def _run_inline(self, spec: ExecutionSpec, attempts: int = 1) -> ExecutionResult:
+        try:
+            result = execute_spec(spec)
+            result.attempts = attempts
+            return result
+        except Exception as exc:  # noqa: BLE001 — one bad execution must not
+            # kill the campaign, whatever it raised.
+            self.crashes += 1
+            if self.retry_crashed and attempts == 1:
+                self.retries += 1
+                return self._run_inline(spec, attempts=2)
+            return self._failed(spec, OUTCOME_CRASH, attempts, _describe(exc))
+
+    # ------------------------------------------------------------------
+    # Parallel path
+    # ------------------------------------------------------------------
+    def _run_parallel(self, specs: List[ExecutionSpec]) -> List[ExecutionResult]:
+        # Warm the app cache before forking so every worker inherits the
+        # same interned call sites (and nobody rebuilds a 57k-event
+        # schedule per process).
+        for name in sorted({spec.app for spec in specs}):
+            try:
+                app_for(name)
+            except Exception:  # noqa: BLE001 — a bad app name fails its
+                # own executions (crash + retry), not the whole campaign.
+                pass
+        results: dict = {}
+        pending = specs
+        executor = ProcessPoolExecutor(max_workers=self.workers)
+        try:
+            futures = {spec.index: executor.submit(execute_spec, spec) for spec in pending}
+            broken = False
+            for spec in pending:
+                future = futures[spec.index]
+                try:
+                    result = future.result(timeout=self.timeout_seconds)
+                    result.attempts = 1
+                    results[spec.index] = result
+                except FutureTimeout:
+                    self.timeouts += 1
+                    future.cancel()
+                    results[spec.index] = self._failed(
+                        spec,
+                        OUTCOME_TIMEOUT,
+                        attempts=1,
+                        error=f"execution exceeded {self.timeout_seconds}s",
+                    )
+                except BrokenProcessPool:
+                    broken = True
+                    break
+                except Exception as exc:  # noqa: BLE001 — worker raised
+                    self.crashes += 1
+                    if self.retry_crashed:
+                        self.retries += 1
+                        results[spec.index] = self._run_inline(spec, attempts=2)
+                    else:
+                        results[spec.index] = self._failed(
+                            spec, OUTCOME_CRASH, 1, _describe(exc)
+                        )
+            if broken:
+                # The pool died (a worker was killed outright); every
+                # unfinished spec gets one deterministic inline retry.
+                for spec in pending:
+                    if spec.index not in results:
+                        self.crashes += 1
+                        if self.retry_crashed:
+                            self.retries += 1
+                            results[spec.index] = self._run_inline(spec, attempts=2)
+                        else:
+                            results[spec.index] = self._failed(
+                                spec, OUTCOME_CRASH, 1, "worker pool broke"
+                            )
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        return [results[spec.index] for spec in specs]
+
+    @staticmethod
+    def _failed(
+        spec: ExecutionSpec, outcome: str, attempts: int, error: str
+    ) -> ExecutionResult:
+        return ExecutionResult(
+            app=spec.app,
+            seed=spec.seed,
+            index=spec.index,
+            outcome=outcome,
+            attempts=attempts,
+            error=error,
+        )
+
+
+def _describe(exc: Exception) -> str:
+    return "".join(
+        traceback.format_exception_only(type(exc), exc)
+    ).strip()

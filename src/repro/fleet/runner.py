@@ -1,0 +1,184 @@
+"""The fleet campaign runner.
+
+Ties the subsystem together: builds seeded :class:`ExecutionSpec`s,
+dispatches them in **waves** through the :class:`FleetPool`, folds every
+result into the :class:`FleetAggregator`, merges uploaded evidence into
+the :class:`EvidenceStore` between waves, and records telemetry.
+
+Waves are the determinism contract.  Executions inside one wave share
+the evidence snapshot taken at the wave boundary; signatures uploaded
+by a wave become visible to the next wave only.  Worker scheduling
+order therefore cannot leak into detection outcomes: a campaign with a
+fixed seed produces byte-identical aggregated results at any worker
+count, while evidence still propagates fleet-wide after each wave —
+with ``workers=1`` this degenerates to exactly the serial
+execution-to-execution persistence of §V-A2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.config import CSODConfig, POLICY_NEAR_FIFO
+from repro.fleet.aggregate import FleetAggregator
+from repro.fleet.evidence_store import EvidenceStore
+from repro.fleet.pool import DEFAULT_TIMEOUT_SECONDS, FleetPool
+from repro.fleet.specs import ExecutionResult, ExecutionSpec
+from repro.fleet.telemetry import JsonlEventLog, MetricsRegistry
+
+
+@dataclass
+class FleetRunResult:
+    """Everything a fleet campaign produced."""
+
+    app: str
+    executions: int
+    workers: int
+    share_evidence: bool
+    seed_base: int
+    results: List[ExecutionResult]
+    aggregator: FleetAggregator
+    metrics: MetricsRegistry
+    evidence: frozenset = field(default_factory=frozenset)
+
+    @property
+    def detections(self) -> List[bool]:
+        """Per-execution watchpoint detection flags, in execution order."""
+        return [r.detected_by_watchpoint for r in self.results]
+
+
+def run_fleet(
+    app: str,
+    executions: int,
+    workers: int = 1,
+    policy: str = POLICY_NEAR_FIFO,
+    share_evidence: bool = False,
+    seed_base: int = 0,
+    config: Optional[CSODConfig] = None,
+    evidence_store: Optional[EvidenceStore] = None,
+    event_log: Optional[JsonlEventLog] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    timeout_seconds: Optional[float] = DEFAULT_TIMEOUT_SECONDS,
+) -> FleetRunResult:
+    """Run one app's detection campaign across a simulated fleet."""
+    if executions <= 0:
+        raise ValueError(f"executions must be positive, got {executions}")
+    config = config or CSODConfig(replacement_policy=policy)
+    metrics = metrics or MetricsRegistry()
+    store = evidence_store if share_evidence else None
+    if share_evidence and store is None:
+        store = EvidenceStore()  # in-memory, campaign-local sharing
+    pool = FleetPool(workers=workers, timeout_seconds=timeout_seconds)
+    aggregator = FleetAggregator()
+    results: List[ExecutionResult] = []
+
+    wave_size = max(1, workers)
+    for wave_start in range(0, executions, wave_size):
+        wave_indices = range(
+            wave_start, min(wave_start + wave_size, executions)
+        )
+        evidence = (
+            tuple(sorted(store.snapshot())) if store is not None else ()
+        )
+        specs = [
+            ExecutionSpec(
+                app=app,
+                seed=seed_base + index,
+                index=index,
+                config=config,
+                evidence=evidence,
+            )
+            for index in wave_indices
+        ]
+        for result in pool.run(specs):
+            results.append(result)
+            aggregator.add(result)
+            _record_execution(metrics, result, event_log)
+        if store is not None:
+            merged = 0
+            for result in results[wave_start:]:
+                merged += store.merge(result.new_evidence)
+            metrics.counter("evidence_signatures_merged").inc(merged)
+
+    _record_campaign(metrics, pool, aggregator, event_log, app)
+    return FleetRunResult(
+        app=app,
+        executions=executions,
+        workers=workers,
+        share_evidence=share_evidence,
+        seed_base=seed_base,
+        results=results,
+        aggregator=aggregator,
+        metrics=metrics,
+        evidence=store.snapshot() if store is not None else frozenset(),
+    )
+
+
+def _record_execution(
+    metrics: MetricsRegistry,
+    result: ExecutionResult,
+    event_log: Optional[JsonlEventLog],
+) -> None:
+    metrics.counter("executions_run").inc()
+    if not result.ok:
+        metrics.counter("executions_failed").inc()
+    if result.detected:
+        metrics.counter("executions_detected").inc()
+    metrics.counter("reports_raised").inc(len(result.reports))
+    metrics.counter("watchpoint_arms").inc(result.watched_times)
+    metrics.histogram("execution_wall_ms").observe(result.wall_seconds * 1e3)
+    metrics.histogram("reports_per_execution").observe(len(result.reports))
+    metrics.histogram("allocations_per_execution").observe(result.allocations)
+    if event_log is not None:
+        event_log.emit(
+            "execution",
+            app=result.app,
+            index=result.index,
+            seed=result.seed,
+            outcome=result.outcome,
+            attempts=result.attempts,
+            detected=result.detected,
+            detected_by_watchpoint=result.detected_by_watchpoint,
+            reports=[r.signature for r in result.reports],
+            new_evidence=list(result.new_evidence),
+            allocations=result.allocations,
+            watched_times=result.watched_times,
+            wall_ms=round(result.wall_seconds * 1e3, 3),
+            error=result.error,
+        )
+
+
+def _record_campaign(
+    metrics: MetricsRegistry,
+    pool: FleetPool,
+    aggregator: FleetAggregator,
+    event_log: Optional[JsonlEventLog],
+    app: str,
+) -> None:
+    metrics.counter("worker_crashes").inc(pool.crashes)
+    metrics.counter("worker_timeouts").inc(pool.timeouts)
+    metrics.counter("worker_retries").inc(pool.retries)
+    metrics.counter("reports_unique").inc(aggregator.unique_reports())
+    if event_log is None:
+        return
+    for entry in aggregator.reports():
+        event_log.emit(
+            "report",
+            app=app,
+            signature=entry.signature,
+            kind=entry.kind,
+            count=entry.count,
+            executions=entry.executions,
+            first_seen=entry.first_seen,
+            sources=dict(sorted(entry.sources.items())),
+        )
+    event_log.emit(
+        "campaign",
+        app=app,
+        executions=aggregator.executions,
+        detected=aggregator.executions_detected,
+        raw_reports=aggregator.raw_reports,
+        unique_reports=aggregator.unique_reports(),
+        dedup_ratio=round(aggregator.dedup_ratio, 4),
+    )

@@ -104,3 +104,47 @@ def test_summary_without_frames():
         allocation_context=report.allocation_context,
     )
     assert hex(report.fault_address) in bare.summary()
+
+
+def test_signature_stable_across_executions():
+    # Same program locations, different synthetic addresses/timestamps
+    # (a second execution): the signatures must collapse.
+    report, _ = build()
+    from dataclasses import replace
+
+    other = replace(
+        report,
+        fault_address=report.fault_address + 0x1000,
+        object_address=report.object_address + 0x1000,
+        thread_id=9,
+        time_ns=999_999,
+    )
+    assert report.signature() == other.signature()
+
+
+def test_signature_distinguishes_kind_and_contexts():
+    read_report, _ = build(kind=KIND_OVER_READ)
+    write_report, _ = build(kind=KIND_OVER_WRITE)
+    assert read_report.signature() != write_report.signature()
+    # A canary report of the same allocation context has no access
+    # context, so it aggregates separately from the watchpoint report.
+    canary = build(kind=KIND_OVER_WRITE, source=SOURCE_EXIT_CANARY)[0]
+    no_access = OverflowReport(
+        kind=canary.kind,
+        source=canary.source,
+        fault_address=canary.fault_address,
+        object_address=canary.object_address,
+        object_size=canary.object_size,
+        thread_id=canary.thread_id,
+        time_ns=canary.time_ns,
+        allocation_context=canary.allocation_context,
+    )
+    assert no_access.signature() != write_report.signature()
+    assert no_access.signature().endswith("access:-")
+
+
+def test_signature_uses_locations_not_addresses():
+    report, _ = build()
+    signature = report.signature()
+    assert "OPENSSL/crypto/mem.c:312" in signature
+    assert hex(report.fault_address) not in signature

@@ -1,0 +1,58 @@
+"""The fleet evidence store and its termination-unit interoperability."""
+
+import json
+import os
+
+from repro.core.termination import load_persisted
+from repro.fleet.evidence_store import EvidenceStore, TemporaryEvidenceStore
+
+
+def test_merge_counts_only_new(tmp_path):
+    store = EvidenceStore(str(tmp_path / "ev.json"))
+    assert store.merge({"a", "b"}) == 2
+    assert store.merge({"b", "c"}) == 1
+    assert store.merge({"a"}) == 0
+    assert store.snapshot() == {"a", "b", "c"}
+    assert "b" in store and len(store) == 3
+
+
+def test_store_survives_reload(tmp_path):
+    path = str(tmp_path / "ev.json")
+    EvidenceStore(path).merge({"sig1", "sig2"})
+    reloaded = EvidenceStore(path)
+    assert reloaded.snapshot() == {"sig1", "sig2"}
+
+
+def test_file_format_matches_termination_persistence(tmp_path):
+    path = str(tmp_path / "ev.json")
+    EvidenceStore(path).merge({"LIB/a.c:1|LIB/main.c:9"})
+    # The termination unit can read a store file directly...
+    assert load_persisted(path) == {"LIB/a.c:1|LIB/main.c:9"}
+    payload = json.load(open(path))
+    assert payload["version"] == 1
+    assert payload["contexts"] == ["LIB/a.c:1|LIB/main.c:9"]
+
+
+def test_no_write_when_nothing_new(tmp_path):
+    path = str(tmp_path / "ev.json")
+    store = EvidenceStore(path)
+    store.merge({"a"})
+    before = os.stat(path).st_mtime_ns
+    os.utime(path, ns=(before - 10_000_000, before - 10_000_000))
+    store.merge({"a"})
+    assert os.stat(path).st_mtime_ns < before
+
+
+def test_in_memory_store():
+    store = EvidenceStore()
+    assert store.merge({"a"}) == 1
+    assert store.path is None
+    assert store.snapshot() == {"a"}
+
+
+def test_temporary_store_cleans_up():
+    with TemporaryEvidenceStore() as store:
+        directory = os.path.dirname(store.path)
+        store.merge({"a"})
+        assert os.path.exists(store.path)
+    assert not os.path.exists(directory)

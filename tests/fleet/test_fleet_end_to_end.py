@@ -1,0 +1,102 @@
+"""End-to-end fleet campaigns: parallel run, aggregation, determinism."""
+
+import json
+
+from repro.fleet import (
+    EvidenceStore,
+    JsonlEventLog,
+    read_jsonl,
+    run_fleet,
+)
+
+EXECUTIONS = 8
+WORKERS = 2
+
+
+def small_campaign(seed_base=0, workers=WORKERS, **kwargs):
+    return run_fleet(
+        "libtiff",
+        executions=EXECUTIONS,
+        workers=workers,
+        seed_base=seed_base,
+        **kwargs,
+    )
+
+
+def test_parallel_campaign_detects_and_aggregates(tmp_path):
+    log = JsonlEventLog(str(tmp_path / "telemetry.jsonl"))
+    with log:
+        result = small_campaign(event_log=log)
+    aggregator = result.aggregator
+    assert aggregator.executions == EXECUTIONS
+    assert aggregator.executions_ok == EXECUTIONS
+    assert aggregator.executions_detected > 0
+    # libtiff raises a watchpoint and a canary report per execution:
+    # the fleet view collapses them to stable signatures.
+    assert aggregator.raw_reports > aggregator.unique_reports()
+    assert aggregator.dedup_ratio > 1.0
+    lo, hi = aggregator.detection_rate_interval()
+    assert 0.0 <= lo <= hi <= 1.0
+
+    events = read_jsonl(log.path)
+    kinds = [event["event"] for event in events]
+    assert kinds.count("execution") == EXECUTIONS
+    assert kinds.count("campaign") == 1
+    assert kinds.count("report") == aggregator.unique_reports()
+
+    counters = result.metrics.snapshot()["counters"]
+    assert counters["executions_run"] == EXECUTIONS
+    assert counters["reports_raised"] == aggregator.raw_reports
+    assert counters["watchpoint_arms"] > 0
+
+
+def test_aggregated_signatures_deterministic_for_fixed_seed():
+    first = small_campaign(seed_base=42)
+    second = small_campaign(seed_base=42)
+    as_bytes = lambda r: json.dumps(  # noqa: E731
+        r.aggregator.to_dict(), sort_keys=True
+    ).encode()
+    assert as_bytes(first) == as_bytes(second)
+
+
+def test_worker_count_does_not_change_results():
+    serial = small_campaign(workers=1)
+    parallel = small_campaign(workers=2)
+    assert serial.aggregator.to_dict() == parallel.aggregator.to_dict()
+    assert serial.detections == parallel.detections
+
+
+def test_shared_evidence_campaign_deterministic(tmp_path):
+    def run(out):
+        store = EvidenceStore(str(tmp_path / out))
+        return run_fleet(
+            "memcached",
+            executions=EXECUTIONS,
+            workers=WORKERS,
+            seed_base=7,
+            share_evidence=True,
+            evidence_store=store,
+        )
+
+    first = run("ev1.json")
+    second = run("ev2.json")
+    assert first.aggregator.to_dict() == second.aggregator.to_dict()
+    assert first.evidence == second.evidence
+
+
+def test_fleet_evidence_accelerates_detection():
+    # memcached's watchpoint-only detection rate is well below 100%;
+    # once any execution's canary uploads evidence, later waves watch
+    # the guilty context from their first allocation.
+    independent = run_fleet(
+        "memcached", executions=16, workers=WORKERS, seed_base=0
+    )
+    shared = run_fleet(
+        "memcached",
+        executions=16,
+        workers=WORKERS,
+        seed_base=0,
+        share_evidence=True,
+    )
+    assert sum(shared.detections) > sum(independent.detections)
+    assert len(shared.evidence) > 0

@@ -1,0 +1,112 @@
+"""The worker pool: fan-out, crash retry, timeouts, determinism."""
+
+import pytest
+
+from repro.fleet.pool import FleetPool, execute_spec
+from repro.fleet.specs import (
+    OUTCOME_CRASH,
+    OUTCOME_OK,
+    OUTCOME_TIMEOUT,
+    ExecutionSpec,
+)
+
+
+def specs_for(app, count, evidence=()):
+    return [
+        ExecutionSpec(app=app, seed=index, index=index, evidence=tuple(evidence))
+        for index in range(count)
+    ]
+
+
+def test_execute_spec_returns_plain_data():
+    result = execute_spec(ExecutionSpec(app="libtiff", seed=0, index=0))
+    assert result.outcome == OUTCOME_OK
+    assert result.detected
+    assert result.allocations > 0
+    assert result.reports and result.reports[0].signature.startswith("over-")
+    # Everything in the result must survive pickling (the upload path).
+    import pickle
+
+    assert pickle.loads(pickle.dumps(result)) == result
+
+
+def test_execute_spec_preloads_evidence():
+    baseline = execute_spec(ExecutionSpec(app="libtiff", seed=0, index=0))
+    assert baseline.new_evidence  # the canary observed the over-write
+    replay = execute_spec(
+        ExecutionSpec(
+            app="libtiff", seed=1, index=1, evidence=baseline.new_evidence
+        )
+    )
+    # Known-bad contexts are watched from the first allocation (§IV-B).
+    assert replay.detected_by_watchpoint
+
+
+def test_inline_pool_matches_direct_execution():
+    pool = FleetPool(workers=1)
+    results = pool.run(specs_for("libtiff", 3))
+    assert [r.index for r in results] == [0, 1, 2]
+    assert all(r.outcome == OUTCOME_OK for r in results)
+    direct = execute_spec(ExecutionSpec(app="libtiff", seed=1, index=1))
+    assert results[1].reports == direct.reports
+
+
+def test_parallel_pool_matches_inline(
+):
+    serial = FleetPool(workers=1).run(specs_for("libtiff", 4))
+    parallel = FleetPool(workers=2).run(specs_for("libtiff", 4))
+    assert [r.index for r in parallel] == [0, 1, 2, 3]
+    assert [r.reports for r in parallel] == [r.reports for r in serial]
+    assert [r.new_evidence for r in parallel] == [r.new_evidence for r in serial]
+
+
+def test_crashed_execution_is_retried_then_reported():
+    pool = FleetPool(workers=1)
+    bad = ExecutionSpec(app="no-such-app", seed=0, index=0)
+    results = pool.run([bad])
+    assert results[0].outcome == OUTCOME_CRASH
+    assert results[0].attempts == 2  # retried once
+    assert "no-such-app" in results[0].error
+    assert pool.retries == 1
+
+
+def test_one_bad_spec_never_kills_the_campaign():
+    pool = FleetPool(workers=2)
+    specs = [
+        ExecutionSpec(app="libtiff", seed=0, index=0),
+        ExecutionSpec(app="no-such-app", seed=1, index=1),
+        ExecutionSpec(app="libtiff", seed=2, index=2),
+    ]
+    results = pool.run(specs)
+    assert [r.index for r in results] == [0, 1, 2]
+    assert results[0].outcome == OUTCOME_OK
+    assert results[1].outcome == OUTCOME_CRASH
+    assert results[2].outcome == OUTCOME_OK
+
+
+def test_retry_can_be_disabled():
+    pool = FleetPool(workers=1, retry_crashed=False)
+    results = pool.run([ExecutionSpec(app="no-such-app", seed=0, index=0)])
+    assert results[0].outcome == OUTCOME_CRASH
+    assert results[0].attempts == 1
+    assert pool.retries == 0
+
+
+def test_timeout_marks_execution_not_campaign():
+    # A timeout far below one execution's wall time: the execution is
+    # recorded as timed out, and the campaign still returns a result
+    # for every spec.
+    pool = FleetPool(workers=2, timeout_seconds=1e-5)
+    results = pool.run(specs_for("libtiff", 2))
+    assert len(results) == 2
+    assert results[0].outcome == OUTCOME_TIMEOUT
+    assert pool.timeouts >= 1
+
+
+def test_rejects_negative_workers():
+    with pytest.raises(ValueError):
+        FleetPool(workers=-1)
+
+
+def test_empty_spec_list():
+    assert FleetPool(workers=2).run([]) == []

@@ -1,0 +1,93 @@
+"""Telemetry: counters, histograms, JSONL round-trip."""
+
+import pytest
+
+from repro.fleet.telemetry import (
+    Counter,
+    Histogram,
+    JsonlEventLog,
+    MetricsRegistry,
+    read_jsonl,
+)
+
+
+def test_counter_increments():
+    counter = Counter("executions")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+
+
+def test_counter_rejects_decrease():
+    with pytest.raises(ValueError):
+        Counter("x").inc(-1)
+
+
+def test_histogram_summary():
+    histogram = Histogram("wall_ms")
+    for value in (1.0, 2.0, 3.0, 4.0):
+        histogram.observe(value)
+    summary = histogram.summary()
+    assert summary["count"] == 4
+    assert summary["mean"] == 2.5
+    assert summary["min"] == 1.0
+    assert summary["max"] == 4.0
+    assert summary["p50"] == 2.0
+
+
+def test_histogram_percentiles():
+    histogram = Histogram("x")
+    for value in range(1, 101):
+        histogram.observe(value)
+    assert histogram.percentile(50) == 50
+    assert histogram.percentile(95) == 95
+    assert histogram.percentile(100) == 100
+    with pytest.raises(ValueError):
+        histogram.percentile(101)
+
+
+def test_empty_histogram():
+    histogram = Histogram("x")
+    assert histogram.summary() == {"count": 0}
+    assert histogram.percentile(50) == 0.0
+
+
+def test_registry_reuses_instruments():
+    registry = MetricsRegistry()
+    registry.counter("a").inc()
+    registry.counter("a").inc()
+    registry.histogram("h").observe(1)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == {"a": 2}
+    assert snapshot["histograms"]["h"]["count"] == 1
+
+
+def test_jsonl_round_trip(tmp_path):
+    path = str(tmp_path / "telemetry.jsonl")
+    with JsonlEventLog(path) as log:
+        log.emit("execution", index=0, detected=True)
+        log.emit("report", signature="s", count=3)
+    events = read_jsonl(path)
+    assert events == [
+        {"event": "execution", "index": 0, "detected": True},
+        {"event": "report", "signature": "s", "count": 3},
+    ]
+
+
+def test_jsonl_append_and_malformed_lines(tmp_path):
+    path = str(tmp_path / "telemetry.jsonl")
+    with JsonlEventLog(path) as log:
+        log.emit("a")
+    with open(path, "a") as handle:
+        handle.write("not json\n")
+    with JsonlEventLog(path) as log:  # append mode: earlier events survive
+        log.emit("b")
+    events = read_jsonl(path)
+    assert [e["event"] for e in events] == ["a", "b"]
+
+
+def test_in_memory_event_log():
+    log = JsonlEventLog()
+    log.emit("x", value=1)
+    assert log.buffered() == [{"event": "x", "value": 1}]
+    assert log.events_written == 1

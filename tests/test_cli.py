@@ -79,3 +79,52 @@ def test_version(capsys):
     with pytest.raises(SystemExit) as excinfo:
         main(["--version"])
     assert excinfo.value.code == 0
+
+
+def test_fleet_campaign_cli(tmp_path, capsys):
+    out_dir = tmp_path / "fleet"
+    assert (
+        main(
+            [
+                "fleet",
+                "--app",
+                "libtiff",
+                "--executions",
+                "4",
+                "--workers",
+                "1",
+                "--out",
+                str(out_dir),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Fleet campaign" in out
+    assert "95% CI" in out
+    assert "dedup=" in out
+    assert (out_dir / "aggregate.json").exists()
+    assert (out_dir / "telemetry.jsonl").exists()
+
+
+def test_fleet_share_evidence_writes_store(tmp_path, capsys):
+    out_dir = tmp_path / "fleet"
+    assert (
+        main(
+            [
+                "fleet",
+                "--app",
+                "memcached",
+                "--executions",
+                "6",
+                "--workers",
+                "1",
+                "--share-evidence",
+                "--out",
+                str(out_dir),
+            ]
+        )
+        == 0
+    )
+    assert "evidence store" in capsys.readouterr().out
+    assert (out_dir / "evidence.json").exists()
