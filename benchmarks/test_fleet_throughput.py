@@ -9,6 +9,8 @@ the assertion is on correctness (identical aggregated results) and on
 parallel overhead staying bounded, not on a mandatory speedup.
 """
 
+import json
+import pathlib
 import time
 
 from conftest import once
@@ -18,6 +20,8 @@ from repro.fleet import run_fleet
 
 APP = "libtiff"
 EXECUTIONS = 32
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 
 def _timed_fleet(workers: int):
@@ -53,6 +57,33 @@ def test_fleet_throughput(benchmark, artifact):
         f"(dedup {serial.aggregator.dedup_ratio:.1f}x)",
     ]
     artifact("fleet_throughput.txt", "\n".join(lines))
+
+    payload = {
+        "benchmark": "fleet",
+        "app": APP,
+        "executions": EXECUTIONS,
+        "serial": {
+            "workers": 1,
+            "seconds": round(serial_s, 3),
+            "execs_per_sec": round(EXECUTIONS / serial_s, 2),
+        },
+        "parallel": {
+            "workers": 2,
+            "seconds": round(parallel_s, 3),
+            "execs_per_sec": round(EXECUTIONS / parallel_s, 2),
+        },
+        "speedup_parallel_vs_serial": round(speedup, 2),
+        "detection": {
+            "detected": hits,
+            "executions": EXECUTIONS,
+            "wilson_95": [round(lo, 4), round(hi, 4)],
+        },
+        "unique_reports": serial.aggregator.unique_reports(),
+        "identical_results_across_workers": True,
+    }
+    (REPO_ROOT / "BENCH_fleet.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
 
     # The process pool must not catastrophically regress the campaign
     # even on one core (fork + pickling overhead stays bounded).

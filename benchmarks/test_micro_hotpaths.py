@@ -7,13 +7,26 @@ store, and ASan's shadow check.  These put real Python numbers next to
 the modelled nanosecond costs.
 """
 
+import json
+import pathlib
+import time
+
 import pytest
+
+from conftest import once
 
 from repro.asan.shadow import ShadowMemory, TAG_REDZONE
 from repro.callstack.contexts import ContextInterner
 from repro.callstack.frames import CallSite, CallStack
 from repro.core import CSODConfig, CSODRuntime
 from repro.workloads.base import SimProcess
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+# malloc/free pairs per second measured at the seed commit (efb266e) on
+# the reference container, 20k-iteration best-of-five.  The recorded
+# speedup in BENCH_hotpath.json is relative to this number.
+SEED_BASELINE_OPS_PER_SEC = 15_543
 
 
 @pytest.fixture
@@ -84,6 +97,83 @@ def test_shadow_check_clean(benchmark):
     shadow.poison(0x2000, 16, TAG_REDZONE)
 
     benchmark(lambda: shadow.check(0x1000, 8))
+
+
+def _percentile(sorted_ns, fraction):
+    if not sorted_ns:
+        return 0
+    index = min(len(sorted_ns) - 1, int(fraction * len(sorted_ns)))
+    return sorted_ns[index]
+
+
+def _stats(times_ns):
+    ordered = sorted(times_ns)
+    total = sum(ordered)
+    return {
+        "samples": len(ordered),
+        "ops_per_sec": round(1e9 * len(ordered) / total, 1) if total else 0.0,
+        "mean_ns": round(total / len(ordered), 1),
+        "p50_ns": _percentile(ordered, 0.50),
+        "p95_ns": _percentile(ordered, 0.95),
+    }
+
+
+def test_emit_hotpath_bench_json(benchmark, csod_process, artifact):
+    """Machine-readable hot-path numbers, written to BENCH_hotpath.json.
+
+    Times every interposed malloc/free pair individually so the JSON can
+    report p50/p95 per-allocation cost, and records the speedup against
+    the per-pair throughput recorded at the seed commit.
+    """
+    process, _csod = csod_process
+    thread = process.main_thread
+    heap = process.heap
+    interner = ContextInterner()
+    stack = CallStack()
+    stack.push(CallSite("BENCH", "a.c", 1, "main"))
+    stack.push(CallSite("BENCH", "b.c", 2, "alloc"))
+    interner.intern(stack)
+
+    def sample_pairs(count):
+        times = []
+        clock = time.perf_counter_ns
+        for _ in range(count):
+            start = clock()
+            address = heap.malloc(thread, 64)
+            heap.free(thread, address)
+            times.append(clock() - start)
+        return times
+
+    def sample_intern_hits(count):
+        times = []
+        clock = time.perf_counter_ns
+        for _ in range(count):
+            start = clock()
+            interner.intern(stack)
+            times.append(clock() - start)
+        return times
+
+    sample_pairs(2_000)  # warm-up
+    pair_times, hit_times = once(
+        benchmark, lambda: (sample_pairs(12_000), sample_intern_hits(12_000))
+    )
+    pair_stats = _stats(pair_times)
+    payload = {
+        "benchmark": "hotpath",
+        "workload": "interposed 64-byte malloc/free pair, evidence on",
+        "baseline_ops_per_sec": SEED_BASELINE_OPS_PER_SEC,
+        "speedup_vs_baseline": round(
+            pair_stats["ops_per_sec"] / SEED_BASELINE_OPS_PER_SEC, 2
+        ),
+        "results": {
+            "malloc_free_pair": pair_stats,
+            "context_intern_hit": _stats(hit_times),
+        },
+    }
+    text = json.dumps(payload, indent=2)
+    (REPO_ROOT / "BENCH_hotpath.json").write_text(text + "\n")
+    artifact("BENCH_hotpath.json", text)
+    assert pair_stats["ops_per_sec"] > 0
 
 
 def test_abstract_model_run(benchmark):

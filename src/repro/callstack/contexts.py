@@ -21,7 +21,7 @@ from repro.callstack.backtrace import Backtracer
 from repro.callstack.frames import CallStack, Frame
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ContextKey:
     """(first-level return address, stack offset) — the cheap identifier."""
 
@@ -32,7 +32,7 @@ class ContextKey:
         return f"key(ra={self.first_level_ra:#x}, sp_off={self.stack_offset})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CallingContext:
     """A full allocation calling context (innermost first)."""
 
@@ -73,9 +73,27 @@ class ContextInterner:
         first_ra = caller.return_address if caller else 0
         return ContextKey(first_level_ra=first_ra, stack_offset=stack.stack_offset)
 
+    def charge_peek(self, stack: CallStack) -> Optional[Frame]:
+        """One charged return-address peek, leaving key assembly to the caller.
+
+        The sampling unit's hot path derives the cheap key components from
+        the returned frame without constructing a :class:`ContextKey` when
+        its thread-local cache will answer anyway; the simulated peek cost
+        is identical to :meth:`key_for`.
+        """
+        return self._backtracer.peek_caller(stack, level=0)
+
     def intern(self, stack: CallStack) -> Tuple[ContextKey, CallingContext]:
         """Return (key, context) for the live stack, interning on miss."""
         key = self.key_for(stack)
+        return key, self.intern_keyed(key, stack)
+
+    def intern_keyed(self, key: ContextKey, stack: CallStack) -> CallingContext:
+        """Intern against a key the caller already computed.
+
+        Lets the sampling unit's hot path compute the cheap key once and
+        reuse it for both its thread-local cache probe and the intern.
+        """
         context = self._table.get(key)
         if context is None:
             self.misses += 1
@@ -86,10 +104,14 @@ class ContextInterner:
             )
             self._table[key] = context
         else:
-            self.hits += 1
-            if context.depth != stack.depth:
-                self.collisions_possible += 1
-        return key, context
+            self.note_hit(context, stack)
+        return context
+
+    def note_hit(self, context: CallingContext, stack: CallStack) -> None:
+        """Book a hit (also used when a cache above this table hits)."""
+        self.hits += 1
+        if context.depth != stack.depth:
+            self.collisions_possible += 1
 
     def lookup(self, key: ContextKey) -> Optional[CallingContext]:
         return self._table.get(key)

@@ -28,7 +28,7 @@ def _next_return_address() -> int:
     return _TEXT_BASE + next(_site_counter) * _SITE_STRIDE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CallSite:
     """A static call site in a (simulated) binary or library."""
 
@@ -53,7 +53,7 @@ class CallSite:
         return self.location()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Frame:
     """A dynamic activation of a call site."""
 
@@ -69,6 +69,8 @@ class Frame:
 
 class CallStack:
     """A thread's stack of active frames, innermost last."""
+
+    __slots__ = ("_frames", "_offset")
 
     def __init__(self):
         self._frames: List[Frame] = []
@@ -142,6 +144,8 @@ class CallStack:
 
 class _FrameGuard:
     """``with stack.calling(site):`` pushes/pops around the body."""
+
+    __slots__ = ("_stack", "_site")
 
     def __init__(self, stack: CallStack, site: CallSite):
         self._stack = stack

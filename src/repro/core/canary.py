@@ -35,7 +35,7 @@ CANARY_SET_COST_NS = 50
 CANARY_CHECK_COST_NS = 70
 
 
-@dataclass
+@dataclass(slots=True)
 class LiveObject:
     """Registry entry for one live evidence-wrapped object."""
 

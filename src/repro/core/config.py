@@ -12,7 +12,7 @@ All probabilities are stored as fractions (the paper writes percent):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.errors import CSODError
@@ -103,10 +103,10 @@ class CSODConfig:
 
     def without_evidence(self) -> "CSODConfig":
         """The "CSOD w/o Evidence" configuration of Fig. 7."""
-        return CSODConfig(
-            **{**self.__dict__, "evidence_enabled": False, "persistence_path": None}
-        )
+        # dataclasses.replace re-runs __init__, so subclasses with
+        # non-init (derived) fields still clone correctly.
+        return replace(self, evidence_enabled=False, persistence_path=None)
 
     def with_policy(self, policy: ReplacementPolicyName) -> "CSODConfig":
         """The same configuration under a different replacement policy."""
-        return CSODConfig(**{**self.__dict__, "replacement_policy": policy})
+        return replace(self, replacement_policy=policy)

@@ -65,6 +65,19 @@ class ContextHashTable(Generic[V]):
         index = self._find(bucket, key)
         return bucket[index][1] if index >= 0 else None
 
+    def charge_hit(self) -> None:
+        """Charge a lookup that a cache above the table answered.
+
+        The real CSOD still pays the hash + lock + one chain step on
+        every allocation; a caller that short-circuits the Python-level
+        walk must keep the simulated cost model (and the clock it
+        drives) identical, so the same ledger event and bookkeeping are
+        recorded here.
+        """
+        self._ledger.record(EVENT_CONTEXT_LOOKUP, nanos_each=LOOKUP_COST_NS)
+        self.lock_acquisitions += 1
+        self.chain_walk_steps += 1
+
     def put(self, key: ContextKey, value: V) -> None:
         """Insert or replace under the bucket lock."""
         self.lock_acquisitions += 1

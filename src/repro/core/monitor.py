@@ -69,7 +69,7 @@ class AllocDeallocMonitoringUnit:
     # ------------------------------------------------------------------
     def malloc(self, thread: SimThread, size: int) -> int:
         self.allocation_count += 1
-        record = self._sampling.on_allocation(thread.call_stack)
+        record = self._sampling.on_allocation(thread.call_stack, thread.tid)
         if self._config.evidence_enabled:
             object_address = self._canary.wrap_allocation(thread, size, record)
         else:
@@ -79,7 +79,7 @@ class AllocDeallocMonitoringUnit:
 
     def memalign(self, thread: SimThread, alignment: int, size: int) -> int:
         self.allocation_count += 1
-        record = self._sampling.on_allocation(thread.call_stack)
+        record = self._sampling.on_allocation(thread.call_stack, thread.tid)
         if self._config.evidence_enabled:
             object_address = self._canary.wrap_memalign(
                 thread, alignment, size, record
@@ -118,6 +118,13 @@ class AllocDeallocMonitoringUnit:
         # will be removed."
         self._wmu.on_deallocation(address)
         if not self._config.evidence_enabled:
+            self._raw.free(thread, address)
+            return
+        if self._canary.lookup(address) is None:
+            # Not a CSOD-wrapped object: allocated before interposition
+            # was enabled (or by a bypassing allocator).  The real
+            # runtime's identifier check falls through to the underlying
+            # free; crashing here would take the application down.
             self._raw.free(thread, address)
             return
         entry, corrupted = self._canary.check_object(address)

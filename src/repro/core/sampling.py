@@ -16,12 +16,19 @@ the global hash table and adapts its watch probability online:
   to 0.01% after a period, partially handling input-dependent bugs;
 * **evidence boost** (§IV-B) — a context with observed overflow evidence
   is pinned at 100%.
+
+``on_allocation`` runs on *every* interposed allocation, so the unit
+keeps a one-entry per-thread (key → record) cache: repeated allocations
+from the same site skip the global hash-table walk entirely while still
+charging the simulated lookup cost, and all config-derived constants
+(the throttle window and revive period in nanoseconds, the probability
+bounds) are precomputed at construction instead of per call.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Set, Tuple
 
 from repro.callstack.contexts import CallingContext, ContextInterner, ContextKey
 from repro.core.config import CSODConfig
@@ -30,7 +37,7 @@ from repro.core.rng import PerThreadRNG
 from repro.machine.clock import NANOS_PER_SECOND, VirtualClock
 
 
-@dataclass
+@dataclass(slots=True)
 class ContextRecord:
     """Mutable per-context sampling state."""
 
@@ -75,6 +82,20 @@ class SamplingManagementUnit:
         # to overflow; applied when the context is first seen.
         self._known_bad_signatures: Set[str] = set()
         self.total_allocations_seen = 0
+        # Hot-path constants, hoisted out of the per-allocation rules.
+        self._floor = config.floor_probability
+        self._degradation_per_alloc = config.degradation_per_alloc
+        self._throttle_threshold = config.throttle_alloc_threshold
+        self._throttle_probability = config.throttle_probability
+        self._window_ns = int(config.throttle_window_seconds * NANOS_PER_SECOND)
+        self._revive_period_ns = int(
+            config.revive_period_seconds * NANOS_PER_SECOND
+        )
+        # One-entry (key → record) cache per thread.  A key's record is
+        # created exactly once and never replaced, so entries can never
+        # go stale; the cache only short-circuits the Python-level table
+        # walk — the simulated lookup cost is still charged.
+        self._thread_cache: Dict[int, Tuple[int, int, ContextRecord]] = {}
 
     # ------------------------------------------------------------------
     # Persisted evidence
@@ -86,28 +107,57 @@ class SamplingManagementUnit:
     # ------------------------------------------------------------------
     # Hot path
     # ------------------------------------------------------------------
-    def on_allocation(self, stack) -> ContextRecord:
+    def on_allocation(self, stack, tid: int = 0) -> ContextRecord:
         """Intern the current context and apply per-allocation rules.
 
         Called by the monitoring unit on *every* allocation, watched or
-        not.
+        not.  ``tid`` is the allocating thread; it selects the one-entry
+        cache slot and the RNG stream the revive draw consumes.
         """
-        key, context = self._interner.intern(stack)
-        record = self._table.get(key)
-        if record is None:
-            record = self._new_record(key, context)
-            self._table.put(key, record)
+        interner = self._interner
+        # The cheap key (§III-A1): one return-address peek + the live
+        # stack offset.  Decomposed into its two ints so a cache hit
+        # never constructs a ContextKey object.
+        frame = interner.charge_peek(stack)
+        first_ra = frame.return_address if frame is not None else 0
+        offset = stack.stack_offset
+        cached = self._thread_cache.get(tid)
+        if (
+            cached is not None
+            and cached[0] == first_ra
+            and cached[1] == offset
+        ):
+            record = cached[2]
+            interner.note_hit(record.context, stack)
+            self._table.charge_hit()
+        else:
+            key = ContextKey(first_level_ra=first_ra, stack_offset=offset)
+            context = interner.intern_keyed(key, stack)
+            record = self._table.get(key)
+            if record is None:
+                record = self._new_record(key, context)
+                self._table.put(key, record)
+            self._thread_cache[tid] = (first_ra, offset, record)
         self.total_allocations_seen += 1
         record.allocation_count += 1
-        if not record.pinned():
+        if not record.overflow_observed:
             self._degrade_on_allocation(record)
             self._update_throttle(record)
-            self._maybe_revive(record)
+            self._maybe_revive(record, tid)
         return record
 
     def should_watch(self, record: ContextRecord, tid: int) -> bool:
         """One probabilistic draw against the context's probability."""
-        probability = self.effective_probability(record)
+        # Inlined effective_probability: pinned contexts always watch,
+        # and un-throttled contexts (the fast, overwhelmingly common
+        # case — every floor-probability context included) go straight
+        # to the stored probability without any further rule checks.
+        if record.overflow_observed:
+            return True
+        if record.throttled_until_ns > self._clock.now_ns:
+            probability = self._throttle_probability
+        else:
+            probability = record.probability
         if probability >= 1.0:
             return True
         return self._rng.uniform(tid) < probability
@@ -115,7 +165,7 @@ class SamplingManagementUnit:
     def on_watched(self, record: ContextRecord) -> None:
         """Degradation after each watch: halve the probability."""
         record.watch_count += 1
-        if record.pinned():
+        if record.overflow_observed:
             return
         record.probability = self._clamp(
             record.probability * self._config.watch_degradation_factor, record
@@ -132,10 +182,10 @@ class SamplingManagementUnit:
     # ------------------------------------------------------------------
     def effective_probability(self, record: ContextRecord) -> float:
         """The probability a draw is made against, honouring throttles."""
-        if record.pinned():
+        if record.overflow_observed:
             return 1.0
         if record.throttled_until_ns > self._clock.now_ns:
-            return self._config.throttle_probability
+            return self._throttle_probability
         return record.probability
 
     # ------------------------------------------------------------------
@@ -151,45 +201,46 @@ class SamplingManagementUnit:
         return record
 
     def _degrade_on_allocation(self, record: ContextRecord) -> None:
-        record.probability = self._clamp(
-            record.probability - self._config.degradation_per_alloc, record
-        )
+        probability = record.probability - self._degradation_per_alloc
+        floor = self._floor
+        record.probability = floor if probability < floor else probability
 
     def _update_throttle(self, record: ContextRecord) -> None:
         now = self._clock.now_ns
-        window_ns = int(self._config.throttle_window_seconds * NANOS_PER_SECOND)
+        window_ns = self._window_ns
         if now - record.window_start_ns > window_ns:
             record.window_start_ns = now
             record.window_alloc_count = 0
         record.window_alloc_count += 1
         if (
-            record.window_alloc_count > self._config.throttle_alloc_threshold
+            record.window_alloc_count > self._throttle_threshold
             and record.throttled_until_ns <= now
         ):
             # Throttle until the current window elapses; afterwards the
             # probability returns to the lower bound (§III-B2).
             record.throttled_until_ns = record.window_start_ns + window_ns
-            record.probability = self._config.floor_probability
+            record.probability = self._floor
 
-    def _maybe_revive(self, record: ContextRecord) -> None:
-        if record.probability > self._config.floor_probability:
+    def _maybe_revive(self, record: ContextRecord, tid: int = 0) -> None:
+        if record.probability > self._floor:
             record.floor_since_ns = -1
             return
         now = self._clock.now_ns
         if record.floor_since_ns < 0:
             record.floor_since_ns = now
             return
-        period_ns = int(self._config.revive_period_seconds * NANOS_PER_SECOND)
-        if now - record.floor_since_ns < period_ns:
+        if now - record.floor_since_ns < self._revive_period_ns:
             return
         # Random boost: a fraction of floor-bound contexts come back to
-        # 0.01% so input-dependent bugs stay reachable (§IV-A).
+        # 0.01% so input-dependent bugs stay reachable (§IV-A).  The
+        # draw comes from the *allocating thread's* stream — consuming
+        # thread 0's stream here would corrupt per-thread determinism.
         record.floor_since_ns = now
-        if self._rng.uniform(tid=0) < self._config.revive_chance:
+        if self._rng.uniform(tid) < self._config.revive_chance:
             record.probability = self._config.revive_probability
 
     def _clamp(self, probability: float, record: ContextRecord) -> float:
-        floor = self._config.floor_probability
+        floor = self._floor
         return max(floor, min(1.0, probability))
 
     # ------------------------------------------------------------------

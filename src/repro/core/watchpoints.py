@@ -44,7 +44,7 @@ from repro.machine.syscall_cost import (
 from repro.machine.threads import SimThread, ThreadRegistry
 
 
-@dataclass
+@dataclass(slots=True)
 class WatchedObject:
     """Everything CSOD tracks for one watched heap object."""
 

@@ -21,6 +21,7 @@ set of semantics with the parallel fleet.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
@@ -54,7 +55,9 @@ def execute_spec(spec: ExecutionSpec) -> ExecutionResult:
     # Workers must not write evidence files of their own.
     config = spec.config
     if config.persistence_path is not None:
-        config = CSODConfig(**{**config.__dict__, "persistence_path": None})
+        # dataclasses.replace keeps the config's own type and re-runs
+        # __init__, so configs with derived (non-init) fields survive.
+        config = dataclasses.replace(config, persistence_path=None)
     app = app_for(spec.app)
     process = SimProcess(seed=spec.seed)
     runtime = CSODRuntime(process.machine, process.heap, config, seed=spec.seed)
@@ -117,6 +120,7 @@ class FleetPool:
         self.crashes = 0
         self.timeouts = 0
         self.retries = 0
+        self.executor_rebuilds = 0
 
     # ------------------------------------------------------------------
     # Entry point
@@ -160,26 +164,56 @@ class FleetPool:
                 # own executions (crash + retry), not the whole campaign.
                 pass
         results: dict = {}
-        pending = specs
+        # Submission is a sliding window of ``workers`` specs, so every
+        # submitted spec starts executing immediately and its deadline —
+        # measured from *submission*, not from when the coordinator gets
+        # around to waiting on it — bounds its own wall time.  The old
+        # implementation submitted everything up front and measured each
+        # timeout from the start of its wait, which gave later specs an
+        # effectively unbounded allowance (and ``future.cancel()`` on a
+        # running future is a no-op, so a hung worker lingered forever).
+        waiting: List[ExecutionSpec] = list(specs)
+        in_flight: List[tuple] = []  # (spec, future, deadline) in submit order
         executor = ProcessPoolExecutor(max_workers=self.workers)
+        broken = False
         try:
-            futures = {spec.index: executor.submit(execute_spec, spec) for spec in pending}
-            broken = False
-            for spec in pending:
-                future = futures[spec.index]
+            while waiting or in_flight:
+                while waiting and len(in_flight) < self.workers:
+                    spec = waiting.pop(0)
+                    deadline = (
+                        time.monotonic() + self.timeout_seconds
+                        if self.timeout_seconds is not None
+                        else None
+                    )
+                    in_flight.append(
+                        (spec, executor.submit(execute_spec, spec), deadline)
+                    )
+                spec, future, deadline = in_flight.pop(0)
                 try:
-                    result = future.result(timeout=self.timeout_seconds)
+                    remaining = (
+                        max(0.0, deadline - time.monotonic())
+                        if deadline is not None
+                        else None
+                    )
+                    result = future.result(timeout=remaining)
                     result.attempts = 1
                     results[spec.index] = result
                 except FutureTimeout:
                     self.timeouts += 1
-                    future.cancel()
                     results[spec.index] = self._failed(
                         spec,
                         OUTCOME_TIMEOUT,
                         attempts=1,
                         error=f"execution exceeded {self.timeout_seconds}s",
                     )
+                    # A running future cannot be cancelled: the hung
+                    # worker must be killed and the pool rebuilt.  The
+                    # executions lost with the old pool restart on the
+                    # new one — execute_spec is deterministic per seed,
+                    # so re-running them changes nothing.
+                    executor = self._rebuild(executor)
+                    waiting = [entry[0] for entry in in_flight] + waiting
+                    in_flight = []
                 except BrokenProcessPool:
                     broken = True
                     break
@@ -194,20 +228,34 @@ class FleetPool:
                         )
             if broken:
                 # The pool died (a worker was killed outright); every
-                # unfinished spec gets one deterministic inline retry.
-                for spec in pending:
-                    if spec.index not in results:
-                        self.crashes += 1
-                        if self.retry_crashed:
-                            self.retries += 1
-                            results[spec.index] = self._run_inline(spec, attempts=2)
-                        else:
-                            results[spec.index] = self._failed(
-                                spec, OUTCOME_CRASH, 1, "worker pool broke"
-                            )
+                # submitted-but-unfinished spec gets one deterministic
+                # inline retry, and never-submitted specs run inline.
+                for spec, _, _ in in_flight:
+                    self.crashes += 1
+                    if self.retry_crashed:
+                        self.retries += 1
+                        results[spec.index] = self._run_inline(spec, attempts=2)
+                    else:
+                        results[spec.index] = self._failed(
+                            spec, OUTCOME_CRASH, 1, "worker pool broke"
+                        )
+                for spec in waiting:
+                    results[spec.index] = self._run_inline(spec)
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
         return [results[spec.index] for spec in specs]
+
+    def _rebuild(self, executor: ProcessPoolExecutor) -> ProcessPoolExecutor:
+        """Kill a pool with a hung worker and hand back a fresh one."""
+        self.executor_rebuilds += 1
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # noqa: BLE001 — already-dead workers are fine
+                pass
+        executor.shutdown(wait=False, cancel_futures=True)
+        return ProcessPoolExecutor(max_workers=self.workers)
 
     @staticmethod
     def _failed(

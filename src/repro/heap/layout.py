@@ -32,8 +32,11 @@ _SIZE_OFFSET = 8
 _CONTEXT_PTR_OFFSET = 16
 _IDENTIFIER_OFFSET = 24
 
+_WORD_MASK = (1 << 64) - 1
+_IDENTIFIER_BYTES = HEADER_IDENTIFIER.to_bytes(8, "little")
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class ObjectHeader:
     """Decoded header fields for one CSOD-managed object."""
 
@@ -64,22 +67,31 @@ def write_header(
     object_size: int,
     context_ptr: int,
 ) -> None:
-    """Serialize a header into the 32 bytes before the object."""
+    """Serialize a header into the 32 bytes before the object.
+
+    All four words are emitted in one contiguous store: the header is one
+    cache line on the modelled hardware, and one ``write_bytes`` pays one
+    mapping check instead of four.
+    """
     base = header_address(object_address)
-    memory.write_word(base + _REAL_PTR_OFFSET, real_object_ptr)
-    memory.write_word(base + _SIZE_OFFSET, object_size)
-    memory.write_word(base + _CONTEXT_PTR_OFFSET, context_ptr)
-    memory.write_word(base + _IDENTIFIER_OFFSET, HEADER_IDENTIFIER)
+    mask = _WORD_MASK
+    memory.write_bytes(
+        base,
+        (real_object_ptr & mask).to_bytes(8, "little")
+        + (object_size & mask).to_bytes(8, "little")
+        + (context_ptr & mask).to_bytes(8, "little")
+        + _IDENTIFIER_BYTES,
+    )
 
 
 def read_header(memory: AddressSpace, object_address: int) -> ObjectHeader:
     """Deserialize the header preceding ``object_address``."""
-    base = header_address(object_address)
+    raw = memory.read_bytes(header_address(object_address), CSOD_HEADER_SIZE)
     return ObjectHeader(
-        real_object_ptr=memory.read_word(base + _REAL_PTR_OFFSET),
-        object_size=memory.read_word(base + _SIZE_OFFSET),
-        context_ptr=memory.read_word(base + _CONTEXT_PTR_OFFSET),
-        identifier=memory.read_word(base + _IDENTIFIER_OFFSET),
+        real_object_ptr=int.from_bytes(raw[0:8], "little"),
+        object_size=int.from_bytes(raw[8:16], "little"),
+        context_ptr=int.from_bytes(raw[16:24], "little"),
+        identifier=int.from_bytes(raw[24:32], "little"),
     )
 
 

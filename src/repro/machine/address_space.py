@@ -20,6 +20,7 @@ from repro.errors import MachineError, SegmentationFault
 PAGE_SIZE = 4096
 _PAGE_SHIFT = 12
 _ADDRESS_LIMIT = 1 << 48  # canonical user-space addresses
+_WORD_MASK = (1 << 64) - 1
 
 
 @dataclass(frozen=True)
@@ -47,6 +48,11 @@ class AddressSpace:
     def __init__(self):
         self._regions: List[MappedRegion] = []
         self._pages: Dict[int, bytearray] = {}
+        # Last region that satisfied a lookup.  Heap traffic is heavily
+        # concentrated in one arena, so this one-entry cache removes the
+        # linear region scan from nearly every access; it is invalidated
+        # whenever the mapping changes.
+        self._hot_region: Optional[MappedRegion] = None
 
     # ------------------------------------------------------------------
     # Mapping
@@ -68,6 +74,7 @@ class AddressSpace:
                 )
         self._regions.append(region)
         self._regions.sort(key=lambda r: r.start)
+        self._hot_region = None
         return region
 
     def unmap_region(self, start: int) -> None:
@@ -75,6 +82,7 @@ class AddressSpace:
         for i, region in enumerate(self._regions):
             if region.start == start:
                 del self._regions[i]
+                self._hot_region = None
                 self._drop_pages(region)
                 return
         raise MachineError(f"no region mapped at {start:#x}")
@@ -96,8 +104,12 @@ class AddressSpace:
 
     def region_at(self, address: int) -> Optional[MappedRegion]:
         """The region containing ``address``, or None."""
+        hot = self._hot_region
+        if hot is not None and hot.start <= address < hot.start + hot.size:
+            return hot
         for region in self._regions:
             if region.contains(address):
+                self._hot_region = region
                 return region
         return None
 
@@ -109,6 +121,9 @@ class AddressSpace:
         """
         if size <= 0:
             return False
+        hot = self._hot_region
+        if hot is not None and hot.start <= address and address + size <= hot.start + hot.size:
+            return True
         cursor = address
         end = address + size
         while cursor < end:
@@ -169,10 +184,38 @@ class AddressSpace:
 
     def write_word(self, address: int, value: int) -> None:
         """Store a 64-bit little-endian word."""
-        self.write_bytes(address, (value & (2**64 - 1)).to_bytes(8, "little"))
+        # Fast path: the word lies inside the hot region and one page.
+        hot = self._hot_region
+        if (
+            hot is not None
+            and hot.start <= address
+            and address + 8 <= hot.start + hot.size
+            and (address & (PAGE_SIZE - 1)) <= PAGE_SIZE - 8
+        ):
+            page_index = address >> _PAGE_SHIFT
+            page = self._pages.get(page_index)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._pages[page_index] = page
+            in_page = address & (PAGE_SIZE - 1)
+            page[in_page : in_page + 8] = (value & _WORD_MASK).to_bytes(8, "little")
+            return
+        self.write_bytes(address, (value & _WORD_MASK).to_bytes(8, "little"))
 
     def read_word(self, address: int) -> int:
         """Load a 64-bit little-endian word."""
+        hot = self._hot_region
+        if (
+            hot is not None
+            and hot.start <= address
+            and address + 8 <= hot.start + hot.size
+            and (address & (PAGE_SIZE - 1)) <= PAGE_SIZE - 8
+        ):
+            page = self._pages.get(address >> _PAGE_SHIFT)
+            if page is None:
+                return 0
+            in_page = address & (PAGE_SIZE - 1)
+            return int.from_bytes(page[in_page : in_page + 8], "little")
         return int.from_bytes(self.read_bytes(address, 8), "little")
 
     def touched_pages(self) -> int:

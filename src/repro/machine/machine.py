@@ -18,7 +18,7 @@ from repro.machine.cpu import CPU
 from repro.machine.perf_events import PerfEventManager
 from repro.machine.scheduler import RoundRobinScheduler
 from repro.machine.signals import SignalTable
-from repro.machine.syscall_cost import CostLedger
+from repro.machine.syscall_cost import CostLedger, QuantumCounter
 from repro.machine.threads import SimThread, ThreadRegistry
 
 # Base of the simulated heap arena; mirrors a typical mmap'd arena site.
@@ -35,7 +35,11 @@ class Machine:
         self.memory = AddressSpace()
         self.signals = SignalTable()
         self.threads = ThreadRegistry()
-        self.perf = PerfEventManager(self.threads, self.ledger)
+        # The scheduler quantum: advanced once per scheduled step (or per
+        # replayed trace event); the perf subsystem coalesces batched
+        # watchpoint syscalls issued within one quantum.
+        self.quantum = QuantumCounter()
+        self.perf = PerfEventManager(self.threads, self.ledger, quantum=self.quantum)
         self.cpu = CPU(self.memory, self.signals, self.perf, self.ledger)
         self.seed = seed
 
@@ -46,7 +50,9 @@ class Machine:
     def new_scheduler(self, seed: Optional[int] = None) -> RoundRobinScheduler:
         """A scheduler over this machine's thread registry."""
         return RoundRobinScheduler(
-            self.threads, seed=self.seed if seed is None else seed
+            self.threads,
+            seed=self.seed if seed is None else seed,
+            quantum=self.quantum,
         )
 
     def map_heap_arena(

@@ -22,11 +22,20 @@ ThreadBody = Generator[None, None, None]
 class RoundRobinScheduler:
     """Runs generator-bodied threads to completion, deterministically."""
 
-    def __init__(self, threads: ThreadRegistry, seed: int = 0, jitter: bool = True):
+    def __init__(
+        self,
+        threads: ThreadRegistry,
+        seed: int = 0,
+        jitter: bool = True,
+        quantum=None,
+    ):
         self._threads = threads
         self._rng = random.Random(seed)
         self._jitter = jitter
         self._runnable: List[Tuple[SimThread, ThreadBody]] = []
+        # Optional machine QuantumCounter: each scheduling step is one
+        # quantum, the granularity batched watchpoint syscalls coalesce at.
+        self._quantum = quantum
         self.steps = 0
 
     def spawn(self, body: ThreadBody, name: str = "") -> SimThread:
@@ -50,6 +59,8 @@ class RoundRobinScheduler:
         bounds runaway workloads; exceeding it is a workload bug.
         """
         while self._runnable:
+            if self._quantum is not None:
+                self._quantum.advance()
             index = self._pick()
             thread, body = self._runnable[index]
             try:

@@ -448,7 +448,10 @@ class SyntheticBuggyApp:
                         junk = b"\xa5" * self.spec.overflow_length
                         cpu.store(overflow_thread, boundary, junk)
 
+        quantum = process.machine.quantum
         for event in events:
+            # Each replayed trace event is one scheduler quantum.
+            quantum.advance()
             # Scheduled frees due before this allocation.
             for index in pending_frees.pop(event.index, []):
                 address = addresses.pop(index, None)

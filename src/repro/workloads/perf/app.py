@@ -148,7 +148,10 @@ class PerfApp:
         addresses: Dict[int, int] = {}
         owners: Dict[int, object] = {}
         pending: Dict[int, List[int]] = {}
+        quantum = process.machine.quantum
         for index, event in enumerate(self._trace):
+            # Each replayed trace event is one scheduler quantum.
+            quantum.advance()
             thread = workers[index % len(workers)]
             for j in pending.pop(index, ()):
                 address = addresses.pop(j, None)

@@ -32,10 +32,36 @@ def test_batch_remove_single_syscall():
     fds = machine.perf.batch_install(
         PerfEventAttr(bp_addr=0x7F00_0000_0040), [machine.main_thread.tid], SIGTRAP
     )
+    machine.quantum.advance()  # a later scheduler quantum
     before = machine.ledger.count(EVENT_SYSCALL)
     machine.perf.batch_remove(fds.values())
     assert machine.ledger.count(EVENT_SYSCALL) - before == 1
     assert machine.main_thread.debug_registers.free_slots() == 4
+
+
+def test_batch_calls_within_one_quantum_coalesce():
+    """All batch ops issued in one scheduler quantum cost one syscall."""
+    machine = Machine(seed=1)
+    machine.map_heap_arena()
+    tid = machine.main_thread.tid
+    machine.quantum.advance()
+    before = machine.ledger.count(EVENT_SYSCALL)
+    fds = machine.perf.batch_install(
+        PerfEventAttr(bp_addr=0x7F00_0000_0040), [tid], SIGTRAP
+    )
+    machine.perf.batch_remove(fds.values())
+    machine.perf.batch_install(
+        PerfEventAttr(bp_addr=0x7F00_0000_0080), [tid], SIGTRAP
+    )
+    assert machine.ledger.count(EVENT_SYSCALL) - before == 1
+    assert machine.perf.batch_calls == 3
+    assert machine.perf.batches_coalesced == 2
+    # The next quantum pays again.
+    machine.quantum.advance()
+    machine.perf.batch_install(
+        PerfEventAttr(bp_addr=0x7F00_0000_00C0), [tid], SIGTRAP
+    )
+    assert machine.ledger.count(EVENT_SYSCALL) - before == 2
 
 
 def test_batch_install_is_all_or_nothing():

@@ -69,3 +69,27 @@ def test_with_policy():
 def test_with_policy_preserves_other_fields():
     config = CSODConfig(initial_probability=0.3).with_policy(POLICY_RANDOM)
     assert config.initial_probability == 0.3
+
+
+def test_config_variants_preserve_subclass_and_derived_fields():
+    from dataclasses import dataclass, field
+
+    @dataclass(frozen=True)
+    class TunedConfig(CSODConfig):
+        label: str = "tuned"
+        summary: str = field(init=False, default="")
+
+        def __post_init__(self):
+            super().__post_init__()
+            object.__setattr__(
+                self, "summary", f"{self.label}/{self.replacement_policy}"
+            )
+
+    base = TunedConfig(persistence_path="/tmp/x.json")
+    stripped = base.without_evidence()
+    assert type(stripped) is TunedConfig
+    assert not stripped.evidence_enabled
+    assert stripped.summary == "tuned/near_fifo"
+    swapped = base.with_policy(POLICY_RANDOM)
+    assert type(swapped) is TunedConfig
+    assert swapped.summary == "tuned/random"

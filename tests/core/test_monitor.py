@@ -67,6 +67,17 @@ def test_free_with_evidence_returns_block():
     assert process.allocator.stats.live_blocks == live_before
 
 
+def test_free_of_unwrapped_object_falls_back_to_raw():
+    # Regression: an object allocated before CSOD interposition (or by a
+    # bypassing allocator) carries no header; free used to raise
+    # CSODError out of the canary check, crashing the application.
+    process, runtime = make(evidence=True)
+    address = process.raw_heap.malloc(process.main_thread, 64)
+    live_before = process.allocator.stats.live_blocks
+    process.heap.free(process.main_thread, address)
+    assert process.allocator.stats.live_blocks == live_before - 1
+
+
 def test_free_removes_watchpoint():
     process, runtime = make()
     with push_context(process):

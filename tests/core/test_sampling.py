@@ -160,6 +160,105 @@ def test_revive_respects_chance_zero():
     assert record.probability == config.floor_probability
 
 
+def test_revive_draws_from_allocating_threads_stream():
+    # Regression: the revive draw used ``uniform(tid=0)`` no matter which
+    # thread allocated, corrupting thread 0's stream and leaving the
+    # allocating thread's untouched.
+    config = CSODConfig(revive_period_seconds=1.0)
+    clock = VirtualClock()
+    rng = PerThreadRNG(7)
+    unit = SamplingManagementUnit(config, clock, rng, ContextInterner())
+    reference = PerThreadRNG(7)
+    first_tid0 = reference.uniform(0)
+    reference.uniform(1)  # the draw the revive below must consume
+    second_tid1 = reference.uniform(1)
+
+    s = stack()
+    record = unit.on_allocation(s, tid=1)
+    record.probability = config.floor_probability
+    unit.on_allocation(s, tid=1)  # starts the floor timer
+    clock.advance(2 * NANOS_PER_SECOND)
+    unit.on_allocation(s, tid=1)  # revive draw fires
+
+    assert rng.uniform(0) == first_tid0  # tid-0 stream untouched
+    assert rng.uniform(1) == second_tid1  # exactly one tid-1 draw consumed
+
+
+def test_thread_streams_are_isolated_under_revive():
+    # Thread 0's revive outcomes must be identical whether or not thread 1
+    # allocates (and revives) in between.
+    def thread0_probs(with_thread1):
+        config = CSODConfig(revive_chance=0.5, revive_period_seconds=1.0)
+        clock = VirtualClock()
+        unit = SamplingManagementUnit(
+            config, clock, PerThreadRNG(11), ContextInterner()
+        )
+        a, b = stack("a"), stack("b")
+        record_a = unit.on_allocation(a, tid=0)
+        record_a.probability = config.floor_probability
+        record_b = None
+        if with_thread1:
+            record_b = unit.on_allocation(b, tid=1)
+            record_b.probability = config.floor_probability
+        probs = []
+        for _ in range(30):
+            clock.advance(2 * NANOS_PER_SECOND)
+            if record_b is not None:
+                unit.on_allocation(b, tid=1)
+                record_b.probability = config.floor_probability
+            unit.on_allocation(a, tid=0)
+            probs.append(record_a.probability)
+            record_a.probability = config.floor_probability
+        return probs
+
+    assert thread0_probs(True) == thread0_probs(False)
+
+
+def test_throttle_window_starting_at_time_zero():
+    # A record created at clock 0 has window_start_ns == 0; its first
+    # window must accumulate and throttle like any other.
+    config = CSODConfig(throttle_alloc_threshold=10)
+    unit, clock = make_unit(config)
+    s = stack()
+    assert clock.now_ns == 0
+    for _ in range(11):
+        record = unit.on_allocation(s)
+    assert record.window_start_ns == 0
+    assert record.throttled_until_ns == int(
+        config.throttle_window_seconds * NANOS_PER_SECOND
+    )
+    assert unit.effective_probability(record) == config.throttle_probability
+
+
+def test_rethrottle_after_window_elapses():
+    config = CSODConfig(throttle_alloc_threshold=10)
+    unit, clock = make_unit(config)
+    s = stack()
+    for _ in range(11):
+        record = unit.on_allocation(s)
+    assert unit.effective_probability(record) == config.throttle_probability
+    window_ns = int(config.throttle_window_seconds * NANOS_PER_SECOND)
+    clock.advance(window_ns + 1)
+    assert unit.effective_probability(record) == config.floor_probability
+    # A second burst in the fresh window must throttle again.
+    for _ in range(11):
+        unit.on_allocation(s)
+    assert record.throttled_until_ns > clock.now_ns
+    assert unit.effective_probability(record) == config.throttle_probability
+
+
+def test_pinned_context_never_throttled():
+    config = CSODConfig(throttle_alloc_threshold=10)
+    unit, clock = make_unit(config)
+    s = stack()
+    record = unit.on_allocation(s)
+    unit.boost_to_certain(record)
+    for _ in range(50):
+        unit.on_allocation(s)
+    assert record.throttled_until_ns == 0
+    assert unit.effective_probability(record) == 1.0
+
+
 def test_preloaded_bad_signature_pins_new_context():
     unit, _ = make_unit()
     s = stack()

@@ -1,7 +1,12 @@
 """The worker pool: fan-out, crash retry, timeouts, determinism."""
 
+import dataclasses
+import time
+from dataclasses import dataclass, field
+
 import pytest
 
+from repro.core import CSODConfig
 from repro.fleet.pool import FleetPool, execute_spec
 from repro.fleet.specs import (
     OUTCOME_CRASH,
@@ -101,6 +106,73 @@ def test_timeout_marks_execution_not_campaign():
     assert len(results) == 2
     assert results[0].outcome == OUTCOME_TIMEOUT
     assert pool.timeouts >= 1
+
+
+class _HangingApp:
+    """A fake registry app whose run() never returns."""
+
+    def run(self, process):
+        while True:
+            time.sleep(0.1)
+
+
+def test_hanging_spec_times_out_and_pool_recovers():
+    # Regression: `future.cancel()` cannot cancel a *running* future, so
+    # a hung worker used to linger forever (wedging interpreter exit),
+    # and timeouts measured from the start of each wait gave later specs
+    # unbounded allowances.  Now every spec's deadline runs from its
+    # submission and a timeout terminates the worker and rebuilds the
+    # pool.
+    from repro.workloads.buggy import registry
+
+    registry._app_cache[("hang-forever", 1.0)] = _HangingApp()
+    try:
+        pool = FleetPool(workers=2, timeout_seconds=2.0)
+        specs = [
+            ExecutionSpec(app="hang-forever", seed=0, index=0),
+            ExecutionSpec(app="libtiff", seed=1, index=1),
+            ExecutionSpec(app="libtiff", seed=2, index=2),
+        ]
+        start = time.monotonic()
+        results = pool.run(specs)
+        elapsed = time.monotonic() - start
+        assert [r.index for r in results] == [0, 1, 2]
+        assert results[0].outcome == OUTCOME_TIMEOUT
+        assert results[1].outcome == OUTCOME_OK
+        assert results[2].outcome == OUTCOME_OK
+        assert pool.timeouts == 1
+        assert pool.executor_rebuilds == 1
+        assert elapsed < 30  # the hang is bounded by its own deadline
+    finally:
+        registry._app_cache.pop(("hang-forever", 1.0), None)
+
+
+@dataclass(frozen=True)
+class _DerivedConfig(CSODConfig):
+    """A config subclass with a derived (non-init) field."""
+
+    fleet_tag: str = "prod"
+    cache_key: str = field(init=False, default="")
+
+    def __post_init__(self):
+        super().__post_init__()
+        object.__setattr__(
+            self, "cache_key", f"{self.fleet_tag}:{self.replacement_policy}"
+        )
+
+
+def test_execute_spec_clones_configs_with_derived_fields(tmp_path):
+    # Regression: cloning via ``CSODConfig(**config.__dict__)`` passed
+    # derived fields back into __init__ (TypeError) and silently dropped
+    # the subclass type; dataclasses.replace preserves both.
+    config = _DerivedConfig(persistence_path=str(tmp_path / "evidence.jsonl"))
+    result = execute_spec(
+        ExecutionSpec(app="libtiff", seed=0, index=0, config=config)
+    )
+    assert result.outcome == OUTCOME_OK
+    stripped = dataclasses.replace(config, persistence_path=None)
+    assert type(stripped) is _DerivedConfig
+    assert stripped.cache_key == "prod:near_fifo"
 
 
 def test_rejects_negative_workers():
