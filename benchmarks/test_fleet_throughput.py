@@ -1,15 +1,23 @@
-"""Fleet throughput — serial vs. parallel campaign wall-clock.
+"""Fleet throughput — campaign wall-clock at 1, 2, and 4 workers.
 
 The fleet subsystem's reason to exist: the 1,000-execution protocol was
 the slowest path in the repo because ``campaign.py`` ran every execution
 serially in one interpreter.  This bench times the same campaign through
-``run_fleet`` at one and two workers and records the speedup.  On a
-single-core runner the 2-worker fleet only amortises fork overhead, so
-the assertion is on correctness (identical aggregated results) and on
-parallel overhead staying bounded, not on a mandatory speedup.
+``run_fleet`` at one, two, and four workers and records per-row
+throughput and speedup-vs-serial into ``BENCH_fleet.json``.
+
+The pool is persistent (one executor per campaign, chunked dispatch,
+lean result payloads), so the parallel rows carry one fork + one IPC
+round trip per worker — on a multi-core runner speedup is near-linear
+in ``min(workers, cores)``.  On a single-core runner no worker count
+can beat serial (the work is CPU-bound and identical), so the speedup
+assertions gate only where the hardware can express them; what gates
+everywhere is correctness (byte-identical aggregated results at every
+worker count) and bounded parallel overhead.
 """
 
 import json
+import os
 import pathlib
 import time
 
@@ -20,6 +28,7 @@ from repro.fleet import run_fleet
 
 APP = "libtiff"
 EXECUTIONS = 32
+WORKER_COUNTS = (1, 2, 4)
 
 REPO_ROOT = pathlib.Path(__file__).parent.parent
 
@@ -32,25 +41,42 @@ def _timed_fleet(workers: int):
 
 def test_fleet_throughput(benchmark, artifact):
     def run():
-        serial, serial_s = _timed_fleet(workers=1)
-        parallel, parallel_s = _timed_fleet(workers=2)
-        return serial, serial_s, parallel, parallel_s
+        run_fleet(APP, executions=2, workers=1)  # warm app/schedule caches
+        return {w: _timed_fleet(w) for w in WORKER_COUNTS}
 
-    serial, serial_s, parallel, parallel_s = once(benchmark, run)
+    runs = once(benchmark, run)
+    serial, serial_s = runs[1]
 
     # Parallelism must never change what the fleet finds.
-    assert serial.aggregator.to_dict() == parallel.aggregator.to_dict()
+    for workers, (result, _) in runs.items():
+        assert result.aggregator.to_dict() == serial.aggregator.to_dict(), (
+            f"aggregated results at workers={workers} diverged from serial"
+        )
+        assert result.detections == serial.detections
 
-    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    cpus = os.cpu_count() or 1
     hits = serial.aggregator.executions_detected
     lo, hi = wilson_interval(hits, EXECUTIONS)
+
+    rows = []
     lines = [
-        f"fleet throughput: {APP} x {EXECUTIONS} executions",
-        f"  serial   (1 worker):  {serial_s:8.3f} s "
-        f"({EXECUTIONS / serial_s:6.1f} exec/s)",
-        f"  parallel (2 workers): {parallel_s:8.3f} s "
-        f"({EXECUTIONS / parallel_s:6.1f} exec/s)",
-        f"  speedup: {speedup:.2f}x",
+        f"fleet throughput: {APP} x {EXECUTIONS} executions ({cpus} cpus)"
+    ]
+    for workers, (result, seconds) in runs.items():
+        speedup = serial_s / seconds if seconds else float("inf")
+        rows.append(
+            {
+                "workers": workers,
+                "seconds": round(seconds, 3),
+                "execs_per_sec": round(EXECUTIONS / seconds, 2),
+                "speedup_vs_serial": round(speedup, 2),
+            }
+        )
+        lines.append(
+            f"  {workers} worker(s): {seconds:8.3f} s "
+            f"({EXECUTIONS / seconds:6.1f} exec/s, {speedup:.2f}x vs serial)"
+        )
+    lines += [
         f"  detection rate: {hits}/{EXECUTIONS} "
         f"(95% CI [{lo:.1%}, {hi:.1%}])",
         f"  unique reports: {serial.aggregator.unique_reports()} "
@@ -58,21 +84,14 @@ def test_fleet_throughput(benchmark, artifact):
     ]
     artifact("fleet_throughput.txt", "\n".join(lines))
 
+    two_worker = next(r for r in rows if r["workers"] == 2)
     payload = {
         "benchmark": "fleet",
         "app": APP,
         "executions": EXECUTIONS,
-        "serial": {
-            "workers": 1,
-            "seconds": round(serial_s, 3),
-            "execs_per_sec": round(EXECUTIONS / serial_s, 2),
-        },
-        "parallel": {
-            "workers": 2,
-            "seconds": round(parallel_s, 3),
-            "execs_per_sec": round(EXECUTIONS / parallel_s, 2),
-        },
-        "speedup_parallel_vs_serial": round(speedup, 2),
+        "cpus": cpus,
+        "rows": rows,
+        "speedup_parallel_vs_serial": two_worker["speedup_vs_serial"],
         "detection": {
             "detected": hits,
             "executions": EXECUTIONS,
@@ -85,7 +104,16 @@ def test_fleet_throughput(benchmark, artifact):
         json.dumps(payload, indent=2) + "\n"
     )
 
-    # The process pool must not catastrophically regress the campaign
-    # even on one core (fork + pickling overhead stays bounded).
-    assert parallel_s < serial_s * 5
     assert serial.aggregator.executions_detected > 0
+    # The persistent pool must keep parallel overhead bounded even on
+    # one core: with fork-per-wave dispatch the 2-worker row ran ~2.4x
+    # *slower* than serial on a single-core box; chunked persistent
+    # dispatch keeps it within a small constant factor everywhere.
+    for row in rows:
+        assert row["seconds"] < serial_s * 2.0, row
+    # Where the hardware has the cores, parallelism must actually pay.
+    if cpus >= 2:
+        assert two_worker["speedup_vs_serial"] >= 1.2, rows
+    if cpus >= 4:
+        four_worker = next(r for r in rows if r["workers"] == 4)
+        assert four_worker["seconds"] <= two_worker["seconds"] * 1.1, rows

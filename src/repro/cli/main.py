@@ -82,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="propagate canary evidence fleet-wide between waves",
     )
     fleet.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="specs per worker dispatch (default: ceil(wave/workers))",
+    )
+    fleet.add_argument(
         "--timeout", type=float, default=60.0, help="per-execution timeout (s)"
     )
     fleet.add_argument(
@@ -234,6 +240,20 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.chunk_size is not None and args.chunk_size < 1:
+        print(
+            f"repro fleet: error: --chunk-size must be >= 1, "
+            f"got {args.chunk_size}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print(
+            f"repro fleet: error: --timeout must be positive (seconds), "
+            f"got {args.timeout}",
+            file=sys.stderr,
+        )
+        return 2
 
     from repro.fleet import (
         EvidenceStore,
@@ -259,6 +279,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             evidence_store=store,
             event_log=log,
             timeout_seconds=args.timeout,
+            chunk_size=args.chunk_size,
         )
     aggregate_path = os.path.join(args.out, "aggregate.json")
     with open(aggregate_path, "w") as handle:

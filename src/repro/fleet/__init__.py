@@ -16,12 +16,19 @@ propagates canary detections to later executions
 from repro.fleet.aggregate import (
     AggregatedReport,
     FleetAggregator,
+    PartialAggregate,
     render_fleet_report,
 )
 from repro.fleet.evidence_store import EvidenceStore, TemporaryEvidenceStore
-from repro.fleet.pool import FleetPool, execute_spec
+from repro.fleet.pool import FleetPool, WaveResult, execute_spec, run_chunk
 from repro.fleet.runner import FleetRunResult, run_fleet
-from repro.fleet.specs import ExecutionResult, ExecutionSpec, ReportRecord
+from repro.fleet.specs import (
+    ExecutionResult,
+    ExecutionSpec,
+    LeanExecutionResult,
+    ReportRecord,
+    WorkChunk,
+)
 from repro.fleet.telemetry import (
     Counter,
     Histogram,
@@ -41,11 +48,16 @@ __all__ = [
     "FleetRunResult",
     "Histogram",
     "JsonlEventLog",
+    "LeanExecutionResult",
     "MetricsRegistry",
+    "PartialAggregate",
     "ReportRecord",
     "TemporaryEvidenceStore",
+    "WaveResult",
+    "WorkChunk",
     "execute_spec",
     "read_jsonl",
     "render_fleet_report",
+    "run_chunk",
     "run_fleet",
 ]

@@ -54,13 +54,22 @@ class EvidenceStore:
         The file is rewritten only when the set grew, keeping the
         no-detection steady state write-free.
         """
+        return len(self.absorb(signatures))
+
+    def absorb(self, signatures: Iterable[str]) -> FrozenSet[str]:
+        """Fold in new signatures; returns exactly the new ones.
+
+        The returned set is what a coordinator broadcasts as the next
+        evidence *delta* (:meth:`FleetPool.advance_evidence`) — workers
+        already hold everything older.
+        """
         incoming = set(signatures)
-        new = incoming - self._signatures
+        new = frozenset(incoming - self._signatures)
         if not new:
-            return 0
+            return new
         self._signatures |= new
         self._flush()
-        return len(new)
+        return new
 
     def _flush(self) -> None:
         if self.path is None:

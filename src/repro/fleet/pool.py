@@ -3,40 +3,80 @@
 Fans :class:`ExecutionSpec`s out over a ``ProcessPoolExecutor`` of
 independent OS processes — the closest a simulation gets to the paper's
 deployment story, where each production process runs its own sampled
-CSOD and only reports flow back centrally.  Three failure policies keep
-one bad execution from killing a campaign:
+CSOD and only reports flow back centrally.
 
-* a **per-execution timeout** — a stuck execution is recorded as
-  ``timeout`` and its executor is recycled so the remaining specs still
-  run;
-* **retry-once-on-worker-crash** — a spec whose worker died (or raised)
-  is re-executed once, inline in the coordinator, deterministically;
-* executions that fail twice come back as failed
+The pool is built for campaign throughput:
+
+* **Persistent workers** — one executor per :class:`FleetPool`, created
+  lazily on the first parallel wave and reused across waves.  The
+  worker initializer pre-imports the runtime (this module's imports)
+  and pre-warms the per-app schedule/call-site caches once per process,
+  instead of once per execution.  The executor is rebuilt only when a
+  worker hangs past its deadline or the pool breaks
+  (``executor_rebuilds`` counts those, and only those).
+* **Chunked dispatch** — specs are submitted in :class:`WorkChunk`s
+  (``chunk_size`` configurable, default ``ceil(wave / workers)``), so
+  one pickle/IPC round trip and one config transfer amortise over many
+  executions; inside a chunk the worker runs serially and returns one
+  batched :class:`ChunkOutcome`.
+* **Delta evidence** — workers hold the evidence snapshot from campaign
+  start (:meth:`FleetPool.set_evidence_base`, shipped once via the
+  initializer); each chunk carries only the signatures merged since
+  (:meth:`FleetPool.advance_evidence`), reconstructed worker-side as
+  ``base | delta`` — a set, so detection behaviour is byte-for-byte the
+  same as shipping the full snapshot.
+* **Mergeable partial aggregation** — the worker folds its chunk into a
+  :class:`PartialAggregate` and ships signatures, not frame strings
+  (those travel once per novel signature); the coordinator rehydrates
+  full :class:`ExecutionResult`s from its context registry.
+
+Failure policy, per execution:
+
+* a **per-execution timeout** — a chunk's deadline is
+  ``timeout × len(chunk)``; when it fires the chunk's specs are re-run
+  as single-spec chunks on a rebuilt executor so the hung spec times
+  out *alone* and is recorded as ``timeout``, while its innocent
+  chunk-mates complete.  A confirmed-hung spec (a re-run single that
+  hangs again) just costs the pool one worker of capacity instead of a
+  second rebuild.
+* **retry-once-on-crash** — a spec that raises is retried *inside its
+  worker* (the coordinator never blocks; other chunks keep executing),
+  and a spec whose worker process died is resubmitted to the pool as a
+  second-attempt chunk.
+* Executions that fail twice come back as failed
   :class:`ExecutionResult`s rather than exceptions.
 
-``workers <= 1`` runs every spec inline with the same bookkeeping, so
-serial callers (and single-core machines) share one code path and one
-set of semantics with the parallel fleet.
+``workers <= 1`` runs every chunk inline through the *same* chunk
+executor, so serial callers share one code path and one set of
+semantics with the parallel fleet.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 import time
 import traceback
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
-from typing import Iterable, List, Optional
+from dataclasses import dataclass, field
+from typing import Deque, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core import CSODConfig, CSODRuntime
 from repro.core.sampling import context_signature
+from repro.fleet.aggregate import PartialAggregate
 from repro.fleet.specs import (
     OUTCOME_CRASH,
     OUTCOME_OK,
     OUTCOME_TIMEOUT,
+    ContextTable,
     ExecutionResult,
     ExecutionSpec,
+    LeanExecutionResult,
     ReportRecord,
+    WorkChunk,
+    lean_from,
 )
 from repro.workloads.base import SimProcess
 from repro.workloads.buggy import app_for
@@ -44,13 +84,43 @@ from repro.workloads.buggy import app_for
 DEFAULT_TIMEOUT_SECONDS = 60.0
 
 
+# ----------------------------------------------------------------------
+# Worker-side campaign state
+# ----------------------------------------------------------------------
+# One campaign per pool, one pool per executor: the initializer stamps
+# this once per worker process (and inherits pre-warmed app caches on
+# fork platforms for free).
+_WORKER_CAMPAIGN: Dict[str, object] = {
+    "base_evidence": frozenset(),
+    "shipped": set(),
+}
+
+
+def _init_worker(apps: Tuple[str, ...], base_evidence: Tuple[str, ...]) -> None:
+    """Per-process warm-up: campaign evidence base + app caches."""
+    _WORKER_CAMPAIGN["base_evidence"] = frozenset(base_evidence)
+    _WORKER_CAMPAIGN["shipped"] = set()
+    for name in apps:
+        try:
+            app_for(name)
+        except Exception:  # noqa: BLE001 — a bad app name fails its own
+            # executions (crash + retry), not worker start-up.
+            pass
+
+
 def execute_spec(spec: ExecutionSpec) -> ExecutionResult:
-    """Run one simulated execution; the worker-side entry point.
+    """Run one simulated execution; the single-spec entry point.
 
     Evidence flows through the spec/result, never through worker-side
     files: the coordinator owns the store, so two workers can never
     race on a persistence path.
     """
+    return _execute_one(spec, frozenset())
+
+
+def _execute_one(
+    spec: ExecutionSpec, chunk_evidence: FrozenSet[str]
+) -> ExecutionResult:
     started = time.perf_counter()
     # Workers must not write evidence files of their own.
     config = spec.config
@@ -61,8 +131,9 @@ def execute_spec(spec: ExecutionSpec) -> ExecutionResult:
     app = app_for(spec.app)
     process = SimProcess(seed=spec.seed)
     runtime = CSODRuntime(process.machine, process.heap, config, seed=spec.seed)
-    if spec.evidence:
-        runtime.sampling.preload_known_bad(set(spec.evidence))
+    evidence = set(spec.evidence) if spec.evidence else set(chunk_evidence)
+    if evidence:
+        runtime.sampling.preload_known_bad(evidence)
     app.run(process)
     runtime.shutdown()
     stats = runtime.stats()
@@ -103,151 +174,457 @@ def execute_spec(spec: ExecutionSpec) -> ExecutionResult:
     )
 
 
+@dataclass
+class ChunkOutcome:
+    """One worker's batched answer for one :class:`WorkChunk`."""
+
+    results: List[LeanExecutionResult] = field(default_factory=list)
+    partial: PartialAggregate = field(default_factory=PartialAggregate)
+    crashes: int = 0
+    retries: int = 0
+
+
+def run_chunk(
+    specs: Tuple[ExecutionSpec, ...],
+    evidence: FrozenSet[str],
+    shipped: Set[str],
+    retry_crashed: bool = True,
+    base_attempts: int = 1,
+) -> ChunkOutcome:
+    """Run a chunk of specs serially; the shared serial/worker core.
+
+    ``shipped`` is the caller's per-campaign memory of which report
+    signatures have already had their frame strings transferred —
+    contexts for those are stripped from the outcome (the coordinator
+    keeps a registry), so steady-state result payloads carry counters
+    and signatures only.
+    """
+    outcome = ChunkOutcome()
+    for spec in specs:
+        retry_wall_ms = 0.0
+        try:
+            result = _execute_one(spec, evidence)
+            result.attempts = base_attempts
+        except Exception as first_exc:  # noqa: BLE001 — one bad execution
+            # must not kill the chunk, whatever it raised.
+            outcome.crashes += 1
+            if retry_crashed and base_attempts == 1:
+                outcome.retries += 1
+                retry_started = time.perf_counter()
+                try:
+                    result = _execute_one(spec, evidence)
+                    result.attempts = 2
+                except Exception as second_exc:  # noqa: BLE001
+                    outcome.crashes += 1
+                    result = _failed_result(
+                        spec, OUTCOME_CRASH, 2, _describe(second_exc)
+                    )
+                retry_wall_ms = (time.perf_counter() - retry_started) * 1e3
+            else:
+                result = _failed_result(
+                    spec, OUTCOME_CRASH, base_attempts, _describe(first_exc)
+                )
+        outcome.partial.observe(result)
+        outcome.results.append(lean_from(result, retry_wall_ms=retry_wall_ms))
+    # Ship frame strings once per signature per campaign per worker.
+    for signature in list(outcome.partial.contexts):
+        if signature in shipped:
+            del outcome.partial.contexts[signature]
+        else:
+            shipped.add(signature)
+    return outcome
+
+
+def _execute_chunk(chunk: WorkChunk) -> ChunkOutcome:
+    """The worker-side entry point: delta evidence, then the chunk."""
+    base = _WORKER_CAMPAIGN["base_evidence"]
+    evidence = frozenset(base | set(chunk.evidence_delta))
+    return run_chunk(
+        chunk.specs,
+        evidence,
+        _WORKER_CAMPAIGN["shipped"],
+        retry_crashed=chunk.retry_crashed,
+        base_attempts=chunk.attempts,
+    )
+
+
+def _failed_result(
+    spec: ExecutionSpec, outcome: str, attempts: int, error: str
+) -> ExecutionResult:
+    return ExecutionResult(
+        app=spec.app,
+        seed=spec.seed,
+        index=spec.index,
+        outcome=outcome,
+        attempts=attempts,
+        error=error,
+    )
+
+
+def _describe(exc: Exception) -> str:
+    return "".join(
+        traceback.format_exception_only(type(exc), exc)
+    ).strip()
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+@dataclass
+class WaveResult:
+    """Everything one wave produced, pre-folded."""
+
+    results: List[ExecutionResult]
+    partial: PartialAggregate
+
+
+@dataclass
+class _Pending:
+    """A dispatchable unit of work, coordinator-side."""
+
+    specs: Tuple[ExecutionSpec, ...]
+    attempts: int = 1
+    # True when these specs were salvaged from a timed-out chunk: one
+    # of them is known to hang, so a single-spec timeout here is
+    # attributed without another rebuild.
+    suspect: bool = False
+
+
 class FleetPool:
-    """Executes specs across worker processes, surviving bad executions."""
+    """Executes specs across persistent worker processes.
+
+    Create once per campaign; ``run``/``run_wave`` may be called many
+    times (one per wave) against the same executor.  Call :meth:`close`
+    (or use as a context manager) when the campaign ends.
+    """
 
     def __init__(
         self,
         workers: int = 1,
         timeout_seconds: Optional[float] = DEFAULT_TIMEOUT_SECONDS,
         retry_crashed: bool = True,
+        chunk_size: Optional[int] = None,
     ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.workers = workers
         self.timeout_seconds = timeout_seconds
         self.retry_crashed = retry_crashed
+        self.chunk_size = chunk_size
         self.crashes = 0
         self.timeouts = 0
         self.retries = 0
         self.executor_rebuilds = 0
+        # Wall-clock of every crash retry (worker- or pool-side), ms.
+        self.retry_wall_ms: List[float] = []
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._capacity = max(1, workers)
+        self._hung_workers = 0
+        self._apps: Tuple[str, ...] = ()
+        self._evidence_base: FrozenSet[str] = frozenset()
+        self._evidence_delta: FrozenSet[str] = frozenset()
+        self._evidence_epoch = 0
+        self._context_registry: ContextTable = {}
+        # The serial path's counterpart of a worker's shipped-set.
+        self._inline_shipped: Set[str] = set()
 
     # ------------------------------------------------------------------
-    # Entry point
+    # Evidence broadcast (delta protocol)
+    # ------------------------------------------------------------------
+    @property
+    def evidence_epoch(self) -> int:
+        return self._evidence_epoch
+
+    def set_evidence_base(self, signatures: Iterable[str]) -> None:
+        """Install the campaign-start snapshot (shipped to workers once).
+
+        Must happen before the first parallel wave — the base rides in
+        the executor initializer, so changing it afterwards would
+        desynchronise coordinator and workers.
+        """
+        if self._executor is not None:
+            raise RuntimeError(
+                "set_evidence_base() must be called before the first wave; "
+                "use advance_evidence() for signatures merged mid-campaign"
+            )
+        self._evidence_base = frozenset(signatures)
+
+    def advance_evidence(self, new_signatures: Iterable[str]) -> int:
+        """Broadcast newly merged signatures; returns the new epoch.
+
+        Only genuinely new signatures advance the epoch — a wave that
+        merged nothing leaves epoch and delta untouched, so chunk
+        payloads stay identical and workers skip nothing.
+        """
+        new = frozenset(new_signatures) - self._evidence_base - self._evidence_delta
+        if new:
+            self._evidence_delta |= new
+            self._evidence_epoch += 1
+        return self._evidence_epoch
+
+    def _full_evidence(self) -> FrozenSet[str]:
+        return self._evidence_base | self._evidence_delta
+
+    # ------------------------------------------------------------------
+    # Entry points
     # ------------------------------------------------------------------
     def run(self, specs: Iterable[ExecutionSpec]) -> List[ExecutionResult]:
         """Execute every spec; results come back in spec order."""
+        return self.run_wave(specs).results
+
+    def run_wave(self, specs: Iterable[ExecutionSpec]) -> WaveResult:
+        """Execute one wave; results in spec order plus their fold."""
         specs = list(specs)
         if not specs:
-            return []
+            return WaveResult([], PartialAggregate())
         if self.workers <= 1:
-            return [self._run_inline(spec) for spec in specs]
+            outcome = run_chunk(
+                tuple(specs),
+                self._full_evidence(),
+                self._inline_shipped,
+                retry_crashed=self.retry_crashed,
+            )
+            self.crashes += outcome.crashes
+            self.retries += outcome.retries
+            partial = PartialAggregate()
+            results: Dict[int, ExecutionResult] = {}
+            self._ingest(outcome, results, partial)
+            return WaveResult([results[s.index] for s in specs], partial)
         return self._run_parallel(specs)
 
-    # ------------------------------------------------------------------
-    # Serial path (also the retry path)
-    # ------------------------------------------------------------------
-    def _run_inline(self, spec: ExecutionSpec, attempts: int = 1) -> ExecutionResult:
-        try:
-            result = execute_spec(spec)
-            result.attempts = attempts
-            return result
-        except Exception as exc:  # noqa: BLE001 — one bad execution must not
-            # kill the campaign, whatever it raised.
-            self.crashes += 1
-            if self.retry_crashed and attempts == 1:
-                self.retries += 1
-                return self._run_inline(spec, attempts=2)
-            return self._failed(spec, OUTCOME_CRASH, attempts, _describe(exc))
+    def close(self) -> None:
+        """Tear the executor down (terminates any hung workers)."""
+        self._dispose()
+
+    def __enter__(self) -> "FleetPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Parallel path
     # ------------------------------------------------------------------
-    def _run_parallel(self, specs: List[ExecutionSpec]) -> List[ExecutionResult]:
-        # Warm the app cache before forking so every worker inherits the
-        # same interned call sites (and nobody rebuilds a 57k-event
-        # schedule per process).
-        for name in sorted({spec.app for spec in specs}):
+    def _run_parallel(self, specs: List[ExecutionSpec]) -> WaveResult:
+        self._apps = tuple(
+            sorted(set(self._apps) | {spec.app for spec in specs})
+        )
+        # Warm the app cache before forking so every worker inherits
+        # the same interned call sites (and nobody rebuilds a 57k-event
+        # schedule per process); spawn platforms re-warm in the
+        # initializer instead.
+        for name in self._apps:
             try:
                 app_for(name)
             except Exception:  # noqa: BLE001 — a bad app name fails its
                 # own executions (crash + retry), not the whole campaign.
                 pass
-        results: dict = {}
-        # Submission is a sliding window of ``workers`` specs, so every
-        # submitted spec starts executing immediately and its deadline —
-        # measured from *submission*, not from when the coordinator gets
-        # around to waiting on it — bounds its own wall time.  The old
-        # implementation submitted everything up front and measured each
-        # timeout from the start of its wait, which gave later specs an
-        # effectively unbounded allowance (and ``future.cancel()`` on a
-        # running future is a no-op, so a hung worker lingered forever).
-        waiting: List[ExecutionSpec] = list(specs)
-        in_flight: List[tuple] = []  # (spec, future, deadline) in submit order
-        executor = ProcessPoolExecutor(max_workers=self.workers)
-        broken = False
-        try:
-            while waiting or in_flight:
-                while waiting and len(in_flight) < self.workers:
-                    spec = waiting.pop(0)
-                    deadline = (
-                        time.monotonic() + self.timeout_seconds
-                        if self.timeout_seconds is not None
-                        else None
-                    )
-                    in_flight.append(
-                        (spec, executor.submit(execute_spec, spec), deadline)
-                    )
-                spec, future, deadline = in_flight.pop(0)
-                try:
-                    remaining = (
-                        max(0.0, deadline - time.monotonic())
-                        if deadline is not None
-                        else None
-                    )
-                    result = future.result(timeout=remaining)
-                    result.attempts = 1
-                    results[spec.index] = result
-                except FutureTimeout:
-                    self.timeouts += 1
-                    results[spec.index] = self._failed(
-                        spec,
-                        OUTCOME_TIMEOUT,
-                        attempts=1,
-                        error=f"execution exceeded {self.timeout_seconds}s",
-                    )
-                    # A running future cannot be cancelled: the hung
-                    # worker must be killed and the pool rebuilt.  The
-                    # executions lost with the old pool restart on the
-                    # new one — execute_spec is deterministic per seed,
-                    # so re-running them changes nothing.
-                    executor = self._rebuild(executor)
-                    waiting = [entry[0] for entry in in_flight] + waiting
-                    in_flight = []
-                except BrokenProcessPool:
-                    broken = True
-                    break
-                except Exception as exc:  # noqa: BLE001 — worker raised
-                    self.crashes += 1
-                    if self.retry_crashed:
-                        self.retries += 1
-                        results[spec.index] = self._run_inline(spec, attempts=2)
-                    else:
-                        results[spec.index] = self._failed(
-                            spec, OUTCOME_CRASH, 1, _describe(exc)
-                        )
-            if broken:
-                # The pool died (a worker was killed outright); every
-                # submitted-but-unfinished spec gets one deterministic
-                # inline retry, and never-submitted specs run inline.
-                for spec, _, _ in in_flight:
-                    self.crashes += 1
-                    if self.retry_crashed:
-                        self.retries += 1
-                        results[spec.index] = self._run_inline(spec, attempts=2)
-                    else:
-                        results[spec.index] = self._failed(
-                            spec, OUTCOME_CRASH, 1, "worker pool broke"
-                        )
-                for spec in waiting:
-                    results[spec.index] = self._run_inline(spec)
-        finally:
-            executor.shutdown(wait=False, cancel_futures=True)
-        return [results[spec.index] for spec in specs]
+        size = self.chunk_size or max(1, math.ceil(len(specs) / self.workers))
+        waiting: Deque[_Pending] = deque(
+            _Pending(specs=tuple(specs[i : i + size]))
+            for i in range(0, len(specs), size)
+        )
+        in_flight: Deque[tuple] = deque()  # (_Pending, future, deadline)
+        results: Dict[int, ExecutionResult] = {}
+        partial = PartialAggregate()
+        executor = self._ensure_executor()
+        while waiting or in_flight:
+            while waiting and len(in_flight) < self._capacity:
+                pending = waiting.popleft()
+                chunk = WorkChunk(
+                    specs=pending.specs,
+                    evidence_epoch=self._evidence_epoch,
+                    evidence_delta=tuple(sorted(self._evidence_delta)),
+                    attempts=pending.attempts,
+                    retry_crashed=self.retry_crashed,
+                )
+                deadline = (
+                    time.monotonic()
+                    + self.timeout_seconds * len(pending.specs)
+                    if self.timeout_seconds is not None
+                    else None
+                )
+                in_flight.append(
+                    (pending, executor.submit(_execute_chunk, chunk), deadline)
+                )
+            pending, future, deadline = in_flight.popleft()
+            try:
+                remaining = (
+                    max(0.0, deadline - time.monotonic())
+                    if deadline is not None
+                    else None
+                )
+                outcome = future.result(timeout=remaining)
+                self.crashes += outcome.crashes
+                self.retries += outcome.retries
+                self._ingest(outcome, results, partial)
+            except FutureTimeout:
+                executor = self._on_timeout(
+                    pending, in_flight, waiting, results, partial, executor
+                )
+            except BrokenProcessPool:
+                # Every in-flight future died with the pool: drain them
+                # all before rebuilding once, then resubmit — the
+                # coordinator never falls back to executing inline.
+                dead = [pending] + [entry[0] for entry in in_flight]
+                in_flight.clear()
+                executor = self._rebuild(executor)
+                for lost in dead:
+                    self._requeue_crashed(lost, waiting, results, partial)
+            except Exception as exc:  # noqa: BLE001 — dispatch/pickling
+                # failure for this chunk; its specs get one pool retry.
+                self._requeue_crashed(
+                    pending, waiting, results, partial, _describe(exc)
+                )
+        if self._hung_workers:
+            # Confirmed-hung workers are still burning a pool slot;
+            # disposing now frees them without counting as a rebuild —
+            # the next wave lazily builds a fresh executor.
+            self._dispose()
+        return WaveResult([results[spec.index] for spec in specs], partial)
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def _on_timeout(
+        self,
+        pending: _Pending,
+        in_flight: Deque[tuple],
+        waiting: Deque[_Pending],
+        results: Dict[int, ExecutionResult],
+        partial: PartialAggregate,
+        executor: ProcessPoolExecutor,
+    ) -> ProcessPoolExecutor:
+        if len(pending.specs) == 1:
+            # Exact attribution: this spec hung.
+            spec = pending.specs[0]
+            self.timeouts += 1
+            result = _failed_result(
+                spec,
+                OUTCOME_TIMEOUT,
+                attempts=pending.attempts,
+                error=f"execution exceeded {self.timeout_seconds}s",
+            )
+            results[spec.index] = result
+            partial.observe(result)
+            if pending.suspect:
+                # Known hang, already paid for one rebuild: writing off
+                # the worker it wedged is cheaper than killing the pool
+                # again.  Capacity shrinks; a rebuild only happens if
+                # every worker ends up wedged.
+                self._hung_workers += 1
+                self._capacity = max(0, self._capacity - 1)
+                if self._capacity > 0:
+                    return executor
+            return self._requeue_in_flight(in_flight, waiting, executor)
+        # A multi-spec chunk timed out: some spec in it hung, but which
+        # one is unknowable without finishing — so the chunk's specs are
+        # re-run as single-spec chunks (marked suspect) on a rebuilt
+        # executor.  The hung one times out alone and is attributed;
+        # its chunk-mates complete.  Deterministic re-execution makes
+        # the re-run free of side effects.
+        for spec in reversed(pending.specs):
+            waiting.appendleft(
+                _Pending(specs=(spec,), attempts=pending.attempts, suspect=True)
+            )
+        return self._requeue_in_flight(in_flight, waiting, executor)
+
+    def _requeue_in_flight(
+        self,
+        in_flight: Deque[tuple],
+        waiting: Deque[_Pending],
+        executor: ProcessPoolExecutor,
+    ) -> ProcessPoolExecutor:
+        """Rebuild the executor; in-flight chunks ride the new one."""
+        for entry in reversed(in_flight):
+            waiting.appendleft(entry[0])
+        in_flight.clear()
+        return self._rebuild(executor)
+
+    def _requeue_crashed(
+        self,
+        pending: _Pending,
+        waiting: Deque[_Pending],
+        results: Dict[int, ExecutionResult],
+        partial: PartialAggregate,
+        error: str = "worker pool broke",
+    ) -> None:
+        """Resubmit a crashed chunk's specs to the pool (never inline)."""
+        for spec in pending.specs:
+            self.crashes += 1
+            if self.retry_crashed and pending.attempts == 1:
+                self.retries += 1
+                waiting.append(_Pending(specs=(spec,), attempts=2))
+            else:
+                result = _failed_result(
+                    spec, OUTCOME_CRASH, pending.attempts, error
+                )
+                results[spec.index] = result
+                partial.observe(result)
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def _ingest(
+        self,
+        outcome: ChunkOutcome,
+        results: Dict[int, ExecutionResult],
+        partial: PartialAggregate,
+    ) -> None:
+        """Fold one chunk outcome into the wave, rehydrating results."""
+        self._context_registry.update(outcome.partial.contexts)
+        # Backfill stripped contexts so the partial handed to callers
+        # is self-contained even when this worker shipped them earlier.
+        for signature in outcome.partial.counts:
+            if signature not in outcome.partial.contexts:
+                frames = self._context_registry.get(signature)
+                if frames is not None:
+                    outcome.partial.contexts[signature] = frames
+        for lean in outcome.results:
+            if lean.retry_wall_ms:
+                self.retry_wall_ms.append(lean.retry_wall_ms)
+            result = lean.hydrate(self._context_registry)
+            results[result.index] = result
+        partial.merge(outcome.partial)
+
+    # ------------------------------------------------------------------
+    # Executor lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def executor(self) -> Optional[ProcessPoolExecutor]:
+        """The live executor, if any (stable across healthy waves)."""
+        return self._executor
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(self._apps, tuple(sorted(self._evidence_base))),
+            )
+            self._capacity = self.workers
+            self._hung_workers = 0
+        return self._executor
 
     def _rebuild(self, executor: ProcessPoolExecutor) -> ProcessPoolExecutor:
-        """Kill a pool with a hung worker and hand back a fresh one."""
+        """Kill a broken/hung pool and hand back a fresh one."""
         self.executor_rebuilds += 1
+        self._terminate(executor)
+        self._executor = None
+        return self._ensure_executor()
+
+    def _dispose(self) -> None:
+        if self._executor is None:
+            return
+        self._terminate(self._executor)
+        self._executor = None
+        self._capacity = max(1, self.workers)
+        self._hung_workers = 0
+
+    @staticmethod
+    def _terminate(executor: ProcessPoolExecutor) -> None:
         processes = getattr(executor, "_processes", None) or {}
         for process in list(processes.values()):
             try:
@@ -255,23 +632,9 @@ class FleetPool:
             except Exception:  # noqa: BLE001 — already-dead workers are fine
                 pass
         executor.shutdown(wait=False, cancel_futures=True)
-        return ProcessPoolExecutor(max_workers=self.workers)
 
     @staticmethod
     def _failed(
         spec: ExecutionSpec, outcome: str, attempts: int, error: str
     ) -> ExecutionResult:
-        return ExecutionResult(
-            app=spec.app,
-            seed=spec.seed,
-            index=spec.index,
-            outcome=outcome,
-            attempts=attempts,
-            error=error,
-        )
-
-
-def _describe(exc: Exception) -> str:
-    return "".join(
-        traceback.format_exception_only(type(exc), exc)
-    ).strip()
+        return _failed_result(spec, outcome, attempts, error)

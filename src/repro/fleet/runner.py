@@ -1,9 +1,11 @@
 """The fleet campaign runner.
 
 Ties the subsystem together: builds seeded :class:`ExecutionSpec`s,
-dispatches them in **waves** through the :class:`FleetPool`, folds every
-result into the :class:`FleetAggregator`, merges uploaded evidence into
-the :class:`EvidenceStore` between waves, and records telemetry.
+dispatches them in **waves** through one persistent :class:`FleetPool`,
+folds each wave's pre-merged :class:`PartialAggregate` into the
+:class:`FleetAggregator`, merges uploaded evidence into the
+:class:`EvidenceStore` between waves (broadcasting only the *delta* to
+workers), and records telemetry.
 
 Waves are the determinism contract.  Executions inside one wave share
 the evidence snapshot taken at the wave boundary; signatures uploaded
@@ -13,6 +15,14 @@ fixed seed produces byte-identical aggregated results at any worker
 count, while evidence still propagates fleet-wide after each wave —
 with ``workers=1`` this degenerates to exactly the serial
 execution-to-execution persistence of §V-A2.
+
+Wave sizing: without evidence sharing there is no cross-execution
+state, so the whole campaign is one wave (one chunk per worker, minimal
+dispatch overhead).  With sharing, waves default to ``workers``
+executions — the historical protocol — and ``wave_size`` pins the
+boundary explicitly; a fixed ``wave_size`` makes *shared-evidence*
+campaigns byte-identical across worker counts too, since the evidence
+visibility boundaries no longer move with ``workers``.
 """
 
 from __future__ import annotations
@@ -60,6 +70,8 @@ def run_fleet(
     event_log: Optional[JsonlEventLog] = None,
     metrics: Optional[MetricsRegistry] = None,
     timeout_seconds: Optional[float] = DEFAULT_TIMEOUT_SECONDS,
+    chunk_size: Optional[int] = None,
+    wave_size: Optional[int] = None,
 ) -> FleetRunResult:
     """Run one app's detection campaign across a simulated fleet."""
     if executions <= 0:
@@ -69,37 +81,51 @@ def run_fleet(
     store = evidence_store if share_evidence else None
     if share_evidence and store is None:
         store = EvidenceStore()  # in-memory, campaign-local sharing
-    pool = FleetPool(workers=workers, timeout_seconds=timeout_seconds)
+    pool = FleetPool(
+        workers=workers,
+        timeout_seconds=timeout_seconds,
+        chunk_size=chunk_size,
+    )
     aggregator = FleetAggregator()
     results: List[ExecutionResult] = []
 
-    wave_size = max(1, workers)
-    for wave_start in range(0, executions, wave_size):
-        wave_indices = range(
-            wave_start, min(wave_start + wave_size, executions)
-        )
-        evidence = (
-            tuple(sorted(store.snapshot())) if store is not None else ()
-        )
-        specs = [
-            ExecutionSpec(
-                app=app,
-                seed=seed_base + index,
-                index=index,
-                config=config,
-                evidence=evidence,
+    if wave_size is not None and wave_size < 1:
+        raise ValueError(f"wave_size must be >= 1, got {wave_size}")
+    # No store, no cross-execution state: one wave, maximal chunking.
+    wave = wave_size or (max(1, workers) if store is not None else executions)
+    if store is not None:
+        pool.set_evidence_base(store.snapshot())
+    try:
+        for wave_start in range(0, executions, wave):
+            wave_indices = range(
+                wave_start, min(wave_start + wave, executions)
             )
-            for index in wave_indices
-        ]
-        for result in pool.run(specs):
-            results.append(result)
-            aggregator.add(result)
-            _record_execution(metrics, result, event_log)
-        if store is not None:
-            merged = 0
-            for result in results[wave_start:]:
-                merged += store.merge(result.new_evidence)
-            metrics.counter("evidence_signatures_merged").inc(merged)
+            specs = [
+                ExecutionSpec(
+                    app=app,
+                    seed=seed_base + index,
+                    index=index,
+                    config=config,
+                )
+                for index in wave_indices
+            ]
+            outcome = pool.run_wave(specs)
+            aggregator.merge_partial(outcome.partial)
+            for result in outcome.results:
+                results.append(result)
+                if not result.ok:
+                    aggregator.failed.append(result)
+                _record_execution(metrics, result, event_log)
+            if store is not None:
+                new = store.absorb(
+                    signature
+                    for result in outcome.results
+                    for signature in result.new_evidence
+                )
+                metrics.counter("evidence_signatures_merged").inc(len(new))
+                pool.advance_evidence(new)
+    finally:
+        pool.close()
 
     _record_campaign(metrics, pool, aggregator, event_log, app)
     return FleetRunResult(
@@ -159,7 +185,11 @@ def _record_campaign(
     metrics.counter("worker_crashes").inc(pool.crashes)
     metrics.counter("worker_timeouts").inc(pool.timeouts)
     metrics.counter("worker_retries").inc(pool.retries)
+    metrics.counter("executor_rebuilds").inc(pool.executor_rebuilds)
     metrics.counter("reports_unique").inc(aggregator.unique_reports())
+    retry_histogram = metrics.histogram("retry_wall_ms")
+    for wall_ms in pool.retry_wall_ms:
+        retry_histogram.observe(wall_ms)
     if event_log is None:
         return
     for entry in aggregator.reports():

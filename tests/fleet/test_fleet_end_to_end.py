@@ -61,9 +61,77 @@ def test_aggregated_signatures_deterministic_for_fixed_seed():
 
 def test_worker_count_does_not_change_results():
     serial = small_campaign(workers=1)
-    parallel = small_campaign(workers=2)
-    assert serial.aggregator.to_dict() == parallel.aggregator.to_dict()
-    assert serial.detections == parallel.detections
+    as_bytes = lambda r: json.dumps(  # noqa: E731
+        r.aggregator.to_dict(), sort_keys=True
+    ).encode()
+    for workers in (2, 4):
+        parallel = small_campaign(workers=workers)
+        assert as_bytes(parallel) == as_bytes(serial)
+        assert parallel.detections == serial.detections
+
+
+def test_chunk_size_does_not_change_results():
+    default = small_campaign(workers=2)
+    for chunk_size in (1, 3, EXECUTIONS):
+        chunked = small_campaign(workers=2, chunk_size=chunk_size)
+        assert chunked.aggregator.to_dict() == default.aggregator.to_dict()
+        assert chunked.detections == default.detections
+
+
+def test_pinned_wave_size_makes_shared_evidence_worker_invariant():
+    # Wave boundaries are the evidence-visibility contract.  By default
+    # they track the worker count (the historical protocol); pinning
+    # wave_size fixes the boundaries, so even *shared-evidence*
+    # campaigns are byte-identical at any worker count.
+    def run(workers):
+        return run_fleet(
+            "memcached",
+            executions=12,
+            workers=workers,
+            seed_base=5,
+            share_evidence=True,
+            wave_size=4,
+        )
+
+    serial = run(1)
+    for workers in (2, 4):
+        parallel = run(workers)
+        assert parallel.aggregator.to_dict() == serial.aggregator.to_dict()
+        assert parallel.detections == serial.detections
+        assert parallel.evidence == serial.evidence
+
+
+def test_retry_wall_is_observed_and_does_not_block_other_specs():
+    # A crashing spec is retried worker-side; the rest of the wave
+    # completes normally and the retry's cost lands in telemetry.
+    from repro.workloads.buggy import registry
+
+    class _CrashOnce:
+        def __init__(self):
+            self.crashed = False
+
+        def run(self, process):
+            if not self.crashed:
+                self.crashed = True
+                raise RuntimeError("transient")
+            from repro.workloads.buggy import app_for
+
+            return app_for("libtiff").run(process)
+
+    registry._app_cache[("crash-once-e2e", 1.0)] = _CrashOnce()
+    try:
+        result = run_fleet("crash-once-e2e", executions=4, workers=2)
+    finally:
+        registry._app_cache.pop(("crash-once-e2e", 1.0), None)
+    assert all(r.ok for r in result.results)
+    retried = [r for r in result.results if r.attempts == 2]
+    assert len(retried) >= 1
+    snapshot = result.metrics.snapshot()
+    assert snapshot["counters"]["worker_retries"] >= 1
+    assert snapshot["counters"]["executor_rebuilds"] == 0
+    retry_wall = snapshot["histograms"]["retry_wall_ms"]
+    assert retry_wall["count"] >= 1
+    assert retry_wall["max"] > 0
 
 
 def test_shared_evidence_campaign_deterministic(tmp_path):

@@ -180,5 +180,150 @@ def test_rejects_negative_workers():
         FleetPool(workers=-1)
 
 
+def test_rejects_bad_chunk_size():
+    with pytest.raises(ValueError):
+        FleetPool(workers=2, chunk_size=0)
+
+
 def test_empty_spec_list():
     assert FleetPool(workers=2).run([]) == []
+
+
+# ----------------------------------------------------------------------
+# Persistent executor
+# ----------------------------------------------------------------------
+def test_executor_persists_across_waves():
+    # One executor per campaign: two waves reuse the same pool of
+    # processes, and executor_rebuilds only moves on timeout/breakage.
+    with FleetPool(workers=2) as pool:
+        first = pool.run(specs_for("libtiff", 2))
+        executor = pool.executor
+        assert executor is not None
+        second = pool.run(
+            [
+                ExecutionSpec(app="libtiff", seed=2, index=2),
+                ExecutionSpec(app="libtiff", seed=3, index=3),
+            ]
+        )
+        assert pool.executor is executor  # identity stable across waves
+        assert pool.executor_rebuilds == 0
+        assert [r.index for r in first + second] == [0, 1, 2, 3]
+        assert all(r.outcome == OUTCOME_OK for r in first + second)
+    assert pool.executor is None  # close() tears it down
+
+
+def test_inline_pool_has_no_executor():
+    pool = FleetPool(workers=1)
+    pool.run(specs_for("libtiff", 2))
+    assert pool.executor is None
+
+
+# ----------------------------------------------------------------------
+# Chunked dispatch
+# ----------------------------------------------------------------------
+def test_explicit_chunk_size_matches_inline():
+    serial = FleetPool(workers=1).run(specs_for("libtiff", 5))
+    with FleetPool(workers=2, chunk_size=2) as pool:
+        chunked = pool.run(specs_for("libtiff", 5))
+    assert [r.index for r in chunked] == [0, 1, 2, 3, 4]
+    assert [r.reports for r in chunked] == [r.reports for r in serial]
+
+
+# ----------------------------------------------------------------------
+# Delta evidence broadcast
+# ----------------------------------------------------------------------
+def test_delta_evidence_reaches_parallel_workers():
+    baseline = execute_spec(ExecutionSpec(app="libtiff", seed=0, index=0))
+    assert baseline.new_evidence
+    with FleetPool(workers=2) as pool:
+        pool.advance_evidence(baseline.new_evidence)
+        assert pool.evidence_epoch == 1
+        results = pool.run(
+            [
+                ExecutionSpec(app="libtiff", seed=1, index=0),
+                ExecutionSpec(app="libtiff", seed=2, index=1),
+            ]
+        )
+    # Known-bad contexts are watched from the first allocation, exactly
+    # as if the full evidence tuple had been shipped on each spec.
+    assert all(r.detected_by_watchpoint for r in results)
+    direct = execute_spec(
+        ExecutionSpec(
+            app="libtiff", seed=1, index=0, evidence=baseline.new_evidence
+        )
+    )
+    assert results[0].reports == direct.reports
+
+
+def test_evidence_base_ships_via_initializer():
+    baseline = execute_spec(ExecutionSpec(app="libtiff", seed=0, index=0))
+    with FleetPool(workers=2) as pool:
+        pool.set_evidence_base(baseline.new_evidence)
+        results = pool.run([ExecutionSpec(app="libtiff", seed=1, index=0)])
+        assert results[0].detected_by_watchpoint
+        with pytest.raises(RuntimeError):
+            pool.set_evidence_base(())  # too late: workers hold the base
+
+
+def test_zero_new_signatures_leave_epoch_unchanged():
+    pool = FleetPool(workers=2)
+    baseline = execute_spec(ExecutionSpec(app="libtiff", seed=0, index=0))
+    assert pool.advance_evidence(baseline.new_evidence) == 1
+    # A wave that merged nothing must not advance the epoch (the delta
+    # payload stays identical, and workers have nothing new to apply).
+    assert pool.advance_evidence(()) == 1
+    assert pool.advance_evidence(baseline.new_evidence) == 1
+    assert pool.evidence_epoch == 1
+
+
+# ----------------------------------------------------------------------
+# Pool-side retries (never inline in the coordinator)
+# ----------------------------------------------------------------------
+class _CrashOnceApp:
+    """Raises on the first run() in a process, succeeds after — and
+    records which process executed it."""
+
+    def __init__(self, pid_path):
+        self.pid_path = pid_path
+        self.crashed = False
+
+    def run(self, process):
+        import os
+
+        with open(self.pid_path, "a") as handle:
+            handle.write(f"{os.getpid()}\n")
+        if not self.crashed:
+            self.crashed = True
+            raise RuntimeError("transient crash")
+
+
+def test_crash_retry_runs_in_worker_not_coordinator(tmp_path):
+    # Regression: crashed specs used to be re-executed inline in the
+    # coordinator, stalling dispatch while workers sat idle.  Retries
+    # now happen worker-side (in-chunk) or via pool resubmission.
+    import os
+
+    from repro.workloads.buggy import registry
+
+    pid_path = tmp_path / "pids.txt"
+    registry._app_cache[("crash-once", 1.0)] = _CrashOnceApp(str(pid_path))
+    try:
+        with FleetPool(workers=2) as pool:
+            specs = [
+                ExecutionSpec(app="crash-once", seed=0, index=0),
+                ExecutionSpec(app="libtiff", seed=1, index=1),
+            ]
+            results = pool.run(specs)
+        assert results[0].outcome == OUTCOME_OK
+        assert results[0].attempts == 2  # retried once, in the worker
+        assert results[1].outcome == OUTCOME_OK
+        assert pool.retries == 1
+        assert pool.executor_rebuilds == 0
+        # Both attempts ran in a worker process, never the coordinator.
+        pids = {line for line in pid_path.read_text().split() if line}
+        assert pids and str(os.getpid()) not in pids
+        # The retry's wall-clock is accounted for observability.
+        assert len(pool.retry_wall_ms) == 1
+        assert pool.retry_wall_ms[0] > 0
+    finally:
+        registry._app_cache.pop(("crash-once", 1.0), None)

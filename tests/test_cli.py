@@ -128,3 +128,20 @@ def test_fleet_share_evidence_writes_store(tmp_path, capsys):
     )
     assert "evidence store" in capsys.readouterr().out
     assert (out_dir / "evidence.json").exists()
+
+
+@pytest.mark.parametrize(
+    "argv, flag",
+    [
+        (["fleet", "--app", "libtiff", "--executions", "0"], "--executions"),
+        (["fleet", "--app", "libtiff", "--workers", "-1"], "--workers"),
+        (["fleet", "--app", "libtiff", "--chunk-size", "0"], "--chunk-size"),
+        (["fleet", "--app", "libtiff", "--timeout", "0"], "--timeout"),
+        (["fleet", "--app", "libtiff", "--timeout", "-2.5"], "--timeout"),
+    ],
+)
+def test_fleet_rejects_bad_values_naming_the_flag(argv, flag, capsys):
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert "repro fleet: error" in err
+    assert flag in err  # the message names the offending flag
