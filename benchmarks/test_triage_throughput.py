@@ -1,0 +1,128 @@
+"""Triage throughput — clustering rate over a 1,000-report corpus.
+
+Similarity clustering is the only triage stage that scales with the
+*report* count rather than the execution count (ranking is linear and
+bisection is per-cluster), so it is the stage worth watching: the
+greedy assignment is O(reports x clusters-per-bucket) with a frame-level
+edit distance inside.  This bench synthesizes a fleet-shaped corpus —
+many bugs, several jittered signatures each, canary/watchpoint
+variants — clusters it, and records reports/sec and clusters/sec into
+``BENCH_triage.json``.
+"""
+
+import json
+import pathlib
+import time
+
+from conftest import once
+
+from repro.fleet.aggregate import AggregatedReport
+from repro.triage.clustering import cluster_reports
+from repro.triage.ranking import rank_clusters
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+REPORTS = 1000
+BUGS = 100  # distinct allocation sites
+VARIANTS_PER_BUG = REPORTS // BUGS  # jittered signatures per bug
+
+
+def synthetic_corpus():
+    """1,000 reports: 100 bugs x 10 signature variants each.
+
+    Variants model the real jitter sources: canary reports without an
+    access stack, watchpoint reports with tail-frame jitter in both
+    stacks — everything the clustering rule must collapse.
+    """
+    reports = []
+    for bug in range(BUGS):
+        kind = "over-write" if bug % 2 == 0 else "over-read"
+        alloc_prefix = (
+            f"APP{bug:03d}.SO/alloc.c:{100 + bug}",
+            f"APP{bug:03d}.SO/wrap.c:{200 + bug}",
+            f"APP{bug:03d}.SO/main.c:{300 + bug}",
+        )
+        for variant in range(VARIANTS_PER_BUG):
+            alloc = alloc_prefix + (
+                f"APP{bug:03d}.SO/caller.c:{variant}",
+            )
+            access = (
+                ()
+                if variant == 0  # the canary-evidence variant
+                else (
+                    f"APP{bug:03d}.SO/copy.c:{400 + bug}",
+                    f"APP{bug:03d}.SO/deep.c:{variant % 2}",
+                )
+            )
+            reports.append(
+                AggregatedReport(
+                    signature=f"{kind}|bug{bug}|v{variant}",
+                    kind=kind,
+                    count=1 + variant,
+                    executions=1,
+                    first_seen=variant,
+                    first_seen_app=f"app{bug}",
+                    first_seen_seed=variant,
+                    sources={
+                        "free-canary" if variant == 0 else "watchpoint": 1
+                    },
+                    allocation_context=alloc,
+                    access_context=access,
+                )
+            )
+    return reports
+
+
+def test_triage_throughput(benchmark, artifact):
+    corpus = synthetic_corpus()
+    assert len(corpus) == REPORTS
+
+    def run():
+        start = time.perf_counter()
+        clusters = cluster_reports(corpus)
+        cluster_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        ranked = rank_clusters(clusters, total_executions=REPORTS)
+        rank_seconds = time.perf_counter() - start
+        return clusters, ranked, cluster_seconds, rank_seconds
+
+    clusters, ranked, cluster_seconds, rank_seconds = once(benchmark, run)
+
+    # Correctness gates: every bug found, none merged across bugs.
+    assert len(clusters) == BUGS
+    for cluster in clusters:
+        apps = {m.first_seen_app for m in cluster.members}
+        assert len(apps) == 1, f"cross-bug merge: {apps}"
+        assert len(cluster.members) == VARIANTS_PER_BUG
+    assert len(ranked) == BUGS
+
+    reports_per_sec = REPORTS / cluster_seconds
+    clusters_per_sec = BUGS / cluster_seconds
+    lines = [
+        f"triage throughput: {REPORTS} reports -> {BUGS} clusters",
+        f"  clustering: {cluster_seconds:8.3f} s "
+        f"({reports_per_sec:8.1f} reports/s, "
+        f"{clusters_per_sec:6.1f} clusters/s)",
+        f"  ranking:    {rank_seconds:8.3f} s",
+        f"  dedup: {REPORTS / BUGS:.1f} signatures per bug collapsed",
+    ]
+    artifact("triage_throughput.txt", "\n".join(lines))
+
+    payload = {
+        "benchmark": "triage",
+        "reports": REPORTS,
+        "bugs": BUGS,
+        "variants_per_bug": VARIANTS_PER_BUG,
+        "cluster_seconds": round(cluster_seconds, 4),
+        "rank_seconds": round(rank_seconds, 4),
+        "reports_per_sec": round(reports_per_sec, 1),
+        "clusters_per_sec": round(clusters_per_sec, 1),
+        "cross_bug_merges": 0,
+    }
+    (REPO_ROOT / "BENCH_triage.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    # The corpus must cluster at interactive speed; the greedy pass is
+    # bucketed by coarse key, so this bounds the per-bucket scan too.
+    assert cluster_seconds < 30.0

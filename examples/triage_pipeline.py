@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""The full triage pipeline: fleet -> cluster -> rank -> bisect -> DB.
+
+A fleet campaign deduplicates reports by *exact* signature, but one bug
+routinely produces several: libtiff's over-write is caught both by the
+watchpoint (full access stack) and by the free-time canary check (no
+access stack).  This demo runs two small fixed-seed campaigns (an
+over-write and an over-read bug), clusters the jittered signatures into
+one bug each, ranks them, bisects the top cluster down to a minimal
+deterministic reproducer, and persists everything in a bug database
+that a second campaign then re-confirms (status ``new`` ->
+``reproduced``).
+
+Run:  python examples/triage_pipeline.py
+"""
+
+import os
+import tempfile
+
+from repro.fleet.runner import run_fleet
+from repro.triage import (
+    BugDatabase,
+    bisect_cluster,
+    cluster_reports,
+    rank_clusters,
+    render_triage_report,
+    to_sarif,
+    validate_sarif,
+)
+
+APPS = ("libtiff", "zziplib")  # one over-write bug, one over-read bug
+EXECUTIONS = 30
+
+
+def campaign(db, campaign_id, seed_base=0):
+    reports, executions = [], 0
+    for app in APPS:
+        fleet = run_fleet(app, executions=EXECUTIONS, seed_base=seed_base)
+        reports.extend(fleet.aggregator.reports())
+        executions += fleet.aggregator.executions_ok
+        print(
+            f"  {app}: {fleet.aggregator.executions_detected}/"
+            f"{fleet.aggregator.executions_ok} executions detected, "
+            f"{fleet.aggregator.unique_reports()} exact signature(s)"
+        )
+    clusters = cluster_reports(reports)
+    update = db.update(
+        clusters, campaign_id=campaign_id, total_executions=executions
+    )
+    print(
+        f"  {len(reports)} signatures -> {update.clusters} clusters "
+        f"({len(update.new)} new, {len(update.reproduced)} reproduced)"
+    )
+    return clusters, executions
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="csod-triage-") as tmp:
+        db_path = os.path.join(tmp, "bugs.json")
+        db = BugDatabase(db_path)
+
+        print("=== Campaign 1: two apps, one bug each ===")
+        clusters, executions = campaign(db, "nightly-1")
+
+        print("\n=== Ranked triage queue ===")
+        ranked = rank_clusters(clusters, total_executions=executions)
+        print(render_triage_report(ranked, executions, db=db))
+
+        print("\n=== Bisecting the top-ranked cluster ===")
+        top = ranked[0].cluster
+        repro = bisect_cluster(top, seed_checks=2)
+        db.attach_repro(top.cluster_id, repro.to_dict())
+        print(
+            f"cluster {top.cluster_id}: verified={repro.verified} "
+            f"seed_independent={repro.seed_independent}"
+        )
+        print(
+            f"minimal spec: app={repro.app} seed={repro.seed} "
+            f"evidence={len(repro.evidence)} scale={repro.scale} "
+            f"({repro.executions} probe executions)"
+        )
+        for step in repro.steps:
+            marker = "+" if step.triggered else "-"
+            print(f"  [{marker}] {step.stage:13s} {step.description}")
+
+        print("\n=== Campaign 2: same bugs re-confirmed ===")
+        campaign(db, "nightly-2", seed_base=500)
+        reloaded = BugDatabase(db_path)
+        for entry in reloaded.entries():
+            print(
+                f"  {entry.cluster_id}: {entry.status}, "
+                f"seen in {entry.campaigns_seen} campaigns, "
+                f"{entry.occurrences} reports"
+            )
+
+        print("\n=== SARIF export ===")
+        sarif = to_sarif(
+            rank_clusters(reloaded.clusters(), reloaded.executions_total),
+            db=reloaded,
+        )
+        errors = validate_sarif(sarif)
+        print(
+            f"SARIF 2.1.0 document: {len(sarif['runs'][0]['results'])} "
+            f"results, validation errors: {errors or 'none'}"
+        )
+
+
+if __name__ == "__main__":
+    main()

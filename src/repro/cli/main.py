@@ -96,6 +96,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for telemetry.jsonl / aggregate.json / evidence.json",
     )
 
+    triage = sub.add_parser(
+        "triage",
+        help="cluster, rank, bisect, and persist fleet-detected bugs",
+    )
+    triage.add_argument(
+        "--app",
+        action="append",
+        choices=sorted(BUGGY_APPS),
+        help="run a fixed-seed campaign for APP first (repeatable)",
+    )
+    triage.add_argument(
+        "--aggregate",
+        action="append",
+        help="triage an existing fleet aggregate.json (repeatable)",
+    )
+    triage.add_argument(
+        "--executions", type=int, default=50, help="executions per --app"
+    )
+    triage.add_argument("--workers", type=int, default=1)
+    triage.add_argument("--policy", choices=POLICIES, default=POLICY_NEAR_FIFO)
+    triage.add_argument("--seed", type=int, default=0, help="base seed")
+    triage.add_argument(
+        "--db", default=None, help="persistent bug database path"
+    )
+    triage.add_argument(
+        "--campaign-id", default=None, help="label for this bug-DB update"
+    )
+    triage.add_argument(
+        "--bisect",
+        action="store_true",
+        help="shrink each cluster to a minimal deterministic reproducer",
+    )
+    triage.add_argument(
+        "--export",
+        action="append",
+        default=None,
+        metavar="FORMAT",
+        help="write triage.FORMAT under --out: json or sarif (repeatable)",
+    )
+    triage.add_argument(
+        "--out", default="triage-out", help="directory for exported files"
+    )
+    triage.add_argument(
+        "--top-k",
+        type=int,
+        default=3,
+        help="allocation frames in the coarse clustering key",
+    )
+    triage.add_argument(
+        "--max-edit-distance",
+        type=int,
+        default=3,
+        help="stack edit-distance threshold for joining a cluster",
+    )
+    triage.add_argument(
+        "--seed-checks",
+        type=int,
+        default=2,
+        help="distinct seeds a bisection candidate must re-trigger under",
+    )
+
     sub.add_parser("apps", help="list available workloads")
 
     reproduce = sub.add_parser(
@@ -310,6 +371,210 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0 if result.aggregator.executions_detected else 1
 
 
+TRIAGE_EXPORT_FORMATS = ("json", "sarif")
+
+
+def _db_writable(path: str) -> bool:
+    """Can ``path`` be created or rewritten as the bug database?"""
+    import os
+
+    if os.path.isdir(path):
+        return False
+    if os.path.exists(path):
+        return os.access(path, os.R_OK | os.W_OK)
+    parent = os.path.dirname(os.path.abspath(path))
+    return os.path.isdir(parent) and os.access(parent, os.W_OK)
+
+
+def _cmd_triage(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    if args.executions <= 0:
+        print(
+            f"repro triage: error: --executions must be positive, "
+            f"got {args.executions}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers < 1:
+        print(
+            f"repro triage: error: --workers must be >= 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.top_k < 1:
+        print(
+            f"repro triage: error: --top-k must be >= 1, got {args.top_k}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.max_edit_distance < 0:
+        print(
+            f"repro triage: error: --max-edit-distance must be >= 0, "
+            f"got {args.max_edit_distance}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.seed_checks < 1:
+        print(
+            f"repro triage: error: --seed-checks must be >= 1, "
+            f"got {args.seed_checks}",
+            file=sys.stderr,
+        )
+        return 2
+    for fmt in args.export or ():
+        if fmt not in TRIAGE_EXPORT_FORMATS:
+            print(
+                f"repro triage: error: --export has unknown format {fmt!r} "
+                f"(choose from {', '.join(TRIAGE_EXPORT_FORMATS)})",
+                file=sys.stderr,
+            )
+            return 2
+    if args.db is not None and not _db_writable(args.db):
+        print(
+            f"repro triage: error: --db path {args.db!r} is not writable",
+            file=sys.stderr,
+        )
+        return 2
+    for path in args.aggregate or ():
+        if not os.path.isfile(path):
+            print(
+                f"repro triage: error: --aggregate file {path!r} not found",
+                file=sys.stderr,
+            )
+            return 2
+    if not (args.app or args.aggregate or args.db):
+        print(
+            "repro triage: error: nothing to triage — give --app, "
+            "--aggregate, or an existing --db",
+            file=sys.stderr,
+        )
+        return 2
+
+    from repro import __version__ as tool_version
+    from repro.triage import (
+        BugDatabase,
+        Bisector,
+        cluster_reports,
+        rank_clusters,
+        render_triage_report,
+        reports_from_aggregate,
+        to_sarif,
+        triage_to_json,
+        validate_sarif,
+    )
+
+    db = BugDatabase(args.db)
+    reports = []
+    executions = 0
+
+    if args.app:
+        # One clustering pass over every app's reports, then a single
+        # DB update for the whole batch.
+        from repro.fleet.runner import run_fleet
+
+        for app in args.app:
+            fleet = run_fleet(
+                app,
+                executions=args.executions,
+                workers=args.workers,
+                policy=args.policy,
+                seed_base=args.seed,
+            )
+            executions += fleet.aggregator.executions_ok
+            reports.extend(fleet.aggregator.reports())
+            print(
+                f"[triage] campaign {app}: "
+                f"{fleet.aggregator.executions_detected}/"
+                f"{fleet.aggregator.executions_ok} executions detected, "
+                f"{fleet.aggregator.unique_reports()} signatures"
+            )
+
+    for path in args.aggregate or ():
+        with open(path) as handle:
+            payload = json.load(handle)
+        reports.extend(reports_from_aggregate(payload))
+        executions += payload.get("executions_ok", payload.get("executions", 0))
+
+    if reports:
+        clusters = cluster_reports(
+            reports,
+            top_k=args.top_k,
+            max_edit_distance=args.max_edit_distance,
+        )
+        update = db.update(
+            clusters,
+            campaign_id=args.campaign_id,
+            total_executions=executions,
+        )
+        print(
+            f"[triage] {len(reports)} signatures -> {update.clusters} "
+            f"clusters ({len(update.new)} new, "
+            f"{len(update.reproduced)} reproduced, "
+            f"{len(update.regressed)} regressed)"
+        )
+    else:
+        # DB-only mode: rank and export what previous campaigns stored.
+        clusters = db.clusters()
+        executions = db.executions_total
+        print(f"[triage] database-only: {len(clusters)} stored bugs")
+
+    if args.bisect:
+        for cluster in clusters:
+            bisector = Bisector(cluster, seed_checks=args.seed_checks)
+            repro_spec = bisector.run()
+            if not repro_spec.verified:
+                print(
+                    f"[triage] bisect {cluster.cluster_id}: "
+                    f"no verified reproducer "
+                    f"({repro_spec.executions} executions)"
+                )
+                continue
+            if cluster.cluster_id in db:
+                db.attach_repro(cluster.cluster_id, repro_spec.to_dict())
+            print(
+                f"[triage] bisect {cluster.cluster_id}: "
+                f"verified={repro_spec.verified} "
+                f"seed_independent={repro_spec.seed_independent} "
+                f"evidence={len(repro_spec.evidence)} "
+                f"scale={repro_spec.scale} "
+                f"({repro_spec.executions} executions)"
+            )
+
+    ranked = rank_clusters(
+        clusters,
+        total_executions=max(1, executions),
+        campaigns_since_seen=db.campaigns_since_seen(),
+    )
+    print(render_triage_report(ranked, max(1, executions), db=db))
+
+    if args.export:
+        os.makedirs(args.out, exist_ok=True)
+    for fmt in dict.fromkeys(args.export or ()):
+        if fmt == "json":
+            document = triage_to_json(ranked, max(1, executions), db=db)
+            out_path = os.path.join(args.out, "triage.json")
+        else:
+            document = to_sarif(ranked, tool_version=tool_version, db=db)
+            errors = validate_sarif(document)
+            if errors:
+                print(
+                    "repro triage: error: generated SARIF failed "
+                    "validation: " + "; ".join(errors),
+                    file=sys.stderr,
+                )
+                return 1
+            out_path = os.path.join(args.out, "triage.sarif")
+        with open(out_path, "w") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"[triage] wrote {out_path}")
+    if args.db:
+        print(f"[triage] bug database: {args.db} ({len(db)} bugs)")
+    return 0 if ranked else 1
+
+
 def _cmd_apps(args: argparse.Namespace) -> int:
     print("buggy applications (Table I):")
     for name in sorted(BUGGY_APPS):
@@ -380,6 +645,7 @@ _COMMANDS = {
     "evidence": _cmd_evidence,
     "effectiveness": _cmd_effectiveness,
     "fleet": _cmd_fleet,
+    "triage": _cmd_triage,
     "apps": _cmd_apps,
 }
 

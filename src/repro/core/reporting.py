@@ -24,6 +24,31 @@ SOURCE_WATCHPOINT = "watchpoint"
 SOURCE_FREE_CANARY = "free-canary"
 SOURCE_EXIT_CANARY = "exit-canary"
 
+# Frames kept by the coarse (triage) signature.  Three levels is deep
+# enough to separate allocation wrappers from their callers and shallow
+# enough that per-execution stack jitter below the wrapper collapses.
+COARSE_SIGNATURE_FRAMES = 3
+
+
+def coarse_signature_of(
+    kind: str,
+    allocation_frames,
+    access_frames=(),
+    top_k: int = COARSE_SIGNATURE_FRAMES,
+) -> str:
+    """The clustering key shared by reports of one bug.
+
+    Built from the *top-K symbolized frames of the allocation context*
+    only: the allocation site identifies the overflowed object, while
+    the access side varies with how the bug was caught (a watchpoint
+    trap carries the faulting stack, canary evidence carries none) and
+    with input-driven jitter deeper in the stack.  ``access_frames`` is
+    accepted for signature parity but deliberately unused.
+    """
+    del access_frames  # identity comes from the allocation side only
+    frames = tuple(str(frame) for frame in allocation_frames)[:top_k]
+    return kind + "|alloc:" + (">".join(frames) if frames else "-")
+
 
 @dataclass(frozen=True)
 class OverflowReport:
@@ -94,6 +119,24 @@ class OverflowReport:
             )
         )
 
+    def coarse_signature(self, top_k: int = COARSE_SIGNATURE_FRAMES) -> str:
+        """The triage clustering key: kind + top-K allocation frames.
+
+        Where :meth:`signature` separates every distinct (allocation,
+        access) pair — including the same bug caught by a watchpoint
+        versus by a corrupted canary — the coarse signature keeps only
+        the top-K symbolized allocation frames, so jittered stacks and
+        different evidence sources for one bug collapse together.
+        Falls back to raw return addresses for stripped modules, same
+        as :meth:`signature`.
+        """
+        frames = self.allocation_context.frames
+        if frames:
+            return coarse_signature_of(self.kind, frames[:top_k], top_k=top_k)
+        addresses = self.allocation_context.return_addresses[:top_k]
+        tail = ">".join(hex(ra) for ra in addresses) if addresses else "-"
+        return self.kind + "|alloc:" + tail
+
     @staticmethod
     def _stable_context_lines(frames, return_addresses) -> str:
         if frames:
@@ -112,6 +155,8 @@ class OverflowReport:
         return {
             "kind": self.kind,
             "source": self.source,
+            "signature": self.signature(),
+            "coarse_signature": self.coarse_signature(),
             "fault_address": self.fault_address,
             "object_address": self.object_address,
             "object_size": self.object_size,

@@ -96,6 +96,8 @@ def run_campaign(
     seed_base: int = 0,
     workdir: Optional[str] = None,
     workers: int = 1,
+    bug_db=None,
+    campaign_id: Optional[str] = None,
 ) -> CampaignResult:
     """Execute ``app_name`` repeatedly, optionally sharing evidence.
 
@@ -103,6 +105,10 @@ def run_campaign(
     for the caller to inspect); without it a temporary store is used
     and removed afterwards — even when an execution raises, which the
     old ``tempfile.mkdtemp`` plumbing never cleaned up.
+
+    ``bug_db`` (a :class:`repro.triage.BugDatabase`) makes the campaign
+    feed the persistent triage corpus at completion, exactly as
+    :func:`repro.fleet.runner.run_fleet` does.
     """
     # Imported here, not at module level: fleet.aggregate reuses this
     # module's wilson_interval, so a top-level import would be circular.
@@ -125,6 +131,8 @@ def run_campaign(
             share_evidence=share_evidence,
             seed_base=seed_base,
             evidence_store=store,
+            bug_db=bug_db,
+            campaign_id=campaign_id,
         )
     finally:
         if isinstance(store, TemporaryEvidenceStore):

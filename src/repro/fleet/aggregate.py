@@ -43,6 +43,9 @@ class PartialAggregate:
     # Distinct executions that raised each signature.
     execution_hits: Dict[str, int] = field(default_factory=dict)
     first_seen: Dict[str, int] = field(default_factory=dict)
+    # (app, seed) of the first-seen execution — with the index this
+    # recovers the originating ExecutionSpec, which bisection replays.
+    first_seen_spec: Dict[str, Tuple[str, int]] = field(default_factory=dict)
     kinds: Dict[str, str] = field(default_factory=dict)
     sources: Dict[str, Dict[str, int]] = field(default_factory=dict)
     contexts: ContextTable = field(default_factory=dict)
@@ -77,6 +80,7 @@ class PartialAggregate:
                 self.counts[signature] = 0
                 self.execution_hits[signature] = 0
                 self.first_seen[signature] = result.index
+                self.first_seen_spec[signature] = (result.app, result.seed)
                 self.kinds[signature] = record.kind
                 self.sources[signature] = {}
                 self.contexts[signature] = (
@@ -91,6 +95,7 @@ class PartialAggregate:
                 seen_this_execution.add(signature)
             if result.index < self.first_seen[signature]:
                 self.first_seen[signature] = result.index
+                self.first_seen_spec[signature] = (result.app, result.seed)
 
     # ------------------------------------------------------------------
     # Merge (coordinator side)
@@ -114,6 +119,9 @@ class PartialAggregate:
             mine = self.first_seen.get(signature)
             if mine is None or index < mine:
                 self.first_seen[signature] = index
+                spec = other.first_seen_spec.get(signature)
+                if spec is not None:
+                    self.first_seen_spec[signature] = spec
         for signature, kind in other.kinds.items():
             self.kinds.setdefault(signature, kind)
         for signature, per_source in other.sources.items():
@@ -138,6 +146,11 @@ class AggregatedReport:
     count: int = 0  # raw report observations (pre-dedup)
     executions: int = 0  # distinct executions that raised it
     first_seen: int = -1  # 0-based execution index of the first sighting
+    # App/seed of the first-seen execution: (first_seen_app,
+    # first_seen_seed, first_seen) identifies the originating
+    # ExecutionSpec, the starting point for minimal-repro bisection.
+    first_seen_app: str = ""
+    first_seen_seed: int = -1
     sources: Dict[str, int] = field(default_factory=dict)
     allocation_context: Tuple[str, ...] = ()
     access_context: Tuple[str, ...] = ()
@@ -145,6 +158,14 @@ class AggregatedReport:
     def rate_interval(self, total_executions: int) -> Tuple[float, float]:
         """Wilson 95% CI on the per-execution detection rate."""
         return wilson_interval(self.executions, total_executions)
+
+    def first_seen_spec(self) -> dict:
+        """The originating execution's spec identity, JSON-ready."""
+        return {
+            "app": self.first_seen_app,
+            "seed": self.first_seen_seed,
+            "index": self.first_seen,
+        }
 
 
 class FleetAggregator:
@@ -185,6 +206,8 @@ class FleetAggregator:
                     signature=record.signature,
                     kind=record.kind,
                     first_seen=result.index,
+                    first_seen_app=result.app,
+                    first_seen_seed=result.seed,
                     allocation_context=record.allocation_context,
                     access_context=record.access_context,
                 )
@@ -196,6 +219,8 @@ class FleetAggregator:
                 seen_this_execution.add(record.signature)
             if result.index < entry.first_seen:
                 entry.first_seen = result.index
+                entry.first_seen_app = result.app
+                entry.first_seen_seed = result.seed
 
     def add_all(self, results) -> None:
         for result in results:
@@ -218,18 +243,23 @@ class FleetAggregator:
         self.raw_reports += partial.raw_reports
         for signature, count in partial.counts.items():
             entry = self._reports.get(signature)
+            spec = partial.first_seen_spec.get(signature, ("", -1))
             if entry is None:
                 frames = partial.contexts.get(signature, ((), ()))
                 entry = AggregatedReport(
                     signature=signature,
                     kind=partial.kinds[signature],
                     first_seen=partial.first_seen[signature],
+                    first_seen_app=spec[0],
+                    first_seen_seed=spec[1],
                     allocation_context=frames[0],
                     access_context=frames[1],
                 )
                 self._reports[signature] = entry
             elif partial.first_seen[signature] < entry.first_seen:
                 entry.first_seen = partial.first_seen[signature]
+                entry.first_seen_app = spec[0]
+                entry.first_seen_seed = spec[1]
             entry.count += count
             entry.executions += partial.execution_hits[signature]
             for source, n in partial.sources[signature].items():
@@ -291,6 +321,7 @@ class FleetAggregator:
                     "count": entry.count,
                     "executions": entry.executions,
                     "first_seen": entry.first_seen,
+                    "first_seen_spec": entry.first_seen_spec(),
                     "sources": dict(sorted(entry.sources.items())),
                     "allocation_context": list(entry.allocation_context),
                     "access_context": list(entry.access_context),

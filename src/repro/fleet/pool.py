@@ -128,7 +128,7 @@ def _execute_one(
         # dataclasses.replace keeps the config's own type and re-runs
         # __init__, so configs with derived (non-init) fields survive.
         config = dataclasses.replace(config, persistence_path=None)
-    app = app_for(spec.app)
+    app = app_for(spec.app, spec.scale)
     process = SimProcess(seed=spec.seed)
     runtime = CSODRuntime(process.machine, process.heap, config, seed=spec.seed)
     evidence = set(spec.evidence) if spec.evidence else set(chunk_evidence)

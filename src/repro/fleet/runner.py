@@ -28,7 +28,10 @@ visibility boundaries no longer move with ``workers``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard only
+    from repro.triage.bugdb import BugDatabase, TriageUpdate
 
 from repro.core.config import CSODConfig, POLICY_NEAR_FIFO
 from repro.fleet.aggregate import FleetAggregator
@@ -51,6 +54,8 @@ class FleetRunResult:
     aggregator: FleetAggregator
     metrics: MetricsRegistry
     evidence: frozenset = field(default_factory=frozenset)
+    # Populated when the campaign fed a bug database at completion.
+    triage: Optional["TriageUpdate"] = None
 
     @property
     def detections(self) -> List[bool]:
@@ -72,8 +77,17 @@ def run_fleet(
     timeout_seconds: Optional[float] = DEFAULT_TIMEOUT_SECONDS,
     chunk_size: Optional[int] = None,
     wave_size: Optional[int] = None,
+    bug_db: Optional["BugDatabase"] = None,
+    campaign_id: Optional[str] = None,
 ) -> FleetRunResult:
-    """Run one app's detection campaign across a simulated fleet."""
+    """Run one app's detection campaign across a simulated fleet.
+
+    ``bug_db`` plugs the campaign into the triage layer: at campaign
+    end the aggregated reports are clustered
+    (:func:`repro.triage.cluster_reports`) and folded into the
+    database under ``campaign_id`` (default ``campaign-<seq>``), and
+    the per-status deltas land in the metrics registry and event log.
+    """
     if executions <= 0:
         raise ValueError(f"executions must be positive, got {executions}")
     config = config or CSODConfig(replacement_policy=policy)
@@ -128,6 +142,11 @@ def run_fleet(
         pool.close()
 
     _record_campaign(metrics, pool, aggregator, event_log, app)
+    triage_update = None
+    if bug_db is not None:
+        triage_update = _feed_bug_db(
+            bug_db, aggregator, campaign_id, metrics, event_log
+        )
     return FleetRunResult(
         app=app,
         executions=executions,
@@ -138,7 +157,46 @@ def run_fleet(
         aggregator=aggregator,
         metrics=metrics,
         evidence=store.snapshot() if store is not None else frozenset(),
+        triage=triage_update,
     )
+
+
+def _feed_bug_db(
+    bug_db: "BugDatabase",
+    aggregator: FleetAggregator,
+    campaign_id: Optional[str],
+    metrics: MetricsRegistry,
+    event_log: Optional[JsonlEventLog],
+) -> "TriageUpdate":
+    """Cluster the campaign's reports into the persistent bug database."""
+    # Imported here: triage consumes fleet.aggregate, so a top-level
+    # import would be circular.
+    from repro.triage.clustering import cluster_reports
+
+    clusters = cluster_reports(aggregator.reports())
+    update = bug_db.update(
+        clusters,
+        campaign_id=campaign_id,
+        total_executions=aggregator.executions_ok,
+    )
+    metrics.counter("triage_clusters").inc(update.clusters)
+    metrics.counter("triage_bugs_new").inc(len(update.new))
+    metrics.counter("triage_bugs_reproduced").inc(len(update.reproduced))
+    metrics.counter("triage_bugs_regressed").inc(len(update.regressed))
+    merged = aggregator.unique_reports() - update.clusters
+    metrics.counter("triage_signatures_merged").inc(max(0, merged))
+    if event_log is not None:
+        event_log.emit(
+            "triage",
+            campaign_id=update.campaign_id,
+            seq=update.seq,
+            clusters=update.clusters,
+            new=list(update.new),
+            reproduced=list(update.reproduced),
+            regressed=list(update.regressed),
+            bugs_total=len(bug_db),
+        )
+    return update
 
 
 def _record_execution(

@@ -49,6 +49,10 @@ class ExecutionSpec:
     # broadcasts evidence per chunk instead (epoch + delta); a spec
     # with explicit evidence always wins over the chunk's.
     evidence: Tuple[str, ...] = ()
+    # Allocation-schedule scale factor; ``None`` selects the app's
+    # default effectiveness scale.  Bisection shrinks this toward the
+    # smallest schedule that still re-triggers a cluster.
+    scale: Optional[float] = None
 
 
 @dataclass(frozen=True)

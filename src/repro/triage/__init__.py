@@ -1,0 +1,75 @@
+"""Fleet-scale bug triage: clustering, ranking, bisection, persistence.
+
+The downstream half of the GWP-ASan pipeline the fleet subsystem
+feeds: :mod:`repro.triage.clustering` collapses jittered exact
+signatures into one :class:`BugCluster` per bug,
+:mod:`repro.triage.ranking` orders clusters by severity x evidence x
+confidence, :mod:`repro.triage.bisect` shrinks a cluster's originating
+:class:`~repro.fleet.specs.ExecutionSpec` to a minimal deterministic
+reproducer, :mod:`repro.triage.bugdb` persists the corpus across
+campaigns (new / reproduced / regressed), and
+:mod:`repro.triage.export` emits JSON and SARIF 2.1.0 for standard
+code-scanning UIs.  CLI: ``python -m repro triage``.
+"""
+
+from repro.triage.bisect import (
+    Bisector,
+    BisectionStep,
+    MinimalRepro,
+    bisect_cluster,
+)
+from repro.triage.bugdb import (
+    STATUS_NEW,
+    STATUS_REGRESSED,
+    STATUS_REPRODUCED,
+    BugDatabase,
+    BugEntry,
+    TriageUpdate,
+)
+from repro.triage.clustering import (
+    BugCluster,
+    cluster_reports,
+    coarse_key_of,
+    edit_distance,
+    matches_cluster,
+    reports_from_aggregate,
+)
+from repro.triage.export import (
+    SARIF_VERSION,
+    render_triage_report,
+    to_sarif,
+    triage_to_json,
+    validate_sarif,
+)
+from repro.triage.ranking import (
+    RankedCluster,
+    rank_clusters,
+    score_cluster,
+)
+
+__all__ = [
+    "BisectionStep",
+    "Bisector",
+    "BugCluster",
+    "BugDatabase",
+    "BugEntry",
+    "MinimalRepro",
+    "RankedCluster",
+    "SARIF_VERSION",
+    "STATUS_NEW",
+    "STATUS_REGRESSED",
+    "STATUS_REPRODUCED",
+    "TriageUpdate",
+    "bisect_cluster",
+    "cluster_reports",
+    "coarse_key_of",
+    "edit_distance",
+    "matches_cluster",
+    "rank_clusters",
+    "render_triage_report",
+    "reports_from_aggregate",
+    "score_cluster",
+    "to_sarif",
+    "triage_to_json",
+    "validate_sarif",
+]

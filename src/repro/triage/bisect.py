@@ -1,0 +1,424 @@
+"""Minimal-reproducer bisection.
+
+The convergence step between "the fleet saw this" and "a developer can
+debug this": starting from a cluster's originating
+:class:`ExecutionSpec` (recovered from the aggregator's first-seen spec
+ids), shrink the execution until the smallest spec that still
+*deterministically* re-triggers the cluster remains.  Three dimensions,
+in order:
+
+1. **Determinise** — replay the originating execution to harvest its
+   evidence signatures, then pin the overflowing context by preloading
+   that evidence (§IV-B: a known-bad context is sampled at 100%), so
+   detection no longer depends on the sampling RNG.  If evidence alone
+   is not enough, raise the global sampling rate toward 1.0.
+2. **Drop unrelated evidence** — greedily remove preloaded signatures
+   that the re-trigger does not need.
+3. **Shrink the schedule** — halve the allocation-schedule scale while
+   the cluster still re-triggers (structurally-invalid scales count as
+   failures), then take back the last failed halving in one midpoint
+   refinement step.
+
+Every candidate is validated by *execution on the simulated machine*:
+it must re-trigger the cluster (per the clustering module's own
+matching rule) for ``seed_checks`` distinct seeds — seed-independence
+is the determinism bar, strictly stronger than same-seed replay.  The
+final spec is verified once more by re-execution before being declared
+a minimal reproducer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.config import CSODConfig
+from repro.errors import ReproError
+from repro.fleet.pool import execute_spec
+from repro.fleet.specs import ExecutionResult, ExecutionSpec
+from repro.triage.clustering import (
+    DEFAULT_MAX_EDIT_DISTANCE,
+    DEFAULT_TOP_K,
+    BugCluster,
+    matches_cluster,
+)
+from repro.workloads.buggy.registry import EFFECTIVENESS_SCALE
+
+# Sampling profile for the "raise the rate toward 1.0" fallback ladder.
+HOT_SAMPLING_LADDER = (0.9, 1.0)
+
+# Halvings attempted below the app's default scale.
+MAX_SCALE_HALVINGS = 6
+
+
+@dataclass(frozen=True)
+class BisectionStep:
+    """One probe of the search, for the audit trail."""
+
+    stage: str  # reproduce / determinise / drop-evidence / shrink / verify
+    description: str
+    scale: Optional[float]
+    evidence: int  # preloaded signature count
+    triggered: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "description": self.description,
+            "scale": self.scale,
+            "evidence": self.evidence,
+            "triggered": self.triggered,
+        }
+
+
+@dataclass
+class MinimalRepro:
+    """The smallest spec found to deterministically re-trigger a cluster."""
+
+    cluster_id: str
+    app: str
+    seed: int
+    config: CSODConfig
+    evidence: Tuple[str, ...] = ()
+    scale: Optional[float] = None
+    verified: bool = False
+    # True when the spec re-triggers under *fresh* seeds, not only the
+    # originating one — the stronger determinism claim.
+    seed_independent: bool = False
+    executions: int = 0  # simulated executions the search spent
+    steps: Tuple[BisectionStep, ...] = ()
+
+    def to_spec(self, index: int = 0) -> ExecutionSpec:
+        """The reproducer as a fleet-executable spec."""
+        return ExecutionSpec(
+            app=self.app,
+            seed=self.seed,
+            index=index,
+            config=self.config,
+            evidence=self.evidence,
+            scale=self.scale,
+        )
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON form, storable in the bug database."""
+        return {
+            "cluster_id": self.cluster_id,
+            "app": self.app,
+            "seed": self.seed,
+            "config": _config_to_dict(self.config),
+            "evidence": list(self.evidence),
+            "scale": self.scale,
+            "verified": self.verified,
+            "seed_independent": self.seed_independent,
+            "executions": self.executions,
+            "steps": [step.to_dict() for step in self.steps],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MinimalRepro":
+        return cls(
+            cluster_id=payload["cluster_id"],
+            app=payload["app"],
+            seed=payload["seed"],
+            config=CSODConfig(**payload.get("config", {})),
+            evidence=tuple(payload.get("evidence", ())),
+            scale=payload.get("scale"),
+            verified=payload.get("verified", False),
+            seed_independent=payload.get("seed_independent", False),
+            executions=payload.get("executions", 0),
+            steps=tuple(
+                BisectionStep(**step) for step in payload.get("steps", ())
+            ),
+        )
+
+
+def _config_to_dict(config: CSODConfig) -> dict:
+    """Only the init fields, so ``CSODConfig(**d)`` round-trips."""
+    return {
+        f.name: getattr(config, f.name)
+        for f in dataclasses.fields(config)
+        if f.init
+    }
+
+
+class Bisector:
+    """Runs the shrink loop for one cluster."""
+
+    def __init__(
+        self,
+        cluster: BugCluster,
+        config: Optional[CSODConfig] = None,
+        seed_checks: int = 2,
+        top_k: int = DEFAULT_TOP_K,
+        max_edit_distance: int = DEFAULT_MAX_EDIT_DISTANCE,
+    ):
+        if seed_checks < 1:
+            raise ValueError(f"seed_checks must be >= 1, got {seed_checks}")
+        self.cluster = cluster
+        self.config = config or CSODConfig()
+        self.seed_checks = seed_checks
+        self.top_k = top_k
+        self.max_edit_distance = max_edit_distance
+        self.steps: List[BisectionStep] = []
+        self.executions = 0
+        origin = cluster.first_seen_spec()
+        self.app: str = origin["app"]
+        self.seed: int = origin["seed"]
+        if not self.app:
+            raise ReproError(
+                f"cluster {cluster.cluster_id} carries no first-seen spec; "
+                "re-aggregate with a fleet version that records spec ids"
+            )
+
+    # ------------------------------------------------------------------
+    # Probes
+    # ------------------------------------------------------------------
+    def _run(self, spec: ExecutionSpec) -> Optional[ExecutionResult]:
+        """One simulated execution; None when the spec is unbuildable."""
+        self.executions += 1
+        try:
+            return execute_spec(spec)
+        except Exception:  # noqa: BLE001 — e.g. a scale too small for the
+            # app's structure; the candidate simply fails.
+            return None
+
+    def _retriggers(self, result: Optional[ExecutionResult]) -> bool:
+        if result is None or not result.ok:
+            return False
+        return any(
+            matches_cluster(
+                self.cluster,
+                record.kind,
+                record.allocation_context,
+                record.access_context,
+                top_k=self.top_k,
+                max_edit_distance=self.max_edit_distance,
+            )
+            for record in result.reports
+        )
+
+    def _deterministic(
+        self,
+        config: CSODConfig,
+        evidence: Tuple[str, ...],
+        scale: Optional[float],
+        stage: str,
+        description: str,
+    ) -> bool:
+        """Candidate accepted only if every probed seed re-triggers.
+
+        Seeds are fresh (offset from the originating one), so passing
+        means the repro does not lean on one lucky RNG stream.
+        """
+        triggered = True
+        for attempt in range(self.seed_checks):
+            spec = ExecutionSpec(
+                app=self.app,
+                seed=self.seed + attempt * 7919,  # distinct RNG streams
+                index=0,
+                config=config,
+                evidence=evidence,
+                scale=scale,
+            )
+            if not self._retriggers(self._run(spec)):
+                triggered = False
+                break
+        self.steps.append(
+            BisectionStep(
+                stage=stage,
+                description=description,
+                scale=scale,
+                evidence=len(evidence),
+                triggered=triggered,
+            )
+        )
+        return triggered
+
+    # ------------------------------------------------------------------
+    # The search
+    # ------------------------------------------------------------------
+    def run(self) -> MinimalRepro:
+        # 1. Replay the originating execution: deterministic by
+        #    construction, and the source of the evidence signatures.
+        origin_spec = ExecutionSpec(
+            app=self.app, seed=self.seed, index=0, config=self.config
+        )
+        origin = self._run(origin_spec)
+        replayed = self._retriggers(origin)
+        self.steps.append(
+            BisectionStep(
+                stage="reproduce",
+                description=f"replay originating spec seed={self.seed}",
+                scale=None,
+                evidence=0,
+                triggered=replayed,
+            )
+        )
+        if not replayed:
+            return self._give_up()
+        harvest = tuple(origin.new_evidence)
+
+        # 2. Determinise: evidence pinning first, hot sampling fallback.
+        config, evidence = self._determinise(harvest)
+        if config is None:
+            # Not seed-independent; the replay itself is still a
+            # deterministic reproducer (same seed, same outcome).
+            return self._finish(
+                self.config, (), None, seed_independent=False
+            )
+
+        # 3. Drop unrelated evidence, one signature at a time.
+        evidence = self._shrink_evidence(config, evidence)
+
+        # 4. Shrink the allocation schedule.
+        scale = self._shrink_scale(config, evidence)
+
+        return self._finish(config, evidence, scale, seed_independent=True)
+
+    def _determinise(self, harvest: Tuple[str, ...]):
+        if harvest and self._deterministic(
+            self.config,
+            harvest,
+            None,
+            "determinise",
+            f"pin {len(harvest)} evidence signature(s) (§IV-B)",
+        ):
+            return self.config, harvest
+        for rate in HOT_SAMPLING_LADDER:
+            hot = dataclasses.replace(
+                self.config,
+                initial_probability=rate,
+                degradation_per_alloc=0.0,
+                watch_degradation_factor=1.0,
+            )
+            if self._deterministic(
+                hot,
+                harvest,
+                None,
+                "determinise",
+                f"raise sampling rate to {rate:.0%}",
+            ):
+                return hot, harvest
+        return None, ()
+
+    def _shrink_evidence(
+        self, config: CSODConfig, evidence: Tuple[str, ...]
+    ) -> Tuple[str, ...]:
+        kept = list(evidence)
+        for signature in list(kept):
+            if len(kept) <= 1:
+                break
+            candidate = tuple(s for s in kept if s != signature)
+            if self._deterministic(
+                config,
+                candidate,
+                None,
+                "drop-evidence",
+                f"drop {signature.split('|', 1)[0]}",
+            ):
+                kept = list(candidate)
+        # An empty evidence tuple means "none preloaded"; only worth
+        # probing when one signature is left and may be unnecessary.
+        if kept and self._deterministic(
+            config, (), None, "drop-evidence", "drop all evidence"
+        ):
+            kept = []
+        return tuple(kept)
+
+    def _shrink_scale(
+        self, config: CSODConfig, evidence: Tuple[str, ...]
+    ) -> Optional[float]:
+        base = EFFECTIVENESS_SCALE.get(self.app, 1.0)
+        best: Optional[float] = None  # None = the app's default scale
+        lo_fail: Optional[float] = None
+        scale = base
+        for _ in range(MAX_SCALE_HALVINGS):
+            scale = round(scale / 2.0, 6)
+            if scale <= 0.0:
+                break
+            if self._deterministic(
+                config, evidence, scale, "shrink", f"halve schedule to {scale}"
+            ):
+                best = scale
+            else:
+                lo_fail = scale
+                break
+        if best is not None and lo_fail is not None:
+            midpoint = round((best + lo_fail) / 2.0, 6)
+            if midpoint not in (best, lo_fail) and self._deterministic(
+                config,
+                evidence,
+                midpoint,
+                "shrink",
+                f"refine midpoint {midpoint}",
+            ):
+                best = midpoint
+        return best
+
+    # ------------------------------------------------------------------
+    # Terminal states
+    # ------------------------------------------------------------------
+    def _finish(
+        self,
+        config: CSODConfig,
+        evidence: Tuple[str, ...],
+        scale: Optional[float],
+        seed_independent: bool,
+    ) -> MinimalRepro:
+        repro = MinimalRepro(
+            cluster_id=self.cluster.cluster_id,
+            app=self.app,
+            seed=self.seed,
+            config=config,
+            evidence=evidence,
+            scale=scale,
+            seed_independent=seed_independent,
+            executions=self.executions,
+            steps=tuple(self.steps),
+        )
+        # Final re-execution: the spec as stored must re-trigger.
+        verified = self._retriggers(self._run(repro.to_spec()))
+        self.steps.append(
+            BisectionStep(
+                stage="verify",
+                description="re-execute the minimal spec",
+                scale=scale,
+                evidence=len(evidence),
+                triggered=verified,
+            )
+        )
+        repro.verified = verified
+        repro.executions = self.executions
+        repro.steps = tuple(self.steps)
+        return repro
+
+    def _give_up(self) -> MinimalRepro:
+        return MinimalRepro(
+            cluster_id=self.cluster.cluster_id,
+            app=self.app,
+            seed=self.seed,
+            config=self.config,
+            verified=False,
+            seed_independent=False,
+            executions=self.executions,
+            steps=tuple(self.steps),
+        )
+
+
+def bisect_cluster(
+    cluster: BugCluster,
+    config: Optional[CSODConfig] = None,
+    seed_checks: int = 2,
+    top_k: int = DEFAULT_TOP_K,
+    max_edit_distance: int = DEFAULT_MAX_EDIT_DISTANCE,
+) -> MinimalRepro:
+    """Find the smallest spec that deterministically re-triggers
+    ``cluster``; see the module docstring for the search order."""
+    return Bisector(
+        cluster,
+        config=config,
+        seed_checks=seed_checks,
+        top_k=top_k,
+        max_edit_distance=max_edit_distance,
+    ).run()

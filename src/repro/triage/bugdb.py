@@ -1,0 +1,307 @@
+"""The persistent, cross-campaign bug database.
+
+The fleet aggregator lives for one campaign; real triage needs memory.
+This store keeps one entry per :class:`BugCluster` content address
+across campaigns: when it was first and last seen, cumulative
+occurrence counts, the member signatures observed so far, and — once
+bisection has run — the stored minimal reproducer spec.
+
+Status machine (driven purely by *update sequence numbers*, so it is
+deterministic and clock-free):
+
+* ``new``         — first campaign that observed the cluster;
+* ``reproduced``  — observed again in the very next update;
+* ``regressed``   — re-observed after one or more updates in which it
+  was absent (it had gone quiet — a fix or a workload change — and is
+  back).
+
+Entries absent from an update keep their status; nothing is ever
+deleted, matching how fleet crash databases accrete.
+
+File conventions follow :class:`repro.fleet.evidence_store.EvidenceStore`:
+a single JSON document ``{"version": 1, ...}``, rewritten atomically
+(write-temp + ``os.replace``) and only when the content changed, with
+sorted keys so byte-identical campaigns produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.triage.clustering import BugCluster
+
+DB_VERSION = 1
+
+STATUS_NEW = "new"
+STATUS_REPRODUCED = "reproduced"
+STATUS_REGRESSED = "regressed"
+
+
+@dataclass
+class BugEntry:
+    """One bug's cross-campaign history."""
+
+    cluster_id: str
+    kind: str
+    coarse_key: str
+    status: str = STATUS_NEW
+    first_seen_campaign: str = ""
+    last_seen_campaign: str = ""
+    first_seen_seq: int = 0  # 1-based update sequence numbers
+    last_seen_seq: int = 0
+    occurrences: int = 0  # cumulative raw report count
+    executions: int = 0  # cumulative detecting executions
+    campaigns_seen: int = 0
+    signatures: Tuple[str, ...] = ()
+    sources: Dict[str, int] = field(default_factory=dict)
+    allocation_context: Tuple[str, ...] = ()
+    access_context: Tuple[str, ...] = ()
+    first_seen_spec: Dict[str, object] = field(default_factory=dict)
+    repro: Optional[dict] = None  # MinimalRepro.to_dict(), once bisected
+
+    def to_cluster(self) -> BugCluster:
+        """Rebuild a rankable/exportable cluster from the stored entry.
+
+        The member list collapses to one synthetic representative
+        carrying the cumulative counts — enough for ranking and export
+        when triaging straight from a persisted database.
+        """
+        from repro.fleet.aggregate import AggregatedReport
+
+        spec = self.first_seen_spec
+        representative = AggregatedReport(
+            signature=self.signatures[0] if self.signatures else self.coarse_key,
+            kind=self.kind,
+            count=self.occurrences,
+            executions=self.executions,
+            first_seen=int(spec.get("index", -1)),
+            first_seen_app=str(spec.get("app", "")),
+            first_seen_seed=int(spec.get("seed", -1)),
+            sources=dict(self.sources),
+            allocation_context=self.allocation_context,
+            access_context=self.access_context,
+        )
+        return BugCluster(
+            cluster_id=self.cluster_id,
+            kind=self.kind,
+            coarse_key=self.coarse_key,
+            members=[representative],
+        )
+
+    def to_dict(self) -> dict:
+        payload = {
+            "cluster_id": self.cluster_id,
+            "kind": self.kind,
+            "coarse_key": self.coarse_key,
+            "status": self.status,
+            "first_seen_campaign": self.first_seen_campaign,
+            "last_seen_campaign": self.last_seen_campaign,
+            "first_seen_seq": self.first_seen_seq,
+            "last_seen_seq": self.last_seen_seq,
+            "occurrences": self.occurrences,
+            "executions": self.executions,
+            "campaigns_seen": self.campaigns_seen,
+            "signatures": list(self.signatures),
+            "sources": dict(sorted(self.sources.items())),
+            "allocation_context": list(self.allocation_context),
+            "access_context": list(self.access_context),
+            "first_seen_spec": dict(self.first_seen_spec),
+        }
+        if self.repro is not None:
+            payload["repro"] = self.repro
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BugEntry":
+        return cls(
+            cluster_id=payload["cluster_id"],
+            kind=payload.get("kind", ""),
+            coarse_key=payload.get("coarse_key", ""),
+            status=payload.get("status", STATUS_NEW),
+            first_seen_campaign=payload.get("first_seen_campaign", ""),
+            last_seen_campaign=payload.get("last_seen_campaign", ""),
+            first_seen_seq=payload.get("first_seen_seq", 0),
+            last_seen_seq=payload.get("last_seen_seq", 0),
+            occurrences=payload.get("occurrences", 0),
+            executions=payload.get("executions", 0),
+            campaigns_seen=payload.get("campaigns_seen", 0),
+            signatures=tuple(payload.get("signatures", ())),
+            sources=dict(payload.get("sources", {})),
+            allocation_context=tuple(payload.get("allocation_context", ())),
+            access_context=tuple(payload.get("access_context", ())),
+            first_seen_spec=dict(payload.get("first_seen_spec", {})),
+            repro=payload.get("repro"),
+        )
+
+
+@dataclass
+class TriageUpdate:
+    """What one campaign's update did to the database."""
+
+    campaign_id: str
+    seq: int
+    clusters: int = 0
+    new: List[str] = field(default_factory=list)
+    reproduced: List[str] = field(default_factory=list)
+    regressed: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "campaign_id": self.campaign_id,
+            "seq": self.seq,
+            "clusters": self.clusters,
+            "new": list(self.new),
+            "reproduced": list(self.reproduced),
+            "regressed": list(self.regressed),
+        }
+
+
+class BugDatabase:
+    """A file-backed map of cluster id -> :class:`BugEntry`."""
+
+    def __init__(self, path: Optional[str] = None):
+        """``path=None`` keeps the database purely in memory."""
+        self.path = path
+        self.campaigns = 0  # updates applied so far (the sequence clock)
+        self.executions_total = 0  # cumulative ok executions observed
+        self._entries: Dict[str, BugEntry] = {}
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, cluster_id: str) -> bool:
+        return cluster_id in self._entries
+
+    def get(self, cluster_id: str) -> Optional[BugEntry]:
+        return self._entries.get(cluster_id)
+
+    def entries(self) -> List[BugEntry]:
+        """Every bug, most recently seen first (id as the tiebreak)."""
+        return sorted(
+            self._entries.values(),
+            key=lambda e: (-e.last_seen_seq, -e.occurrences, e.cluster_id),
+        )
+
+    def campaigns_since_seen(self) -> Dict[str, int]:
+        """Per-bug staleness, the ranking module's recency input."""
+        return {
+            entry.cluster_id: self.campaigns - entry.last_seen_seq
+            for entry in self._entries.values()
+        }
+
+    def clusters(self) -> List[BugCluster]:
+        """Every bug as a rankable cluster (see ``BugEntry.to_cluster``)."""
+        return [entry.to_cluster() for entry in self.entries()]
+
+    def to_dict(self) -> dict:
+        return {
+            "version": DB_VERSION,
+            "campaigns": self.campaigns,
+            "executions_total": self.executions_total,
+            "bugs": [
+                entry.to_dict()
+                for entry in sorted(
+                    self._entries.values(), key=lambda e: e.cluster_id
+                )
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        clusters: Iterable[BugCluster],
+        campaign_id: Optional[str] = None,
+        total_executions: int = 0,
+    ) -> TriageUpdate:
+        """Fold one campaign's clusters in; returns the status deltas."""
+        seq = self.campaigns + 1
+        self.executions_total += max(0, total_executions)
+        campaign = campaign_id or f"campaign-{seq}"
+        update = TriageUpdate(campaign_id=campaign, seq=seq)
+        for cluster in sorted(clusters, key=lambda c: c.cluster_id):
+            update.clusters += 1
+            entry = self._entries.get(cluster.cluster_id)
+            if entry is None:
+                entry = BugEntry(
+                    cluster_id=cluster.cluster_id,
+                    kind=cluster.kind,
+                    coarse_key=cluster.coarse_key,
+                    status=STATUS_NEW,
+                    first_seen_campaign=campaign,
+                    first_seen_seq=seq,
+                    first_seen_spec=cluster.first_seen_spec(),
+                    allocation_context=cluster.allocation_context,
+                    access_context=cluster.access_context,
+                )
+                self._entries[cluster.cluster_id] = entry
+                update.new.append(cluster.cluster_id)
+            elif entry.last_seen_seq == seq - 1:
+                entry.status = STATUS_REPRODUCED
+                update.reproduced.append(cluster.cluster_id)
+            else:
+                entry.status = STATUS_REGRESSED
+                update.regressed.append(cluster.cluster_id)
+            entry.last_seen_campaign = campaign
+            entry.last_seen_seq = seq
+            entry.campaigns_seen += 1
+            entry.occurrences += cluster.count
+            entry.executions += cluster.executions
+            entry.signatures = tuple(
+                sorted(set(entry.signatures) | set(cluster.signatures))
+            )
+            for source, hits in cluster.sources.items():
+                entry.sources[source] = entry.sources.get(source, 0) + hits
+            # Keep the deepest stacks seen so far.
+            if len(cluster.allocation_context) > len(entry.allocation_context):
+                entry.allocation_context = cluster.allocation_context
+            if len(cluster.access_context) > len(entry.access_context):
+                entry.access_context = cluster.access_context
+        self.campaigns = seq
+        self._flush()
+        return update
+
+    def attach_repro(self, cluster_id: str, repro: dict) -> None:
+        """Store a bisected minimal reproducer on its bug."""
+        entry = self._entries.get(cluster_id)
+        if entry is None:
+            raise KeyError(f"unknown cluster id {cluster_id!r}")
+        entry.repro = dict(repro)
+        self._flush()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if self.path is None or not os.path.exists(self.path):
+            return
+        with open(self.path) as handle:
+            payload = json.load(handle)
+        version = payload.get("version")
+        if version != DB_VERSION:
+            raise ValueError(
+                f"bug database {self.path} has version {version!r}; "
+                f"this build reads version {DB_VERSION}"
+            )
+        self.campaigns = payload.get("campaigns", 0)
+        self.executions_total = payload.get("executions_total", 0)
+        for row in payload.get("bugs", []):
+            entry = BugEntry.from_dict(row)
+            self._entries[entry.cluster_id] = entry
+
+    def _flush(self) -> None:
+        if self.path is None:
+            return
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, self.path)

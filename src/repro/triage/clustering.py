@@ -1,0 +1,285 @@
+"""Similarity clustering of aggregated fleet reports.
+
+The fleet aggregator deduplicates by *exact* signature, but one bug
+routinely produces several signatures: a watchpoint trap carries the
+faulting access stack while canary evidence carries none, and
+input-driven jitter perturbs frames below the allocation wrapper.
+GWP-ASan's triage pipeline solves this with stack-similarity grouping;
+this module is that step for CSOD.
+
+Two reports land in one :class:`BugCluster` when
+
+1. their **coarse keys** match — same kind and same top-K symbolized
+   allocation frames (:func:`repro.core.reporting.coarse_signature_of`,
+   the same frame strings ``repro.callstack``'s ``CallSite.location()``
+   prints), and
+2. the **edit distance** between their full symbolized stacks
+   (allocation tail beyond the prefix, plus access stack) is within a
+   threshold — so two genuinely different overflow sites behind one
+   allocation wrapper still separate.
+
+Clustering is deterministic: reports are visited in sorted-signature
+order and cluster ids are content addresses (a hash of the coarse key
+plus the representative's access prefix), so identically-seeded
+campaigns produce byte-identical cluster ids across runs — the property
+the cross-campaign bug database keys on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.reporting import COARSE_SIGNATURE_FRAMES, coarse_signature_of
+from repro.fleet.aggregate import AggregatedReport
+
+DEFAULT_TOP_K = COARSE_SIGNATURE_FRAMES
+DEFAULT_MAX_EDIT_DISTANCE = 3
+
+
+def edit_distance(a: Sequence[str], b: Sequence[str]) -> int:
+    """Levenshtein distance over frame sequences (not characters)."""
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, frame_a in enumerate(a, start=1):
+        current = [i]
+        for j, frame_b in enumerate(b, start=1):
+            cost = 0 if frame_a == frame_b else 1
+            current.append(
+                min(
+                    previous[j] + 1,  # delete
+                    current[j - 1] + 1,  # insert
+                    previous[j - 1] + cost,  # substitute
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def stack_distance(
+    a: AggregatedReport, b: AggregatedReport, top_k: int
+) -> int:
+    """Distance between two reports' full symbolized stacks.
+
+    The top-K allocation prefix is already known equal (same bucket),
+    so only the allocation tail and the access stack can differ.
+    Empty-versus-populated access stacks (canary versus watchpoint
+    evidence for one bug) are free: absence of a faulting stack is a
+    property of the evidence source, not of the bug.
+    """
+    distance = edit_distance(
+        a.allocation_context[top_k:], b.allocation_context[top_k:]
+    )
+    if a.access_context and b.access_context:
+        distance += edit_distance(a.access_context, b.access_context)
+    return distance
+
+
+@dataclass
+class BugCluster:
+    """One triaged bug: every aggregated report attributed to it."""
+
+    cluster_id: str
+    kind: str
+    coarse_key: str  # the shared coarse signature
+    members: List[AggregatedReport] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Merged views
+    # ------------------------------------------------------------------
+    @property
+    def representative(self) -> AggregatedReport:
+        """The lexicographically-least member: the cluster's exemplar."""
+        return min(self.members, key=lambda m: m.signature)
+
+    @property
+    def count(self) -> int:
+        return sum(member.count for member in self.members)
+
+    @property
+    def executions(self) -> int:
+        """Upper bound on distinct detecting executions (sum of members)."""
+        return sum(member.executions for member in self.members)
+
+    @property
+    def first_seen(self) -> int:
+        return min(member.first_seen for member in self.members)
+
+    @property
+    def sources(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for member in self.members:
+            for source, count in member.sources.items():
+                merged[source] = merged.get(source, 0) + count
+        return merged
+
+    @property
+    def signatures(self) -> Tuple[str, ...]:
+        return tuple(sorted(member.signature for member in self.members))
+
+    def first_seen_spec(self) -> dict:
+        """The earliest member's originating ExecutionSpec identity."""
+        earliest = min(
+            self.members, key=lambda m: (m.first_seen, m.signature)
+        )
+        return earliest.first_seen_spec()
+
+    @property
+    def allocation_context(self) -> Tuple[str, ...]:
+        """The deepest allocation stack any member carries."""
+        return max(
+            (member.allocation_context for member in self.members),
+            key=len,
+        )
+
+    @property
+    def access_context(self) -> Tuple[str, ...]:
+        """The deepest access stack any member carries (may be empty)."""
+        return max(
+            (member.access_context for member in self.members),
+            key=len,
+        )
+
+    def rate_interval(self, total_executions: int) -> Tuple[float, float]:
+        """Wilson 95% CI on the per-execution detection rate."""
+        from repro.experiments.campaign import wilson_interval
+
+        executions = min(self.executions, max(total_executions, 1))
+        return wilson_interval(executions, max(total_executions, 1))
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON form (sorted members, no wall-clock)."""
+        return {
+            "cluster_id": self.cluster_id,
+            "kind": self.kind,
+            "coarse_key": self.coarse_key,
+            "count": self.count,
+            "executions": self.executions,
+            "first_seen": self.first_seen,
+            "first_seen_spec": self.first_seen_spec(),
+            "sources": dict(sorted(self.sources.items())),
+            "signatures": list(self.signatures),
+            "allocation_context": list(self.allocation_context),
+            "access_context": list(self.access_context),
+        }
+
+
+def _cluster_id(coarse_key: str, access_prefix: Tuple[str, ...]) -> str:
+    """A short content address: stable across campaigns and processes."""
+    payload = coarse_key + "||access:" + ">".join(access_prefix)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def coarse_key_of(report: AggregatedReport, top_k: int = DEFAULT_TOP_K) -> str:
+    """The bucket key: kind + top-K symbolized allocation frames."""
+    return coarse_signature_of(
+        report.kind, report.allocation_context, top_k=top_k
+    )
+
+
+def cluster_reports(
+    reports: Iterable[AggregatedReport],
+    top_k: int = DEFAULT_TOP_K,
+    max_edit_distance: int = DEFAULT_MAX_EDIT_DISTANCE,
+) -> List[BugCluster]:
+    """Group aggregated reports into per-bug clusters.
+
+    Deterministic: input order never matters (reports are sorted by
+    signature first), and the returned clusters are sorted by
+    (-count, cluster_id) — most-seen bugs first, content address as the
+    tiebreak.
+    """
+    if top_k < 1:
+        raise ValueError(f"top_k must be >= 1, got {top_k}")
+    if max_edit_distance < 0:
+        raise ValueError(
+            f"max_edit_distance must be >= 0, got {max_edit_distance}"
+        )
+    buckets: Dict[str, List[AggregatedReport]] = {}
+    for report in sorted(reports, key=lambda r: r.signature):
+        buckets.setdefault(coarse_key_of(report, top_k), []).append(report)
+
+    clusters: List[BugCluster] = []
+    for coarse_key in sorted(buckets):
+        open_clusters: List[BugCluster] = []
+        for report in buckets[coarse_key]:
+            home = None
+            for candidate in open_clusters:
+                distance = stack_distance(
+                    candidate.representative, report, top_k
+                )
+                if distance <= max_edit_distance:
+                    home = candidate
+                    break
+            if home is None:
+                home = BugCluster(
+                    cluster_id="",  # assigned once membership settles
+                    kind=report.kind,
+                    coarse_key=coarse_key,
+                )
+                open_clusters.append(home)
+            home.members.append(report)
+        for cluster in open_clusters:
+            cluster.cluster_id = _cluster_id(
+                coarse_key,
+                cluster.representative.access_context[:top_k],
+            )
+            clusters.append(cluster)
+    clusters.sort(key=lambda c: (-c.count, c.cluster_id))
+    return clusters
+
+
+def matches_cluster(
+    cluster: BugCluster,
+    kind: str,
+    allocation_context: Sequence[str],
+    access_context: Sequence[str] = (),
+    top_k: int = DEFAULT_TOP_K,
+    max_edit_distance: int = DEFAULT_MAX_EDIT_DISTANCE,
+) -> bool:
+    """Would a fresh report with these stacks join ``cluster``?
+
+    The re-execution check bisection uses: a candidate spec re-triggers
+    a cluster iff one of its reports matches under the same coarse-key
+    + edit-distance rule that built the cluster.
+    """
+    if coarse_signature_of(kind, allocation_context, top_k=top_k) != (
+        cluster.coarse_key
+    ):
+        return False
+    probe = AggregatedReport(
+        signature="",
+        kind=kind,
+        allocation_context=tuple(str(f) for f in allocation_context),
+        access_context=tuple(str(f) for f in access_context),
+    )
+    return (
+        stack_distance(cluster.representative, probe, top_k)
+        <= max_edit_distance
+    )
+
+
+def reports_from_aggregate(payload: dict) -> List[AggregatedReport]:
+    """Rebuild AggregatedReports from a fleet ``aggregate.json`` dict."""
+    reports = []
+    for row in payload.get("reports", []):
+        spec = row.get("first_seen_spec", {})
+        reports.append(
+            AggregatedReport(
+                signature=row["signature"],
+                kind=row["kind"],
+                count=row.get("count", 0),
+                executions=row.get("executions", 0),
+                first_seen=row.get("first_seen", -1),
+                first_seen_app=spec.get("app", ""),
+                first_seen_seed=spec.get("seed", -1),
+                sources=dict(row.get("sources", {})),
+                allocation_context=tuple(row.get("allocation_context", ())),
+                access_context=tuple(row.get("access_context", ())),
+            )
+        )
+    return reports

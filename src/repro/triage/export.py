@@ -1,0 +1,357 @@
+"""Triage corpus export: plain JSON and SARIF 2.1.0.
+
+SARIF is the interchange format code-scanning UIs (GitHub code
+scanning, VS Code SARIF viewer, Azure DevOps) ingest, so the triage
+pipeline ends here: one ``run`` of the ``csod-triage`` driver, one
+reporting rule per bug cluster, one result per cluster with the
+allocation/access sites as physical locations parsed back out of the
+``MODULE/file:line`` frame strings ``repro.callstack`` prints.
+
+``validate_sarif`` is a structural validator for the subset of the
+SARIF 2.1.0 schema this exporter (and the consumers above) rely on —
+dependency-free, so CI can gate on it without installing a JSON-Schema
+engine; when ``jsonschema`` and a schema file are available the full
+check can be layered on top.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.triage.bugdb import BugDatabase
+from repro.triage.clustering import BugCluster
+from repro.triage.ranking import RankedCluster
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "csod-triage"
+TOOL_INFO_URI = "https://github.com/csod-repro/csod-repro"
+
+_LEVELS = ("none", "note", "warning", "error")
+
+KIND_LEVEL = {
+    "over-write": "error",  # memory corruption
+    "over-read": "warning",  # information disclosure
+}
+
+
+def parse_frame(frame: str) -> Tuple[str, int]:
+    """``MODULE/file.c:123`` -> (``MODULE/file.c``, 123).
+
+    Frames without a parsable line (raw addresses from stripped
+    modules) map to line 1 with the whole frame as the uri.
+    """
+    path, sep, line = frame.rpartition(":")
+    if sep and line.isdigit():
+        return path, max(1, int(line))
+    return frame, 1
+
+
+def _location(frame: str) -> dict:
+    uri, line = parse_frame(frame)
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": uri},
+            "region": {"startLine": line},
+        }
+    }
+
+
+def _message(cluster: BugCluster) -> str:
+    alloc = (
+        cluster.allocation_context[0]
+        if cluster.allocation_context
+        else "(unknown allocation site)"
+    )
+    access = (
+        f", accessed from {cluster.access_context[0]}"
+        if cluster.access_context
+        else " (canary evidence only)"
+    )
+    return (
+        f"Heap buffer {cluster.kind} of an object allocated at {alloc}"
+        f"{access}: {cluster.count} report(s) across "
+        f"{cluster.executions} execution(s)."
+    )
+
+
+def triage_to_json(
+    ranked: Sequence[RankedCluster],
+    total_executions: int,
+    db: Optional[BugDatabase] = None,
+) -> dict:
+    """The deterministic machine-readable triage summary."""
+    statuses: Dict[str, str] = {}
+    if db is not None:
+        statuses = {
+            entry.cluster_id: entry.status for entry in db.entries()
+        }
+    rows = []
+    for item in ranked:
+        row = item.cluster.to_dict()
+        row["ranking"] = item.to_dict()
+        status = statuses.get(item.cluster.cluster_id)
+        if status is not None:
+            row["status"] = status
+        rows.append(row)
+    return {
+        "tool": TOOL_NAME,
+        "total_executions": total_executions,
+        "clusters": rows,
+    }
+
+
+def to_sarif(
+    ranked: Sequence[RankedCluster],
+    tool_version: str = "0.0.0",
+    db: Optional[BugDatabase] = None,
+) -> dict:
+    """One SARIF 2.1.0 run over the ranked triage corpus."""
+    rules = []
+    results = []
+    for index, item in enumerate(ranked):
+        cluster = item.cluster
+        level = KIND_LEVEL.get(cluster.kind, "warning")
+        rules.append(
+            {
+                "id": cluster.cluster_id,
+                "name": f"HeapBufferOverflow/{cluster.kind}",
+                "shortDescription": {
+                    "text": f"heap buffer {cluster.kind} ({cluster.coarse_key})"
+                },
+                "defaultConfiguration": {"level": level},
+            }
+        )
+        frames = list(cluster.access_context) or list(
+            cluster.allocation_context
+        )
+        properties: Dict[str, object] = {
+            "score": item.score,
+            "confidence": item.confidence,
+            "occurrences": cluster.count,
+            "executions": cluster.executions,
+            "sources": dict(sorted(cluster.sources.items())),
+            "signatures": list(cluster.signatures),
+        }
+        entry = db.get(cluster.cluster_id) if db is not None else None
+        if entry is not None:
+            properties["status"] = entry.status
+            properties["firstSeenCampaign"] = entry.first_seen_campaign
+            properties["lastSeenCampaign"] = entry.last_seen_campaign
+            if entry.repro is not None:
+                properties["minimalRepro"] = entry.repro
+        results.append(
+            {
+                "ruleId": cluster.cluster_id,
+                "ruleIndex": index,
+                "level": level,
+                "message": {"text": _message(cluster)},
+                "locations": [_location(frame) for frame in frames[:1]]
+                or [_location("(unknown)")],
+                "relatedLocations": [
+                    _location(frame)
+                    for frame in cluster.allocation_context[:3]
+                ],
+                "partialFingerprints": {
+                    "csodClusterId/v1": cluster.cluster_id
+                },
+                "properties": properties,
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": tool_version,
+                        "informationUri": TOOL_INFO_URI,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_triage_report(
+    ranked: Sequence[RankedCluster],
+    total_executions: int,
+    db: Optional[BugDatabase] = None,
+    title: str = "Triage",
+) -> str:
+    """The human-facing triage table, highest score first."""
+    from repro.experiments.tables import render_table
+
+    statuses: Dict[str, str] = {}
+    if db is not None:
+        statuses = {entry.cluster_id: entry.status for entry in db.entries()}
+    rows = []
+    for item in ranked:
+        cluster = item.cluster
+        lo, hi = cluster.rate_interval(total_executions)
+        top_alloc = (
+            cluster.allocation_context[0]
+            if cluster.allocation_context
+            else "?"
+        )
+        rows.append(
+            [
+                cluster.cluster_id[:12],
+                statuses.get(cluster.cluster_id, "-"),
+                cluster.kind,
+                top_alloc,
+                len(cluster.members),
+                cluster.count,
+                f"{item.score:.3f}",
+                f"[{lo:.1%}, {hi:.1%}]",
+            ]
+        )
+    return render_table(
+        [
+            "cluster",
+            "status",
+            "kind",
+            "allocation site",
+            "sigs",
+            "reports",
+            "score",
+            "95% CI",
+        ],
+        rows,
+        title=title,
+    )
+
+
+def validate_sarif(document: dict) -> List[str]:
+    """Structural SARIF 2.1.0 validation; returns [] when valid.
+
+    Checks every constraint the 2.1.0 schema places on the elements
+    this exporter emits: the log envelope, the driver, rule/result
+    cross-references, message texts, levels, locations, and
+    fingerprints.
+    """
+    errors: List[str] = []
+
+    def check(condition: bool, message: str) -> bool:
+        if not condition:
+            errors.append(message)
+        return condition
+
+    if not check(isinstance(document, dict), "document must be an object"):
+        return errors
+    check(
+        document.get("version") == SARIF_VERSION,
+        f"version must be {SARIF_VERSION!r}",
+    )
+    runs = document.get("runs")
+    if not check(isinstance(runs, list) and runs, "runs must be a non-empty array"):
+        return errors
+    for run_index, run in enumerate(runs):
+        where = f"runs[{run_index}]"
+        if not check(isinstance(run, dict), f"{where} must be an object"):
+            continue
+        driver = run.get("tool", {}).get("driver") if isinstance(
+            run.get("tool"), dict
+        ) else None
+        if check(
+            isinstance(driver, dict), f"{where}.tool.driver is required"
+        ):
+            check(
+                isinstance(driver.get("name"), str) and driver["name"],
+                f"{where}.tool.driver.name must be a non-empty string",
+            )
+        rule_ids = []
+        for rule_index, rule in enumerate(
+            (driver or {}).get("rules", []) or []
+        ):
+            rwhere = f"{where}.rules[{rule_index}]"
+            if check(isinstance(rule, dict), f"{rwhere} must be an object"):
+                check(
+                    isinstance(rule.get("id"), str) and rule["id"],
+                    f"{rwhere}.id must be a non-empty string",
+                )
+                rule_ids.append(rule.get("id"))
+        results = run.get("results")
+        if not check(
+            isinstance(results, list), f"{where}.results must be an array"
+        ):
+            continue
+        for result_index, result in enumerate(results):
+            rwhere = f"{where}.results[{result_index}]"
+            if not check(
+                isinstance(result, dict), f"{rwhere} must be an object"
+            ):
+                continue
+            message = result.get("message")
+            check(
+                isinstance(message, dict)
+                and isinstance(message.get("text"), str)
+                and message["text"],
+                f"{rwhere}.message.text must be a non-empty string",
+            )
+            level = result.get("level")
+            if level is not None:
+                check(
+                    level in _LEVELS,
+                    f"{rwhere}.level must be one of {_LEVELS}",
+                )
+            rule_id = result.get("ruleId")
+            if rule_id is not None and rule_ids:
+                check(
+                    rule_id in rule_ids,
+                    f"{rwhere}.ruleId {rule_id!r} not among driver rules",
+                )
+            rule_ref = result.get("ruleIndex")
+            if rule_ref is not None:
+                check(
+                    isinstance(rule_ref, int)
+                    and 0 <= rule_ref < len(rule_ids or results),
+                    f"{rwhere}.ruleIndex out of range",
+                )
+            for loc_key in ("locations", "relatedLocations"):
+                for loc_index, location in enumerate(
+                    result.get(loc_key, []) or []
+                ):
+                    lwhere = f"{rwhere}.{loc_key}[{loc_index}]"
+                    physical = (
+                        location.get("physicalLocation")
+                        if isinstance(location, dict)
+                        else None
+                    )
+                    if not check(
+                        isinstance(physical, dict),
+                        f"{lwhere}.physicalLocation is required",
+                    ):
+                        continue
+                    artifact = physical.get("artifactLocation")
+                    check(
+                        isinstance(artifact, dict)
+                        and isinstance(artifact.get("uri"), str),
+                        f"{lwhere}.artifactLocation.uri must be a string",
+                    )
+                    region = physical.get("region")
+                    if region is not None:
+                        check(
+                            isinstance(region, dict)
+                            and isinstance(region.get("startLine"), int)
+                            and region["startLine"] >= 1,
+                            f"{lwhere}.region.startLine must be an int >= 1",
+                        )
+            fingerprints = result.get("partialFingerprints")
+            if fingerprints is not None:
+                check(
+                    isinstance(fingerprints, dict)
+                    and all(
+                        isinstance(k, str) and isinstance(v, str)
+                        for k, v in fingerprints.items()
+                    ),
+                    f"{rwhere}.partialFingerprints must map strings to strings",
+                )
+    return errors

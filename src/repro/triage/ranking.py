@@ -1,0 +1,130 @@
+"""Severity/confidence ranking of bug clusters.
+
+A fleet triage queue is only useful if the top of it is worth a
+human's time, so every cluster gets a deterministic score built from
+the facts the aggregator already collects:
+
+* **severity** — over-writes corrupt memory and out-rank over-reads;
+* **evidence quality** — a watchpoint trap carries the faulting
+  statement and out-ranks after-the-fact canary evidence (free-canary
+  beats exit-canary: it localises the corruption to one lifetime);
+* **confidence** — the Wilson-interval *lower bound* on the
+  per-execution detection rate, the same statistic the campaign
+  protocol reports (a bug seen once in 1,000 executions scores well
+  below one seen in half of them);
+* **prevalence** — log-scaled raw occurrence count, so a 10,000-report
+  gusher out-ranks a singleton without drowning everything else;
+* **recency** — when ranking from the bug database, bugs seen in the
+  latest campaign out-rank ones that have not re-occurred for several
+  campaigns (geometric decay per missed campaign).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.reporting import (
+    KIND_OVER_READ,
+    KIND_OVER_WRITE,
+    SOURCE_EXIT_CANARY,
+    SOURCE_FREE_CANARY,
+    SOURCE_WATCHPOINT,
+)
+from repro.experiments.campaign import wilson_interval
+from repro.triage.clustering import BugCluster
+
+KIND_SEVERITY: Dict[str, float] = {
+    KIND_OVER_WRITE: 1.0,
+    KIND_OVER_READ: 0.6,
+}
+
+SOURCE_QUALITY: Dict[str, float] = {
+    SOURCE_WATCHPOINT: 1.0,
+    SOURCE_FREE_CANARY: 0.7,
+    SOURCE_EXIT_CANARY: 0.5,
+}
+
+# Score lost per campaign a known bug fails to re-occur.
+RECENCY_DECAY = 0.8
+
+
+@dataclass(frozen=True)
+class RankedCluster:
+    """A cluster with its score decomposition (all fields rounded)."""
+
+    cluster: BugCluster
+    score: float
+    severity: float
+    evidence_quality: float
+    confidence: float  # Wilson lower bound on detection rate
+    prevalence: float
+    recency: float
+
+    def to_dict(self) -> dict:
+        return {
+            "cluster_id": self.cluster.cluster_id,
+            "score": self.score,
+            "severity": self.severity,
+            "evidence_quality": self.evidence_quality,
+            "confidence": self.confidence,
+            "prevalence": self.prevalence,
+            "recency": self.recency,
+        }
+
+
+def evidence_quality(sources: Dict[str, int]) -> float:
+    """The best evidence source any member report carried."""
+    if not sources:
+        return 0.0
+    return max(SOURCE_QUALITY.get(source, 0.4) for source in sources)
+
+
+def score_cluster(
+    cluster: BugCluster,
+    total_executions: int,
+    campaigns_since_seen: int = 0,
+) -> RankedCluster:
+    """Deterministic score in (0, ~2]; higher is more urgent."""
+    severity = KIND_SEVERITY.get(cluster.kind, 0.8)
+    quality = evidence_quality(cluster.sources)
+    trials = max(total_executions, 1)
+    hits = min(cluster.executions, trials)
+    lower, _ = wilson_interval(hits, trials)
+    prevalence = math.log10(1 + cluster.count) / 4.0  # 10k reports -> ~1.0
+    recency = RECENCY_DECAY ** max(0, campaigns_since_seen)
+    score = severity * quality * (0.25 + lower + prevalence) * recency
+    return RankedCluster(
+        cluster=cluster,
+        score=round(score, 6),
+        severity=severity,
+        evidence_quality=quality,
+        confidence=round(lower, 6),
+        prevalence=round(prevalence, 6),
+        recency=round(recency, 6),
+    )
+
+
+def rank_clusters(
+    clusters: Sequence[BugCluster],
+    total_executions: int,
+    campaigns_since_seen: Optional[Dict[str, int]] = None,
+) -> List[RankedCluster]:
+    """Score every cluster; highest score first, cluster id tiebreak.
+
+    ``campaigns_since_seen`` maps cluster_id -> campaigns elapsed since
+    the bug last re-occurred (0 = seen in the latest campaign); the bug
+    database provides it when ranking a persisted corpus.
+    """
+    since = campaigns_since_seen or {}
+    ranked = [
+        score_cluster(
+            cluster,
+            total_executions,
+            campaigns_since_seen=since.get(cluster.cluster_id, 0),
+        )
+        for cluster in clusters
+    ]
+    ranked.sort(key=lambda r: (-r.score, r.cluster.cluster_id))
+    return ranked

@@ -148,3 +148,39 @@ def test_signature_uses_locations_not_addresses():
     signature = report.signature()
     assert "OPENSSL/crypto/mem.c:312" in signature
     assert hex(report.fault_address) not in signature
+
+
+def test_coarse_signature_top_k_allocation_frames_only():
+    from repro.core.reporting import coarse_signature_of
+
+    watchpoint, _ = build(kind=KIND_OVER_WRITE)
+    canary = OverflowReport(
+        kind=watchpoint.kind,
+        source=SOURCE_FREE_CANARY,
+        fault_address=watchpoint.fault_address,
+        object_address=watchpoint.object_address,
+        object_size=watchpoint.object_size,
+        thread_id=watchpoint.thread_id,
+        time_ns=watchpoint.time_ns,
+        allocation_context=watchpoint.allocation_context,
+    )
+    # Exact signatures differ (access side), coarse signatures agree.
+    assert watchpoint.signature() != canary.signature()
+    assert watchpoint.coarse_signature() == canary.coarse_signature()
+    assert watchpoint.coarse_signature() == coarse_signature_of(
+        KIND_OVER_WRITE,
+        [f.site.location() for f in watchpoint.allocation_context.frames][:3],
+    )
+
+
+def test_coarse_signature_respects_top_k():
+    report, _ = build()
+    assert report.coarse_signature(top_k=1) != report.coarse_signature(top_k=2)
+    assert report.coarse_signature(top_k=1).count(">") == 0
+
+
+def test_to_dict_exposes_both_signatures():
+    report, symbols = build()
+    payload = report.to_dict(symbols)
+    assert payload["signature"] == report.signature()
+    assert payload["coarse_signature"] == report.coarse_signature()

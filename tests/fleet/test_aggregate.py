@@ -215,3 +215,40 @@ def test_partial_first_seen_takes_minimum():
     aggregator = FleetAggregator()
     aggregator.merge_partial(late)
     assert aggregator.reports()[0].first_seen == 2
+
+
+# ----------------------------------------------------------------------
+# First-seen spec identities (the bisection starting point)
+# ----------------------------------------------------------------------
+def test_to_dict_reports_carry_first_seen_spec():
+    aggregator = FleetAggregator()
+    aggregator.add(result(3, [record()]))
+    aggregator.add(result(1, [record()]))
+    rows = aggregator.to_dict()["reports"]
+    assert rows[0]["first_seen_spec"] == {
+        "app": "libtiff",
+        "seed": 1,
+        "index": 1,
+    }
+
+
+def test_first_seen_spec_follows_earliest_index_across_merges():
+    late = _partial_for([result(7, [record()])])
+    early = _partial_for([result(2, [record()])])
+    late.merge(early)
+    aggregator = FleetAggregator()
+    aggregator.merge_partial(late)
+    entry = aggregator.reports()[0]
+    assert entry.first_seen_spec() == {"app": "libtiff", "seed": 2, "index": 2}
+
+
+def test_first_seen_spec_per_signature():
+    aggregator = FleetAggregator()
+    aggregator.add(result(0, [record()]))
+    aggregator.add(result(4, [record("over-read|alloc:A|access:C")]))
+    specs = {
+        row["signature"]: row["first_seen_spec"]
+        for row in aggregator.to_dict()["reports"]
+    }
+    assert specs["over-write|alloc:A|access:B"]["index"] == 0
+    assert specs["over-read|alloc:A|access:C"]["index"] == 4

@@ -30,6 +30,7 @@ def test_examples_directory_contents():
         "parameter_explorer.py",
         "race_detection.py",
         "trace_workflow.py",
+        "triage_pipeline.py",
     } <= names
 
 
@@ -50,6 +51,14 @@ def test_overhead_report(capsys):
     assert "Normalized runtime" in out
     assert "canneal" in out
     assert "Peak memory" in out
+
+
+def test_triage_pipeline(capsys):
+    out = run_example("triage_pipeline.py", capsys)
+    assert "2 clusters (2 new" in out
+    assert "verified=True seed_independent=True" in out
+    assert "reproduced, seen in 2 campaigns" in out
+    assert "validation errors: none" in out
 
 
 def test_trace_workflow(capsys):

@@ -1,0 +1,36 @@
+"""Shared builders for triage tests."""
+
+import pytest
+
+from repro.fleet.aggregate import AggregatedReport
+
+
+def report(
+    signature="over-write|alloc:A|access:B",
+    kind=None,
+    allocation_context=("LIB/wrap.c:10", "LIB/parse.c:20", "LIB/main.c:30"),
+    access_context=("LIB/copy.c:40",),
+    count=5,
+    executions=3,
+    first_seen=2,
+    app="libtiff",
+    seed=2,
+    sources=None,
+):
+    return AggregatedReport(
+        signature=signature,
+        kind=kind or signature.split("|")[0],
+        count=count,
+        executions=executions,
+        first_seen=first_seen,
+        first_seen_app=app,
+        first_seen_seed=seed,
+        sources=dict(sources or {"watchpoint": count}),
+        allocation_context=tuple(allocation_context),
+        access_context=tuple(access_context),
+    )
+
+
+@pytest.fixture
+def make_report():
+    return report

@@ -1,0 +1,176 @@
+"""Minimal-reproducer bisection: search logic and real re-execution."""
+
+import json
+
+import pytest
+
+from repro.core.config import CSODConfig
+from repro.errors import ReproError
+from repro.fleet.pool import execute_spec
+from repro.fleet.runner import run_fleet
+from repro.fleet.specs import ExecutionResult, ReportRecord
+from repro.triage.bisect import Bisector, MinimalRepro, bisect_cluster
+from repro.triage.clustering import cluster_reports
+
+from tests.triage.conftest import report
+
+
+# ----------------------------------------------------------------------
+# Search logic against a stubbed executor
+# ----------------------------------------------------------------------
+def stub_result(triggers=True, evidence=("CTX|A",)):
+    reports = []
+    if triggers:
+        reports.append(
+            ReportRecord(
+                signature="over-write|alloc:A|access:B",
+                kind="over-write",
+                source="watchpoint",
+                allocation_context=(
+                    "LIB/wrap.c:10",
+                    "LIB/parse.c:20",
+                    "LIB/main.c:30",
+                ),
+                access_context=("LIB/copy.c:40",),
+            )
+        )
+    return ExecutionResult(
+        app="libtiff",
+        seed=0,
+        index=0,
+        detected=triggers,
+        detected_by_watchpoint=triggers,
+        reports=reports,
+        new_evidence=tuple(evidence) if triggers else (),
+    )
+
+
+def test_always_triggering_bug_shrinks_to_no_evidence(monkeypatch):
+    monkeypatch.setattr(
+        "repro.triage.bisect.execute_spec", lambda spec: stub_result()
+    )
+    cluster = cluster_reports([report()])[0]
+    repro = bisect_cluster(cluster)
+    assert repro.verified
+    assert repro.seed_independent
+    assert repro.evidence == ()  # all preloaded evidence dropped
+    assert repro.scale is not None  # schedule shrank below the default
+    stages = {step.stage for step in repro.steps}
+    assert {"reproduce", "determinise", "drop-evidence", "shrink",
+            "verify"} <= stages
+
+
+def test_never_retriggering_cluster_gives_up(monkeypatch):
+    monkeypatch.setattr(
+        "repro.triage.bisect.execute_spec",
+        lambda spec: stub_result(triggers=False),
+    )
+    cluster = cluster_reports([report()])[0]
+    repro = bisect_cluster(cluster)
+    assert not repro.verified
+    assert not repro.seed_independent
+    assert repro.executions == 1  # the replay probe only
+
+
+def test_executor_exceptions_count_as_non_triggering(monkeypatch):
+    calls = {"n": 0}
+
+    def flaky(spec):
+        calls["n"] += 1
+        if spec.scale is not None and spec.scale < 0.1:
+            raise ValueError("scale too small for the app's structure")
+        return stub_result()
+
+    monkeypatch.setattr("repro.triage.bisect.execute_spec", flaky)
+    cluster = cluster_reports([report()])[0]
+    repro = bisect_cluster(cluster)
+    assert repro.verified
+    assert repro.scale is None or repro.scale >= 0.1
+
+
+def test_seed_dependent_bug_falls_back_to_replay(monkeypatch):
+    origin_seed = cluster_reports([report()])[0].first_seen_spec()["seed"]
+
+    def seed_bound(spec):
+        return stub_result(triggers=spec.seed == origin_seed)
+
+    monkeypatch.setattr("repro.triage.bisect.execute_spec", seed_bound)
+    cluster = cluster_reports([report()])[0]
+    repro = bisect_cluster(cluster, seed_checks=2)
+    # Fresh seeds never re-trigger -> not seed-independent, but the
+    # same-seed replay is still a verified reproducer.
+    assert not repro.seed_independent
+    assert repro.verified
+    assert repro.seed == origin_seed
+    assert repro.evidence == ()
+    assert repro.scale is None
+
+
+def test_cluster_without_first_seen_spec_rejected():
+    bad = report(app="", seed=-1)
+    cluster = cluster_reports([bad])[0]
+    with pytest.raises(ReproError, match="first-seen spec"):
+        Bisector(cluster)
+
+
+def test_seed_checks_must_be_positive():
+    cluster = cluster_reports([report()])[0]
+    with pytest.raises(ValueError, match="seed_checks"):
+        Bisector(cluster, seed_checks=0)
+
+
+def test_minimal_repro_round_trips_through_json(monkeypatch):
+    monkeypatch.setattr(
+        "repro.triage.bisect.execute_spec", lambda spec: stub_result()
+    )
+    cluster = cluster_reports([report()])[0]
+    repro = bisect_cluster(cluster)
+    payload = json.loads(json.dumps(repro.to_dict()))
+    rebuilt = MinimalRepro.from_dict(payload)
+    assert rebuilt.cluster_id == repro.cluster_id
+    assert rebuilt.config == repro.config
+    assert rebuilt.to_spec() == repro.to_spec()
+    assert rebuilt.steps == repro.steps
+
+
+# ----------------------------------------------------------------------
+# Real re-execution on the simulated machine (the acceptance check)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def libtiff_cluster():
+    fleet = run_fleet("libtiff", executions=6, seed_base=0)
+    clusters = cluster_reports(fleet.aggregator.reports())
+    assert clusters
+    return clusters[0]
+
+
+def test_bisected_libtiff_repro_is_verified_and_minimal(libtiff_cluster):
+    repro = bisect_cluster(libtiff_cluster, seed_checks=2)
+    assert repro.verified
+    assert repro.seed_independent
+    # Smaller than the original campaign execution along some dimension.
+    assert repro.scale is not None or repro.evidence
+    assert repro.steps[-1].stage == "verify"
+    assert repro.steps[-1].triggered
+
+
+def test_stored_minimal_spec_retriggers_on_reexecution(libtiff_cluster):
+    """The acceptance criterion: the *stored* spec re-triggers."""
+    from repro.triage.clustering import matches_cluster
+
+    repro = bisect_cluster(libtiff_cluster, seed_checks=1)
+    assert repro.verified
+    stored = MinimalRepro.from_dict(
+        json.loads(json.dumps(repro.to_dict()))
+    )
+    result = execute_spec(stored.to_spec())
+    assert result.ok
+    assert any(
+        matches_cluster(
+            libtiff_cluster,
+            record.kind,
+            record.allocation_context,
+            record.access_context,
+        )
+        for record in result.reports
+    )

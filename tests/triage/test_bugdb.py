@@ -1,0 +1,183 @@
+"""The persistent bug database: status machine, atomicity, determinism."""
+
+import json
+import os
+
+import pytest
+
+from repro.triage.bugdb import (
+    STATUS_NEW,
+    STATUS_REGRESSED,
+    STATUS_REPRODUCED,
+    BugDatabase,
+)
+from repro.triage.clustering import cluster_reports
+
+from tests.triage.conftest import report
+
+
+def clusters(**kwargs):
+    return cluster_reports([report(**kwargs)])
+
+
+def other_clusters():
+    return cluster_reports(
+        [
+            report(
+                signature="over-read|alloc:R|access:B",
+                kind="over-read",
+                allocation_context=("R/a.c:1",),
+            )
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# Status machine
+# ----------------------------------------------------------------------
+def test_first_sighting_is_new():
+    db = BugDatabase()
+    update = db.update(clusters(), campaign_id="c1")
+    assert update.new and not update.reproduced and not update.regressed
+    entry = db.entries()[0]
+    assert entry.status == STATUS_NEW
+    assert entry.first_seen_campaign == "c1"
+    assert entry.first_seen_seq == 1
+
+
+def test_back_to_back_sighting_is_reproduced():
+    db = BugDatabase()
+    db.update(clusters(), campaign_id="c1")
+    update = db.update(clusters(), campaign_id="c2")
+    assert update.reproduced and not update.new
+    entry = db.entries()[0]
+    assert entry.status == STATUS_REPRODUCED
+    assert entry.campaigns_seen == 2
+    assert entry.last_seen_campaign == "c2"
+
+
+def test_sighting_after_gap_is_regressed():
+    db = BugDatabase()
+    db.update(clusters(), campaign_id="c1")
+    db.update(other_clusters(), campaign_id="c2")  # original bug absent
+    update = db.update(clusters(), campaign_id="c3")
+    assert update.regressed
+    assert db.entries()[0].status == STATUS_REGRESSED
+
+
+def test_absent_bugs_keep_their_state():
+    db = BugDatabase()
+    db.update(clusters(), campaign_id="c1")
+    db.update(other_clusters(), campaign_id="c2")
+    stale = [e for e in db.entries() if e.status == STATUS_NEW]
+    assert len(stale) == 2  # both still "new"; nothing was deleted
+    assert len(db) == 2
+
+
+def test_counts_accumulate_across_campaigns():
+    db = BugDatabase()
+    db.update(clusters(count=5, executions=3), total_executions=10)
+    db.update(clusters(count=2, executions=2), total_executions=10)
+    entry = db.entries()[0]
+    assert entry.occurrences == 7
+    assert entry.executions == 5
+    assert db.executions_total == 20
+
+
+def test_sources_accumulate_and_survive_reload(tmp_path):
+    path = str(tmp_path / "bugs.json")
+    db = BugDatabase(path)
+    db.update(clusters(sources={"watchpoint": 3}))
+    db.update(clusters(sources={"free-canary": 2}))
+    reloaded = BugDatabase(path)
+    assert reloaded.entries()[0].sources == {
+        "watchpoint": 3,
+        "free-canary": 2,
+    }
+
+
+def test_campaigns_since_seen():
+    db = BugDatabase()
+    db.update(clusters(), campaign_id="c1")
+    db.update(other_clusters(), campaign_id="c2")
+    since = db.campaigns_since_seen()
+    values = sorted(since.values())
+    assert values == [0, 1]
+
+
+# ----------------------------------------------------------------------
+# Persistence
+# ----------------------------------------------------------------------
+def test_round_trip_through_file(tmp_path):
+    path = str(tmp_path / "bugs.json")
+    db = BugDatabase(path)
+    db.update(clusters(), campaign_id="c1")
+    db.update(clusters(), campaign_id="c2")
+    reloaded = BugDatabase(path)
+    assert len(reloaded) == 1
+    assert reloaded.campaigns == 2
+    assert reloaded.entries()[0].status == STATUS_REPRODUCED
+    # The reloaded clock keeps ticking correctly.
+    update = reloaded.update(clusters(), campaign_id="c3")
+    assert update.seq == 3
+    assert update.reproduced
+
+
+def test_identical_histories_produce_identical_files(tmp_path):
+    paths = [str(tmp_path / f"bugs{i}.json") for i in (1, 2)]
+    for path in paths:
+        db = BugDatabase(path)
+        db.update(clusters(), campaign_id="c1", total_executions=10)
+        db.update(clusters(), campaign_id="c2", total_executions=10)
+    with open(paths[0], "rb") as a, open(paths[1], "rb") as b:
+        assert a.read() == b.read()
+
+
+def test_flush_is_atomic_no_tmp_left_behind(tmp_path):
+    path = str(tmp_path / "bugs.json")
+    db = BugDatabase(path)
+    db.update(clusters())
+    assert os.path.exists(path)
+    assert not os.path.exists(path + ".tmp")
+    with open(path) as handle:
+        payload = json.load(handle)
+    assert payload["version"] == 1
+
+
+def test_version_mismatch_rejected(tmp_path):
+    path = str(tmp_path / "bugs.json")
+    with open(path, "w") as handle:
+        json.dump({"version": 99, "bugs": []}, handle)
+    with pytest.raises(ValueError, match="version"):
+        BugDatabase(path)
+
+
+def test_attach_repro_persists(tmp_path):
+    path = str(tmp_path / "bugs.json")
+    db = BugDatabase(path)
+    db.update(clusters())
+    cluster_id = db.entries()[0].cluster_id
+    db.attach_repro(cluster_id, {"app": "libtiff", "seed": 2})
+    reloaded = BugDatabase(path)
+    assert reloaded.get(cluster_id).repro == {"app": "libtiff", "seed": 2}
+    with pytest.raises(KeyError):
+        db.attach_repro("no-such-id", {})
+
+
+def test_db_only_clusters_are_rankable():
+    from repro.triage.ranking import rank_clusters
+
+    db = BugDatabase()
+    db.update(clusters(), total_executions=100)
+    rebuilt = db.clusters()
+    assert len(rebuilt) == 1
+    assert rebuilt[0].cluster_id == db.entries()[0].cluster_id
+    ranked = rank_clusters(rebuilt, total_executions=db.executions_total)
+    assert ranked[0].score > 0  # sources survived, quality is nonzero
+
+
+def test_in_memory_database_never_writes(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    db = BugDatabase()
+    db.update(clusters())
+    assert os.listdir(tmp_path) == []

@@ -1,0 +1,163 @@
+"""The ``repro triage`` verb: validation, pipeline, exports."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+# ----------------------------------------------------------------------
+# Flag validation: exit code 2, message names the flag
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "argv, flag",
+    [
+        (["triage", "--app", "libtiff", "--executions", "0"], "--executions"),
+        (["triage", "--app", "libtiff", "--workers", "0"], "--workers"),
+        (["triage", "--app", "libtiff", "--top-k", "0"], "--top-k"),
+        (
+            ["triage", "--app", "libtiff", "--max-edit-distance", "-1"],
+            "--max-edit-distance",
+        ),
+        (
+            ["triage", "--app", "libtiff", "--seed-checks", "0"],
+            "--seed-checks",
+        ),
+        (
+            ["triage", "--app", "libtiff", "--export", "xml"],
+            "--export",
+        ),
+    ],
+)
+def test_invalid_values_fail_naming_the_flag(capsys, argv, flag):
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert flag in err
+    assert "repro triage: error:" in err
+
+
+def test_unknown_export_format_names_the_value(capsys):
+    assert main(["triage", "--app", "libtiff", "--export", "xml"]) == 2
+    err = capsys.readouterr().err
+    assert "--export" in err and "'xml'" in err
+    assert "json" in err and "sarif" in err  # the valid choices
+
+
+def test_non_writable_db_path_rejected(capsys, tmp_path):
+    blocked = tmp_path / "blocked"
+    blocked.mkdir()
+    target = str(blocked / "bugs.json")
+    os.chmod(blocked, 0o500)  # r-x: parent not writable
+    try:
+        if os.access(str(blocked), os.W_OK):  # running as root: skip
+            pytest.skip("permission bits not enforced for this user")
+        assert main(["triage", "--app", "libtiff", "--db", target]) == 2
+        err = capsys.readouterr().err
+        assert "--db" in err and "not writable" in err
+    finally:
+        os.chmod(blocked, 0o700)
+
+
+def test_db_path_that_is_a_directory_rejected(capsys, tmp_path):
+    assert main(["triage", "--app", "libtiff", "--db", str(tmp_path)]) == 2
+    err = capsys.readouterr().err
+    assert "--db" in err and "not writable" in err
+
+
+def test_missing_aggregate_file_rejected(capsys, tmp_path):
+    missing = str(tmp_path / "nope.json")
+    assert main(["triage", "--aggregate", missing]) == 2
+    err = capsys.readouterr().err
+    assert "--aggregate" in err and "not found" in err
+
+
+def test_nothing_to_triage_rejected(capsys):
+    assert main(["triage"]) == 2
+    assert "nothing to triage" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Pipeline behaviour
+# ----------------------------------------------------------------------
+def test_campaign_to_db_to_exports(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    db = str(tmp_path / "bugs.json")
+    out = str(tmp_path / "out")
+    assert (
+        main(
+            [
+                "triage",
+                "--app",
+                "libtiff",
+                "--executions",
+                "6",
+                "--db",
+                db,
+                "--export",
+                "json",
+                "--export",
+                "sarif",
+                "--out",
+                out,
+            ]
+        )
+        == 0
+    )
+    captured = capsys.readouterr().out
+    assert "clusters" in captured and "new" in captured
+    with open(os.path.join(out, "triage.sarif")) as handle:
+        sarif = json.load(handle)
+    assert sarif["version"] == "2.1.0"
+    assert sarif["runs"][0]["results"]
+    with open(os.path.join(out, "triage.json")) as handle:
+        triage = json.load(handle)
+    assert triage["clusters"]
+    with open(db) as handle:
+        assert json.load(handle)["bugs"]
+
+
+def test_triage_from_aggregate_file(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    fleet_out = str(tmp_path / "fleet-out")
+    main(
+        [
+            "fleet",
+            "--app",
+            "libtiff",
+            "--executions",
+            "6",
+            "--workers",
+            "1",
+            "--out",
+            fleet_out,
+        ]
+    )
+    capsys.readouterr()
+    aggregate = os.path.join(fleet_out, "aggregate.json")
+    assert main(["triage", "--aggregate", aggregate]) == 0
+    out = capsys.readouterr().out
+    assert "signatures ->" in out
+    assert "Triage" in out
+
+
+def test_db_only_mode_ranks_stored_bugs(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    db = str(tmp_path / "bugs.json")
+    assert (
+        main(["triage", "--app", "libtiff", "--executions", "6", "--db", db])
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["triage", "--db", db]) == 0
+    out = capsys.readouterr().out
+    assert "database-only" in out
+    assert "new" in out
+
+
+def test_empty_corpus_exits_nonzero(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    aggregate = tmp_path / "aggregate.json"
+    aggregate.write_text(json.dumps({"reports": [], "executions_ok": 4}))
+    assert main(["triage", "--aggregate", str(aggregate)]) == 1

@@ -1,0 +1,249 @@
+"""Similarity clustering: coarse keys, edit distance, determinism."""
+
+import pytest
+
+from repro.core.reporting import coarse_signature_of
+from repro.triage.clustering import (
+    BugCluster,
+    cluster_reports,
+    coarse_key_of,
+    edit_distance,
+    matches_cluster,
+    reports_from_aggregate,
+    stack_distance,
+)
+
+from tests.triage.conftest import report
+
+
+# ----------------------------------------------------------------------
+# Edit distance
+# ----------------------------------------------------------------------
+def test_edit_distance_identity():
+    assert edit_distance(("a", "b"), ("a", "b")) == 0
+
+
+def test_edit_distance_empty_sides():
+    assert edit_distance((), ("a", "b", "c")) == 3
+    assert edit_distance(("a",), ()) == 1
+    assert edit_distance((), ()) == 0
+
+
+def test_edit_distance_substitution_insertion_deletion():
+    assert edit_distance(("a", "b", "c"), ("a", "x", "c")) == 1
+    assert edit_distance(("a", "c"), ("a", "b", "c")) == 1
+    assert edit_distance(("a", "b", "c"), ("a", "c")) == 1
+
+
+def test_edit_distance_is_symmetric():
+    a, b = ("f1", "f2", "f3"), ("f1", "f9")
+    assert edit_distance(a, b) == edit_distance(b, a)
+
+
+# ----------------------------------------------------------------------
+# Coarse keys
+# ----------------------------------------------------------------------
+def test_coarse_key_uses_top_k_allocation_frames_only():
+    a = report(access_context=("LIB/copy.c:40",))
+    b = report(
+        signature="over-write|alloc:A|access:-",
+        access_context=(),
+    )
+    assert coarse_key_of(a) == coarse_key_of(b)
+
+
+def test_coarse_signature_of_truncates():
+    key = coarse_signature_of("over-read", ("f1", "f2", "f3", "f4"), top_k=2)
+    assert key == "over-read|alloc:f1>f2"
+    assert coarse_signature_of("over-read", ()) == "over-read|alloc:-"
+
+
+# ----------------------------------------------------------------------
+# Clustering
+# ----------------------------------------------------------------------
+def test_watchpoint_and_canary_variants_merge():
+    """One bug, two exact signatures (the motivating case)."""
+    watchpoint = report(
+        signature="over-write|alloc:A|access:B",
+        access_context=("LIB/copy.c:40",),
+        sources={"watchpoint": 5},
+    )
+    canary = report(
+        signature="over-write|alloc:A|access:-",
+        access_context=(),
+        sources={"free-canary": 2},
+        count=2,
+        executions=2,
+    )
+    clusters = cluster_reports([watchpoint, canary])
+    assert len(clusters) == 1
+    cluster = clusters[0]
+    assert cluster.count == 7
+    assert cluster.signatures == (
+        "over-write|alloc:A|access:-",
+        "over-write|alloc:A|access:B",
+    )
+    assert cluster.sources == {"watchpoint": 5, "free-canary": 2}
+    # Merged views prefer the deepest stacks.
+    assert cluster.access_context == ("LIB/copy.c:40",)
+
+
+def test_different_kinds_never_merge():
+    a = report(signature="over-write|alloc:A|access:B")
+    b = report(signature="over-read|alloc:A|access:B", kind="over-read")
+    assert len(cluster_reports([a, b])) == 2
+
+
+def test_different_allocation_sites_never_merge():
+    a = report()
+    b = report(
+        signature="over-write|alloc:Z|access:B",
+        allocation_context=("OTHER/x.c:1", "OTHER/y.c:2", "OTHER/z.c:3"),
+    )
+    assert len(cluster_reports([a, b])) == 2
+
+
+def test_far_access_stacks_split_within_one_bucket():
+    """Same coarse key but disjoint access stacks = two bugs behind one
+    allocation wrapper."""
+    a = report(access_context=("LIB/copy.c:40", "LIB/a.c:1"))
+    b = report(
+        signature="over-write|alloc:A|access:Z",
+        access_context=("X/1.c:1", "X/2.c:2", "X/3.c:3", "X/4.c:4", "X/5.c:5"),
+    )
+    clusters = cluster_reports([a, b], max_edit_distance=3)
+    assert len(clusters) == 2
+
+
+def test_jittered_allocation_tail_merges():
+    """Frames beyond the top-K prefix may differ within the threshold."""
+    a = report(
+        allocation_context=(
+            "LIB/wrap.c:10",
+            "LIB/parse.c:20",
+            "LIB/main.c:30",
+            "LIB/deep.c:1",
+        )
+    )
+    b = report(
+        signature="over-write|alloc:A2|access:B",
+        allocation_context=(
+            "LIB/wrap.c:10",
+            "LIB/parse.c:20",
+            "LIB/main.c:30",
+            "LIB/deep.c:2",
+        ),
+    )
+    assert len(cluster_reports([a, b])) == 1
+
+
+def test_clustering_is_input_order_independent():
+    reports = [
+        report(signature=f"over-write|alloc:A|access:{i}", count=i + 1)
+        for i in range(4)
+    ]
+    forward = cluster_reports(reports)
+    backward = cluster_reports(list(reversed(reports)))
+    assert [c.to_dict() for c in forward] == [c.to_dict() for c in backward]
+
+
+def test_cluster_ids_are_stable_content_addresses():
+    reports = [report(), report(signature="over-write|alloc:A|access:-",
+                                access_context=())]
+    first = cluster_reports(reports)[0].cluster_id
+    second = cluster_reports(list(reversed(reports)))[0].cluster_id
+    assert first == second
+    assert len(first) == 16
+    int(first, 16)  # hex content address
+
+
+def test_clusters_sorted_most_seen_first():
+    big = report(signature="over-read|alloc:R|access:B", kind="over-read",
+                 allocation_context=("R/a.c:1",), count=100)
+    small = report(count=1)
+    clusters = cluster_reports([big, small])
+    assert clusters[0].count == 100
+
+
+def test_first_seen_spec_comes_from_earliest_member():
+    early = report(signature="over-write|alloc:A|access:-", first_seen=0,
+                   seed=7, access_context=())
+    late = report(first_seen=5, seed=12)
+    cluster = cluster_reports([early, late])[0]
+    assert cluster.first_seen_spec() == {"app": "libtiff", "seed": 7,
+                                         "index": 0}
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        cluster_reports([], top_k=0)
+    with pytest.raises(ValueError):
+        cluster_reports([], max_edit_distance=-1)
+
+
+# ----------------------------------------------------------------------
+# matches_cluster (the bisection re-trigger rule)
+# ----------------------------------------------------------------------
+def test_matches_cluster_accepts_fresh_equivalent_report():
+    cluster = cluster_reports([report()])[0]
+    assert matches_cluster(
+        cluster,
+        "over-write",
+        ("LIB/wrap.c:10", "LIB/parse.c:20", "LIB/main.c:30"),
+        ("LIB/copy.c:40",),
+    )
+
+
+def test_matches_cluster_accepts_canary_probe_without_access_stack():
+    cluster = cluster_reports([report()])[0]
+    assert matches_cluster(
+        cluster,
+        "over-write",
+        ("LIB/wrap.c:10", "LIB/parse.c:20", "LIB/main.c:30"),
+        (),
+    )
+
+
+def test_matches_cluster_rejects_other_bug():
+    cluster = cluster_reports([report()])[0]
+    assert not matches_cluster(cluster, "over-read",
+                               ("LIB/wrap.c:10", "LIB/parse.c:20"))
+    assert not matches_cluster(cluster, "over-write", ("X/other.c:1",))
+
+
+# ----------------------------------------------------------------------
+# aggregate.json round-trip
+# ----------------------------------------------------------------------
+def test_reports_from_aggregate_round_trips_cluster_ids():
+    original = [report(), report(signature="over-write|alloc:A|access:-",
+                                 access_context=())]
+    direct = cluster_reports(original)
+    rows = []
+    for r in original:
+        rows.append(
+            {
+                "signature": r.signature,
+                "kind": r.kind,
+                "count": r.count,
+                "executions": r.executions,
+                "first_seen": r.first_seen,
+                "first_seen_spec": r.first_seen_spec(),
+                "sources": dict(r.sources),
+                "allocation_context": list(r.allocation_context),
+                "access_context": list(r.access_context),
+            }
+        )
+    rebuilt = reports_from_aggregate({"reports": rows})
+    assert [c.cluster_id for c in cluster_reports(rebuilt)] == [
+        c.cluster_id for c in direct
+    ]
+
+
+def test_bug_cluster_to_dict_is_json_ready():
+    import json
+
+    cluster = cluster_reports([report()])[0]
+    payload = cluster.to_dict()
+    json.dumps(payload)
+    assert payload["cluster_id"] == cluster.cluster_id
+    assert payload["first_seen_spec"]["app"] == "libtiff"

@@ -1,0 +1,147 @@
+"""The acceptance pipeline: fleet -> cluster -> bug DB across campaigns.
+
+Two buggy apps with distinct bugs, fixed seeds: triage must produce at
+least one cluster per bug, never merge across bugs, key the bug
+database on byte-identical cluster ids, and track new -> reproduced ->
+regressed across consecutive campaigns on the same database file.
+"""
+
+import json
+
+import pytest
+
+from repro.fleet.runner import run_fleet
+from repro.triage import (
+    BugDatabase,
+    cluster_reports,
+    rank_clusters,
+    to_sarif,
+    validate_sarif,
+)
+
+APPS = ("libtiff", "zziplib")  # over-write and over-read bugs
+EXECUTIONS = 30
+
+
+def run_campaign_reports(seed_base=0):
+    reports = []
+    executions = 0
+    for app in APPS:
+        fleet = run_fleet(app, executions=EXECUTIONS, seed_base=seed_base)
+        reports.extend(fleet.aggregator.reports())
+        executions += fleet.aggregator.executions_ok
+    return reports, executions
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign_reports()
+
+
+def test_one_cluster_per_distinct_bug_no_cross_merges(campaign):
+    reports, _ = campaign
+    clusters = cluster_reports(reports)
+    # Each app carries exactly one bug -> one cluster per app.
+    apps = [c.first_seen_spec()["app"] for c in clusters]
+    assert sorted(apps) == sorted(APPS)
+    # Zero cross-bug merges: every member of a cluster originates from
+    # the cluster's own app (module names are embedded in the frames).
+    for cluster in clusters:
+        app = cluster.first_seen_spec()["app"]
+        for member in cluster.members:
+            assert app.upper() in member.allocation_context[0]
+
+
+def test_clustering_merges_signature_jitter(campaign):
+    reports, _ = campaign
+    clusters = cluster_reports(reports)
+    # libtiff raises both watchpoint and free-canary signatures for its
+    # single bug; they must collapse into one cluster.
+    assert len(reports) > len(clusters)
+    libtiff = next(
+        c for c in clusters if c.first_seen_spec()["app"] == "libtiff"
+    )
+    assert len(libtiff.signatures) >= 2
+
+
+def test_cluster_ids_byte_identical_across_reruns(campaign):
+    reports, _ = campaign
+    first = [c.cluster_id for c in cluster_reports(reports)]
+    rerun_reports, _ = run_campaign_reports()
+    second = [c.cluster_id for c in cluster_reports(rerun_reports)]
+    assert first == second
+
+
+def test_bug_db_survives_two_consecutive_campaigns(tmp_path, campaign):
+    db_path = str(tmp_path / "bugs.json")
+    reports, executions = campaign
+
+    db = BugDatabase(db_path)
+    first = db.update(
+        cluster_reports(reports),
+        campaign_id="nightly-1",
+        total_executions=executions,
+    )
+    assert len(first.new) == len(APPS)
+
+    # Second campaign, different seeds, same database file.
+    rerun_reports, rerun_executions = run_campaign_reports(seed_base=1000)
+    db2 = BugDatabase(db_path)
+    second = db2.update(
+        cluster_reports(rerun_reports),
+        campaign_id="nightly-2",
+        total_executions=rerun_executions,
+    )
+    assert second.seq == 2
+    assert sorted(second.reproduced) == sorted(first.new)
+    assert not second.new  # same bugs, same content addresses
+
+    # A campaign that misses a bug, then one that sees it again.
+    libtiff_only = [
+        r for r in rerun_reports
+        if "LIBTIFF" in r.allocation_context[0]
+    ]
+    db3 = BugDatabase(db_path)
+    db3.update(cluster_reports(libtiff_only), campaign_id="nightly-3")
+    db4 = BugDatabase(db_path)
+    fourth = db4.update(cluster_reports(rerun_reports), campaign_id="nightly-4")
+    assert len(fourth.regressed) == 1  # the zziplib bug came back
+
+    final = BugDatabase(db_path)
+    assert final.campaigns == 4
+    statuses = {
+        e.first_seen_spec.get("app"): e.status for e in final.entries()
+    }
+    assert statuses["libtiff"] == "reproduced"
+    assert statuses["zziplib"] == "regressed"
+
+
+def test_full_export_validates_as_sarif(campaign, tmp_path):
+    reports, executions = campaign
+    clusters = cluster_reports(reports)
+    db = BugDatabase(str(tmp_path / "bugs.json"))
+    db.update(clusters, total_executions=executions)
+    ranked = rank_clusters(clusters, total_executions=executions)
+    sarif = to_sarif(ranked, tool_version="test", db=db)
+    assert validate_sarif(sarif) == []
+    # Round-trips through serialization without losing validity.
+    assert validate_sarif(json.loads(json.dumps(sarif))) == []
+
+
+def test_fleet_runner_feeds_bug_db_and_telemetry(tmp_path):
+    db = BugDatabase(str(tmp_path / "bugs.json"))
+    fleet = run_fleet(
+        "libtiff",
+        executions=6,
+        seed_base=0,
+        bug_db=db,
+        campaign_id="wired",
+    )
+    assert fleet.triage is not None
+    assert fleet.triage.campaign_id == "wired"
+    assert fleet.triage.clusters >= 1
+    assert len(db) >= 1
+    counters = fleet.metrics.snapshot()["counters"]
+    assert counters["triage_clusters"] >= 1
+    assert counters["triage_bugs_new"] >= 1
+    assert counters["triage_signatures_merged"] >= 0

@@ -1,0 +1,138 @@
+"""JSON / SARIF export and the structural SARIF validator."""
+
+import json
+
+from repro.triage.bugdb import BugDatabase
+from repro.triage.clustering import cluster_reports
+from repro.triage.export import (
+    SARIF_VERSION,
+    parse_frame,
+    render_triage_report,
+    to_sarif,
+    triage_to_json,
+    validate_sarif,
+)
+from repro.triage.ranking import rank_clusters
+
+from tests.triage.conftest import report
+
+
+def ranked_pair():
+    clusters = cluster_reports(
+        [
+            report(),
+            report(
+                signature="over-read|alloc:R|access:B",
+                kind="over-read",
+                allocation_context=("R/a.c:1",),
+                count=2,
+                executions=2,
+            ),
+        ]
+    )
+    return rank_clusters(clusters, total_executions=100)
+
+
+def test_parse_frame():
+    assert parse_frame("LIBTIFF.SO/alloc.c:500") == ("LIBTIFF.SO/alloc.c", 500)
+    assert parse_frame("0x7f001234") == ("0x7f001234", 1)
+    assert parse_frame("weird:0") == ("weird", 1)  # clamped to >= 1
+
+
+def test_triage_to_json_shape():
+    ranked = ranked_pair()
+    payload = triage_to_json(ranked, total_executions=100)
+    json.dumps(payload)  # JSON-serializable
+    assert payload["total_executions"] == 100
+    assert len(payload["clusters"]) == 2
+    row = payload["clusters"][0]
+    assert row["cluster_id"] == ranked[0].cluster.cluster_id
+    assert row["ranking"]["score"] == ranked[0].score
+
+
+def test_triage_to_json_includes_db_status():
+    ranked = ranked_pair()
+    db = BugDatabase()
+    db.update([r.cluster for r in ranked], campaign_id="c1")
+    payload = triage_to_json(ranked, 100, db=db)
+    assert all(row["status"] == "new" for row in payload["clusters"])
+
+
+def test_sarif_document_validates():
+    sarif = to_sarif(ranked_pair(), tool_version="1.2.3")
+    assert validate_sarif(sarif) == []
+    assert sarif["version"] == SARIF_VERSION
+    json.dumps(sarif)
+
+
+def test_sarif_levels_follow_kind():
+    sarif = to_sarif(ranked_pair())
+    levels = {
+        result["ruleId"]: result["level"]
+        for result in sarif["runs"][0]["results"]
+    }
+    ranked = ranked_pair()
+    for item in ranked:
+        expected = "error" if item.cluster.kind == "over-write" else "warning"
+        assert levels[item.cluster.cluster_id] == expected
+
+
+def test_sarif_rules_match_results():
+    sarif = to_sarif(ranked_pair())
+    run = sarif["runs"][0]
+    rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+    for result in run["results"]:
+        assert result["ruleId"] in rule_ids
+        assert result["partialFingerprints"]["csodClusterId/v1"] == (
+            result["ruleId"]
+        )
+
+
+def test_sarif_locations_parse_frames():
+    sarif = to_sarif(ranked_pair())
+    location = sarif["runs"][0]["results"][0]["locations"][0]
+    physical = location["physicalLocation"]
+    assert physical["artifactLocation"]["uri"] == "LIB/copy.c"
+    assert physical["region"]["startLine"] == 40
+
+
+def test_sarif_carries_db_status_and_repro():
+    ranked = ranked_pair()
+    db = BugDatabase()
+    db.update([r.cluster for r in ranked], campaign_id="c1")
+    target = ranked[0].cluster.cluster_id
+    db.attach_repro(target, {"app": "libtiff", "seed": 2})
+    sarif = to_sarif(ranked, db=db)
+    by_rule = {
+        r["ruleId"]: r["properties"] for r in sarif["runs"][0]["results"]
+    }
+    assert by_rule[target]["status"] == "new"
+    assert by_rule[target]["minimalRepro"]["app"] == "libtiff"
+    assert validate_sarif(sarif) == []
+
+
+def test_validator_flags_structural_breakage():
+    sarif = to_sarif(ranked_pair())
+    assert validate_sarif({"version": "9.9.9"})  # wrong version, no runs
+    broken = json.loads(json.dumps(sarif))
+    broken["runs"][0]["results"][0]["level"] = "catastrophic"
+    assert any("level" in e for e in validate_sarif(broken))
+    broken = json.loads(json.dumps(sarif))
+    broken["runs"][0]["results"][0]["ruleId"] = "unknown-rule"
+    assert any("ruleId" in e for e in validate_sarif(broken))
+    broken = json.loads(json.dumps(sarif))
+    del broken["runs"][0]["tool"]["driver"]["name"]
+    assert any("name" in e for e in validate_sarif(broken))
+    broken = json.loads(json.dumps(sarif))
+    broken["runs"][0]["results"][0]["message"] = {}
+    assert any("message" in e for e in validate_sarif(broken))
+
+
+def test_render_triage_report_lists_every_cluster():
+    ranked = ranked_pair()
+    text = render_triage_report(ranked, 100, title="T")
+    for item in ranked:
+        assert item.cluster.cluster_id[:12] in text
+    db = BugDatabase()
+    db.update([r.cluster for r in ranked])
+    assert "new" in render_triage_report(ranked, 100, db=db)

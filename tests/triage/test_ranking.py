@@ -1,0 +1,117 @@
+"""Severity/confidence ranking of clusters."""
+
+from repro.triage.clustering import cluster_reports
+from repro.triage.ranking import (
+    RECENCY_DECAY,
+    evidence_quality,
+    rank_clusters,
+    score_cluster,
+)
+
+from tests.triage.conftest import report
+
+
+def one_cluster(**kwargs):
+    return cluster_reports([report(**kwargs)])[0]
+
+
+def test_over_write_outranks_over_read():
+    write = one_cluster()
+    read = one_cluster(
+        signature="over-read|alloc:R|access:B",
+        kind="over-read",
+        allocation_context=("R/a.c:1",),
+    )
+    ranked = rank_clusters([write, read], total_executions=100)
+    assert ranked[0].cluster.kind == "over-write"
+    assert ranked[0].score > ranked[1].score
+
+
+def test_watchpoint_evidence_outranks_canary():
+    assert evidence_quality({"watchpoint": 1}) > evidence_quality(
+        {"free-canary": 1}
+    )
+    assert evidence_quality({"free-canary": 1}) > evidence_quality(
+        {"exit-canary": 1}
+    )
+    assert evidence_quality({}) == 0.0
+    # The best source any member carried wins.
+    assert evidence_quality({"exit-canary": 9, "watchpoint": 1}) == (
+        evidence_quality({"watchpoint": 1})
+    )
+
+
+def test_higher_detection_rate_scores_higher():
+    frequent = one_cluster(executions=90, count=90)
+    rare = one_cluster(
+        signature="over-write|alloc:A|access:Z",
+        access_context=("Z/far.c:1", "Z/far.c:2", "Z/far.c:3", "Z/far.c:4",
+                        "Z/far.c:5"),
+        executions=2,
+        count=2,
+    )
+    scores = {
+        r.cluster.cluster_id: r.score
+        for r in rank_clusters([frequent, rare], total_executions=100)
+    }
+    assert scores[frequent.cluster_id] > scores[rare.cluster_id]
+
+
+def test_confidence_is_wilson_lower_bound():
+    from repro.experiments.campaign import wilson_interval
+
+    cluster = one_cluster(executions=30, count=30)
+    ranked = score_cluster(cluster, total_executions=100)
+    lower, _ = wilson_interval(30, 100)
+    assert ranked.confidence == round(lower, 6)
+
+
+def test_recency_decay_penalises_stale_bugs():
+    cluster = one_cluster()
+    fresh = score_cluster(cluster, 100, campaigns_since_seen=0)
+    stale = score_cluster(cluster, 100, campaigns_since_seen=3)
+    assert stale.recency == round(RECENCY_DECAY**3, 6)
+    assert stale.score < fresh.score
+
+
+def test_rank_clusters_uses_per_bug_staleness_map():
+    a = one_cluster()
+    b = one_cluster(
+        signature="over-write|alloc:B|access:B",
+        allocation_context=("B/b.c:1",),
+    )
+    ranked = rank_clusters(
+        [a, b],
+        total_executions=100,
+        campaigns_since_seen={a.cluster_id: 5, b.cluster_id: 0},
+    )
+    by_id = {r.cluster.cluster_id: r for r in ranked}
+    assert by_id[a.cluster_id].recency < by_id[b.cluster_id].recency
+
+
+def test_ranking_is_deterministic_with_id_tiebreak():
+    a = one_cluster()
+    b = one_cluster(
+        signature="over-write|alloc:A|access:Z",
+        access_context=("Z/1.c:1", "Z/2.c:2", "Z/3.c:3", "Z/4.c:4",
+                        "Z/5.c:5"),
+    )
+    first = rank_clusters([a, b], 100)
+    second = rank_clusters([b, a], 100)
+    assert [r.cluster.cluster_id for r in first] == [
+        r.cluster.cluster_id for r in second
+    ]
+
+
+def test_ranked_cluster_to_dict_decomposes_score():
+    ranked = score_cluster(one_cluster(), 100)
+    payload = ranked.to_dict()
+    assert set(payload) == {
+        "cluster_id",
+        "score",
+        "severity",
+        "evidence_quality",
+        "confidence",
+        "prevalence",
+        "recency",
+    }
