@@ -157,6 +157,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="distinct seeds a bisection candidate must re-trigger under",
     )
 
+    oracle = sub.add_parser(
+        "oracle",
+        help="differential conformance campaign on generated ground truth",
+    )
+    oracle.add_argument(
+        "--budget", type=int, default=50, help="generated programs"
+    )
+    oracle.add_argument("--seed", type=int, default=0, help="campaign seed")
+    oracle.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = inline)"
+    )
+    oracle.add_argument(
+        "--executions",
+        type=int,
+        default=3,
+        help="executions per program per CSOD arm",
+    )
+    oracle.add_argument(
+        "--defect-mix",
+        default=None,
+        metavar="MIX",
+        help="weighted classes, e.g. 'over-read=2,uaf=1' (default: uniform)",
+    )
+    oracle.add_argument(
+        "--shrink",
+        type=int,
+        default=0,
+        help="shrink up to N mismatched programs to minimal repros",
+    )
+    oracle.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="specs per worker dispatch (default: ceil(wave/workers))",
+    )
+    oracle.add_argument(
+        "--timeout", type=float, default=60.0, help="per-execution timeout (s)"
+    )
+    oracle.add_argument(
+        "--out",
+        default="oracle-out",
+        help="directory for scorecard.json / telemetry.jsonl",
+    )
+
     sub.add_parser("apps", help="list available workloads")
 
     reproduce = sub.add_parser(
@@ -431,6 +475,13 @@ def _cmd_triage(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.export and os.path.exists(args.out) and not os.path.isdir(args.out):
+        print(
+            f"repro triage: error: --out path {args.out!r} exists and is "
+            f"not a directory",
+            file=sys.stderr,
+        )
+        return 2
     if args.db is not None and not _db_writable(args.db):
         print(
             f"repro triage: error: --db path {args.db!r} is not writable",
@@ -575,6 +626,156 @@ def _cmd_triage(args: argparse.Namespace) -> int:
     return 0 if ranked else 1
 
 
+def _parse_defect_mix(text: str):
+    """``'over-read=2,uaf=1'`` -> weight dict; raises ValueError."""
+    mix = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, weight = part.partition("=")
+        if not sep:
+            raise ValueError(
+                f"malformed entry {part!r}; expected '<defect>=<weight>'"
+            )
+        mix[name.strip()] = float(weight)
+    if not mix:
+        raise ValueError("empty mix")
+    return mix
+
+
+def _cmd_oracle(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    if args.budget < 1:
+        print(
+            f"repro oracle: error: --budget must be >= 1, got {args.budget}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers < 1:
+        print(
+            f"repro oracle: error: --workers must be >= 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.executions < 1:
+        print(
+            f"repro oracle: error: --executions must be >= 1, "
+            f"got {args.executions}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shrink < 0:
+        print(
+            f"repro oracle: error: --shrink must be >= 0, got {args.shrink}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.chunk_size is not None and args.chunk_size < 1:
+        print(
+            f"repro oracle: error: --chunk-size must be >= 1, "
+            f"got {args.chunk_size}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print(
+            f"repro oracle: error: --timeout must be positive (seconds), "
+            f"got {args.timeout}",
+            file=sys.stderr,
+        )
+        return 2
+    if os.path.exists(args.out) and not os.path.isdir(args.out):
+        print(
+            f"repro oracle: error: --out path {args.out!r} exists and is "
+            f"not a directory",
+            file=sys.stderr,
+        )
+        return 2
+
+    from repro.errors import ReproError
+    from repro.oracle import OracleSettings, render_scorecard, run_oracle
+    from repro.oracle.runner import write_telemetry_line
+
+    mix = None
+    if args.defect_mix is not None:
+        try:
+            mix = _parse_defect_mix(args.defect_mix)
+        except ValueError as exc:
+            print(
+                f"repro oracle: error: --defect-mix is invalid: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        settings = OracleSettings(
+            budget=args.budget,
+            seed=args.seed,
+            workers=args.workers,
+            executions_per_app=args.executions,
+            defect_mix=mix,
+            shrink=args.shrink,
+            timeout_seconds=args.timeout,
+            chunk_size=args.chunk_size,
+        )
+    except ReproError as exc:
+        # Settings validation catches what argparse types cannot
+        # (unknown defect names, all-zero weights).
+        print(f"repro oracle: error: --defect-mix {exc}", file=sys.stderr)
+        return 2
+
+    os.makedirs(args.out, exist_ok=True)
+    telemetry_path = os.path.join(args.out, "telemetry.jsonl")
+    with open(telemetry_path, "w") as handle:
+        run = run_oracle(
+            settings, telemetry=lambda e: write_telemetry_line(handle, e)
+        )
+    scorecard = run.scorecard
+    scorecard_path = os.path.join(args.out, "scorecard.json")
+    with open(scorecard_path, "w") as handle:
+        handle.write(render_scorecard(scorecard))
+
+    arms = scorecard["arms"]
+    for arm in sorted(arms):
+        block = arms[arm]
+        rate = block["rate"]
+        print(
+            f"[oracle] {arm:16s} detected {block['detected']}/"
+            f"{block['eligible']} eligible"
+            + (f" (rate {rate:.2f})" if rate is not None else "")
+            + f", {block['fp_reports']} false-positive reports"
+        )
+    inv = scorecard["csod_invariants"]
+    print(
+        f"[oracle] invariants: max {inv['max_armed']}/"
+        f"{inv['armed_limit']} watchpoints armed, "
+        f"{len(inv['armed_violations'])} arming violations, "
+        f"{len(inv['monotonic_violations'])} monotonicity violations"
+    )
+    fn = inv["fn_attribution"]
+    print(
+        f"[oracle] CSOD misses: {fn['sampling']} attributed to sampling, "
+        f"{fn['logic']} to detector logic"
+    )
+    mm = scorecard["mismatches"]
+    print(
+        f"[oracle] mismatches: {mm['total']} total, "
+        f"{mm['unexplained']} unexplained"
+        + (f", {len(scorecard['shrunk'])} shrunk" if args.shrink else "")
+    )
+    print(f"[oracle] wrote {scorecard_path}")
+    print(f"[oracle] wrote {telemetry_path}")
+    clean = (
+        mm["unexplained"] == 0
+        and not inv["armed_violations"]
+        and not inv["monotonic_violations"]
+        and fn["logic"] == 0
+    )
+    return 0 if clean else 1
+
+
 def _cmd_apps(args: argparse.Namespace) -> int:
     print("buggy applications (Table I):")
     for name in sorted(BUGGY_APPS):
@@ -646,6 +847,7 @@ _COMMANDS = {
     "effectiveness": _cmd_effectiveness,
     "fleet": _cmd_fleet,
     "triage": _cmd_triage,
+    "oracle": _cmd_oracle,
     "apps": _cmd_apps,
 }
 

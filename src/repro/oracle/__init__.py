@@ -1,0 +1,92 @@
+"""repro.oracle — differential testing with generated ground truth.
+
+The oracle closes the correctness loop the evaluations of CSOD (§V),
+GWP-ASan, and DoubleTake all rely on: take programs whose defects are
+*known by construction*, run them under every detector the repo ships,
+and check each detector's reports against the manifest instead of
+against another detector's opinion.
+
+* :mod:`repro.oracle.grammar` — defect taxonomy, the per-program
+  :class:`GroundTruth` manifest, and the per-detector capability matrix
+  (what each detector can catch *by design*).
+* :mod:`repro.oracle.generator` — the seeded workload generator.  A
+  generated program is addressed by name (``oracle:s<seed>:i<index>:
+  <defect>``); the name alone rebuilds the program deterministically in
+  any process, which is what lets generated apps flow through the fleet
+  pool and the triage bisector unchanged.
+* :mod:`repro.oracle.harness` — runs one program under ASan and guard
+  pages inline and classifies every detector's reports as TP/FP/FN
+  against the manifest.
+* :mod:`repro.oracle.invariants` — CSOD-specific probes: watchpoint
+  arming high-water (≤ 4, register/slot consistency), per-context
+  sampling-rate monotonicity between revivals, and the §IV-B evidence
+  convergence guarantee.
+* :mod:`repro.oracle.shrink` — reduces a false positive or a
+  cross-detector disagreement to a minimal generated program by reusing
+  :mod:`repro.triage.bisect`.
+* :mod:`repro.oracle.runner` — the fleet-scale campaign:
+  ``python -m repro oracle --budget N`` fans generated apps through
+  :mod:`repro.fleet` and emits the conformance scorecard.
+"""
+
+from repro.oracle.grammar import (
+    ALL_DEFECTS,
+    ARM_ASAN,
+    ARM_CSOD,
+    ARM_CSOD_NOEVIDENCE,
+    ARM_CSOD_RANDOM,
+    ARM_GUARDPAGE,
+    ALL_ARMS,
+    CAP_DETERMINISTIC,
+    CAP_INCIDENTAL,
+    CAP_NONE,
+    CAP_SAMPLED,
+    Expectation,
+    GroundTruth,
+)
+from repro.oracle.generator import (
+    ORACLE_PREFIX,
+    OracleProgram,
+    generate,
+    is_oracle_name,
+    oracle_app_from_name,
+    parse_name,
+    program_from_name,
+)
+from repro.oracle.harness import AppObservations, observe_app
+from repro.oracle.invariants import InvariantReport, probe_invariants
+from repro.oracle.runner import OracleSettings, run_oracle
+from repro.oracle.scorecard import build_scorecard, render_scorecard
+from repro.oracle.shrink import shrink_app_mismatch
+
+__all__ = [
+    "ALL_ARMS",
+    "ALL_DEFECTS",
+    "ARM_ASAN",
+    "ARM_CSOD",
+    "ARM_CSOD_NOEVIDENCE",
+    "ARM_CSOD_RANDOM",
+    "ARM_GUARDPAGE",
+    "AppObservations",
+    "CAP_DETERMINISTIC",
+    "CAP_INCIDENTAL",
+    "CAP_NONE",
+    "CAP_SAMPLED",
+    "Expectation",
+    "GroundTruth",
+    "InvariantReport",
+    "ORACLE_PREFIX",
+    "OracleProgram",
+    "OracleSettings",
+    "build_scorecard",
+    "generate",
+    "is_oracle_name",
+    "observe_app",
+    "oracle_app_from_name",
+    "parse_name",
+    "probe_invariants",
+    "program_from_name",
+    "render_scorecard",
+    "run_oracle",
+    "shrink_app_mismatch",
+]

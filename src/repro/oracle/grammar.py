@@ -1,0 +1,254 @@
+"""Defect taxonomy and the per-program ground-truth manifest.
+
+Every generated program injects exactly one *defect* — one access whose
+legality is known by construction.  The manifest records where that
+access lands relative to the victim object and, for every detector arm,
+what the detector can do about it **by design**:
+
+``deterministic``
+    The arm catches this access on every execution (ASan redzones, a
+    guard page right behind the object, CSOD's free-time canary check
+    for boundary-word writes).
+``sampled``
+    The arm catches it only when its sampler armed the right watchpoint
+    (CSOD reads).  Misses are expected; an all-runs miss must still be
+    *attributable to sampling* by a pinned re-run.
+``incidental``
+    The arm may catch the access via a neighbouring object's metadata
+    (an underflow read trapping the previous object's boundary word
+    under watchpoint-only CSOD).  Detections are true positives with
+    displaced attribution; misses are not false negatives.
+``none``
+    The arm cannot see the access (uninstrumented library, alignment
+    slack, in-bounds access...).  Any report here is a false positive.
+
+The capability matrix below is derived from the exact constants of the
+three runtimes: CSOD watches the 8-byte boundary word at
+``object + size`` and wraps every allocation with an 8-byte canary in
+evidence mode; ASan places 16-byte redzones on both sides and
+quarantines frees; guard pages right-align objects subject to 16-byte
+alignment, leaving ``(-size) % 16`` bytes of slack before the guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import WorkloadError
+
+# Defect classes the grammar can inject.
+DEFECT_OVER_READ = "over-read"
+DEFECT_OVER_WRITE = "over-write"
+DEFECT_OFF_BY_N = "off-by-n"
+DEFECT_UNDERFLOW = "underflow"
+DEFECT_UAF = "uaf"
+DEFECT_BENIGN = "benign"
+
+ALL_DEFECTS: Tuple[str, ...] = (
+    DEFECT_OVER_READ,
+    DEFECT_OVER_WRITE,
+    DEFECT_OFF_BY_N,
+    DEFECT_UNDERFLOW,
+    DEFECT_UAF,
+    DEFECT_BENIGN,
+)
+
+# Detector arms of the differential harness.
+ARM_CSOD = "csod"  # evidence + watchpoints, near-FIFO replacement
+ARM_CSOD_RANDOM = "csod-random"  # evidence + watchpoints, random replacement
+ARM_CSOD_NOEVIDENCE = "csod-noevidence"  # watchpoints only, no canary
+ARM_ASAN = "asan"
+ARM_GUARDPAGE = "guardpage"
+
+ALL_ARMS: Tuple[str, ...] = (
+    ARM_CSOD,
+    ARM_CSOD_RANDOM,
+    ARM_CSOD_NOEVIDENCE,
+    ARM_ASAN,
+    ARM_GUARDPAGE,
+)
+CSOD_ARMS: Tuple[str, ...] = (ARM_CSOD, ARM_CSOD_RANDOM, ARM_CSOD_NOEVIDENCE)
+
+# Capability levels.
+CAP_DETERMINISTIC = "deterministic"
+CAP_SAMPLED = "sampled"
+CAP_INCIDENTAL = "incidental"
+CAP_NONE = "none"
+
+# Geometry constants mirrored from the runtimes (asserted against the
+# real ones in the oracle tests, so drift fails loudly).
+WATCH_WORD_BYTES = 8  # CSOD debug-register watch length
+CANARY_BYTES = 8  # repro.heap.layout.CANARY_SIZE
+MIN_REDZONE_BYTES = 16  # repro.asan.redzones.MIN_REDZONE
+GUARD_ALIGNMENT = 16  # repro.heap.size_classes.MIN_ALIGNMENT
+
+
+def guard_slack(size: int) -> int:
+    """Bytes between object end and the guard page (GWP-ASan slack)."""
+    return (-size) % GUARD_ALIGNMENT
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """What one detector arm can do about one injected defect."""
+
+    capability: str  # deterministic / sampled / incidental / none
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {"capability": self.capability, "reason": self.reason}
+
+
+@dataclass
+class GroundTruth:
+    """The machine-readable manifest of one generated program."""
+
+    app: str  # the generated program's (self-describing) name
+    defect: str
+    access_kind: str  # read / write
+    bug_kind: str  # over-read / over-write (the access direction)
+    benign: bool
+    victim_size: int
+    # Where the access starts, relative to the END of the victim object
+    # (the overflow_skip convention): 0 is the first byte past the
+    # object, negative offsets land before the end.
+    access_offset: int
+    access_length: int
+    in_library: bool  # vuln module is an uninstrumented .SO
+    free_before_access: bool
+    victim_marker: str  # frame location identifying the victim's alloc site
+    access_marker: str  # frame location of the injected access statement
+    expected: Dict[str, Expectation] = field(default_factory=dict)
+
+    def capability(self, arm: str) -> str:
+        return self.expected[arm].capability
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON form (sorted arms)."""
+        return {
+            "app": self.app,
+            "defect": self.defect,
+            "access_kind": self.access_kind,
+            "bug_kind": self.bug_kind,
+            "benign": self.benign,
+            "victim_size": self.victim_size,
+            "access_offset": self.access_offset,
+            "access_length": self.access_length,
+            "in_library": self.in_library,
+            "free_before_access": self.free_before_access,
+            "victim_marker": self.victim_marker,
+            "access_marker": self.access_marker,
+            "expected": {
+                arm: self.expected[arm].to_dict()
+                for arm in sorted(self.expected)
+            },
+        }
+
+
+def expectations(
+    defect: str,
+    access_kind: str,
+    access_offset: int,
+    access_length: int,
+    in_library: bool,
+    victim_size: int,
+) -> Dict[str, Expectation]:
+    """The capability matrix for one injected defect."""
+    if defect not in ALL_DEFECTS:
+        raise WorkloadError(f"unknown oracle defect {defect!r}")
+    expected: Dict[str, Expectation] = {}
+
+    # --- ASan -----------------------------------------------------------
+    if defect == DEFECT_BENIGN:
+        asan = Expectation(CAP_NONE, "access stays inside the object")
+    elif in_library:
+        asan = Expectation(
+            CAP_NONE, "access issued from an uninstrumented .SO module"
+        )
+    elif defect == DEFECT_UAF:
+        asan = Expectation(
+            CAP_DETERMINISTIC, "freed object is poisoned and quarantined"
+        )
+    elif defect == DEFECT_UNDERFLOW:
+        asan = Expectation(CAP_DETERMINISTIC, "left redzone is poisoned")
+    else:
+        asan = Expectation(CAP_DETERMINISTIC, "right redzone is poisoned")
+    expected[ARM_ASAN] = asan
+
+    # --- guard pages (oracle mode guards every allocation) --------------
+    slack = guard_slack(victim_size)
+    if defect == DEFECT_BENIGN:
+        guard = Expectation(CAP_NONE, "access stays inside the object")
+    elif defect == DEFECT_UNDERFLOW:
+        guard = Expectation(
+            CAP_NONE, "underflow lands in the slot page, not the guard"
+        )
+    elif defect == DEFECT_UAF:
+        guard = Expectation(CAP_DETERMINISTIC, "freed slot page is unmapped")
+    elif access_offset + access_length > slack:
+        guard = Expectation(CAP_DETERMINISTIC, "access crosses the guard page")
+    else:
+        guard = Expectation(
+            CAP_NONE,
+            f"access fits the {slack}-byte alignment slack before the guard",
+        )
+    expected[ARM_GUARDPAGE] = guard
+
+    # --- CSOD, evidence mode (canary + watchpoints) ---------------------
+    overlaps_watch_word = (
+        access_offset < WATCH_WORD_BYTES and access_offset + access_length > 0
+    )
+    if defect == DEFECT_BENIGN:
+        csod = Expectation(CAP_NONE, "access stays inside the object")
+    elif defect == DEFECT_UAF:
+        csod = Expectation(
+            CAP_NONE, "watchpoint and canary are released at free"
+        )
+    elif defect == DEFECT_UNDERFLOW:
+        csod = Expectation(
+            CAP_NONE, "access lands inside CSOD's own object header"
+        )
+    elif not overlaps_watch_word:
+        csod = Expectation(
+            CAP_NONE, "non-continuous access skips the boundary word (§VI)"
+        )
+    elif access_kind == "write":
+        csod = Expectation(
+            CAP_DETERMINISTIC,
+            "boundary-word write corrupts the canary, caught at free; "
+            "watchpoint additionally when sampled",
+        )
+    else:
+        csod = Expectation(
+            CAP_SAMPLED, "read only traps a sampled watchpoint"
+        )
+    expected[ARM_CSOD] = csod
+    expected[ARM_CSOD_RANDOM] = csod
+
+    # --- CSOD, watchpoints only (no canary, raw heap layout) ------------
+    if defect == DEFECT_BENIGN:
+        noev = Expectation(CAP_NONE, expected[ARM_CSOD].reason)
+    elif defect == DEFECT_UAF:
+        noev = Expectation(
+            CAP_INCIDENTAL,
+            "raw heap adjacency: the freed object's first bytes can "
+            "coincide with the previous object's boundary word while its "
+            "watchpoint is still armed",
+        )
+    elif defect == DEFECT_UNDERFLOW:
+        noev = Expectation(
+            CAP_INCIDENTAL,
+            "raw heap adjacency: the read may trap the previous object's "
+            "boundary word when its watchpoint is armed",
+        )
+    elif not overlaps_watch_word:
+        noev = Expectation(
+            CAP_NONE, "non-continuous access skips the boundary word (§VI)"
+        )
+    else:
+        noev = Expectation(
+            CAP_SAMPLED, "watchpoint only, probability-sampled"
+        )
+    expected[ARM_CSOD_NOEVIDENCE] = noev
+    return expected

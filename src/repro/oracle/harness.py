@@ -1,0 +1,335 @@
+"""The differential harness: run one generated program, judge reports.
+
+CSOD arms execute through the fleet pool (the runner dispatches them as
+ordinary :class:`ExecutionSpec`s); ASan and guard pages run inline here
+— both are deterministic, so one execution per program decides them.
+Either way, every report is judged against the program's
+:class:`~repro.oracle.grammar.GroundTruth`:
+
+* a report whose **allocation context** contains the victim's
+  allocation-site marker (and whose kind matches the injected access)
+  is a true positive;
+* a CSOD report whose **access context** contains the injected access
+  statement but whose allocation context points elsewhere is an
+  *incidental* true positive — the defective access was caught via a
+  neighbouring object's boundary word, a real catch with displaced
+  attribution (watchpoint-only underflows);
+* anything else — and *any* report on a benign program — is a false
+  positive.
+
+The guard-page arm runs in "oracle mode" (``sample_every=1``, a slot
+pool larger than any generated schedule): every allocation is guarded,
+so the arm is deterministic and the manifest's capability matrix is
+exact.  GWP-ASan's production sampling is a measured trade-off, not a
+correctness property; the oracle tests the detector's logic, not its
+lottery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.asan.runtime import ASanRuntime
+from repro.errors import SegmentationFault
+from repro.fleet.specs import ExecutionResult
+from repro.guardpage.runtime import GuardPageConfig, GuardPageRuntime
+from repro.machine.signals import ProcessTerminated
+from repro.oracle.grammar import (
+    ARM_ASAN,
+    ARM_GUARDPAGE,
+    CAP_DETERMINISTIC,
+    CAP_INCIDENTAL,
+    CAP_NONE,
+    CAP_SAMPLED,
+    GroundTruth,
+)
+from repro.oracle.generator import OracleProgram
+from repro.workloads.base import SimProcess
+
+# Oracle-mode guard pages: deterministic full guarding (see module doc).
+ORACLE_GUARD_CONFIG = GuardPageConfig(sample_every=1, max_guarded=4096)
+
+
+@dataclass
+class ArmObservation:
+    """What one detector arm saw for one program, judged."""
+
+    arm: str
+    executions: int = 0
+    # Executions with >= 1 victim-matching report of the right kind.
+    detections: int = 0
+    # Executions detected only via the access-statement marker
+    # (displaced attribution; counts as caught, never as FP or FN).
+    incidental: int = 0
+    # Reports matching neither marker, wrong-kind victim reports, and
+    # every report on a benign program.
+    fp_reports: int = 0
+    kinds: Tuple[str, ...] = ()
+
+    @property
+    def detected(self) -> bool:
+        return self.detections > 0 or self.incidental > 0
+
+    def to_dict(self) -> dict:
+        return {
+            "arm": self.arm,
+            "executions": self.executions,
+            "detections": self.detections,
+            "incidental": self.incidental,
+            "fp_reports": self.fp_reports,
+            "kinds": list(self.kinds),
+        }
+
+
+@dataclass
+class AppObservations:
+    """All arms' judged observations for one program."""
+
+    app: str
+    arms: Dict[str, ArmObservation] = field(default_factory=dict)
+
+    def detected_arms(self) -> Tuple[str, ...]:
+        return tuple(
+            sorted(arm for arm, obs in self.arms.items() if obs.detected)
+        )
+
+    def fp_arms(self) -> Tuple[str, ...]:
+        return tuple(
+            sorted(
+                arm for arm, obs in self.arms.items() if obs.fp_reports
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Report judging
+# ----------------------------------------------------------------------
+def _judge(
+    truth: GroundTruth,
+    kind: str,
+    expected_kind: str,
+    allocation_frames: Sequence[str],
+    access_frames: Sequence[str] = (),
+    fault_address: Optional[int] = None,
+    victim_span: Optional[Tuple[int, int]] = None,
+) -> str:
+    """Classify one report: 'victim', 'incidental', or 'fp'."""
+    if truth.benign:
+        return "fp"
+    victim_hit = truth.victim_marker in tuple(allocation_frames)
+    if not victim_hit and victim_span is not None and fault_address is not None:
+        # UAF reports may drop the allocation context (ASan pops it at
+        # free); fall back to the fault address.
+        lo, hi = victim_span
+        victim_hit = lo <= fault_address < hi
+    if victim_hit:
+        return "victim" if kind == expected_kind else "fp"
+    if truth.access_marker in tuple(access_frames):
+        return "incidental"
+    return "fp"
+
+
+def _fold(arm: str, verdicts: Iterable[str], kinds: Iterable[str]) -> ArmObservation:
+    """One execution's report verdicts -> an observation."""
+    verdicts = list(verdicts)
+    obs = ArmObservation(arm=arm, executions=1, kinds=tuple(sorted(set(kinds))))
+    if "victim" in verdicts:
+        obs.detections = 1
+    elif "incidental" in verdicts:
+        obs.incidental = 1
+    obs.fp_reports = sum(1 for v in verdicts if v == "fp")
+    return obs
+
+
+def _merge(into: ArmObservation, obs: ArmObservation) -> None:
+    into.executions += obs.executions
+    into.detections += obs.detections
+    into.incidental += obs.incidental
+    into.fp_reports += obs.fp_reports
+    into.kinds = tuple(sorted(set(into.kinds) | set(obs.kinds)))
+
+
+# ----------------------------------------------------------------------
+# Inline arms
+# ----------------------------------------------------------------------
+def observe_asan(program: OracleProgram, seed: int) -> ArmObservation:
+    """One (deterministic) execution under simulated ASan."""
+    truth = program.truth
+    process = SimProcess(seed=seed)
+    runtime = ASanRuntime(process.machine, process.heap)
+    result = program.app().run(process)
+    runtime.shutdown()
+    expected_kind = (
+        "heap-use-after-free"
+        if truth.free_before_access
+        else "heap-buffer-overflow"
+    )
+    span = (
+        result.victim_address,
+        result.victim_address + result.victim_size,
+    )
+    verdicts = [
+        _judge(
+            truth,
+            report.kind,
+            expected_kind,
+            report.allocation_context,
+            fault_address=report.fault_address,
+            victim_span=span,
+        )
+        for report in runtime.reports
+    ]
+    return _fold(ARM_ASAN, verdicts, (r.kind for r in runtime.reports))
+
+
+def observe_guardpage(program: OracleProgram, seed: int) -> ArmObservation:
+    """One (deterministic, oracle-mode) execution under guard pages."""
+    truth = program.truth
+    process = SimProcess(seed=seed)
+    runtime = GuardPageRuntime(
+        process.machine, process.heap, ORACLE_GUARD_CONFIG, seed=seed
+    )
+    try:
+        program.app().run(process)
+    except (SegmentationFault, ProcessTerminated):
+        # The guarded process dies on the fault; reports are read from
+        # the crash handler's output, exactly like GWP-ASan.
+        pass
+    finally:
+        runtime.shutdown()
+    expected_kind = (
+        "use-after-free" if truth.free_before_access else "overflow"
+    )
+    verdicts = [
+        _judge(
+            truth,
+            report.kind,
+            expected_kind,
+            tuple(str(f) for f in report.allocation_context.frames),
+        )
+        for report in runtime.reports
+    ]
+    return _fold(ARM_GUARDPAGE, verdicts, (r.kind for r in runtime.reports))
+
+
+def observe_app(program: OracleProgram, seed: int) -> AppObservations:
+    """Run both inline arms for one program."""
+    observations = AppObservations(app=program.name)
+    observations.arms[ARM_ASAN] = observe_asan(program, seed)
+    observations.arms[ARM_GUARDPAGE] = observe_guardpage(program, seed)
+    return observations
+
+
+# ----------------------------------------------------------------------
+# CSOD fleet results
+# ----------------------------------------------------------------------
+def classify_csod_results(
+    program: OracleProgram, arm: str, results: Sequence[ExecutionResult]
+) -> ArmObservation:
+    """Judge the fleet's CSOD executions for one (program, arm)."""
+    truth = program.truth
+    total = ArmObservation(arm=arm)
+    for result in results:
+        verdicts = [
+            _judge(
+                truth,
+                record.kind,
+                truth.bug_kind,
+                record.allocation_context,
+                record.access_context,
+            )
+            for record in result.reports
+        ]
+        _merge(
+            total,
+            _fold(arm, verdicts, (r.kind for r in result.reports)),
+        )
+    return total
+
+
+# ----------------------------------------------------------------------
+# Cross-detector disagreement
+# ----------------------------------------------------------------------
+@dataclass
+class Mismatch:
+    """Detectors disagreed on one program (or one of them reported FPs)."""
+
+    app: str
+    defect: str
+    detected: Tuple[str, ...]
+    missed: Tuple[str, ...]
+    fp_arms: Tuple[str, ...]
+    # arm -> why the miss/detection is consistent with the capability
+    # matrix ("sampling miss", "uninstrumented shared library...", ...).
+    explanations: Dict[str, str] = field(default_factory=dict)
+    # Arms whose behaviour the capability matrix can NOT account for: a
+    # deterministic-capability miss, a CAP_NONE detection, or any FP.
+    unexplained: Tuple[str, ...] = ()
+
+    @property
+    def explained(self) -> bool:
+        return not self.unexplained
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "defect": self.defect,
+            "detected": list(self.detected),
+            "missed": list(self.missed),
+            "fp_arms": list(self.fp_arms),
+            "explanations": dict(sorted(self.explanations.items())),
+            "unexplained": list(self.unexplained),
+            "explained": self.explained,
+        }
+
+
+def find_mismatch(
+    program: OracleProgram, observations: AppObservations
+) -> Optional[Mismatch]:
+    """The app's cross-detector disagreement, if any."""
+    truth = program.truth
+    detected = observations.detected_arms()
+    missed = tuple(
+        sorted(set(observations.arms) - set(detected))
+    )
+    fp_arms = observations.fp_arms()
+    if not fp_arms and (not detected or not missed):
+        return None  # unanimous and clean: no disagreement
+    explanations: Dict[str, str] = {}
+    unexplained: List[str] = []
+    for arm in sorted(observations.arms):
+        expectation = truth.expected[arm]
+        obs = observations.arms[arm]
+        if obs.fp_reports:
+            unexplained.append(arm)
+            explanations[arm] = "false-positive reports"
+            continue
+        if obs.detected:
+            if expectation.capability == CAP_NONE:
+                unexplained.append(arm)
+                explanations[arm] = (
+                    "detected despite no capability: " + expectation.reason
+                )
+            elif expectation.capability in (CAP_SAMPLED, CAP_INCIDENTAL):
+                explanations[arm] = "caught when sampled"
+            continue
+        # Missed.
+        if expectation.capability == CAP_DETERMINISTIC:
+            unexplained.append(arm)
+            explanations[arm] = (
+                "missed a deterministic capability: " + expectation.reason
+            )
+        elif expectation.capability == CAP_SAMPLED:
+            explanations[arm] = "sampling miss"
+        else:
+            explanations[arm] = expectation.reason
+    return Mismatch(
+        app=program.name,
+        defect=truth.defect,
+        detected=detected,
+        missed=missed,
+        fp_arms=fp_arms,
+        explanations=explanations,
+        unexplained=tuple(sorted(unexplained)),
+    )

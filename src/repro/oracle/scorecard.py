@@ -1,0 +1,186 @@
+"""The conformance scorecard.
+
+One JSON document answering, per detector arm and per defect class:
+how often was the injected defect caught, with what confidence
+interval, and did anything fire that should not have?  Plus the
+CSOD-specific blocks: invariant probe outcomes, the attribution of
+every CSOD false negative (sampling vs. logic), evidence convergence,
+and the minimal repros any mismatch shrank to.
+
+The scorecard is **byte-deterministic** for a given (budget, seed,
+executions-per-app, defect-mix): it contains no wall-clock times, no
+hostnames, no worker counts, and every mapping is emitted with sorted
+keys.  Two runs of ``python -m repro oracle --budget 50 --seed 7`` must
+produce identical bytes, regardless of worker count — that property is
+itself under test.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.experiments.campaign import wilson_interval
+from repro.oracle.grammar import (
+    ALL_ARMS,
+    ALL_DEFECTS,
+    CAP_NONE,
+)
+from repro.oracle.generator import OracleProgram
+from repro.oracle.harness import AppObservations, Mismatch
+from repro.oracle.invariants import (
+    ATTRIBUTION_SAMPLING,
+    InvariantReport,
+)
+from repro.triage.bisect import MinimalRepro
+
+
+def _rate_block(detected: int, eligible: int) -> dict:
+    block = {"detected": detected, "eligible": eligible}
+    if eligible > 0:
+        low, high = wilson_interval(detected, eligible)
+        block["rate"] = round(detected / eligible, 6)
+        block["ci95"] = [round(low, 6), round(high, 6)]
+    else:
+        block["rate"] = None
+        block["ci95"] = None
+    return block
+
+
+def build_scorecard(
+    programs: Sequence[OracleProgram],
+    observations: Mapping[str, AppObservations],
+    invariant_reports: Sequence[InvariantReport] = (),
+    fn_attributions: Optional[Mapping[str, str]] = None,
+    convergence: Optional[Mapping[str, bool]] = None,
+    mismatches: Sequence[Mismatch] = (),
+    shrunk: Sequence[MinimalRepro] = (),
+    settings: Optional[Mapping[str, object]] = None,
+) -> dict:
+    """Assemble the (deterministic) conformance scorecard."""
+    fn_attributions = dict(fn_attributions or {})
+    convergence = dict(convergence or {})
+    by_name = {program.name: program for program in programs}
+
+    # --- generator census ------------------------------------------------
+    by_defect: Dict[str, int] = {defect: 0 for defect in ALL_DEFECTS}
+    in_library = 0
+    for program in programs:
+        by_defect[program.truth.defect] += 1
+        if program.truth.in_library:
+            in_library += 1
+    census = {
+        "total": len(programs),
+        "by_defect": {d: n for d, n in sorted(by_defect.items())},
+        "in_library": in_library,
+    }
+
+    # --- per-arm and per-(arm, defect) conformance -----------------------
+    arms_block: Dict[str, dict] = {}
+    conformance: Dict[str, Dict[str, dict]] = {}
+    for arm in sorted(ALL_ARMS):
+        executions = 0
+        fp_reports = 0
+        detected_eligible = 0
+        eligible = 0
+        per_defect: Dict[str, dict] = {}
+        for defect in sorted(ALL_DEFECTS):
+            d_detected = 0
+            d_eligible = 0
+            d_fp = 0
+            d_apps = 0
+            for program in programs:
+                if program.truth.defect != defect:
+                    continue
+                obs = observations[program.name].arms.get(arm)
+                if obs is None:
+                    continue
+                d_apps += 1
+                d_fp += obs.fp_reports
+                if program.truth.capability(arm) != CAP_NONE:
+                    d_eligible += 1
+                    if obs.detected:
+                        d_detected += 1
+            entry = _rate_block(d_detected, d_eligible)
+            entry["apps"] = d_apps
+            entry["fp_reports"] = d_fp
+            per_defect[defect] = entry
+            detected_eligible += d_detected
+            eligible += d_eligible
+            fp_reports += d_fp
+        for app_obs in observations.values():
+            obs = app_obs.arms.get(arm)
+            if obs is not None:
+                executions += obs.executions
+        overall = _rate_block(detected_eligible, eligible)
+        overall["executions"] = executions
+        overall["fp_reports"] = fp_reports
+        arms_block[arm] = overall
+        conformance[arm] = per_defect
+
+    # --- CSOD invariants -------------------------------------------------
+    max_armed = max((r.max_armed for r in invariant_reports), default=0)
+    armed_violations: List[str] = []
+    monotonic_violations: List[str] = []
+    for report in invariant_reports:
+        armed_violations.extend(
+            f"{report.app}: {v}" for v in report.armed_violations
+        )
+        monotonic_violations.extend(
+            f"{report.app}: {v}" for v in report.monotonic_violations
+        )
+    sampling_fns = sum(
+        1 for v in fn_attributions.values() if v == ATTRIBUTION_SAMPLING
+    )
+    csod_block = {
+        "max_armed": max_armed,
+        "armed_limit": (
+            invariant_reports[0].armed_limit if invariant_reports else 4
+        ),
+        "probed_apps": len(invariant_reports),
+        "armed_violations": sorted(armed_violations),
+        "monotonic_violations": sorted(monotonic_violations),
+        "fn_attribution": {
+            "sampling": sampling_fns,
+            "logic": len(fn_attributions) - sampling_fns,
+            "apps": {a: v for a, v in sorted(fn_attributions.items())},
+        },
+        "convergence": {
+            "checked": len(convergence),
+            "converged": sum(1 for ok in convergence.values() if ok),
+            "failures": sorted(a for a, ok in convergence.items() if not ok),
+        },
+    }
+
+    # --- mismatches & shrunk repros --------------------------------------
+    mismatch_items = sorted(
+        (m.to_dict() for m in mismatches), key=lambda d: d["app"]
+    )
+    mismatch_block = {
+        "total": len(mismatch_items),
+        "explained": sum(1 for m in mismatch_items if m["explained"]),
+        "unexplained": sum(1 for m in mismatch_items if not m["explained"]),
+        "items": mismatch_items,
+    }
+    shrunk_items = sorted(
+        (r.to_dict() for r in shrunk), key=lambda d: d["app"]
+    )
+
+    scorecard = {
+        "schema": "repro-oracle-scorecard-v1",
+        "settings": {k: v for k, v in sorted((settings or {}).items())},
+        "programs": census,
+        "arms": arms_block,
+        "conformance": conformance,
+        "csod_invariants": csod_block,
+        "mismatches": mismatch_block,
+        "shrunk": shrunk_items,
+    }
+    # Self-check: the manifest census covers every judged app.
+    assert set(by_name) == set(observations), "observations/programs drift"
+    return scorecard
+
+
+def render_scorecard(scorecard: dict) -> str:
+    """Byte-deterministic JSON rendering."""
+    return json.dumps(scorecard, sort_keys=True, indent=2) + "\n"

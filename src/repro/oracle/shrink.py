@@ -1,0 +1,53 @@
+"""Shrink a mismatch to a minimal generated program.
+
+When the harness flags a program — a false positive under any arm, or a
+cross-detector disagreement the capability matrix cannot account for —
+the disagreement is only actionable once it is small.  This module
+reuses the triage pipeline end-to-end: the oracle's CSOD reports for
+the offending program are clustered exactly like fleet telemetry
+(:func:`repro.triage.clustering.cluster_reports`), and the triage
+:class:`~repro.triage.bisect.Bisector` then shrinks the originating
+execution (evidence pinning, evidence minimisation, schedule-scale
+halving) until the smallest generated program that still
+deterministically re-triggers the cluster remains.
+
+Generated programs resolve by name through the buggy-app registry, so
+the bisector's scale-halving probes rebuild shrunk oracle apps with the
+size-relative defect geometry re-resolved against the shrunk schedule
+— the minimal repro still injects the same defect class.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.config import CSODConfig
+from repro.fleet.aggregate import AggregatedReport
+from repro.triage.bisect import Bisector, MinimalRepro
+from repro.triage.clustering import cluster_reports
+
+
+def shrink_app_mismatch(
+    app_name: str,
+    reports: Iterable[AggregatedReport],
+    config: Optional[CSODConfig] = None,
+    seed_checks: int = 2,
+) -> Optional[MinimalRepro]:
+    """Shrink one program's CSOD reports to a minimal reproducer.
+
+    ``reports`` is the oracle campaign's aggregated fleet view; only
+    reports first seen on ``app_name`` participate.  Returns ``None``
+    when the program produced no CSOD reports at all (nothing to
+    shrink: the mismatch is a miss, and misses are attributed by the
+    invariant prober, not bisection).
+    """
+    own = [r for r in reports if r.first_seen_app == app_name]
+    if not own:
+        return None
+    clusters = cluster_reports(own)
+    # Largest cluster first (cluster_reports sorts by -count): the
+    # dominant symptom is the one worth a minimal repro.
+    bisector = Bisector(
+        clusters[0], config=config or CSODConfig(), seed_checks=seed_checks
+    )
+    return bisector.run()

@@ -411,6 +411,23 @@ class SyntheticBuggyApp:
         )
         return events
 
+    def _pre_access(
+        self,
+        process: SimProcess,
+        thread,
+        heap,
+        addresses: Dict[int, int],
+        live: Dict[int, AllocationEvent],
+    ) -> None:
+        """Hook invoked once, immediately before the injected access.
+
+        The base program does nothing here.  Generated oracle workloads
+        override it to mutate heap state first — e.g. freeing the victim
+        so the access becomes a use-after-free.  Implementations that
+        free an object must also drop it from ``live`` so teardown does
+        not free it twice.
+        """
+
     def run(self, process: SimProcess) -> RunResult:
         """Execute the program once inside ``process``."""
         sites = self.sites()
@@ -435,6 +452,7 @@ class SyntheticBuggyApp:
             overflow_thread = process.spawn_thread("request-worker")
 
         def do_overflow() -> None:
+            self._pre_access(process, overflow_thread, heap, addresses, live)
             with overflow_thread.call_stack.calling(sites[0][0]):
                 with overflow_thread.call_stack.calling(self.access_site):
                     boundary = (

@@ -29,6 +29,12 @@ EFFECTIVENESS_SCALE: Dict[str, float] = {
 
 _app_cache: Dict[Tuple[str, float], SyntheticBuggyApp] = {}
 
+# Generated oracle programs are addressed by self-describing names
+# (``oracle:s<seed>:i<index>:<defect>``); the name alone rebuilds the
+# app, which is what lets fleet workers and the triage bisector resolve
+# generated apps exactly like the hand-written nine.
+ORACLE_PREFIX = "oracle:"
+
 
 def spec_for(name: str) -> BuggyAppSpec:
     """The full-scale structural spec for one application."""
@@ -53,6 +59,12 @@ def app_for(name: str, scale: Optional[float] = None) -> SyntheticBuggyApp:
     key = (name, scale)
     app = _app_cache.get(key)
     if app is None:
-        app = SyntheticBuggyApp(spec_for(name).scaled(scale))
+        if name.startswith(ORACLE_PREFIX):
+            # Imported lazily: the oracle layer sits above workloads.
+            from repro.oracle.generator import oracle_app_from_name
+
+            app = oracle_app_from_name(name, scale)
+        else:
+            app = SyntheticBuggyApp(spec_for(name).scaled(scale))
         _app_cache[key] = app
     return app

@@ -1,0 +1,109 @@
+"""Coarse-signature stability under stack jitter (hypothesis).
+
+Triage clustering keys on :meth:`OverflowReport.coarse_signature`,
+which must collapse reports of one bug even when executions disagree
+about the deeper (caller-side) frames and about how the bug was caught.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.callstack.contexts import CallingContext
+from repro.callstack.frames import CallSite, Frame
+from repro.core.reporting import (
+    COARSE_SIGNATURE_FRAMES,
+    KIND_OVER_WRITE,
+    OverflowReport,
+    SOURCE_FREE_CANARY,
+    SOURCE_WATCHPOINT,
+)
+
+
+def frame(module, file, line, function):
+    return Frame(CallSite(module, file, line, function))
+
+# The stable allocation head every jittered report shares.
+HEAD = (
+    frame("VULN", "alloc.c", 500, "buggy_alloc"),
+    frame("VULN", "wrap.c", 40, "xmalloc"),
+    frame("APP", "main.c", 12, "handle_request"),
+)
+assert len(HEAD) == COARSE_SIGNATURE_FRAMES
+
+tail_frames = st.lists(
+    st.builds(
+        frame,
+        st.sampled_from(["APP", "LIBC", "RT"]),
+        st.sampled_from(["main.c", "loop.c", "thread.c"]),
+        st.integers(min_value=1, max_value=999),
+        st.sampled_from(["main", "run", "worker", "dispatch"]),
+    ),
+    max_size=6,
+)
+
+
+def report_with(tail, source=SOURCE_WATCHPOINT, access=()):
+    frames = HEAD + tuple(tail)
+    context = CallingContext(
+        return_addresses=tuple(f.return_address for f in frames),
+        frames=frames,
+    )
+    return OverflowReport(
+        kind=KIND_OVER_WRITE,
+        source=source,
+        fault_address=0x7000,
+        object_address=0x6000,
+        object_size=64,
+        thread_id=0,
+        time_ns=0,
+        allocation_context=context,
+        access_frames=tuple(access),
+    )
+
+
+@given(tail_frames, tail_frames)
+@settings(max_examples=200, deadline=None)
+def test_tail_jitter_never_changes_the_coarse_signature(tail_a, tail_b):
+    assert (
+        report_with(tail_a).coarse_signature()
+        == report_with(tail_b).coarse_signature()
+    )
+
+
+@given(tail_frames)
+@settings(max_examples=100, deadline=None)
+def test_evidence_source_never_changes_the_coarse_signature(tail):
+    watchpoint = report_with(tail, source=SOURCE_WATCHPOINT)
+    canary = report_with(tail, source=SOURCE_FREE_CANARY)
+    assert watchpoint.coarse_signature() == canary.coarse_signature()
+
+
+@given(tail_frames, tail_frames)
+@settings(max_examples=100, deadline=None)
+def test_access_side_never_changes_the_coarse_signature(tail, access):
+    assert (
+        report_with(tail, access=access).coarse_signature()
+        == report_with(tail).coarse_signature()
+    )
+
+
+@given(tail_frames)
+@settings(max_examples=100, deadline=None)
+def test_different_allocation_heads_do_not_collide(tail):
+    other_head = report_with(tail)
+    moved = OverflowReport(
+        kind=KIND_OVER_WRITE,
+        source=SOURCE_WATCHPOINT,
+        fault_address=0x7000,
+        object_address=0x6000,
+        object_size=64,
+        thread_id=0,
+        time_ns=0,
+        allocation_context=CallingContext(
+            return_addresses=(1, 2, 3),
+            frames=(
+                frame("OTHER", "alloc.c", 501, "other_alloc"),
+            )
+            + HEAD[1:],
+        ),
+    )
+    assert moved.coarse_signature() != other_head.coarse_signature()

@@ -1,0 +1,70 @@
+"""Property-based DR6/DR7 roundtrips (hypothesis).
+
+``test_dr_encoding.py`` pins the manual's bit patterns example by
+example; these properties sweep the whole space — every combination of
+rw-kind, watch length, and slot enables must survive an
+encode -> decode roundtrip.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.dr_encoding import (
+    NUM_SLOTS,
+    decode_dr6,
+    decode_dr7,
+    encode_dr6,
+    encode_dr7,
+)
+
+# One slot descriptor: disabled, or any (kind, length) combination the
+# hardware can express.
+slot = st.one_of(
+    st.none(),
+    st.tuples(
+        st.sampled_from(["r", "w", "rw"]),
+        st.sampled_from([1, 2, 4, 8]),
+    ),
+)
+slots = st.lists(slot, min_size=0, max_size=NUM_SLOTS)
+
+
+def normalized(descriptor):
+    """Hardware has no pure-read data watch: 'r' installs as 'rw'."""
+    if descriptor is None:
+        return None
+    kind, length = descriptor
+    return ("rw" if kind in ("r", "rw") else "w", length)
+
+
+@given(slots)
+@settings(max_examples=300, deadline=None)
+def test_dr7_roundtrips_every_combination(descriptors):
+    decoded = decode_dr7(encode_dr7(descriptors))
+    expected = {
+        index: normalized(descriptor)
+        for index, descriptor in enumerate(descriptors)
+        if descriptor is not None
+    }
+    assert decoded == expected
+
+
+@given(slots)
+@settings(max_examples=300, deadline=None)
+def test_dr7_enable_bits_match_occupied_slots(descriptors):
+    value = encode_dr7(descriptors)
+    for index in range(NUM_SLOTS):
+        enabled = bool(value & (1 << (index * 2 + 1)))
+        occupied = index < len(descriptors) and descriptors[index] is not None
+        assert enabled == occupied
+
+
+@given(st.sets(st.integers(min_value=0, max_value=NUM_SLOTS - 1)))
+@settings(max_examples=100, deadline=None)
+def test_dr6_roundtrips_every_hit_combination(hits):
+    assert decode_dr6(encode_dr6(sorted(hits))) == sorted(hits)
+
+
+@given(slots)
+@settings(max_examples=100, deadline=None)
+def test_encoding_is_deterministic(descriptors):
+    assert encode_dr7(descriptors) == encode_dr7(list(descriptors))

@@ -1,0 +1,102 @@
+"""The ``repro oracle`` verb: validation and the end-to-end pipeline."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+# ----------------------------------------------------------------------
+# Flag validation: exit code 2, message names the flag
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "argv, flag",
+    [
+        (["oracle", "--budget", "0"], "--budget"),
+        (["oracle", "--budget", "-3"], "--budget"),
+        (["oracle", "--workers", "0"], "--workers"),
+        (["oracle", "--executions", "0"], "--executions"),
+        (["oracle", "--shrink", "-1"], "--shrink"),
+        (["oracle", "--chunk-size", "0"], "--chunk-size"),
+        (["oracle", "--timeout", "0"], "--timeout"),
+        (["oracle", "--defect-mix", "over-read"], "--defect-mix"),
+        (["oracle", "--defect-mix", "double-free=1"], "--defect-mix"),
+        (["oracle", "--defect-mix", "over-read=-1"], "--defect-mix"),
+        (["oracle", "--defect-mix", "over-read=0"], "--defect-mix"),
+        (["oracle", "--defect-mix", "over-read=x"], "--defect-mix"),
+    ],
+)
+def test_invalid_values_fail_naming_the_flag(capsys, argv, flag):
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert flag in err
+    assert "repro oracle: error:" in err
+
+
+def test_out_path_that_is_a_file_rejected(capsys, tmp_path):
+    blocker = tmp_path / "occupied"
+    blocker.write_text("not a directory\n")
+    assert main(["oracle", "--out", str(blocker)]) == 2
+    err = capsys.readouterr().err
+    assert "--out" in err and "repro oracle: error:" in err
+
+
+# ----------------------------------------------------------------------
+# End to end (tiny budget)
+# ----------------------------------------------------------------------
+def test_small_campaign_writes_scorecard_and_telemetry(capsys, tmp_path):
+    out = tmp_path / "oracle-out"
+    code = main(
+        [
+            "oracle",
+            "--budget",
+            "6",
+            "--seed",
+            "7",
+            "--executions",
+            "1",
+            "--out",
+            str(out),
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "false-positive reports" in captured
+    assert "attributed to sampling" in captured
+
+    scorecard = json.loads((out / "scorecard.json").read_text())
+    assert scorecard["schema"] == "repro-oracle-scorecard-v1"
+    assert scorecard["programs"]["total"] == 6
+    assert scorecard["arms"]["asan"]["fp_reports"] == 0
+    assert scorecard["arms"]["guardpage"]["fp_reports"] == 0
+
+    lines = (out / "telemetry.jsonl").read_text().splitlines()
+    events = [json.loads(line) for line in lines]
+    assert sum(1 for e in events if e["event"] == "oracle_app") == 6
+    assert events[-1]["event"] == "oracle_scorecard"
+
+
+def test_defect_mix_restricts_the_classes(capsys, tmp_path):
+    out = tmp_path / "mix-out"
+    code = main(
+        [
+            "oracle",
+            "--budget",
+            "4",
+            "--seed",
+            "3",
+            "--executions",
+            "1",
+            "--defect-mix",
+            "over-write=1,benign=1",
+            "--out",
+            str(out),
+        ]
+    )
+    assert code == 0
+    scorecard = json.loads((out / "scorecard.json").read_text())
+    by_defect = scorecard["programs"]["by_defect"]
+    assert by_defect["over-write"] == 2
+    assert by_defect["benign"] == 2
+    assert sum(by_defect.values()) == 4

@@ -1,0 +1,116 @@
+"""The seeded generator: name codec, determinism, registry resolution."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.oracle.generator import (
+    OracleApp,
+    encode_name,
+    generate,
+    oracle_app_from_name,
+    parse_name,
+    program_from_name,
+)
+from repro.oracle.grammar import ALL_DEFECTS, DEFECT_UAF
+from repro.workloads.base import SimProcess
+from repro.workloads.buggy import app_for
+
+
+# ----------------------------------------------------------------------
+# Name codec
+# ----------------------------------------------------------------------
+def test_name_roundtrip():
+    for defect in ALL_DEFECTS:
+        name = encode_name(11, 3, defect)
+        assert parse_name(name) == (11, 3, defect)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "oracle:s1:i2",  # missing defect
+        "oracle:1:2:over-read",  # missing s/i markers
+        "oracle:sx:i2:over-read",  # non-integer seed
+        "oracle:s1:i2:double-free",  # unknown defect
+        "oracle:s-1:i2:over-read",  # negative seed
+        "fleet:s1:i2:over-read",  # wrong prefix
+    ],
+)
+def test_malformed_names_rejected(bad):
+    with pytest.raises(WorkloadError):
+        parse_name(bad)
+
+
+# ----------------------------------------------------------------------
+# Determinism: the name is the program
+# ----------------------------------------------------------------------
+def test_generate_is_deterministic():
+    a = generate(7, 4, "over-write")
+    b = generate(7, 4, "over-write")
+    assert a.spec == b.spec
+    assert a.truth.to_dict() == b.truth.to_dict()
+    assert a.base_seed == b.base_seed
+
+
+def test_programs_differ_across_indexes():
+    specs = {generate(7, i, "over-read").spec for i in range(6)}
+    assert len(specs) > 1  # the genome actually varies the structure
+
+
+def test_rebuild_from_name_matches():
+    program = generate(5, 2, "underflow")
+    rebuilt = program_from_name(program.name)
+    assert rebuilt.spec == program.spec
+    assert rebuilt.truth.to_dict() == program.truth.to_dict()
+
+
+def test_registry_resolves_oracle_names():
+    name = encode_name(9, 0, "over-read")
+    app = app_for(name)
+    assert isinstance(app, OracleApp)
+    assert app.spec.name == name
+    # Cached: the same object comes back (fleet workers rely on this).
+    assert app_for(name) is app
+
+
+def test_scaled_rebuild_preserves_the_defect_class():
+    name = encode_name(9, 1, "underflow")
+    full = oracle_app_from_name(name)
+    shrunk = oracle_app_from_name(name, scale=0.5)
+    assert shrunk.spec.total_allocations < full.spec.total_allocations
+    assert shrunk.spec.defect == full.spec.defect == "underflow"
+    # Size-relative geometry re-resolved against the shrunk schedule.
+    result = shrunk.run(SimProcess(seed=1))
+    assert result.overflow_performed
+
+
+# ----------------------------------------------------------------------
+# The programs actually run (every defect class)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("defect", ALL_DEFECTS)
+def test_every_defect_class_executes(defect):
+    program = generate(3, 0, defect)
+    result = program.app().run(SimProcess(seed=program.base_seed))
+    assert result.allocations == program.spec.total_allocations
+    assert result.overflow_performed
+
+
+def test_uaf_frees_the_victim_before_the_access():
+    program = generate(3, 0, DEFECT_UAF)
+    assert program.spec.free_before_access
+    process = SimProcess(seed=program.base_seed)
+    result = program.app().run(process)
+    # The victim was freed exactly once (pre-access), not double-freed
+    # at teardown: a double free would have raised in the allocator.
+    assert result.overflow_performed
+
+
+def test_truth_offsets_are_size_relative():
+    for defect, check in [
+        ("over-read", lambda t: t.access_offset == 0),
+        ("underflow", lambda t: t.access_offset == -(t.victim_size + 8)),
+        ("uaf", lambda t: t.access_offset == -t.victim_size),
+        ("benign", lambda t: t.access_offset == -16),
+    ]:
+        truth = generate(5, 1, defect).truth
+        assert check(truth), (defect, truth.access_offset, truth.victim_size)

@@ -1,0 +1,142 @@
+"""The defect taxonomy and the capability matrix."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.oracle import grammar
+from repro.oracle.grammar import (
+    ALL_ARMS,
+    ALL_DEFECTS,
+    ARM_ASAN,
+    ARM_CSOD,
+    ARM_CSOD_NOEVIDENCE,
+    ARM_CSOD_RANDOM,
+    ARM_GUARDPAGE,
+    CAP_DETERMINISTIC,
+    CAP_INCIDENTAL,
+    CAP_NONE,
+    CAP_SAMPLED,
+    DEFECT_BENIGN,
+    DEFECT_OFF_BY_N,
+    DEFECT_OVER_READ,
+    DEFECT_OVER_WRITE,
+    DEFECT_UAF,
+    DEFECT_UNDERFLOW,
+    expectations,
+    guard_slack,
+)
+
+
+# ----------------------------------------------------------------------
+# The grammar's geometry constants must track the real runtimes
+# ----------------------------------------------------------------------
+def test_geometry_constants_match_the_runtimes():
+    from repro.heap.layout import CANARY_SIZE
+    from repro.heap.size_classes import MIN_ALIGNMENT
+
+    assert grammar.CANARY_BYTES == CANARY_SIZE
+    assert grammar.GUARD_ALIGNMENT == MIN_ALIGNMENT
+    assert grammar.WATCH_WORD_BYTES == 8  # one debug-register watch
+
+
+def test_guard_slack_is_the_alignment_remainder():
+    assert guard_slack(16) == 0
+    assert guard_slack(24) == 8
+    assert guard_slack(48) == 0
+    for size in range(16, 256):
+        assert 0 <= guard_slack(size) < grammar.GUARD_ALIGNMENT
+        assert (size + guard_slack(size)) % grammar.GUARD_ALIGNMENT == 0
+
+
+# ----------------------------------------------------------------------
+# Capability matrix
+# ----------------------------------------------------------------------
+def matrix(defect, kind="read", offset=0, length=8, library=False, size=64):
+    return expectations(defect, kind, offset, length, library, size)
+
+
+def test_every_arm_gets_an_expectation():
+    for defect in ALL_DEFECTS:
+        offset = {"underflow": -72, "uaf": -64, "benign": -16}.get(defect, 0)
+        expected = matrix(defect, offset=offset)
+        assert set(expected) == set(ALL_ARMS)
+
+
+def test_benign_is_uncatchable_everywhere():
+    expected = matrix(DEFECT_BENIGN, offset=-16)
+    for arm in ALL_ARMS:
+        assert expected[arm].capability == CAP_NONE
+
+
+def test_overflow_write_matrix():
+    expected = matrix(DEFECT_OVER_WRITE, kind="write")
+    assert expected[ARM_ASAN].capability == CAP_DETERMINISTIC
+    # An 8-byte write at offset 0 crosses the guard for slack-0 sizes.
+    assert expected[ARM_GUARDPAGE].capability == CAP_DETERMINISTIC
+    # The canary makes boundary-word writes deterministic in evidence
+    # mode but only sampled without it.
+    assert expected[ARM_CSOD].capability == CAP_DETERMINISTIC
+    assert expected[ARM_CSOD_RANDOM].capability == CAP_DETERMINISTIC
+    assert expected[ARM_CSOD_NOEVIDENCE].capability == CAP_SAMPLED
+
+
+def test_overflow_read_is_sampled_under_csod():
+    expected = matrix(DEFECT_OVER_READ, kind="read")
+    assert expected[ARM_CSOD].capability == CAP_SAMPLED
+    assert expected[ARM_CSOD_NOEVIDENCE].capability == CAP_SAMPLED
+    assert expected[ARM_ASAN].capability == CAP_DETERMINISTIC
+
+
+def test_library_defects_are_invisible_to_asan_only():
+    expected = matrix(DEFECT_OVER_WRITE, kind="write", library=True)
+    assert expected[ARM_ASAN].capability == CAP_NONE
+    assert ".SO" in expected[ARM_ASAN].reason or "uninstrumented" in (
+        expected[ARM_ASAN].reason
+    )
+    assert expected[ARM_GUARDPAGE].capability == CAP_DETERMINISTIC
+    assert expected[ARM_CSOD].capability == CAP_DETERMINISTIC
+
+
+def test_off_by_n_within_slack_evades_the_guard():
+    # size 24 leaves 8 bytes of alignment slack; a 4-byte poke at the
+    # boundary fits inside it.
+    expected = matrix(DEFECT_OFF_BY_N, kind="write", length=4, size=24)
+    assert guard_slack(24) == 8
+    assert expected[ARM_GUARDPAGE].capability == CAP_NONE
+    # ASan's 16-byte redzone still catches it.
+    assert expected[ARM_ASAN].capability == CAP_DETERMINISTIC
+    # It overlaps the boundary word, so the canary still catches it.
+    assert expected[ARM_CSOD].capability == CAP_DETERMINISTIC
+
+
+def test_underflow_matrix():
+    expected = matrix(DEFECT_UNDERFLOW, offset=-72, size=64)
+    assert expected[ARM_ASAN].capability == CAP_DETERMINISTIC
+    assert expected[ARM_GUARDPAGE].capability == CAP_NONE
+    assert expected[ARM_CSOD].capability == CAP_NONE
+    # Raw-heap adjacency: the previous object's boundary word may
+    # coincide with the underflowed bytes.
+    assert expected[ARM_CSOD_NOEVIDENCE].capability == CAP_INCIDENTAL
+
+
+def test_uaf_matrix():
+    expected = matrix(DEFECT_UAF, offset=-64, size=64)
+    assert expected[ARM_ASAN].capability == CAP_DETERMINISTIC
+    assert expected[ARM_GUARDPAGE].capability == CAP_DETERMINISTIC
+    assert expected[ARM_CSOD].capability == CAP_NONE
+    assert expected[ARM_CSOD_NOEVIDENCE].capability == CAP_INCIDENTAL
+
+
+def test_unknown_defect_rejected():
+    with pytest.raises(WorkloadError):
+        expectations("double-free", "read", 0, 8, False, 64)
+
+
+def test_ground_truth_to_dict_sorts_arms():
+    from repro.oracle.generator import generate
+
+    truth = generate(3, 1, DEFECT_OVER_READ).truth
+    payload = truth.to_dict()
+    assert list(payload["expected"]) == sorted(payload["expected"])
+    assert payload["defect"] == DEFECT_OVER_READ
+    assert payload["victim_marker"].endswith("/alloc.c:500")

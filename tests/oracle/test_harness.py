@@ -1,0 +1,160 @@
+"""Differential judging: detections, displaced attribution, zero FPs."""
+
+import pytest
+
+from repro.oracle.generator import generate
+from repro.oracle.grammar import (
+    ARM_ASAN,
+    ARM_GUARDPAGE,
+    CAP_DETERMINISTIC,
+)
+from repro.oracle.harness import (
+    _judge,
+    find_mismatch,
+    observe_asan,
+    observe_guardpage,
+)
+
+
+def truth_for(defect):
+    program = generate(2, 0, defect)
+    return program, program.truth
+
+
+# ----------------------------------------------------------------------
+# The report judge
+# ----------------------------------------------------------------------
+def test_victim_marker_match_is_a_detection():
+    _, truth = truth_for("over-write")
+    verdict = _judge(
+        truth,
+        truth.bug_kind,
+        truth.bug_kind,
+        ("APP/main.c:1", truth.victim_marker),
+    )
+    assert verdict == "victim"
+
+
+def test_wrong_kind_on_the_victim_is_a_fp():
+    _, truth = truth_for("over-write")
+    verdict = _judge(
+        truth, "over-read", "over-write", (truth.victim_marker,)
+    )
+    assert verdict == "fp"
+
+
+def test_access_marker_match_is_incidental():
+    _, truth = truth_for("underflow")
+    verdict = _judge(
+        truth,
+        truth.bug_kind,
+        truth.bug_kind,
+        ("OTHER/alloc.c:9",),
+        access_frames=(truth.access_marker, "APP/main.c:1"),
+    )
+    assert verdict == "incidental"
+
+
+def test_any_report_on_a_benign_program_is_a_fp():
+    _, truth = truth_for("benign")
+    verdict = _judge(
+        truth, truth.bug_kind, truth.bug_kind, (truth.victim_marker,)
+    )
+    assert verdict == "fp"
+
+
+def test_fault_address_fallback_matches_the_victim_span():
+    _, truth = truth_for("uaf")
+    verdict = _judge(
+        truth,
+        "heap-use-after-free",
+        "heap-use-after-free",
+        (),  # ASan drops the allocation context at free
+        fault_address=0x1000,
+        victim_span=(0x1000, 0x1000 + truth.victim_size),
+    )
+    assert verdict == "victim"
+
+
+# ----------------------------------------------------------------------
+# Inline arms on real generated programs
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("defect", ["over-write", "over-read", "uaf"])
+def test_asan_is_deterministic_and_clean(defect):
+    program = generate(4, 0, defect)
+    if program.truth.in_library:
+        pytest.skip("library defect: ASan has no capability by design")
+    obs = observe_asan(program, program.base_seed)
+    assert obs.detections == 1
+    assert obs.fp_reports == 0
+
+
+def test_asan_never_fires_on_benign():
+    program = generate(4, 0, "benign")
+    obs = observe_asan(program, program.base_seed)
+    assert obs.detections == 0
+    assert obs.fp_reports == 0
+
+
+@pytest.mark.parametrize("defect", ["over-write", "uaf"])
+def test_guardpage_catches_deterministic_cases(defect):
+    program = generate(4, 1, defect)
+    if program.truth.capability(ARM_GUARDPAGE) != CAP_DETERMINISTIC:
+        pytest.skip("slack-fit geometry: guard has no capability")
+    obs = observe_guardpage(program, program.base_seed)
+    assert obs.detected
+    assert obs.fp_reports == 0
+
+
+def test_guardpage_never_fires_on_benign():
+    program = generate(4, 1, "benign")
+    obs = observe_guardpage(program, program.base_seed)
+    assert obs.detections == 0
+    assert obs.fp_reports == 0
+
+
+# ----------------------------------------------------------------------
+# Mismatch explanation
+# ----------------------------------------------------------------------
+def test_unanimous_and_clean_is_no_mismatch():
+    from repro.oracle.harness import AppObservations, ArmObservation
+
+    program = generate(4, 2, "over-write")
+    obs = AppObservations(app=program.name)
+    for arm in program.truth.expected:
+        obs.arms[arm] = ArmObservation(arm=arm, executions=1, detections=1)
+    assert find_mismatch(program, obs) is None
+
+
+def test_deterministic_miss_is_unexplained():
+    from repro.oracle.harness import AppObservations, ArmObservation
+
+    program = generate(4, 2, "over-write")
+    assert program.truth.capability(ARM_ASAN) == CAP_DETERMINISTIC
+    obs = AppObservations(app=program.name)
+    for arm in program.truth.expected:
+        detected = 0 if arm == ARM_ASAN else 1
+        obs.arms[arm] = ArmObservation(
+            arm=arm, executions=1, detections=detected
+        )
+    mismatch = find_mismatch(program, obs)
+    assert mismatch is not None
+    assert ARM_ASAN in mismatch.unexplained
+    assert not mismatch.explained
+
+
+def test_sampling_miss_is_explained():
+    from repro.oracle.harness import AppObservations, ArmObservation
+
+    program = generate(4, 3, "over-read")
+    obs = AppObservations(app=program.name)
+    for arm in program.truth.expected:
+        capability = program.truth.capability(arm)
+        detected = 1 if capability == CAP_DETERMINISTIC else 0
+        obs.arms[arm] = ArmObservation(
+            arm=arm, executions=1, detections=detected
+        )
+    mismatch = find_mismatch(program, obs)
+    assert mismatch is not None
+    assert mismatch.explained
+    assert "sampling miss" in mismatch.explanations.values()

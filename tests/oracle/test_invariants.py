@@ -1,0 +1,79 @@
+"""The instrumented invariant probe, on its own."""
+
+from repro.core.config import CSODConfig
+from repro.machine.debug_registers import NUM_USABLE_DEBUG_REGISTERS
+from repro.oracle.generator import generate
+from repro.oracle.invariants import (
+    ATTRIBUTION_SAMPLING,
+    _monotonic_violations,
+    attribute_fn,
+    evidence_converges,
+    probe_invariants,
+)
+
+
+def test_probe_reports_clean_run():
+    program = generate(6, 0, "over-write")
+    report = probe_invariants(
+        program.name,
+        program.base_seed,
+        victim_marker=program.truth.victim_marker,
+    )
+    assert report.ok
+    assert 0 < report.max_armed <= NUM_USABLE_DEBUG_REGISTERS
+    assert report.victim_signature is not None
+    assert program.truth.victim_marker in report.victim_signature
+    # A canary-backed over-write always produces evidence.
+    assert report.detected
+    assert report.new_evidence
+
+
+def test_monotonicity_checker_accepts_legal_traces():
+    config = CSODConfig()
+    traces = {
+        "degrade": [0.5, 0.25, 0.125],
+        "pin": [0.5, 0.25, 1.0, 1.0],  # evidence boost
+        "revive": [
+            config.floor_probability,
+            config.revive_probability,  # revival from the floor
+        ],
+    }
+    assert _monotonic_violations(traces, config) == []
+
+
+def test_monotonicity_checker_flags_illegal_jumps():
+    config = CSODConfig()
+    traces = {"bad": [0.5, 0.25, 0.4]}  # un-sanctioned increase
+    violations = _monotonic_violations(traces, config)
+    assert len(violations) == 1
+    assert "bad" in violations[0]
+
+
+def test_monotonicity_checker_flags_revival_from_above_floor():
+    config = CSODConfig()
+    # A revival-sized jump is only legal from at-or-below the floor;
+    # 5e-5 sits above it, so this trace is illegal.
+    assert config.floor_probability < 5e-5 < config.revive_probability
+    traces = {"bad": [0.5, 5e-5, config.revive_probability]}
+    assert _monotonic_violations(traces, config)
+
+
+def test_evidence_convergence_on_a_pinned_context():
+    program = generate(6, 1, "over-write")
+    probe = probe_invariants(
+        program.name,
+        program.base_seed,
+        victim_marker=program.truth.victim_marker,
+    )
+    assert probe.new_evidence
+    assert evidence_converges(
+        program.name, program.base_seed + 1, probe.new_evidence
+    )
+
+
+def test_attribute_fn_blames_sampling_for_read_misses():
+    # Reads are only caught by a sampled watchpoint, so whenever the
+    # fleet misses one, the pinned re-run must succeed.
+    program = generate(6, 2, "over-read")
+    verdict = attribute_fn(program, CSODConfig(), program.base_seed)
+    assert verdict == ATTRIBUTION_SAMPLING

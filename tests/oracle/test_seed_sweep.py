@@ -1,0 +1,88 @@
+"""Seed-sweep determinism: identical seeds, byte-identical reports.
+
+The fleet's wave determinism and the oracle's scorecard determinism
+both rest on a lower-level property: one generated app, executed at a
+given seed, serialises to exactly the same report bytes in any process.
+This sweep pins it directly — 25 seeds, two separate OS processes,
+SHA-256 over the concatenated serialised reports.
+"""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+
+import repro
+from repro.core.config import CSODConfig
+from repro.fleet.pool import execute_spec
+from repro.fleet.specs import ExecutionSpec
+
+APP = "oracle:s7:i1:over-write"
+SEEDS = 25
+
+_SWEEP_SCRIPT = r"""
+import dataclasses, hashlib, json, sys
+from repro.core.config import CSODConfig
+from repro.fleet.pool import execute_spec
+from repro.fleet.specs import ExecutionSpec
+
+app, seeds = sys.argv[1], int(sys.argv[2])
+digest = hashlib.sha256()
+for seed in range(seeds):
+    result = execute_spec(
+        ExecutionSpec(app=app, seed=seed, index=seed, config=CSODConfig())
+    )
+    payload = {
+        "seed": seed,
+        "detected": result.detected,
+        "reports": [dataclasses.asdict(r) for r in result.reports],
+        "new_evidence": list(result.new_evidence),
+    }
+    digest.update(json.dumps(payload, sort_keys=True).encode())
+print(digest.hexdigest())
+"""
+
+
+def _sweep_in_subprocess():
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", _SWEEP_SCRIPT, APP, str(SEEDS)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return out.stdout.strip()
+
+
+def test_identical_seeds_are_byte_identical_across_processes():
+    first = _sweep_in_subprocess()
+    second = _sweep_in_subprocess()
+    assert first == second
+    assert len(first) == 64  # a real SHA-256, not an empty line
+
+
+def test_in_process_sweep_matches_itself_and_varies_by_seed():
+    import dataclasses
+
+    def run(seed):
+        result = execute_spec(
+            ExecutionSpec(
+                app=APP, seed=seed, index=seed, config=CSODConfig()
+            )
+        )
+        return json.dumps(
+            [dataclasses.asdict(r) for r in result.reports], sort_keys=True
+        )
+
+    sweeps = [run(seed) for seed in range(SEEDS)]
+    again = [run(seed) for seed in range(SEEDS)]
+    assert sweeps == again  # same seed -> same bytes, in process too
+    # The sweep is not vacuous: the app detects on at least one seed
+    # (the canary-backed over-write detects on every seed, in fact).
+    assert any(s != "[]" for s in sweeps)
+    digest = hashlib.sha256("".join(sweeps).encode()).hexdigest()
+    assert len(digest) == 64

@@ -1,0 +1,34 @@
+"""Mismatch shrinking through the triage bisector."""
+
+from repro.oracle import OracleSettings, run_oracle
+from repro.oracle.generator import parse_name
+from repro.oracle.shrink import shrink_app_mismatch
+
+
+def test_seeded_mismatch_is_auto_shrunk_to_a_minimal_repro():
+    # Budget 12 at seed 7 seeds in-library defects: CSOD catches them,
+    # ASan (uninstrumented .SO) cannot — a guaranteed cross-detector
+    # mismatch with CSOD reports to bisect.
+    run = run_oracle(
+        OracleSettings(
+            budget=12, seed=7, workers=1, executions_per_app=2, shrink=1
+        )
+    )
+    assert run.mismatches, "campaign produced no mismatches to shrink"
+    assert run.shrunk, "no mismatch was shrunk"
+    repro = run.shrunk[0]
+    assert repro.verified
+    assert repro.seed_independent
+    # The minimal repro is itself a generated program, smaller than the
+    # original (the bisector halved the schedule scale).
+    parse_name(repro.app)  # still a valid oracle name
+    assert repro.scale is not None and repro.scale < 1.0
+    # And it rides the fleet like any other spec.
+    from repro.fleet.pool import execute_spec
+
+    result = execute_spec(repro.to_spec())
+    assert result.detected
+
+
+def test_shrink_returns_none_without_reports():
+    assert shrink_app_mismatch("oracle:s1:i1:benign", []) is None

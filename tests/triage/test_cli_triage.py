@@ -45,6 +45,49 @@ def test_unknown_export_format_names_the_value(capsys):
     assert "json" in err and "sarif" in err  # the valid choices
 
 
+def test_export_out_path_that_is_a_file_rejected(capsys, tmp_path):
+    blocker = tmp_path / "occupied"
+    blocker.write_text("not a directory\n")
+    assert (
+        main(
+            [
+                "triage",
+                "--app",
+                "libtiff",
+                "--export",
+                "json",
+                "--out",
+                str(blocker),
+            ]
+        )
+        == 2
+    )
+    err = capsys.readouterr().err
+    assert "--out" in err and "not a directory" in err
+    # Fail-fast: rejected before any campaign ran, nothing was written.
+    assert blocker.read_text() == "not a directory\n"
+
+
+def test_export_without_formats_never_touches_out(capsys, tmp_path, monkeypatch):
+    # --out is only consulted when --export asks for files.
+    blocker = tmp_path / "occupied"
+    blocker.write_text("left alone\n")
+    monkeypatch.chdir(tmp_path)
+    code = main(
+        [
+            "triage",
+            "--app",
+            "gzip",
+            "--executions",
+            "5",
+            "--out",
+            str(blocker),
+        ]
+    )
+    assert code in (0, 1)  # campaign ran; no export, no --out error
+    assert blocker.read_text() == "left alone\n"
+
+
 def test_non_writable_db_path_rejected(capsys, tmp_path):
     blocked = tmp_path / "blocked"
     blocked.mkdir()
