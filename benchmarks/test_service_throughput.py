@@ -1,0 +1,142 @@
+"""Service throughput — queue ingest rate, event latency, fairness.
+
+Three service-level qualities, measured over real HTTP against an
+in-process :class:`ServiceThread` with a single shared worker slot (so
+the two concurrent campaigns genuinely contend and the FIFO-fair
+scheduler's interleaving is observable, not an accident of timing):
+
+* **Event latency** — wall time from an event's bus timestamp to its
+  arrival at an SSE subscriber, p50/p95, while two campaigns stream
+  waves concurrently.
+* **Queue fairness** — how strictly the scheduler interleaves the wave
+  stream of two equal-width tenants: the fraction of adjacent wave
+  events owned by different jobs (1.0 = perfect alternation, 0.0 =
+  run-to-completion).
+* **Queue throughput** — single-submission POSTs per second (each one
+  validates, admits, and answers with the job's status view).  The
+  admission path must comfortably outrun any realistic tenant; the
+  floor asserted here is 20 submissions/s.
+
+Everything lands in ``BENCH_service.json`` at the repo root.
+"""
+
+import json
+import pathlib
+import threading
+import time
+
+from conftest import once
+
+from repro.service import CampaignSubmission, ServiceClient, ServiceThread
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+INGEST_SUBMISSIONS = 60
+CAMPAIGNS = [
+    CampaignSubmission(app="gzip", executions=16, seed=3),
+    CampaignSubmission(app="libtiff", executions=16, seed=5),
+]
+
+
+def percentile(values, q):
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * q // 100))
+    return ordered[int(rank) - 1]
+
+
+def test_service_throughput(benchmark, artifact):
+    with ServiceThread(total_workers=1) as thread:
+        client = ServiceClient(port=thread.port)
+
+        def run():
+            # -- Event latency + fairness: two live campaigns, one SSE
+            # subscriber on the firehose stamping arrival times.
+            latencies_ms = []
+            wave_owners = []
+            done = threading.Event()
+
+            def consume(since):
+                finished = set()
+                for event in client.stream_events("firehose", since=since):
+                    latencies_ms.append(
+                        max(0.0, (time.time() - event["ts"]) * 1e3)
+                    )
+                    if event["event"] == "wave":
+                        wave_owners.append(event["job_id"])
+                    if (
+                        event["event"] == "job"
+                        and event.get("state") in ("completed", "failed")
+                    ):
+                        finished.add(event["job_id"])
+                        if len(finished) == len(CAMPAIGNS):
+                            done.set()
+                            return
+
+            since = client.poll_events("firehose", 0, timeout=0.1)[1]
+            consumer = threading.Thread(
+                target=consume, args=(since,), daemon=True
+            )
+            consumer.start()
+            jobs = client.submit_batch(CAMPAIGNS)
+            client.wait([job["job_id"] for job in jobs], timeout=240)
+            done.wait(timeout=30)
+
+            # -- Queue throughput: timed single-submission POSTs, after
+            # the campaigns so admission timing is undisturbed by their
+            # waves.  Each probe is one execution; all are cancelled
+            # right after the clock stops.
+            probe = CampaignSubmission(app="gzip", executions=1)
+            start = time.perf_counter()
+            queued = [
+                client.submit(probe) for _ in range(INGEST_SUBMISSIONS)
+            ]
+            ingest_seconds = time.perf_counter() - start
+            for job in queued:
+                client.cancel(job["job_id"])
+            return ingest_seconds, latencies_ms, wave_owners
+
+        ingest_seconds, latencies_ms, wave_owners = once(benchmark, run)
+
+    submissions_per_sec = INGEST_SUBMISSIONS / ingest_seconds
+    p50 = percentile(latencies_ms, 50)
+    p95 = percentile(latencies_ms, 95)
+    switches = sum(
+        1 for a, b in zip(wave_owners, wave_owners[1:]) if a != b
+    )
+    fairness = switches / max(1, len(wave_owners) - 1)
+
+    lines = [
+        f"service throughput: {INGEST_SUBMISSIONS} submissions in "
+        f"{ingest_seconds:.3f} s ({submissions_per_sec:.1f}/s)",
+        f"  event latency: p50={p50:.1f} ms p95={p95:.1f} ms "
+        f"({len(latencies_ms)} events)",
+        f"  queue fairness: {switches}/{len(wave_owners) - 1} adjacent "
+        f"wave switches ({fairness:.2f})",
+    ]
+    artifact("service_throughput.txt", "\n".join(lines))
+
+    payload = {
+        "benchmark": "service",
+        "submissions": INGEST_SUBMISSIONS,
+        "ingest_seconds": round(ingest_seconds, 4),
+        "submissions_per_sec": round(submissions_per_sec, 1),
+        "events_observed": len(latencies_ms),
+        "event_latency_p50_ms": round(p50, 2),
+        "event_latency_p95_ms": round(p95, 2),
+        "wave_events": len(wave_owners),
+        "fairness_switches": switches,
+        "fairness_switch_ratio": round(fairness, 3),
+        "concurrent_campaigns": len(CAMPAIGNS),
+    }
+    (REPO_ROOT / "BENCH_service.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    # The acceptance floor: queue admission must sustain >= 20/s.
+    assert submissions_per_sec >= 20.0
+    assert latencies_ms, "SSE subscriber saw no events"
+    # Two equal tenants contending for one slot must interleave:
+    # FIFO-fair leasing alternates their waves rather than letting the
+    # first admitted job run to completion.
+    assert len(wave_owners) == 16
+    assert fairness >= 0.5

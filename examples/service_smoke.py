@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Fleet-as-a-service smoke test: serve, submit, stream, verify.
+
+Boots an in-process :class:`ServiceThread` (real HTTP on an ephemeral
+port), batch-submits two concurrent campaigns — one hand-written app,
+one generated oracle genome — follows the firehose event stream while
+they run, then checks the service results byte-for-byte against
+standalone ``run_fleet`` runs of the same submissions.
+
+This is the CI end-to-end gate for the service subsystem: if admission,
+scheduling, streaming, or result assembly drift, the byte-identity or
+event-count assertions below fail.
+
+Run:  python examples/service_smoke.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.fleet.runner import run_fleet
+from repro.service import (
+    CampaignSubmission,
+    ServiceClient,
+    ServiceThread,
+)
+from repro.triage.bugdb import BugDatabase
+
+SUBMISSIONS = [
+    CampaignSubmission(app="gzip", executions=16, workers=2, seed=3),
+    CampaignSubmission(app="oracle:s7:i0:over-write", executions=12, seed=1),
+]
+
+
+def standalone_aggregate(submission: CampaignSubmission) -> dict:
+    result = run_fleet(
+        submission.app,
+        executions=submission.executions,
+        workers=submission.workers,
+        policy=submission.policy,
+        share_evidence=submission.share_evidence,
+        seed_base=submission.seed,
+        timeout_seconds=submission.timeout_seconds,
+        chunk_size=submission.chunk_size,
+        wave_size=submission.effective_wave_size(),
+    )
+    return result.aggregator.to_dict()
+
+
+def main() -> None:
+    out_dir = Path(tempfile.mkdtemp(prefix="service-smoke-"))
+    event_log = out_dir / "service-events.jsonl"
+    bug_db = BugDatabase(str(out_dir / "bugs.json"))
+
+    print(f"[smoke] artifacts in {out_dir}")
+    with ServiceThread(
+        total_workers=2, bug_db=bug_db, event_log_path=str(event_log)
+    ) as thread:
+        client = ServiceClient(port=thread.port)
+        health = client.health()
+        print(
+            f"[smoke] service up on port {thread.port} "
+            f"(workers_total={health['workers_total']})"
+        )
+
+        jobs = client.submit_batch(SUBMISSIONS)
+        job_ids = [job["job_id"] for job in jobs]
+        for job in jobs:
+            print(f"[smoke] queued {job['job_id']} ({job['submission']['app']})")
+
+        # Follow the firehose until both jobs reach a final state,
+        # counting what streams by.
+        counts = {"wave": 0, "result": 0, "bug_new": 0}
+        finished = set()
+        since = 0
+        while len(finished) < len(job_ids):
+            events, since = client.poll_events("firehose", since, timeout=5.0)
+            for event in events:
+                kind = event["event"]
+                if kind in counts:
+                    counts[kind] += 1
+                if kind == "bug_new":
+                    print(
+                        f"[smoke] new bug streamed live: "
+                        f"{event['cluster_id']} [{event['kind']}] "
+                        f"({event['job_id']})"
+                    )
+                if kind == "job" and event.get("state") in (
+                    "completed",
+                    "failed",
+                    "cancelled",
+                ):
+                    finished.add(event["job_id"])
+                    print(f"[smoke] {event['job_id']} -> {event['state']}")
+
+        results = {job_id: client.result(job_id) for job_id in job_ids}
+
+    # --- Verification --------------------------------------------------
+    expected_waves = sum(
+        -(-s.executions // s.effective_wave_size()) for s in SUBMISSIONS
+    )
+    assert counts["wave"] == expected_waves, (
+        f"expected {expected_waves} wave events, streamed {counts['wave']}"
+    )
+    assert counts["result"] == len(SUBMISSIONS)
+    assert counts["bug_new"] >= 1, "no bug_new event streamed before completion"
+
+    for job_id, submission in zip(job_ids, SUBMISSIONS):
+        service_doc = json.dumps(
+            results[job_id]["aggregate"], sort_keys=True
+        )
+        standalone_doc = json.dumps(
+            standalone_aggregate(submission), sort_keys=True
+        )
+        assert service_doc == standalone_doc, (
+            f"{job_id}: service aggregate diverged from standalone run_fleet"
+        )
+        scorecard = results[job_id]["scorecard"]
+        print(
+            f"[smoke] {job_id}: {scorecard['executions']} executions, "
+            f"detection_rate={scorecard['detection_rate']:.2f}, "
+            f"dedup_ratio={scorecard['dedup_ratio']:.2f} — byte-identical "
+            f"to standalone"
+        )
+
+    log_lines = [
+        json.loads(line)
+        for line in event_log.read_text().splitlines()
+        if line.strip()
+    ]
+    kinds = {entry["service_event"] for entry in log_lines}
+    assert {"job", "wave", "result", "bug_new"} <= kinds, (
+        f"event log missing kinds: {kinds}"
+    )
+    print(
+        f"[smoke] event log replayable: {len(log_lines)} events "
+        f"({len(kinds)} kinds) at {event_log}"
+    )
+    print("[smoke] OK")
+
+
+if __name__ == "__main__":
+    main()

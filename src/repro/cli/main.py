@@ -201,6 +201,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for scorecard.json / telemetry.jsonl",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the campaign service (HTTP submissions + event streaming)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker slots shared fairly across all campaigns",
+    )
+    serve.add_argument(
+        "--db",
+        default=None,
+        help="persistent bug database path (enables live bug events)",
+    )
+    serve.add_argument(
+        "--out",
+        default=None,
+        help="directory for the service event log (service-events.jsonl)",
+    )
+    serve.add_argument(
+        "--history",
+        type=int,
+        default=4096,
+        help="events retained per channel for replay/long-poll",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit fleet campaigns to a running service"
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8765)
+    submit.add_argument(
+        "--app",
+        action="append",
+        help="buggy app or oracle genome "
+        "'oracle:s<seed>:i<index>:<defect>' (repeatable)",
+    )
+    submit.add_argument(
+        "--executions", type=int, default=50, help="executions per campaign"
+    )
+    submit.add_argument(
+        "--workers", type=int, default=1, help="worker slots per wave"
+    )
+    submit.add_argument("--policy", choices=POLICIES, default=POLICY_NEAR_FIFO)
+    submit.add_argument("--seed", type=int, default=0, help="base seed")
+    submit.add_argument(
+        "--share-evidence",
+        action="store_true",
+        help="propagate canary evidence between the campaign's waves",
+    )
+    submit.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="queue priority (higher runs first)",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=60.0, help="per-execution timeout (s)"
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until every job finishes and print its scorecard",
+    )
+    submit.add_argument(
+        "--follow",
+        action="store_true",
+        help="stream job events while waiting (implies --wait)",
+    )
+
     sub.add_parser("apps", help="list available workloads")
 
     reproduce = sub.add_parser(
@@ -776,6 +849,203 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
     return 0 if clean else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    if not (0 <= args.port <= 65535):
+        print(
+            f"repro serve: error: --port must be in [0, 65535], "
+            f"got {args.port}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers < 1:
+        print(
+            f"repro serve: error: --workers must be >= 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.history < 1:
+        print(
+            f"repro serve: error: --history must be >= 1, got {args.history}",
+            file=sys.stderr,
+        )
+        return 2
+    if (
+        args.out is not None
+        and os.path.exists(args.out)
+        and not os.path.isdir(args.out)
+    ):
+        print(
+            f"repro serve: error: --out path {args.out!r} exists and is "
+            f"not a directory",
+            file=sys.stderr,
+        )
+        return 2
+    event_log_path = None
+    if args.out is not None:
+        # Created before the --db check so a database nested under a
+        # fresh --out (the natural layout) validates as writable.
+        os.makedirs(args.out, exist_ok=True)
+        event_log_path = os.path.join(args.out, "service-events.jsonl")
+    if args.db is not None and not _db_writable(args.db):
+        print(
+            f"repro serve: error: --db path {args.db!r} is not writable",
+            file=sys.stderr,
+        )
+        return 2
+
+    from repro.service import ReproService
+    from repro.triage import BugDatabase
+    bug_db = BugDatabase(args.db) if args.db else None
+    service = ReproService(
+        host=args.host,
+        port=args.port,
+        total_workers=args.workers,
+        bug_db=bug_db,
+        history=args.history,
+        event_log_path=event_log_path,
+    )
+
+    async def _amain() -> None:
+        await service.start()
+        print(
+            f"[serve] listening on http://{service.host}:{service.port} "
+            f"({args.workers} worker slots"
+            + (f", bug db {args.db}" if args.db else "")
+            + ")"
+        )
+        if event_log_path is not None:
+            print(f"[serve] event log: {event_log_path}")
+        try:
+            await asyncio.Event().wait()
+        except asyncio.CancelledError:
+            # Ctrl-C: asyncio.run delivers SIGINT as a cancellation of
+            # this task, so this — not KeyboardInterrupt — is the
+            # normal shutdown path.
+            print("[serve] shutting down")
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_amain())
+    except KeyboardInterrupt:
+        print("[serve] shutting down")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    if not args.app:
+        print(
+            "repro submit: error: --app is required (repeatable)",
+            file=sys.stderr,
+        )
+        return 2
+    if not (0 <= args.port <= 65535):
+        print(
+            f"repro submit: error: --port must be in [0, 65535], "
+            f"got {args.port}",
+            file=sys.stderr,
+        )
+        return 2
+
+    from repro.errors import ServiceError
+    from repro.service import FINAL_STATES, CampaignSubmission, ServiceClient
+
+    try:
+        submissions = [
+            CampaignSubmission(
+                app=app,
+                executions=args.executions,
+                workers=args.workers,
+                policy=args.policy,
+                share_evidence=args.share_evidence,
+                seed=args.seed,
+                priority=args.priority,
+                timeout_seconds=args.timeout,
+            )
+            for app in args.app
+        ]
+        for submission in submissions:
+            submission.validate()
+    except ServiceError as exc:
+        # The submission's own field-named message, CLI-prefixed.
+        print(f"repro submit: error: --{exc}", file=sys.stderr)
+        return 2
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        jobs = client.submit_batch(submissions)
+    except ServiceError as exc:
+        print(f"repro submit: error: {exc}", file=sys.stderr)
+        return 1
+    job_ids = [job["job_id"] for job in jobs]
+    for job in jobs:
+        print(
+            f"[submit] {job['job_id']} queued: "
+            f"{job['submission']['app']} x "
+            f"{job['submission']['executions']} executions"
+        )
+    if not (args.wait or args.follow):
+        return 0
+
+    wanted = set(job_ids)
+    try:
+        if args.follow:
+            since = 0
+            finished = set()
+            while finished < wanted:
+                events, since = client.poll_events(
+                    "firehose", since, timeout=5.0
+                )
+                for event in events:
+                    if event.get("job_id") not in wanted:
+                        continue
+                    if event["event"] == "wave":
+                        print(
+                            f"[{event['job_id']}] wave "
+                            f"{event['wave'] + 1}/{event['waves_total']}: "
+                            f"{event['executions_done']}/"
+                            f"{event['executions_total']} executions, "
+                            f"{event['unique_reports']} unique reports, "
+                            f"dedup {event['dedup_ratio']:.2f}, "
+                            f"evidence epoch {event['evidence_epoch']}"
+                        )
+                    elif event["event"].startswith("bug_"):
+                        print(
+                            f"[{event['job_id']}] {event['event']}: "
+                            f"{event['cluster_id']} ({event['kind']})"
+                        )
+                    elif event["event"] == "job":
+                        print(
+                            f"[{event['job_id']}] state: {event['state']}"
+                        )
+                        if event["state"] in FINAL_STATES:
+                            finished.add(event["job_id"])
+        statuses = client.wait(job_ids, timeout=3600.0)
+    except ServiceError as exc:
+        print(f"repro submit: error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("[submit] interrupted; jobs keep running server-side")
+        return 130
+
+    all_completed = True
+    for job_id in job_ids:
+        state = statuses[job_id]["state"]
+        if state != "completed":
+            all_completed = False
+            print(f"[submit] {job_id} finished: {state}")
+            continue
+        payload = client.result(job_id)
+        print(f"[submit] {job_id} scorecard:")
+        print(json.dumps(payload["scorecard"], indent=1, sort_keys=True))
+    return 0 if all_completed else 1
+
+
 def _cmd_apps(args: argparse.Namespace) -> int:
     print("buggy applications (Table I):")
     for name in sorted(BUGGY_APPS):
@@ -848,6 +1118,8 @@ _COMMANDS = {
     "fleet": _cmd_fleet,
     "triage": _cmd_triage,
     "oracle": _cmd_oracle,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
     "apps": _cmd_apps,
 }
 

@@ -84,5 +84,19 @@ class WorkloadError(ReproError):
     """A workload was configured or driven incorrectly."""
 
 
+class CampaignCancelled(ReproError):
+    """A fleet campaign was stopped before all executions ran.
+
+    Raised by :class:`repro.fleet.pool.FleetPool` when a stop request
+    (client cancellation, service shutdown, Ctrl-C) interrupts a wave.
+    The pool guarantees its worker processes are terminated before this
+    propagates, so catching it never leaks an executor.
+    """
+
+
+class ServiceError(ReproError):
+    """A campaign service request was malformed or cannot be served."""
+
+
 class ExperimentError(ReproError):
     """An experiment driver was configured incorrectly."""

@@ -21,7 +21,12 @@ from repro.fleet.aggregate import (
 )
 from repro.fleet.evidence_store import EvidenceStore, TemporaryEvidenceStore
 from repro.fleet.pool import FleetPool, WaveResult, execute_spec, run_chunk
-from repro.fleet.runner import FleetRunResult, run_fleet
+from repro.fleet.runner import (
+    FleetCampaign,
+    FleetRunResult,
+    WaveProgress,
+    run_fleet,
+)
 from repro.fleet.specs import (
     ExecutionResult,
     ExecutionSpec,
@@ -35,6 +40,7 @@ from repro.fleet.telemetry import (
     JsonlEventLog,
     MetricsRegistry,
     read_jsonl,
+    tail_jsonl,
 )
 
 __all__ = [
@@ -44,6 +50,7 @@ __all__ = [
     "ExecutionResult",
     "ExecutionSpec",
     "FleetAggregator",
+    "FleetCampaign",
     "FleetPool",
     "FleetRunResult",
     "Histogram",
@@ -53,6 +60,7 @@ __all__ = [
     "PartialAggregate",
     "ReportRecord",
     "TemporaryEvidenceStore",
+    "WaveProgress",
     "WaveResult",
     "WorkChunk",
     "execute_spec",

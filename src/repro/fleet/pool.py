@@ -55,16 +55,28 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import threading
 import time
 import traceback
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Deque, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.core import CSODConfig, CSODRuntime
 from repro.core.sampling import context_signature
+from repro.errors import CampaignCancelled
 from repro.fleet.aggregate import PartialAggregate
 from repro.fleet.specs import (
     OUTCOME_CRASH,
@@ -190,6 +202,7 @@ def run_chunk(
     shipped: Set[str],
     retry_crashed: bool = True,
     base_attempts: int = 1,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> ChunkOutcome:
     """Run a chunk of specs serially; the shared serial/worker core.
 
@@ -198,9 +211,19 @@ def run_chunk(
     contexts for those are stripped from the outcome (the coordinator
     keeps a registry), so steady-state result payloads carry counters
     and signatures only.
+
+    ``should_stop`` gives the serial/inline path sub-wave cancellation:
+    it is polled between specs and raises :class:`CampaignCancelled`
+    mid-chunk.  Worker processes never pass it — a parallel wave is
+    cancelled coordinator-side by terminating the executor instead.
     """
     outcome = ChunkOutcome()
     for spec in specs:
+        if should_stop is not None and should_stop():
+            raise CampaignCancelled(
+                f"chunk stopped after {len(outcome.results)}/{len(specs)} "
+                f"executions"
+            )
         retry_wall_ms = 0.0
         try:
             result = _execute_one(spec, evidence)
@@ -329,6 +352,32 @@ class FleetPool:
         self._context_registry: ContextTable = {}
         # The serial path's counterpart of a worker's shipped-set.
         self._inline_shipped: Set[str] = set()
+        # Cooperative cancellation: set from any thread; the dispatch
+        # loop notices within one poll slice, terminates the workers,
+        # and raises CampaignCancelled.
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop.is_set()
+
+    def request_stop(self) -> None:
+        """Ask the pool to abandon in-flight work at the next boundary.
+
+        Safe to call from any thread (a service cancellation handler, a
+        signal handler).  The wave currently running raises
+        :class:`CampaignCancelled` after terminating worker processes;
+        later ``run_wave`` calls raise immediately.
+        """
+        self._stop.set()
+
+    def _check_stop(self) -> None:
+        if self._stop.is_set():
+            self._dispose()
+            raise CampaignCancelled("fleet pool stop requested")
 
     # ------------------------------------------------------------------
     # Evidence broadcast (delta protocol)
@@ -377,6 +426,7 @@ class FleetPool:
     def run_wave(self, specs: Iterable[ExecutionSpec]) -> WaveResult:
         """Execute one wave; results in spec order plus their fold."""
         specs = list(specs)
+        self._check_stop()
         if not specs:
             return WaveResult([], PartialAggregate())
         if self.workers <= 1:
@@ -385,6 +435,7 @@ class FleetPool:
                 self._full_evidence(),
                 self._inline_shipped,
                 retry_crashed=self.retry_crashed,
+                should_stop=self._stop.is_set,
             )
             self.crashes += outcome.crashes
             self.retries += outcome.retries
@@ -430,60 +481,95 @@ class FleetPool:
         results: Dict[int, ExecutionResult] = {}
         partial = PartialAggregate()
         executor = self._ensure_executor()
-        while waiting or in_flight:
-            while waiting and len(in_flight) < self._capacity:
-                pending = waiting.popleft()
-                chunk = WorkChunk(
-                    specs=pending.specs,
-                    evidence_epoch=self._evidence_epoch,
-                    evidence_delta=tuple(sorted(self._evidence_delta)),
-                    attempts=pending.attempts,
-                    retry_crashed=self.retry_crashed,
-                )
-                deadline = (
-                    time.monotonic()
-                    + self.timeout_seconds * len(pending.specs)
-                    if self.timeout_seconds is not None
-                    else None
-                )
-                in_flight.append(
-                    (pending, executor.submit(_execute_chunk, chunk), deadline)
-                )
-            pending, future, deadline = in_flight.popleft()
-            try:
-                remaining = (
-                    max(0.0, deadline - time.monotonic())
-                    if deadline is not None
-                    else None
-                )
-                outcome = future.result(timeout=remaining)
-                self.crashes += outcome.crashes
-                self.retries += outcome.retries
-                self._ingest(outcome, results, partial)
-            except FutureTimeout:
-                executor = self._on_timeout(
-                    pending, in_flight, waiting, results, partial, executor
-                )
-            except BrokenProcessPool:
-                # Every in-flight future died with the pool: drain them
-                # all before rebuilding once, then resubmit — the
-                # coordinator never falls back to executing inline.
-                dead = [pending] + [entry[0] for entry in in_flight]
-                in_flight.clear()
-                executor = self._rebuild(executor)
-                for lost in dead:
-                    self._requeue_crashed(lost, waiting, results, partial)
-            except Exception as exc:  # noqa: BLE001 — dispatch/pickling
-                # failure for this chunk; its specs get one pool retry.
-                self._requeue_crashed(
-                    pending, waiting, results, partial, _describe(exc)
-                )
+        try:
+            while waiting or in_flight:
+                self._check_stop()
+                while waiting and len(in_flight) < self._capacity:
+                    pending = waiting.popleft()
+                    chunk = WorkChunk(
+                        specs=pending.specs,
+                        evidence_epoch=self._evidence_epoch,
+                        evidence_delta=tuple(sorted(self._evidence_delta)),
+                        attempts=pending.attempts,
+                        retry_crashed=self.retry_crashed,
+                    )
+                    deadline = (
+                        time.monotonic()
+                        + self.timeout_seconds * len(pending.specs)
+                        if self.timeout_seconds is not None
+                        else None
+                    )
+                    in_flight.append(
+                        (pending, executor.submit(_execute_chunk, chunk), deadline)
+                    )
+                pending, future, deadline = in_flight.popleft()
+                try:
+                    outcome = self._await_result(future, deadline)
+                    self.crashes += outcome.crashes
+                    self.retries += outcome.retries
+                    self._ingest(outcome, results, partial)
+                except FutureTimeout:
+                    executor = self._on_timeout(
+                        pending, in_flight, waiting, results, partial, executor
+                    )
+                except BrokenProcessPool:
+                    # Every in-flight future died with the pool: drain them
+                    # all before rebuilding once, then resubmit — the
+                    # coordinator never falls back to executing inline.
+                    dead = [pending] + [entry[0] for entry in in_flight]
+                    in_flight.clear()
+                    executor = self._rebuild(executor)
+                    for lost in dead:
+                        self._requeue_crashed(lost, waiting, results, partial)
+                except (CampaignCancelled, KeyboardInterrupt):
+                    raise
+                except Exception as exc:  # noqa: BLE001 — dispatch/pickling
+                    # failure for this chunk; its specs get one pool retry.
+                    self._requeue_crashed(
+                        pending, waiting, results, partial, _describe(exc)
+                    )
+        except (CampaignCancelled, KeyboardInterrupt):
+            # Stop request or Ctrl-C mid-wave: the executor (and any
+            # worker process still running a chunk) must not outlive
+            # the wave — terminate everything before unwinding.
+            self._dispose()
+            raise
         if self._hung_workers:
             # Confirmed-hung workers are still burning a pool slot;
             # disposing now frees them without counting as a rebuild —
             # the next wave lazily builds a fresh executor.
             self._dispose()
         return WaveResult([results[spec.index] for spec in specs], partial)
+
+    # Poll slice while waiting on a chunk future: long enough to stay
+    # off the hot path, short enough that a stop request (cancel,
+    # Ctrl-C relayed from another thread) interrupts a wave promptly.
+    _WAIT_SLICE_SECONDS = 0.05
+
+    def _await_result(self, future, deadline: Optional[float]) -> ChunkOutcome:
+        """Wait for one chunk, honouring both deadline and stop requests.
+
+        Equivalent to ``future.result(timeout=remaining)`` except the
+        wait is sliced so :meth:`request_stop` is noticed within
+        ``_WAIT_SLICE_SECONDS`` instead of after the full chunk deadline
+        (which defaults to a minute per spec).  Raises ``FutureTimeout``
+        exactly when the single blocking wait would have.
+        """
+        while True:
+            if self._stop.is_set():
+                raise CampaignCancelled("fleet pool stop requested")
+            wait = self._WAIT_SLICE_SECONDS
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return future.result(timeout=0)
+                wait = min(wait, remaining)
+            try:
+                return future.result(timeout=wait)
+            except FutureTimeout:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise
+                continue
 
     # ------------------------------------------------------------------
     # Fault handling

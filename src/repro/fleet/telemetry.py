@@ -12,7 +12,7 @@ report, that survives the run for offline analysis.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, TextIO
+from typing import BinaryIO, Dict, List, Optional, Tuple
 
 
 class Counter:
@@ -117,22 +117,33 @@ class MetricsRegistry:
 
 
 class JsonlEventLog:
-    """An append-only JSONL log: one self-describing event per line."""
+    """An append-only JSONL log: one self-describing event per line.
+
+    Writes are **line-atomic**: the file is opened in unbuffered binary
+    append mode and each event is a single ``write()`` of one complete
+    ``line + "\\n"`` — there is no userspace buffer that could flush
+    half a line, and on POSIX an ``O_APPEND`` write lands as one
+    contiguous span.  A concurrent reader tailing the file (the
+    service's streaming layer, ``tail -f``, :func:`tail_jsonl`) can
+    therefore only ever observe whole lines plus at most one still-
+    growing final line — never an interleaving of two events.
+    """
 
     def __init__(self, path: Optional[str] = None):
         """``path=None`` buffers events in memory only (for tests)."""
         self.path = path
         self.events_written = 0
-        self._handle: Optional[TextIO] = open(path, "a") if path else None
+        self._handle: Optional[BinaryIO] = (
+            open(path, "ab", buffering=0) if path else None
+        )
         self._buffer: List[dict] = []
 
     def emit(self, event: str, **fields) -> dict:
         """Append one event; returns the record as written."""
         record = {"event": event, **fields}
-        line = json.dumps(record, sort_keys=True)
         if self._handle is not None:
-            self._handle.write(line + "\n")
-            self._handle.flush()
+            data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+            self._handle.write(data)  # one write() syscall: line-atomic
         else:
             self._buffer.append(record)
         self.events_written += 1
@@ -141,6 +152,11 @@ class JsonlEventLog:
     def buffered(self) -> List[dict]:
         """In-memory events (only populated when path is None)."""
         return list(self._buffer)
+
+    def flush(self) -> None:
+        """Force events to disk (a no-op: every emit already is)."""
+        if self._handle is not None:
+            self._handle.flush()
 
     def close(self) -> None:
         if self._handle is not None:
@@ -152,6 +168,37 @@ class JsonlEventLog:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def tail_jsonl(path: str, offset: int = 0) -> Tuple[List[dict], int]:
+    """Read complete events appended at or after byte ``offset``.
+
+    The follow-reader half of the line-atomicity contract: only lines
+    terminated by ``\\n`` are parsed, and the returned offset points
+    just past the last complete line — a final line still being written
+    is left for the next call rather than surfaced torn.  Returns
+    ``([], offset)`` for a file that does not exist yet, so pollers can
+    start before the writer.
+    """
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            data = handle.read()
+    except FileNotFoundError:
+        return [], offset
+    end = data.rfind(b"\n")
+    if end < 0:
+        return [], offset
+    events = []
+    for raw in data[: end + 1].splitlines():
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            events.append(json.loads(raw))
+        except json.JSONDecodeError:
+            continue
+    return events, offset + end + 1
 
 
 def read_jsonl(path: str) -> List[dict]:

@@ -1,0 +1,54 @@
+"""repro.service — fleet-as-a-service.
+
+An asyncio campaign service in front of the fleet machinery: tenants
+submit :class:`CampaignSubmission`\\ s over HTTP, a fair scheduler
+interleaves their waves across a shared pool of worker slots, and
+progress (waves, dedup ratios, evidence epochs, live bug-database
+status changes) streams back over per-job and firehose channels via
+long-poll or Server-Sent-Events.  Per-job results stay byte-identical
+to the same campaign run standalone through ``run_fleet``, whatever
+else is queued.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.queue import (
+    FINAL_STATES,
+    STATE_CANCELLED,
+    STATE_COMPLETED,
+    STATE_FAILED,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    CampaignSubmission,
+    JobQueue,
+    JobRecord,
+)
+from repro.service.scheduler import (
+    CampaignScheduler,
+    WorkerSlots,
+    build_result_payload,
+)
+from repro.service.server import ReproService, ServiceThread, serve_until
+from repro.service.stream import FIREHOSE, EventBus, Subscription, render_sse
+
+__all__ = [
+    "CampaignScheduler",
+    "CampaignSubmission",
+    "EventBus",
+    "FINAL_STATES",
+    "FIREHOSE",
+    "JobQueue",
+    "JobRecord",
+    "ReproService",
+    "ServiceClient",
+    "ServiceThread",
+    "STATE_CANCELLED",
+    "STATE_COMPLETED",
+    "STATE_FAILED",
+    "STATE_QUEUED",
+    "STATE_RUNNING",
+    "Subscription",
+    "WorkerSlots",
+    "build_result_payload",
+    "render_sse",
+    "serve_until",
+]

@@ -1,0 +1,203 @@
+"""A blocking HTTP client for the campaign service.
+
+Built on stdlib ``http.client`` only — usable from the CLI, tests,
+benchmarks, and notebooks without any third-party dependency.  One
+connection per call (the server is ``Connection: close``), except for
+:meth:`stream_events`, which holds its socket open and yields SSE
+frames as they arrive.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ServiceError
+from repro.service.queue import FINAL_STATES, CampaignSubmission
+
+
+class ServiceClient:
+    """Talks to a :class:`~repro.service.server.ReproService` over HTTP."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765,
+                 timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, dict]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            payload = (
+                json.dumps(body).encode("utf-8") if body is not None else None
+            )
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            try:
+                parsed = json.loads(data.decode("utf-8")) if data else {}
+            except json.JSONDecodeError:
+                raise ServiceError(
+                    f"{method} {path}: non-JSON response "
+                    f"(status {response.status})"
+                ) from None
+            return response.status, parsed
+        except (ConnectionError, OSError, http.client.HTTPException) as exc:
+            raise ServiceError(
+                f"{method} {path}: cannot reach service at "
+                f"{self.host}:{self.port}: {exc}"
+            ) from None
+        finally:
+            conn.close()
+
+    def _checked(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        status, payload = self._request(method, path, body, timeout)
+        if status >= 400:
+            detail = payload.get("error", f"HTTP {status}")
+            raise ServiceError(f"{method} {path}: {detail}")
+        return payload
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._checked("GET", "/healthz")
+
+    def submit(self, submission: CampaignSubmission) -> dict:
+        """Submit one campaign; returns the job's status view."""
+        payload = self._checked("POST", "/submit", submission.to_dict())
+        return payload["jobs"][0]
+
+    def submit_batch(
+        self, submissions: Sequence[CampaignSubmission]
+    ) -> List[dict]:
+        """Submit a batch atomically: all admitted, or none (on 400)."""
+        payload = self._checked(
+            "POST",
+            "/submit",
+            {"submissions": [s.to_dict() for s in submissions]},
+        )
+        return payload["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._checked("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> List[dict]:
+        return self._checked("GET", "/jobs")["jobs"]
+
+    def result(self, job_id: str) -> dict:
+        """Aggregate + scorecard for a finished job (409 → ServiceError)."""
+        return self._checked("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._checked("POST", f"/jobs/{job_id}/cancel")
+
+    def poll_events(
+        self,
+        channel: str = "firehose",
+        since: int = 0,
+        timeout: float = 10.0,
+    ) -> Tuple[List[dict], int]:
+        """One long-poll round; returns ``(events, next_since)``."""
+        payload = self._checked(
+            "GET",
+            f"/events?channel={channel}&since={since}"
+            f"&mode=poll&timeout={timeout}",
+            # The HTTP socket must outlive the server-side long poll.
+            timeout=timeout + self.timeout,
+        )
+        return payload["events"], payload["next"]
+
+    def stream_events(
+        self,
+        channel: str = "firehose",
+        since: int = 0,
+        timeout: Optional[float] = None,
+    ) -> Iterator[dict]:
+        """Yield events from the SSE stream until the socket closes.
+
+        ``timeout`` is the per-read socket timeout; the server sends a
+        keep-alive comment every 15s, so anything above that means
+        "wait indefinitely between events".
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            conn.request(
+                "GET", f"/events?channel={channel}&since={since}&mode=stream"
+            )
+            response = conn.getresponse()
+            if response.status != 200:
+                raise ServiceError(
+                    f"GET /events: HTTP {response.status} from stream"
+                )
+            data_lines: List[str] = []
+            while True:
+                raw = response.fp.readline()
+                if not raw:
+                    return
+                line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+                if line.startswith(":"):
+                    continue  # keep-alive comment
+                if line.startswith("data:"):
+                    data_lines.append(line[5:].lstrip())
+                    continue
+                if line == "" and data_lines:
+                    try:
+                        yield json.loads("\n".join(data_lines))
+                    except json.JSONDecodeError:
+                        pass
+                    data_lines = []
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def wait(
+        self,
+        job_ids: Sequence[str],
+        timeout: float = 300.0,
+        poll_interval: float = 0.2,
+    ) -> Dict[str, dict]:
+        """Block until every job reaches a final state; returns statuses."""
+        deadline = time.monotonic() + timeout
+        statuses: Dict[str, dict] = {}
+        remaining = list(job_ids)
+        while remaining:
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    f"timed out waiting for jobs: {sorted(remaining)}"
+                )
+            still_waiting = []
+            for job_id in remaining:
+                status = self.job(job_id)
+                if status["state"] in FINAL_STATES:
+                    statuses[job_id] = status
+                else:
+                    still_waiting.append(job_id)
+            remaining = still_waiting
+            if remaining:
+                time.sleep(poll_interval)
+        return statuses

@@ -28,8 +28,9 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.triage.clustering import BugCluster
 
@@ -168,7 +169,38 @@ class BugDatabase:
         self.campaigns = 0  # updates applied so far (the sequence clock)
         self.executions_total = 0  # cumulative ok executions observed
         self._entries: Dict[str, BugEntry] = {}
+        # Serialises concurrent updates: a multi-tenant service can
+        # finish two campaigns at once on different threads, and both
+        # the sequence clock and the atomic file rewrite must see them
+        # one at a time.
+        self._lock = threading.Lock()
+        # Live status listeners (see :meth:`subscribe`).
+        self._listeners: List[Callable[[dict], None]] = []
         self._load()
+
+    # ------------------------------------------------------------------
+    # Live events
+    # ------------------------------------------------------------------
+    def subscribe(self, listener: Callable[[dict], None]) -> None:
+        """Register a callback fired for every status change.
+
+        The callback receives one dict per new/reproduced/regressed
+        bug, emitted synchronously inside :meth:`update` **after** the
+        entry is folded in but before ``update`` returns — the hook the
+        campaign service uses to stream ``bug_new`` events to clients
+        while the submitting job is still live.  Listener exceptions
+        are swallowed: telemetry must never corrupt the database.
+        """
+        self._listeners.append(listener)
+
+    def _emit(self, events: List[dict]) -> None:
+        for event in events:
+            for listener in self._listeners:
+                try:
+                    listener(event)
+                except Exception:  # noqa: BLE001 — listeners are
+                    # observability, not control flow.
+                    pass
 
     # ------------------------------------------------------------------
     # Reads
@@ -222,60 +254,80 @@ class BugDatabase:
         campaign_id: Optional[str] = None,
         total_executions: int = 0,
     ) -> TriageUpdate:
-        """Fold one campaign's clusters in; returns the status deltas."""
-        seq = self.campaigns + 1
-        self.executions_total += max(0, total_executions)
-        campaign = campaign_id or f"campaign-{seq}"
-        update = TriageUpdate(campaign_id=campaign, seq=seq)
-        for cluster in sorted(clusters, key=lambda c: c.cluster_id):
-            update.clusters += 1
-            entry = self._entries.get(cluster.cluster_id)
-            if entry is None:
-                entry = BugEntry(
-                    cluster_id=cluster.cluster_id,
-                    kind=cluster.kind,
-                    coarse_key=cluster.coarse_key,
-                    status=STATUS_NEW,
-                    first_seen_campaign=campaign,
-                    first_seen_seq=seq,
-                    first_seen_spec=cluster.first_seen_spec(),
-                    allocation_context=cluster.allocation_context,
-                    access_context=cluster.access_context,
+        """Fold one campaign's clusters in; returns the status deltas.
+
+        Thread-safe; subscribed listeners fire (outside the lock, in
+        this thread) once the fold and flush are durable.
+        """
+        events: List[dict] = []
+        with self._lock:
+            seq = self.campaigns + 1
+            self.executions_total += max(0, total_executions)
+            campaign = campaign_id or f"campaign-{seq}"
+            update = TriageUpdate(campaign_id=campaign, seq=seq)
+            for cluster in sorted(clusters, key=lambda c: c.cluster_id):
+                update.clusters += 1
+                entry = self._entries.get(cluster.cluster_id)
+                if entry is None:
+                    entry = BugEntry(
+                        cluster_id=cluster.cluster_id,
+                        kind=cluster.kind,
+                        coarse_key=cluster.coarse_key,
+                        status=STATUS_NEW,
+                        first_seen_campaign=campaign,
+                        first_seen_seq=seq,
+                        first_seen_spec=cluster.first_seen_spec(),
+                        allocation_context=cluster.allocation_context,
+                        access_context=cluster.access_context,
+                    )
+                    self._entries[cluster.cluster_id] = entry
+                    update.new.append(cluster.cluster_id)
+                elif entry.last_seen_seq == seq - 1:
+                    entry.status = STATUS_REPRODUCED
+                    update.reproduced.append(cluster.cluster_id)
+                else:
+                    entry.status = STATUS_REGRESSED
+                    update.regressed.append(cluster.cluster_id)
+                entry.last_seen_campaign = campaign
+                entry.last_seen_seq = seq
+                entry.campaigns_seen += 1
+                entry.occurrences += cluster.count
+                entry.executions += cluster.executions
+                entry.signatures = tuple(
+                    sorted(set(entry.signatures) | set(cluster.signatures))
                 )
-                self._entries[cluster.cluster_id] = entry
-                update.new.append(cluster.cluster_id)
-            elif entry.last_seen_seq == seq - 1:
-                entry.status = STATUS_REPRODUCED
-                update.reproduced.append(cluster.cluster_id)
-            else:
-                entry.status = STATUS_REGRESSED
-                update.regressed.append(cluster.cluster_id)
-            entry.last_seen_campaign = campaign
-            entry.last_seen_seq = seq
-            entry.campaigns_seen += 1
-            entry.occurrences += cluster.count
-            entry.executions += cluster.executions
-            entry.signatures = tuple(
-                sorted(set(entry.signatures) | set(cluster.signatures))
-            )
-            for source, hits in cluster.sources.items():
-                entry.sources[source] = entry.sources.get(source, 0) + hits
-            # Keep the deepest stacks seen so far.
-            if len(cluster.allocation_context) > len(entry.allocation_context):
-                entry.allocation_context = cluster.allocation_context
-            if len(cluster.access_context) > len(entry.access_context):
-                entry.access_context = cluster.access_context
-        self.campaigns = seq
-        self._flush()
+                for source, hits in cluster.sources.items():
+                    entry.sources[source] = entry.sources.get(source, 0) + hits
+                # Keep the deepest stacks seen so far.
+                if len(cluster.allocation_context) > len(entry.allocation_context):
+                    entry.allocation_context = cluster.allocation_context
+                if len(cluster.access_context) > len(entry.access_context):
+                    entry.access_context = cluster.access_context
+                events.append(
+                    {
+                        "campaign_id": campaign,
+                        "seq": seq,
+                        "cluster_id": entry.cluster_id,
+                        "status": entry.status,
+                        "kind": entry.kind,
+                        "occurrences": entry.occurrences,
+                        "executions": entry.executions,
+                        "campaigns_seen": entry.campaigns_seen,
+                    }
+                )
+            self.campaigns = seq
+            self._flush()
+        self._emit(events)
         return update
 
     def attach_repro(self, cluster_id: str, repro: dict) -> None:
         """Store a bisected minimal reproducer on its bug."""
-        entry = self._entries.get(cluster_id)
-        if entry is None:
-            raise KeyError(f"unknown cluster id {cluster_id!r}")
-        entry.repro = dict(repro)
-        self._flush()
+        with self._lock:
+            entry = self._entries.get(cluster_id)
+            if entry is None:
+                raise KeyError(f"unknown cluster id {cluster_id!r}")
+            entry.repro = dict(repro)
+            self._flush()
 
     # ------------------------------------------------------------------
     # Persistence

@@ -91,3 +91,109 @@ def test_in_memory_event_log():
     log.emit("x", value=1)
     assert log.buffered() == [{"event": "x", "value": 1}]
     assert log.events_written == 1
+
+
+# ----------------------------------------------------------------------
+# Line-atomic writes + tail reading (live consumers)
+# ----------------------------------------------------------------------
+def test_tail_jsonl_incremental_reads(tmp_path):
+    from repro.fleet.telemetry import tail_jsonl
+
+    path = str(tmp_path / "telemetry.jsonl")
+    with JsonlEventLog(path) as log:
+        log.emit("a", n=1)
+        events, offset = tail_jsonl(path)
+        assert [e["event"] for e in events] == ["a"]
+        log.emit("b", n=2)
+        log.emit("c", n=3)
+        more, offset = tail_jsonl(path, offset)
+        assert [e["event"] for e in more] == ["b", "c"]
+        empty, offset_again = tail_jsonl(path, offset)
+        assert empty == [] and offset_again == offset
+
+
+def test_tail_jsonl_missing_file_is_empty():
+    from repro.fleet.telemetry import tail_jsonl
+
+    events, offset = tail_jsonl("/nonexistent/telemetry.jsonl", 0)
+    assert events == [] and offset == 0
+
+
+def test_tail_jsonl_tolerates_torn_final_line(tmp_path):
+    """A reader racing the writer only ever parses complete lines."""
+    from repro.fleet.telemetry import tail_jsonl
+
+    path = str(tmp_path / "telemetry.jsonl")
+    with JsonlEventLog(path) as log:
+        log.emit("a", n=1)
+    # Simulate a write caught mid-line (torn by the OS or a crash).
+    with open(path, "ab") as handle:
+        handle.write(b'{"event": "b", "n"')
+    events, offset = tail_jsonl(path)
+    assert [e["event"] for e in events] == ["a"]
+    # The torn tail finishes; the next read picks the line up whole.
+    with open(path, "ab") as handle:
+        handle.write(b': 2}\n')
+    more, _ = tail_jsonl(path, offset)
+    assert [e["event"] for e in more] == ["b"]
+
+
+def test_jsonl_concurrent_writer_and_tail_reader(tmp_path):
+    """One write() per event: a live tail never sees interleaved halves."""
+    import threading
+
+    from repro.fleet.telemetry import tail_jsonl
+
+    path = str(tmp_path / "telemetry.jsonl")
+    total = 400
+    seen = []
+    stop = threading.Event()
+
+    def reader():
+        offset = 0
+        while True:
+            # Sample the flag BEFORE the read: an empty read only proves
+            # completion if the writer had already finished going in.
+            writer_done = stop.is_set()
+            events, offset = tail_jsonl(path, offset)
+            seen.extend(events)
+            if writer_done and not events:
+                return
+
+    thread = threading.Thread(target=reader)
+    with JsonlEventLog(path) as log:
+        thread.start()
+        for index in range(total):
+            # A payload long enough that a non-atomic write would tear.
+            log.emit("tick", index=index, payload="x" * 256)
+    stop.set()
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+    assert [e["index"] for e in seen] == list(range(total))
+    assert all(len(e["payload"]) == 256 for e in seen)
+
+
+def test_jsonl_multithreaded_writers_produce_whole_lines(tmp_path):
+    """Unbuffered single-write appends stay line-atomic across threads."""
+    import threading
+
+    path = str(tmp_path / "telemetry.jsonl")
+    with JsonlEventLog(path) as log:
+
+        def write_burst(tag):
+            for index in range(100):
+                log.emit("burst", tag=tag, index=index, pad="y" * 128)
+
+        threads = [
+            threading.Thread(target=write_burst, args=(tag,))
+            for tag in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    events = read_jsonl(path)
+    assert len(events) == 400  # no torn or merged lines
+    for tag in range(4):
+        indices = [e["index"] for e in events if e["tag"] == tag]
+        assert indices == list(range(100))  # per-thread order preserved

@@ -1,0 +1,107 @@
+"""The acceptance scenario: N concurrent tenants over real HTTP.
+
+Two campaigns — one hand-written buggy app, one generated oracle
+genome — run interleaved on a shared service with a live bug database.
+Their results must be byte-identical to standalone ``run_fleet`` runs,
+and at least one ``bug_new`` event must stream before each job's
+completion event.
+"""
+
+import json
+
+import pytest
+
+from repro.fleet.runner import run_fleet
+from repro.service import CampaignSubmission, ServiceClient, ServiceThread
+from repro.triage import BugDatabase
+
+SUBMISSIONS = [
+    CampaignSubmission(app="gzip", executions=16, workers=2, seed=3),
+    CampaignSubmission(app="oracle:s7:i0:over-write", executions=12, seed=1),
+]
+
+
+@pytest.fixture(scope="module")
+def finished_run(tmp_path_factory):
+    out = tmp_path_factory.mktemp("service-e2e")
+    event_log = out / "service-events.jsonl"
+    with ServiceThread(
+        total_workers=2,
+        bug_db=BugDatabase(str(out / "bugs.json")),
+        event_log_path=str(event_log),
+    ) as thread:
+        client = ServiceClient(port=thread.port)
+        jobs = client.submit_batch(SUBMISSIONS)
+        job_ids = [job["job_id"] for job in jobs]
+        statuses = client.wait(job_ids, timeout=240)
+        results = {job_id: client.result(job_id) for job_id in job_ids}
+        events, _ = client.poll_events("firehose", since=0, timeout=1.0)
+    return job_ids, statuses, results, events, event_log
+
+
+def test_all_jobs_complete(finished_run):
+    job_ids, statuses, _, _, _ = finished_run
+    assert [statuses[job_id]["state"] for job_id in job_ids] == [
+        "completed",
+        "completed",
+    ]
+
+
+def test_results_byte_identical_to_standalone_run_fleet(finished_run):
+    job_ids, _, results, _, _ = finished_run
+    for submission, job_id in zip(SUBMISSIONS, job_ids):
+        standalone = run_fleet(
+            submission.app,
+            executions=submission.executions,
+            workers=submission.workers,
+            policy=submission.policy,
+            share_evidence=submission.share_evidence,
+            seed_base=submission.seed,
+            timeout_seconds=submission.timeout_seconds,
+            wave_size=submission.effective_wave_size(),
+        )
+        expected = json.dumps(
+            standalone.aggregator.to_dict(), sort_keys=True
+        ).encode()
+        served = json.dumps(
+            results[job_id]["aggregate"], sort_keys=True
+        ).encode()
+        assert served == expected
+
+
+def test_bug_new_streams_before_job_completion(finished_run):
+    job_ids, _, _, events, _ = finished_run
+    for job_id in job_ids:
+        own = [event for event in events if event.get("job_id") == job_id]
+        kinds = [event["event"] for event in own]
+        assert "bug_new" in kinds, f"{job_id} never streamed a bug_new event"
+        first_bug = next(
+            i for i, event in enumerate(own) if event["event"] == "bug_new"
+        )
+        final = next(
+            i
+            for i, event in enumerate(own)
+            if event["event"] == "job" and event.get("state") == "completed"
+        )
+        assert first_bug < final
+
+
+def test_event_counts_and_channels(finished_run):
+    job_ids, _, _, events, _ = finished_run
+    waves = [event for event in events if event["event"] == "wave"]
+    assert len(waves) == 8 + 6  # 16 execs / 2-wide waves + 12 / 2-slices
+    assert {event["job_id"] for event in waves} == set(job_ids)
+    assert sum(1 for event in events if event["event"] == "result") == 2
+    # Firehose sequence is gapless and strictly increasing.
+    seqs = [event["seq"] for event in events]
+    assert seqs == list(range(seqs[0], seqs[0] + len(seqs)))
+
+
+def test_event_log_artifact_is_replayable(finished_run):
+    _, _, _, events, event_log = finished_run
+    lines = event_log.read_text().strip().splitlines()
+    records = [json.loads(line) for line in lines]
+    assert len(records) == len(events) + 1  # + the service "stopping" event
+    assert all(record["event"] == "service" for record in records)
+    logged_kinds = {record["service_event"] for record in records}
+    assert {"job", "wave", "result", "bug_new"} <= logged_kinds

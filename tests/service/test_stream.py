@@ -1,0 +1,166 @@
+"""The event bus: sequences, history, firehose mirroring, resume."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.fleet.telemetry import JsonlEventLog
+from repro.service.stream import FIREHOSE, EventBus, render_sse
+
+
+def test_publish_assigns_per_channel_sequences():
+    bus = EventBus()
+    first = bus.publish("job-a", "wave", wave=0)
+    second = bus.publish("job-a", "wave", wave=1)
+    other = bus.publish("job-b", "job", state="queued")
+    assert (first["seq"], second["seq"]) == (1, 2)
+    assert other["seq"] == 1  # channels are independent sequences
+    assert bus.latest_seq("job-a") == 2
+    assert bus.latest_seq(FIREHOSE) == 3  # every event is mirrored
+
+
+def test_events_since_replays_in_order():
+    bus = EventBus()
+    for wave in range(5):
+        bus.publish("job-a", "wave", wave=wave)
+    events = bus.events_since("job-a", since=2)
+    assert [event["wave"] for event in events] == [2, 3, 4]
+    assert bus.events_since("job-a", since=5) == []
+    assert len(bus.events_since("job-a", since=2, limit=2)) == 2
+
+
+def test_history_is_bounded():
+    bus = EventBus(history=3)
+    for wave in range(10):
+        bus.publish("job-a", "wave", wave=wave)
+    events = bus.events_since("job-a")
+    assert [event["wave"] for event in events] == [7, 8, 9]
+    assert events[-1]["seq"] == 10  # sequence numbers keep advancing
+
+
+def test_firehose_carries_every_channels_events():
+    bus = EventBus()
+    bus.publish("job-a", "wave", wave=0)
+    bus.publish("job-b", "job", state="queued")
+    channels = [event["channel"] for event in bus.events_since(FIREHOSE)]
+    assert channels == ["job-a", "job-b"]
+
+
+def test_sink_receives_jsonl_records(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with JsonlEventLog(str(path)) as sink:
+        bus = EventBus(sink=sink)
+        bus.publish("job-a", "wave", wave=0)
+        bus.publish(FIREHOSE, "service", state="started")
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 2
+    assert '"service_event": "wave"' in lines[0]
+    assert '"channel": "job-a"' in lines[0]
+
+
+def test_subscribe_replays_backlog_then_live_events():
+    async def scenario():
+        bus = EventBus()
+        bus.attach_loop(asyncio.get_running_loop())
+        bus.publish("job-a", "wave", wave=0)
+        sub = bus.subscribe("job-a", since=0)
+        bus.publish("job-a", "wave", wave=1)
+        first = await sub.get(timeout=1.0)
+        second = await sub.get(timeout=1.0)
+        third = await sub.get(timeout=0.05)
+        sub.close()
+        return first, second, third
+
+    first, second, third = asyncio.run(scenario())
+    assert first["wave"] == 0
+    assert second["wave"] == 1
+    assert third is None  # timeout, not an error
+
+
+def test_publish_from_foreign_thread_reaches_subscriber():
+    async def scenario():
+        bus = EventBus()
+        bus.attach_loop(asyncio.get_running_loop())
+        sub = bus.subscribe("job-a")
+        thread = threading.Thread(
+            target=bus.publish, args=("job-a", "wave"), kwargs={"wave": 7}
+        )
+        thread.start()
+        event = await sub.get(timeout=2.0)
+        thread.join()
+        sub.close()
+        return event
+
+    event = asyncio.run(scenario())
+    assert event is not None and event["wave"] == 7
+
+
+def test_poll_returns_backlog_immediately():
+    async def scenario():
+        bus = EventBus()
+        bus.attach_loop(asyncio.get_running_loop())
+        bus.publish("job-a", "wave", wave=0)
+        bus.publish("job-a", "wave", wave=1)
+        events, cursor = await bus.poll("job-a", since=0, timeout=0.1)
+        return events, cursor
+
+    events, cursor = asyncio.run(scenario())
+    assert [event["wave"] for event in events] == [0, 1]
+    assert cursor == 2
+
+
+def test_poll_waits_for_a_live_event():
+    async def scenario():
+        bus = EventBus()
+        bus.attach_loop(asyncio.get_running_loop())
+
+        async def later():
+            await asyncio.sleep(0.05)
+            bus.publish("job-a", "wave", wave=3)
+
+        task = asyncio.create_task(later())
+        events, cursor = await bus.poll("job-a", since=0, timeout=5.0)
+        await task
+        return events, cursor
+
+    events, cursor = asyncio.run(scenario())
+    assert [event["wave"] for event in events] == [3]
+    assert cursor == 1
+
+
+def test_poll_timeout_is_a_keepalive_not_an_error():
+    async def scenario():
+        bus = EventBus()
+        bus.attach_loop(asyncio.get_running_loop())
+        return await bus.poll("job-a", since=0, timeout=0.05)
+
+    events, cursor = asyncio.run(scenario())
+    assert events == [] and cursor == 0
+
+
+def test_poll_cursor_resumes_without_gaps_or_duplicates():
+    async def scenario():
+        bus = EventBus()
+        bus.attach_loop(asyncio.get_running_loop())
+        for wave in range(4):
+            bus.publish("job-a", "wave", wave=wave)
+        seen = []
+        cursor = 0
+        while True:
+            events, cursor = await bus.poll("job-a", cursor, timeout=0.05)
+            if not events:
+                break
+            seen.extend(event["wave"] for event in events)
+        return seen
+
+    assert asyncio.run(scenario()) == [0, 1, 2, 3]
+
+
+def test_render_sse_frame_shape():
+    frame = render_sse({"seq": 9, "event": "wave", "channel": "job-a"})
+    text = frame.decode("utf-8")
+    assert text.startswith("id: 9\n")
+    assert "event: wave\n" in text
+    assert '"channel": "job-a"' in text
+    assert text.endswith("\n\n")
