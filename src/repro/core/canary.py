@@ -11,6 +11,13 @@ that context from its very first allocation.
 The unit also keeps the live-object registry the exit-time sweep needs,
 which is the in-simulation counterpart of the metadata that costs CSOD
 its Table V memory overhead.
+
+The registry is an *index-addressed header table*: four parallel flat
+arrays (address, size, real pointer, context record) plus a free-slot
+recycling stack, keyed by an address → slot dict.  The hot path touches
+only list cells and one dict entry per allocation; no per-allocation
+registry object is built.  :class:`LiveObject` survives as an on-demand
+view for callers that want one (sweep reports, the oracle, tests).
 """
 
 from __future__ import annotations
@@ -37,7 +44,7 @@ CANARY_CHECK_COST_NS = 70
 
 @dataclass(slots=True)
 class LiveObject:
-    """Registry entry for one live evidence-wrapped object."""
+    """View of one live evidence-wrapped object (built on demand)."""
 
     object_address: int
     object_size: int
@@ -55,7 +62,17 @@ class CanaryManagementUnit:
         # "The canary is a random value" — one secret per process, drawn
         # from the main thread's stream at startup.
         self.canary_value = rng.next_u64(tid=machine.main_thread.tid) or 0xDEAD_BEEF
-        self._live: Dict[int, LiveObject] = {}
+        # Header table: parallel arrays indexed by slot.  A slot holds
+        # exactly one live object; freed slots are recycled LIFO.  Every
+        # field of a slot is overwritten on (re)acquisition, so a
+        # recycled slot can never leak the previous tenant's size, real
+        # pointer, or context.
+        self._addr_slot: Dict[int, int] = {}
+        self._slot_addr: List[int] = []
+        self._slot_size: List[int] = []
+        self._slot_real: List[int] = []
+        self._slot_record: List[Optional[ContextRecord]] = []
+        self._free_slots: List[int] = []
         self.corruption_count = 0
 
     # ------------------------------------------------------------------
@@ -105,58 +122,101 @@ class CanaryManagementUnit:
         )
         layout.write_canary(memory, object_address, size, self.canary_value)
         self._ledger.record(EVENT_CANARY_SET, nanos_each=CANARY_SET_COST_NS)
-        self._live[object_address] = LiveObject(
-            object_address=object_address,
-            object_size=size,
-            real_object_ptr=real,
+        free_slots = self._free_slots
+        if free_slots:
+            slot = free_slots.pop()
+            self._slot_addr[slot] = object_address
+            self._slot_size[slot] = size
+            self._slot_real[slot] = real
+            self._slot_record[slot] = record
+        else:
+            slot = len(self._slot_addr)
+            self._slot_addr.append(object_address)
+            self._slot_size.append(size)
+            self._slot_real.append(real)
+            self._slot_record.append(record)
+        self._addr_slot[object_address] = slot
+
+    # ------------------------------------------------------------------
+    # Slot-level access (the batched hot path reads the arrays directly)
+    # ------------------------------------------------------------------
+    def slot_of(self, object_address: int) -> Optional[int]:
+        """Header-table slot of a live object, or None."""
+        return self._addr_slot.get(object_address)
+
+    def slot_view(self, slot: int) -> LiveObject:
+        """Materialize a :class:`LiveObject` view of one occupied slot."""
+        record = self._slot_record[slot]
+        assert record is not None, "slot_view on a vacant slot"
+        return LiveObject(
+            object_address=self._slot_addr[slot],
+            object_size=self._slot_size[slot],
+            real_object_ptr=self._slot_real[slot],
             record=record,
         )
+
+    def check_slot(self, slot: int) -> bool:
+        """Verify one occupied slot's canary; returns corrupted?"""
+        self._ledger.record(EVENT_CANARY_CHECK, nanos_each=CANARY_CHECK_COST_NS)
+        memory = self._machine.memory
+        object_address = self._slot_addr[slot]
+        words = layout.read_header_words(memory, object_address)
+        if words[3] != layout.HEADER_IDENTIFIER:
+            # A corrupted identifier means the *previous* object overran
+            # into our header — itself evidence of an overflow there.
+            self.corruption_count += 1
+            return True
+        canary = memory.read_word(object_address + self._slot_size[slot])
+        if canary != self.canary_value:
+            self.corruption_count += 1
+            return True
+        return False
+
+    def release_slot(self, slot: int) -> None:
+        """Vacate an occupied slot and recycle its index."""
+        address = self._slot_addr[slot]
+        del self._addr_slot[address]
+        self._slot_record[slot] = None
+        self._free_slots.append(slot)
 
     # ------------------------------------------------------------------
     # Checking
     # ------------------------------------------------------------------
     def check_object(self, object_address: int) -> Tuple[LiveObject, bool]:
         """Verify one live object's canary; returns (entry, corrupted)."""
-        entry = self._live.get(object_address)
-        if entry is None:
+        slot = self._addr_slot.get(object_address)
+        if slot is None:
             raise CSODError(
                 f"object {object_address:#x} is not a live CSOD object"
             )
-        self._ledger.record(EVENT_CANARY_CHECK, nanos_each=CANARY_CHECK_COST_NS)
-        header = layout.read_header(self._machine.memory, object_address)
-        if not header.is_valid:
-            # A corrupted identifier means the *previous* object overran
-            # into our header — itself evidence of an overflow there.
-            self.corruption_count += 1
-            return entry, True
-        canary = layout.read_canary(
-            self._machine.memory, object_address, entry.object_size
-        )
-        corrupted = canary != self.canary_value
-        if corrupted:
-            self.corruption_count += 1
-        return entry, corrupted
+        corrupted = self.check_slot(slot)
+        return self.slot_view(slot), corrupted
 
     def release(self, object_address: int) -> LiveObject:
         """Drop an object from the live registry (after its free)."""
-        entry = self._live.pop(object_address, None)
-        if entry is None:
+        slot = self._addr_slot.get(object_address)
+        if slot is None:
             raise CSODError(
                 f"object {object_address:#x} is not a live CSOD object"
             )
+        entry = self.slot_view(slot)
+        self.release_slot(slot)
         return entry
 
     def sweep_live(self) -> List[LiveObject]:
         """Check every live object (exit-time sweep); returns corrupted ones."""
         corrupted = []
-        for address in list(self._live):
+        for address in list(self._addr_slot):
             entry, bad = self.check_object(address)
             if bad:
                 corrupted.append(entry)
         return corrupted
 
     def lookup(self, object_address: int) -> Optional[LiveObject]:
-        return self._live.get(object_address)
+        slot = self._addr_slot.get(object_address)
+        if slot is None:
+            return None
+        return self.slot_view(slot)
 
     def live_count(self) -> int:
-        return len(self._live)
+        return len(self._addr_slot)

@@ -25,6 +25,11 @@ ReplacementPolicyName = str
 
 _VALID_POLICIES = (POLICY_NAIVE, POLICY_RANDOM, POLICY_NEAR_FIFO)
 
+HOTPATH_BATCHED = "batched"
+HOTPATH_LEGACY = "legacy"
+
+_VALID_HOTPATHS = (HOTPATH_BATCHED, HOTPATH_LEGACY)
+
 
 @dataclass(frozen=True)
 class CSODConfig:
@@ -74,7 +79,22 @@ class CSODConfig:
     # disables persistence (in-process evidence still works).
     persistence_path: Optional[str] = None
 
+    # --- Simulator implementation (not a paper knob) -------------------
+    # Which per-allocation driver the runtime uses.  "batched" fuses the
+    # sampling/canary/watchpoint steps into one flat routine that charges
+    # precompiled cost bundles; "legacy" dispatches unit by unit with one
+    # ledger record per event.  Both paths produce identical ledgers,
+    # clocks, and reports (pinned by the equivalence harness); "legacy"
+    # exists as the reference and for instrumentation that hooks the
+    # individual unit methods.
+    hotpath: str = HOTPATH_BATCHED
+
     def __post_init__(self):
+        if self.hotpath not in _VALID_HOTPATHS:
+            raise CSODError(
+                f"unknown hotpath {self.hotpath!r}; "
+                f"expected one of {_VALID_HOTPATHS}"
+            )
         if self.replacement_policy not in _VALID_POLICIES:
             raise CSODError(
                 f"unknown replacement policy {self.replacement_policy!r}; "
@@ -110,3 +130,7 @@ class CSODConfig:
     def with_policy(self, policy: ReplacementPolicyName) -> "CSODConfig":
         """The same configuration under a different replacement policy."""
         return replace(self, replacement_policy=policy)
+
+    def with_hotpath(self, hotpath: str) -> "CSODConfig":
+        """The same configuration under a different hot-path driver."""
+        return replace(self, hotpath=hotpath)

@@ -65,6 +65,19 @@ class ContextHashTable(Generic[V]):
         index = self._find(bucket, key)
         return bucket[index][1] if index >= 0 else None
 
+    def get_uncharged(self, key: ContextKey) -> Optional[V]:
+        """Look up a key whose simulated cost the caller already charged.
+
+        The batched hot path folds the lookup cost into a fused bundle;
+        the structural bookkeeping (lock acquisition, chain walk) is
+        still performed here so the table's statistics are identical to
+        an equivalent :meth:`get`.
+        """
+        self.lock_acquisitions += 1
+        bucket = self._buckets[self._bucket_index(key)]
+        index = self._find(bucket, key)
+        return bucket[index][1] if index >= 0 else None
+
     def charge_hit(self) -> None:
         """Charge a lookup that a cache above the table answered.
 

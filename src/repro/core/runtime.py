@@ -16,8 +16,9 @@ from typing import List, Optional
 from repro.callstack.backtrace import Backtracer
 from repro.callstack.contexts import ContextInterner
 from repro.core.canary import CanaryManagementUnit
-from repro.core.config import CSODConfig
+from repro.core.config import CSODConfig, HOTPATH_BATCHED
 from repro.core.context_key import ContextHashTable
+from repro.core.fastpath import FastAllocDealloc
 from repro.core.monitor import AllocDeallocMonitoringUnit
 from repro.core.reporting import OverflowReport, SOURCE_WATCHPOINT
 from repro.core.rng import PerThreadRNG
@@ -109,7 +110,17 @@ class CSODRuntime:
             persisted = load_persisted(self.config.persistence_path)
             if persisted:
                 self.sampling.preload_known_bad(persisted)
-        self.monitor = AllocDeallocMonitoringUnit(
+        # The batched driver covers the full (evidence + watchpoints)
+        # configuration; reduced configurations use the legacy unit
+        # regardless of the hotpath flag.
+        monitor_cls = AllocDeallocMonitoringUnit
+        if (
+            self.config.hotpath == HOTPATH_BATCHED
+            and self.config.evidence_enabled
+            and self.config.watchpoints_enabled
+        ):
+            monitor_cls = FastAllocDealloc
+        self.monitor = monitor_cls(
             self.config,
             raw,
             self.sampling,

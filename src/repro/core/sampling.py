@@ -91,11 +91,14 @@ class SamplingManagementUnit:
         self._revive_period_ns = int(
             config.revive_period_seconds * NANOS_PER_SECOND
         )
-        # One-entry (key → record) cache per thread.  A key's record is
-        # created exactly once and never replaced, so entries can never
-        # go stale; the cache only short-circuits the Python-level table
-        # walk — the simulated lookup cost is still charged.
-        self._thread_cache: Dict[int, Tuple[int, int, ContextRecord]] = {}
+        # One-entry (key → record) cache per thread, as
+        # (first_ra, stack_offset, record, context_depth) tuples.  A
+        # key's record is created exactly once and never replaced, so
+        # entries can never go stale; the cache only short-circuits the
+        # Python-level table walk — the simulated lookup cost is still
+        # charged.  The cached depth lets the batched driver's collision
+        # accounting skip the CallingContext property hop.
+        self._thread_cache: Dict[int, Tuple[int, int, ContextRecord, int]] = {}
 
     # ------------------------------------------------------------------
     # Persisted evidence
@@ -137,7 +140,12 @@ class SamplingManagementUnit:
             if record is None:
                 record = self._new_record(key, context)
                 self._table.put(key, record)
-            self._thread_cache[tid] = (first_ra, offset, record)
+            self._thread_cache[tid] = (
+                first_ra,
+                offset,
+                record,
+                len(record.context.return_addresses),
+            )
         self.total_allocations_seen += 1
         record.allocation_count += 1
         if not record.overflow_observed:
@@ -176,6 +184,10 @@ class SamplingManagementUnit:
         record.overflow_observed = True
         record.probability = 1.0
         record.throttled_until_ns = 0
+        # The context is no longer floor-bound; stale floor bookkeeping
+        # must not make it eligible for a revive draw (which would waste
+        # a random number and perturb per-thread draw order).
+        record.floor_since_ns = -1
 
     # ------------------------------------------------------------------
     # Probability views
@@ -208,7 +220,14 @@ class SamplingManagementUnit:
     def _update_throttle(self, record: ContextRecord) -> None:
         now = self._clock.now_ns
         window_ns = self._window_ns
-        if now - record.window_start_ns > window_ns:
+        # Windows are half-open [start, start + window): an allocation
+        # landing exactly at start + window opens the next window and is
+        # counted there — consistent with the ``throttled_until_ns > now``
+        # check, under which a throttle expiring at that same instant no
+        # longer applies.  (With ``>`` the boundary allocation was counted
+        # in the old window, and a throttle it triggered expired
+        # immediately, having throttled nothing.)
+        if now - record.window_start_ns >= window_ns:
             record.window_start_ns = now
             record.window_alloc_count = 0
         record.window_alloc_count += 1
@@ -240,6 +259,11 @@ class SamplingManagementUnit:
             record.probability = self._config.revive_probability
 
     def _clamp(self, probability: float, record: ContextRecord) -> float:
+        # A pinned context (observed overflow evidence) can never decay
+        # below its pin: whatever rule produced ``probability``, the
+        # evidence boost dominates (§IV-B).
+        if record.overflow_observed:
+            return 1.0
         floor = self._floor
         return max(floor, min(1.0, probability))
 

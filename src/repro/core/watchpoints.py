@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.config import CSODConfig
+from repro.core.config import CSODConfig, HOTPATH_BATCHED
 from repro.core.policies import ReplacementPolicy, make_policy
 from repro.core.rng import PerThreadRNG
 from repro.core.sampling import ContextRecord, SamplingManagementUnit
@@ -85,13 +85,26 @@ class WatchpointManagementUnit:
         self._slots: List[Optional[WatchedObject]] = [
             None
         ] * NUM_USABLE_DEBUG_REGISTERS
+        # object address -> WatchedObject, mirroring the occupied slots:
+        # the per-deallocation "is this object watched?" probe is one
+        # dict hit instead of a four-slot scan.
+        self._by_address: Dict[int, WatchedObject] = {}
         self._policy: ReplacementPolicy = make_policy(
             config.replacement_policy, NUM_USABLE_DEBUG_REGISTERS
         )
+        # The batched hot path charges each Fig. 3/Fig. 4 sequence as one
+        # precompiled bundle; the legacy path replays it syscall by
+        # syscall.  Ledger totals are identical either way.
+        self._fast = config.hotpath == HOTPATH_BATCHED
         self.install_count = 0
         self.replace_count = 0
         self.declined_count = 0
         self.fd_comparisons = 0  # signal-handler fd matching work
+        # Arm/disarm decisions are batched per scheduler quantum: the
+        # alive-tid list every installation targets is recomputed only
+        # when thread churn invalidates it, not per allocation.
+        self._alive_tids: Optional[List[int]] = None
+        self._alive_list: List[SimThread] = []
         # Watchpoints must outlive thread churn: arm on every new thread.
         threads.on_create(self._on_thread_created)
         threads.on_exit(self._on_thread_exited)
@@ -143,7 +156,7 @@ class WatchpointManagementUnit:
     # ------------------------------------------------------------------
     def on_deallocation(self, object_address: int) -> bool:
         """Remove the watchpoint if this object is being watched."""
-        watched = self.find_by_object_address(object_address)
+        watched = self._by_address.get(object_address)
         if watched is None:
             return False
         index = watched.slot_index
@@ -152,10 +165,7 @@ class WatchpointManagementUnit:
         return True
 
     def find_by_object_address(self, object_address: int) -> Optional[WatchedObject]:
-        for slot in self._slots:
-            if slot is not None and slot.object_address == object_address:
-                return slot
-        return None
+        return self._by_address.get(object_address)
 
     def find_by_fd(self, fd: int) -> Optional[WatchedObject]:
         """Identify the fired watchpoint by fd, one comparison at a time.
@@ -232,15 +242,17 @@ class WatchpointManagementUnit:
             attr = PerfEventAttr(
                 bp_type=HW_BREAKPOINT_RW, bp_addr=watched.watch_address, bp_len=8
             )
-            watched.fds = self._perf.batch_install(
-                attr,
-                [t.tid for t in self._threads.alive_threads()],
-                SIGTRAP,
+            watched.fds = self._perf.batch_install(attr, self.alive_tids(), SIGTRAP)
+        elif self._fast:
+            attr = PerfEventAttr(
+                bp_type=HW_BREAKPOINT_RW, bp_addr=watched.watch_address, bp_len=8
             )
+            watched.fds = self._perf.install_fast(attr, self.alive_tids(), SIGTRAP)
         else:
             for thread in self._threads.alive_threads():
                 self._arm_on_thread(watched, thread)
         self._slots[slot_index] = watched
+        self._by_address[object_address] = watched
         self._sampling.on_watched(record)
         self.install_count += 1
         self._ledger.record(EVENT_WATCH_INSTALL)
@@ -261,23 +273,54 @@ class WatchpointManagementUnit:
 
     def _remove(self, watched: WatchedObject) -> None:
         """The removal sequence of Fig. 4, for all alive threads."""
+        threads = self._threads
         if self._config.batched_syscalls:
             self._perf.batch_remove(
                 fd
                 for tid, fd in watched.fds.items()
-                if self._threads.get(tid).alive
+                if threads.get(tid).alive
+            )
+            watched.fds.clear()
+        elif self._fast:
+            self._perf.remove_fast(
+                [
+                    fd
+                    for tid, fd in watched.fds.items()
+                    if threads.get(tid).alive
+                ]
             )
             watched.fds.clear()
         for tid, fd in list(watched.fds.items()):
-            if self._threads.get(tid).alive:
+            if threads.get(tid).alive:
                 self._perf.ioctl(fd, PERF_EVENT_IOC_DISABLE)
                 self._perf.close(fd)
             watched.fds.pop(tid, None)
         self._slots[watched.slot_index] = None
+        self._by_address.pop(watched.object_address, None)
         watched.slot_index = -1
         self._ledger.record(EVENT_WATCH_REMOVE)
 
+    def alive_tids(self) -> List[int]:
+        """The tids every installation targets, cached across the quantum.
+
+        Recomputed only when thread creation/exit invalidates it —
+        allocation-dense stretches between scheduling events reuse one
+        list instead of re-walking the registry per install.
+        """
+        tids = self._alive_tids
+        if tids is None:
+            self._alive_list = self._threads.alive_threads()
+            tids = self._alive_tids = [t.tid for t in self._alive_list]
+        return tids
+
+    def alive_threads_cached(self) -> List[SimThread]:
+        """The alive :class:`SimThread` objects behind :meth:`alive_tids`."""
+        if self._alive_tids is None:
+            self.alive_tids()
+        return self._alive_list
+
     def _on_thread_created(self, thread: SimThread) -> None:
+        self._alive_tids = None
         # pthread_create interposition: arm every active watchpoint on
         # the newcomer so it cannot overflow unobserved.
         for slot in self._slots:
@@ -290,10 +333,18 @@ class WatchpointManagementUnit:
                 slot.fds.update(
                     self._perf.batch_install(attr, [thread.tid], SIGTRAP)
                 )
+            elif self._fast:
+                attr = PerfEventAttr(
+                    bp_type=HW_BREAKPOINT_RW, bp_addr=slot.watch_address, bp_len=8
+                )
+                slot.fds.update(
+                    self._perf.install_fast(attr, [thread.tid], SIGTRAP)
+                )
             else:
                 self._arm_on_thread(slot, thread)
 
     def _on_thread_exited(self, thread: SimThread) -> None:
+        self._alive_tids = None
         # The kernel tears events down with the thread; drop our fds.
         for slot in self._slots:
             if slot is not None:

@@ -73,12 +73,35 @@ class FreeListAllocator:
     # Allocation
     # ------------------------------------------------------------------
     def malloc(self, size: int) -> int:
-        """Allocate ``size`` bytes; returns the block address."""
-        block_size = round_up_size(size)
-        for index, (start, extent) in enumerate(self._free):
+        """Allocate ``size`` bytes; returns the block address.
+
+        The body inlines the take/record helpers: this is the innermost
+        call of every interposed allocation, and the helper hops cost
+        more than the list surgery they wrap.
+        """
+        # Inline rounding for the common case; round_up_size still
+        # handles zero (-> minimum block) and rejects negatives.
+        block_size = (size + 15) & -16 if size > 0 else round_up_size(size)
+        free = self._free
+        for index, (start, extent) in enumerate(free):
             if extent >= block_size:
-                self._take(index, start, block_size, extent)
-                self._record_alloc(start, block_size)
+                remainder = extent - block_size
+                if remainder:
+                    free[index] = (start + block_size, remainder)
+                else:
+                    del free[index]
+                self._live[start] = block_size
+                self._freed_once.discard(start)
+                stats = self.stats
+                stats.total_allocations += 1
+                live_bytes = stats.live_bytes + block_size
+                stats.live_bytes = live_bytes
+                live_blocks = stats.live_blocks + 1
+                stats.live_blocks = live_blocks
+                if live_bytes > stats.peak_live_bytes:
+                    stats.peak_live_bytes = live_bytes
+                if live_blocks > stats.peak_live_blocks:
+                    stats.peak_live_blocks = live_blocks
                 return start
         raise OutOfMemoryError(size)
 
@@ -117,15 +140,42 @@ class FreeListAllocator:
     # Deallocation
     # ------------------------------------------------------------------
     def free(self, address: int) -> int:
-        """Release a block; returns its size.  Diagnoses bad frees."""
+        """Release a block; returns its size.  Diagnoses bad frees.
+
+        Like :meth:`malloc`, the body inlines the free-list insertion and
+        both-neighbour coalescing (binary search + at most two merges).
+        """
         size = self._live.pop(address, None)
         if size is None:
             if address in self._freed_once:
                 raise DoubleFreeError(address)
             raise InvalidFreeError(address)
         self._freed_once.add(address)
-        self.stats.on_free(size)
-        self._insert_free(address, size)
+        stats = self.stats
+        stats.total_frees += 1
+        stats.live_bytes -= size
+        stats.live_blocks -= 1
+        free = self._free
+        lo, hi = 0, len(free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if free[mid][0] < address:
+                lo = mid + 1
+            else:
+                hi = mid
+        # Merge with the successor first, then the predecessor.
+        end = address + size
+        if lo < len(free) and end == free[lo][0]:
+            nstart, nsize = free[lo]
+            free[lo] = (address, size + nsize)
+        else:
+            free.insert(lo, (address, size))
+        if lo > 0:
+            pstart, psize = free[lo - 1]
+            if pstart + psize == address:
+                start, merged = free[lo]
+                free[lo - 1] = (pstart, psize + merged)
+                del free[lo]
         return size
 
     def _insert_free(self, address: int, size: int) -> None:

@@ -71,17 +71,47 @@ class LibraryInterposer:
     def __init__(self, raw: RawHeap):
         self._raw = raw
         self._library: Optional[HeapLibrary] = None
+        # The resolved dispatch target.  ``malloc``/``free`` are the two
+        # hottest calls in the simulator; resolving the preload decision
+        # once per (un)load instead of per call removes a property hop
+        # and a None test from every interposed operation.
+        self._active: HeapLibrary = raw
+        self._bind(raw)
+
+    def _bind(self, target: HeapLibrary) -> None:
+        # Bind the two hottest entry points as *instance* attributes so
+        # an application call lands directly on the active library's
+        # bound method, skipping the dispatch-wrapper frame entirely.
+        # ``free`` keeps its free(NULL) no-op through a tiny closure —
+        # unless the library's own free already guards NULL (the batched
+        # driver marks itself with ``_handles_null``), in which case it
+        # too binds directly.
+        self._active = target
+        self.malloc = target.malloc
+        target_free = target.free
+        if getattr(target_free, "_handles_null", False):
+            self.free = target_free
+            return
+
+        def free(thread: SimThread, address: int) -> None:
+            if address == 0:
+                return  # free(NULL) is a no-op
+            target_free(thread, address)
+
+        self.free = free
 
     def preload(self, library: HeapLibrary) -> None:
         """Install a runtime library (the LD_PRELOAD moment)."""
         self._library = library
+        self._bind(library)
 
     def unload(self) -> None:
         self._library = None
+        self._bind(self._raw)
 
     @property
     def active_library(self) -> HeapLibrary:
-        return self._library if self._library is not None else self._raw
+        return self._active
 
     @property
     def raw(self) -> RawHeap:
@@ -91,12 +121,12 @@ class LibraryInterposer:
     # The application-facing malloc/free surface
     # ------------------------------------------------------------------
     def malloc(self, thread: SimThread, size: int) -> int:
-        return self.active_library.malloc(thread, size)
+        return self._active.malloc(thread, size)
 
     def calloc(self, thread: SimThread, count: int, size: int) -> int:
         """calloc = malloc + zero fill (the fill happens in heap memory)."""
         total = count * size
-        address = self.active_library.malloc(thread, total)
+        address = self._active.malloc(thread, total)
         if total:
             self._raw._machine.memory.write_bytes(address, bytes(total))
         return address
@@ -104,19 +134,19 @@ class LibraryInterposer:
     def realloc(self, thread: SimThread, address: int, new_size: int) -> int:
         """Naive realloc: allocate-copy-free (contents preserved)."""
         if address == 0:
-            return self.active_library.malloc(thread, new_size)
+            return self._active.malloc(thread, new_size)
         memory = self._raw._machine.memory
-        old_size = self.active_library.usable_size(address)
-        new_address = self.active_library.malloc(thread, new_size)
+        old_size = self._active.usable_size(address)
+        new_address = self._active.malloc(thread, new_size)
         payload = memory.read_bytes(address, min(old_size, new_size))
         memory.write_bytes(new_address, payload)
-        self.active_library.free(thread, address)
+        self._active.free(thread, address)
         return new_address
 
     def free(self, thread: SimThread, address: int) -> None:
         if address == 0:
             return  # free(NULL) is a no-op
-        self.active_library.free(thread, address)
+        self._active.free(thread, address)
 
     def memalign(self, thread: SimThread, alignment: int, size: int) -> int:
-        return self.active_library.memalign(thread, alignment, size)
+        return self._active.memalign(thread, alignment, size)

@@ -33,7 +33,6 @@ _CONTEXT_PTR_OFFSET = 16
 _IDENTIFIER_OFFSET = 24
 
 _WORD_MASK = (1 << 64) - 1
-_IDENTIFIER_BYTES = HEADER_IDENTIFIER.to_bytes(8, "little")
 
 
 @dataclass(frozen=True, slots=True)
@@ -70,28 +69,38 @@ def write_header(
     """Serialize a header into the 32 bytes before the object.
 
     All four words are emitted in one contiguous store: the header is one
-    cache line on the modelled hardware, and one ``write_bytes`` pays one
-    mapping check instead of four.
+    cache line on the modelled hardware, and one word-granular write pays
+    one mapping check instead of four.
     """
-    base = header_address(object_address)
     mask = _WORD_MASK
-    memory.write_bytes(
-        base,
-        (real_object_ptr & mask).to_bytes(8, "little")
-        + (object_size & mask).to_bytes(8, "little")
-        + (context_ptr & mask).to_bytes(8, "little")
-        + _IDENTIFIER_BYTES,
+    memory.write_words(
+        object_address - CSOD_HEADER_SIZE,
+        (
+            real_object_ptr & mask,
+            object_size & mask,
+            context_ptr & mask,
+            HEADER_IDENTIFIER,
+        ),
     )
+
+
+def read_header_words(memory: AddressSpace, object_address: int):
+    """The four raw header words ``(real_ptr, size, context_ptr, ident)``.
+
+    The hot path's churn-free alternative to :func:`read_header`: no
+    :class:`ObjectHeader` instance is built per deallocation.
+    """
+    return memory.read_words(object_address - CSOD_HEADER_SIZE, 4)
 
 
 def read_header(memory: AddressSpace, object_address: int) -> ObjectHeader:
     """Deserialize the header preceding ``object_address``."""
-    raw = memory.read_bytes(header_address(object_address), CSOD_HEADER_SIZE)
+    words = memory.read_words(object_address - CSOD_HEADER_SIZE, 4)
     return ObjectHeader(
-        real_object_ptr=int.from_bytes(raw[0:8], "little"),
-        object_size=int.from_bytes(raw[8:16], "little"),
-        context_ptr=int.from_bytes(raw[16:24], "little"),
-        identifier=int.from_bytes(raw[24:32], "little"),
+        real_object_ptr=words[0],
+        object_size=words[1],
+        context_ptr=words[2],
+        identifier=words[3],
     )
 
 

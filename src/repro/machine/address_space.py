@@ -12,8 +12,9 @@ are actually touched.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import MachineError, SegmentationFault
 
@@ -21,6 +22,11 @@ PAGE_SIZE = 4096
 _PAGE_SHIFT = 12
 _ADDRESS_LIMIT = 1 << 48  # canonical user-space addresses
 _WORD_MASK = (1 << 64) - 1
+
+# Precompiled (un)packers for the word-granular fast paths: one C-level
+# call moves a whole header instead of four ``int.to_bytes`` round trips.
+_PACK_WORD = struct.Struct("<Q")
+_WORD_STRUCTS = {n: struct.Struct("<%dQ" % n) for n in (1, 2, 3, 4)}
 
 
 @dataclass(frozen=True)
@@ -51,8 +57,22 @@ class AddressSpace:
         # Last region that satisfied a lookup.  Heap traffic is heavily
         # concentrated in one arena, so this one-entry cache removes the
         # linear region scan from nearly every access; it is invalidated
-        # whenever the mapping changes.
+        # whenever the mapping changes.  ``_hot_start``/``_hot_end``
+        # mirror the region's bounds as plain ints so the word-granular
+        # fast paths test containment without attribute chains; an empty
+        # range (1, 0) encodes "no hot region".
         self._hot_region: Optional[MappedRegion] = None
+        self._hot_start = 1
+        self._hot_end = 0
+
+    def _set_hot(self, region: Optional[MappedRegion]) -> None:
+        self._hot_region = region
+        if region is None:
+            self._hot_start = 1
+            self._hot_end = 0
+        else:
+            self._hot_start = region.start
+            self._hot_end = region.start + region.size
 
     # ------------------------------------------------------------------
     # Mapping
@@ -74,7 +94,7 @@ class AddressSpace:
                 )
         self._regions.append(region)
         self._regions.sort(key=lambda r: r.start)
-        self._hot_region = None
+        self._set_hot(None)
         return region
 
     def unmap_region(self, start: int) -> None:
@@ -82,7 +102,7 @@ class AddressSpace:
         for i, region in enumerate(self._regions):
             if region.start == start:
                 del self._regions[i]
-                self._hot_region = None
+                self._set_hot(None)
                 self._drop_pages(region)
                 return
         raise MachineError(f"no region mapped at {start:#x}")
@@ -109,7 +129,7 @@ class AddressSpace:
             return hot
         for region in self._regions:
             if region.contains(address):
-                self._hot_region = region
+                self._set_hot(region)
                 return region
         return None
 
@@ -185,38 +205,87 @@ class AddressSpace:
     def write_word(self, address: int, value: int) -> None:
         """Store a 64-bit little-endian word."""
         # Fast path: the word lies inside the hot region and one page.
-        hot = self._hot_region
         if (
-            hot is not None
-            and hot.start <= address
-            and address + 8 <= hot.start + hot.size
-            and (address & (PAGE_SIZE - 1)) <= PAGE_SIZE - 8
+            self._hot_start <= address
+            and address + 8 <= self._hot_end
+            and (address & 4088) != 4088
         ):
+            pages = self._pages
             page_index = address >> _PAGE_SHIFT
-            page = self._pages.get(page_index)
+            page = pages.get(page_index)
             if page is None:
-                page = bytearray(PAGE_SIZE)
-                self._pages[page_index] = page
-            in_page = address & (PAGE_SIZE - 1)
-            page[in_page : in_page + 8] = (value & _WORD_MASK).to_bytes(8, "little")
-            return
+                page = pages[page_index] = bytearray(PAGE_SIZE)
+            try:
+                _PACK_WORD.pack_into(page, address & (PAGE_SIZE - 1), value)
+                return
+            except struct.error:
+                # Out-of-range value: fall through and mask, as the
+                # byte-level path always has.
+                pass
         self.write_bytes(address, (value & _WORD_MASK).to_bytes(8, "little"))
 
     def read_word(self, address: int) -> int:
         """Load a 64-bit little-endian word."""
-        hot = self._hot_region
         if (
-            hot is not None
-            and hot.start <= address
-            and address + 8 <= hot.start + hot.size
-            and (address & (PAGE_SIZE - 1)) <= PAGE_SIZE - 8
+            self._hot_start <= address
+            and address + 8 <= self._hot_end
+            and (address & 4088) != 4088
         ):
             page = self._pages.get(address >> _PAGE_SHIFT)
             if page is None:
                 return 0
-            in_page = address & (PAGE_SIZE - 1)
-            return int.from_bytes(page[in_page : in_page + 8], "little")
+            return _PACK_WORD.unpack_from(page, address & (PAGE_SIZE - 1))[0]
         return int.from_bytes(self.read_bytes(address, 8), "little")
+
+    def write_words(self, address: int, values: Sequence[int]) -> None:
+        """Store consecutive 64-bit little-endian words in one call.
+
+        The fast path applies when the run lies inside the hot region
+        and a single page: one ``struct.pack_into`` straight into the
+        page ``bytearray``.  Byte-level contents are identical to the
+        equivalent ``write_bytes`` call.
+        """
+        n = len(values)
+        size = n * 8
+        packer = _WORD_STRUCTS.get(n)
+        if (
+            packer is not None
+            and self._hot_start <= address
+            and address + size <= self._hot_end
+            and (address & (PAGE_SIZE - 1)) <= PAGE_SIZE - size
+        ):
+            pages = self._pages
+            page_index = address >> _PAGE_SHIFT
+            page = pages.get(page_index)
+            if page is None:
+                page = pages[page_index] = bytearray(PAGE_SIZE)
+            try:
+                packer.pack_into(page, address & (PAGE_SIZE - 1), *values)
+                return
+            except struct.error:
+                pass  # out-of-range value: mask on the byte-level path
+        self.write_bytes(
+            address, b"".join((v & _WORD_MASK).to_bytes(8, "little") for v in values)
+        )
+
+    def read_words(self, address: int, count: int) -> Tuple[int, ...]:
+        """Load ``count`` consecutive 64-bit little-endian words."""
+        size = count * 8
+        packer = _WORD_STRUCTS.get(count)
+        if (
+            packer is not None
+            and self._hot_start <= address
+            and address + size <= self._hot_end
+            and (address & (PAGE_SIZE - 1)) <= PAGE_SIZE - size
+        ):
+            page = self._pages.get(address >> _PAGE_SHIFT)
+            if page is None:
+                return (0,) * count
+            return packer.unpack_from(page, address & (PAGE_SIZE - 1))
+        raw = self.read_bytes(address, size)
+        return tuple(
+            int.from_bytes(raw[i : i + 8], "little") for i in range(0, size, 8)
+        )
 
     def touched_pages(self) -> int:
         """Number of pages with materialized contents (footprint proxy)."""

@@ -16,6 +16,8 @@ NANOS_PER_SECOND = 1_000_000_000
 class VirtualClock:
     """A monotonically advancing nanosecond counter."""
 
+    __slots__ = ("_now_ns",)
+
     def __init__(self, start_ns: int = 0):
         if start_ns < 0:
             raise ValueError("clock cannot start before time zero")

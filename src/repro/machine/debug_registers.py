@@ -61,6 +61,31 @@ class HardwareWatchpoint:
         return self.kind == access_kind
 
 
+class FastWatchpoint:
+    """A pre-validated RW/8-byte watchpoint for the batched hot path.
+
+    Duck-typed against :class:`HardwareWatchpoint` (same attributes, same
+    ``triggers_on``) but skips dataclass construction and field
+    validation: the hot path arms only canary-boundary watchpoints whose
+    length (8) and kind (``rw``) are fixed and whose address came from
+    the allocator, so the checks cannot fire.
+    """
+
+    __slots__ = ("address", "cookie")
+
+    length = 8
+    kind = WATCH_READWRITE
+
+    def __init__(self, address: int, cookie: int):
+        self.address = address
+        self.cookie = cookie
+
+    triggers_on = HardwareWatchpoint.triggers_on
+
+    def __repr__(self) -> str:
+        return f"FastWatchpoint(address={self.address}, cookie={self.cookie})"
+
+
 class DebugRegisterFile:
     """Four usable watchpoint slots for one hardware thread context."""
 

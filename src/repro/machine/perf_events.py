@@ -29,6 +29,7 @@ from repro.machine.debug_registers import (
     WATCH_WRITE,
 )
 from repro.machine.syscall_cost import (
+    CostBundle,
     CostLedger,
     EVENT_CLOSE,
     EVENT_FCNTL,
@@ -62,6 +63,30 @@ _BP_KIND = {
 
 # Approximate cost of one syscall round-trip on the paper's Xeon testbed.
 SYSCALL_COST_NS = 700
+
+# Fused charges for the per-thread Fig. 3 / Fig. 4 sequences.  Nothing
+# can observe the virtual clock between the individual syscalls of one
+# sequence, so charging the whole run as one bundle yields the same
+# ledger counts, per-event nanos, and final clock as the serial records.
+_INSTALL_BUNDLE = CostBundle(
+    (
+        (EVENT_PERF_EVENT_OPEN, 1, SYSCALL_COST_NS),
+        (EVENT_FCNTL, 4, SYSCALL_COST_NS),
+        (EVENT_IOCTL, 1, SYSCALL_COST_NS),
+        (EVENT_SYSCALL, 6, 0),
+    )
+)
+_REMOVE_BUNDLE = CostBundle(
+    (
+        (EVENT_IOCTL, 1, SYSCALL_COST_NS),
+        (EVENT_CLOSE, 1, SYSCALL_COST_NS),
+        (EVENT_SYSCALL, 2, 0),
+    )
+)
+# Thread-count-scaled variants, cached: installs hit a handful of
+# distinct alive-thread counts over a run.
+_INSTALL_SCALED: Dict[int, CostBundle] = {1: _INSTALL_BUNDLE}
+_REMOVE_SCALED: Dict[int, CostBundle] = {1: _REMOVE_BUNDLE}
 
 
 @dataclass(frozen=True, slots=True)
@@ -212,6 +237,54 @@ class PerfEventManager:
                 self._disable(event)
             event.closed = True
             del self._events[fd]
+
+    # ------------------------------------------------------------------
+    # The fused hot path (same syscalls, bundle-charged)
+    # ------------------------------------------------------------------
+    # Unlike batch_install/batch_remove, these do NOT model the custom
+    # syscall: they perform the ordinary Fig. 3 / Fig. 4 per-thread
+    # sequences and charge exactly what the serial perf_event_open /
+    # fcntl / ioctl / close calls would have — merged into one
+    # precompiled bundle per call, because no observation point can fall
+    # between the syscalls of one sequence.
+
+    def install_fast(self, attr: PerfEventAttr, tids, signo: int) -> Dict[int, int]:
+        """The Fig. 3 install sequence on every tid, bundle-charged."""
+        n = len(tids)
+        bundle = _INSTALL_SCALED.get(n)
+        if bundle is None:
+            bundle = _INSTALL_SCALED[n] = _INSTALL_BUNDLE.scaled(n)
+        self._ledger.charge_bundle(bundle)
+        events = self._events
+        fds: Dict[int, int] = {}
+        for tid in tids:
+            event = PerfEvent(fd=next(self._fds), attr=attr, tid=tid)
+            event.signo = signo
+            event.owner_tid = tid
+            event.async_notify = True
+            events[event.fd] = event
+            self._enable(event)
+            fds[tid] = event.fd
+        return fds
+
+    def remove_fast(self, fds) -> None:
+        """The Fig. 4 remove sequence for each fd, bundle-charged."""
+        n = len(fds)
+        if not n:
+            return
+        bundle = _REMOVE_SCALED.get(n)
+        if bundle is None:
+            bundle = _REMOVE_SCALED[n] = _REMOVE_BUNDLE.scaled(n)
+        self._ledger.charge_bundle(bundle)
+        events = self._events
+        for fd in fds:
+            event = events.get(fd)
+            if event is None or event.closed:
+                continue
+            if event.enabled:
+                self._disable(event)
+            event.closed = True
+            del events[fd]
 
     # ------------------------------------------------------------------
     # Introspection (used by the CPU and by tests)

@@ -44,15 +44,91 @@ class QuantumCounter:
         return self.index
 
 
-class CostLedger:
-    """Counts named events and optionally charges virtual time for them."""
+class CostBundle:
+    """A precompiled batch of ledger events, applied in one call.
 
-    __slots__ = ("_clock", "_counts", "_nanos")
+    The batched hot path fuses runs of ``record`` calls that have no
+    observation point (clock read, trap, report) between them — e.g. the
+    six syscalls of one watchpoint installation.  A bundle precomputes
+    the merged per-event counts and nanosecond totals once, so applying
+    it costs one dict update per *distinct* event plus a single clock
+    advance, instead of one ``record`` per event occurrence.
+
+    Applying a bundle is observationally identical to replaying its
+    ``record`` sequence: the same counts, the same per-event nanos, and
+    the same final clock — only intermediate clock states (which nothing
+    may read inside a fused run) are skipped.
+
+    Bundles are shared, immutable-by-convention constants; the ledger
+    keys its deferred tally on bundle identity, so never mutate a
+    bundle's dicts after construction.
+    """
+
+    __slots__ = ("counts", "nanos", "total_nanos")
+
+    def __init__(self, events):
+        """``events``: iterable of ``(event, count, nanos_each)``."""
+        counts: Dict[str, int] = {}
+        nanos: Dict[str, int] = {}
+        total = 0
+        for event, count, nanos_each in events:
+            if count < 0:
+                raise ValueError(f"negative event count: {count}")
+            if nanos_each < 0:
+                raise ValueError(f"negative event cost: {nanos_each}")
+            counts[event] = counts.get(event, 0) + count
+            if nanos_each:
+                charged = count * nanos_each
+                nanos[event] = nanos.get(event, 0) + charged
+                total += charged
+        self.counts = counts
+        self.nanos = nanos
+        self.total_nanos = total
+
+    def scaled(self, factor: int) -> "CostBundle":
+        """The bundle repeated ``factor`` times (e.g. per alive thread)."""
+        if factor < 0:
+            raise ValueError(f"negative bundle factor: {factor}")
+        scaled = CostBundle(())
+        scaled.counts = {e: c * factor for e, c in self.counts.items()}
+        scaled.nanos = {e: n * factor for e, n in self.nanos.items()}
+        scaled.total_nanos = self.total_nanos * factor
+        return scaled
+
+    def merged(self, other: "CostBundle") -> "CostBundle":
+        """This bundle followed by ``other``, as one bundle."""
+        merged = CostBundle(())
+        merged.counts = dict(self.counts)
+        merged.nanos = dict(self.nanos)
+        for event, count in other.counts.items():
+            merged.counts[event] = merged.counts.get(event, 0) + count
+        for event, charged in other.nanos.items():
+            merged.nanos[event] = merged.nanos.get(event, 0) + charged
+        merged.total_nanos = self.total_nanos + other.total_nanos
+        return merged
+
+
+class CostLedger:
+    """Counts named events and optionally charges virtual time for them.
+
+    Bundle charges are *deferred*: ``charge_bundle`` advances the clock
+    immediately (time is observable mid-run) but only tallies how many
+    times each bundle was applied — two dict operations instead of one
+    per event.  Per-event counts and nanos are materialized from those
+    tallies the first time anything reads them; reads happen at
+    reporting frequency, not allocation frequency, so the fold is paid
+    once per snapshot rather than once per malloc.
+    """
+
+    __slots__ = ("_clock", "_counts", "_nanos", "_pending")
 
     def __init__(self, clock: Optional[VirtualClock] = None):
         self._clock = clock
         self._counts: Dict[str, int] = {}
         self._nanos: Dict[str, int] = {}
+        # bundle -> number of times charged (identity-keyed: bundles are
+        # shared precompiled constants).
+        self._pending: Dict[CostBundle, int] = {}
 
     def record(self, event: str, count: int = 1, nanos_each: int = 0) -> None:
         """Record ``count`` occurrences of ``event``.
@@ -70,27 +146,66 @@ class CostLedger:
             total_nanos = count * nanos_each
             nanos = self._nanos
             nanos[event] = nanos.get(event, 0) + total_nanos
-            if self._clock is not None and total_nanos:
-                self._clock.advance(total_nanos)
+            clock = self._clock
+            if clock is not None:
+                # Monotonicity holds by construction (count and
+                # nanos_each are both checked nonnegative), so the
+                # advance() guard is skipped on this hot call.
+                clock._now_ns += total_nanos
+
+    def charge_bundle(self, bundle: CostBundle) -> None:
+        """Apply a precompiled :class:`CostBundle` in one shot.
+
+        Equivalent to replaying the bundle's original ``record`` calls
+        back-to-back; used by the batched hot path for charge runs with
+        no observation point in between.
+        """
+        pending = self._pending
+        pending[bundle] = pending.get(bundle, 0) + 1
+        total = bundle.total_nanos
+        if total:
+            clock = self._clock
+            if clock is not None:
+                clock._now_ns += total
+
+    def _flush(self) -> None:
+        """Fold deferred bundle tallies into the per-event dicts."""
+        pending = self._pending
+        if not pending:
+            return
+        counts = self._counts
+        nanos = self._nanos
+        for bundle, hits in pending.items():
+            for event, count in bundle.counts.items():
+                counts[event] = counts.get(event, 0) + count * hits
+            for event, charged in bundle.nanos.items():
+                nanos[event] = nanos.get(event, 0) + charged * hits
+        pending.clear()
 
     def count(self, event: str) -> int:
         """Number of recorded occurrences of ``event``."""
+        self._flush()
         return self._counts.get(event, 0)
 
     def nanos(self, event: str) -> int:
         """Total nanoseconds charged for ``event``."""
+        self._flush()
         return self._nanos.get(event, 0)
 
     def total_nanos(self) -> int:
         """Total nanoseconds charged across all events."""
+        self._flush()
         return sum(self._nanos.values())
 
     def counts(self) -> Dict[str, int]:
         """A snapshot of all event counts."""
+        self._flush()
         return dict(self._counts)
 
     def merge(self, other: "CostLedger") -> None:
         """Fold another ledger's counts into this one (no clock charge)."""
+        self._flush()
+        other._flush()
         for event, count in other._counts.items():
             self._counts[event] = self._counts.get(event, 0) + count
         for event, nanos in other._nanos.items():
@@ -100,8 +215,10 @@ class CostLedger:
         """Clear all recorded events."""
         self._counts.clear()
         self._nanos.clear()
+        self._pending.clear()
 
     def __repr__(self) -> str:
+        self._flush()
         events = len(self._counts)
         return f"CostLedger(events={events}, total_nanos={self.total_nanos()})"
 

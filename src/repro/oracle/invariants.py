@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.config import CSODConfig
+from repro.core.config import CSODConfig, HOTPATH_LEGACY
 from repro.core.runtime import CSODRuntime
 from repro.core.sampling import context_signature
 from repro.fleet.pool import execute_spec
@@ -108,6 +108,13 @@ def probe_invariants(
 ) -> InvariantReport:
     """One instrumented inline execution under CSOD."""
     config = config or CSODConfig()
+    # The spies below monkeypatch individual unit methods
+    # (sampling.on_allocation, wmu.try_watch, ...).  The batched hot path
+    # fuses those steps into one flat routine that would silently bypass
+    # instance-level patches, so probes always run the legacy driver —
+    # the equivalence harness pins the two drivers to identical
+    # behaviour, so invariants verified here hold for both.
+    config = config.with_hotpath(HOTPATH_LEGACY)
     process = SimProcess(seed=seed)
     runtime = CSODRuntime(process.machine, process.heap, config, seed=seed)
     if evidence:

@@ -61,7 +61,9 @@ class SamplerRuntime:
         self._backtracer = Backtracer(machine.ledger)
         # The PMU's sampling phase differs per run; derive it from seed.
         rng = PerThreadRNG(seed)
-        self._countdown = 1 + rng.below(1, self.config.sample_period)
+        self._sample_period = self.config.sample_period
+        self._ledger = machine.ledger
+        self._countdown = 1 + rng.below(1, self._sample_period)
         # object address -> (size, context)
         self._live: Dict[int, Tuple[int, CallingContext]] = {}
         self.reports: List[SamplerReport] = []
@@ -109,13 +111,16 @@ class SamplerRuntime:
     # PMU sampling
     # ------------------------------------------------------------------
     def _on_access(self, thread: SimThread, address: int, size: int, kind: str):
+        # This hook runs on every simulated load/store; everything up to
+        # the (rare) sample delivery is a decrement and one compare.
         self.accesses_seen += 1
-        self._countdown -= 1
-        if self._countdown > 0:
+        countdown = self._countdown - 1
+        if countdown > 0:
+            self._countdown = countdown
             return
-        self._countdown = self.config.sample_period
+        self._countdown = self._sample_period
         self.samples_taken += 1
-        self.machine.ledger.record("sampler.pmu_sample", nanos_each=PMU_SAMPLE_COST_NS)
+        self._ledger.record("sampler.pmu_sample", nanos_each=PMU_SAMPLE_COST_NS)
         self._check_sample(thread, address, size, kind)
 
     def _check_sample(self, thread, address, size, kind) -> None:

@@ -1,0 +1,130 @@
+"""Header-table slot reuse in the index-addressed canary registry.
+
+The canary unit stores live-object metadata in parallel flat arrays
+(``_slot_addr``/``_slot_size``/``_slot_real``/``_slot_record``) indexed
+by slot, with freed indices recycled through ``_free_slots``.  A free
+followed by a same-size malloc lands on the same heap block AND the same
+slot — these tests pin that no stale state (canary bytes, context
+index, record pointer) survives the recycling, on either hot path.
+"""
+
+import pytest
+
+from repro.callstack.frames import CallSite
+from repro.core import CSODConfig, CSODRuntime
+from repro.core.config import HOTPATH_BATCHED, HOTPATH_LEGACY
+from repro.heap.layout import CSOD_HEADER_SIZE, HEADER_IDENTIFIER
+from repro.workloads.base import SimProcess
+
+SITE_A = CallSite("SLOT", "a.c", 1, "alloc_a")
+SITE_B = CallSite("SLOT", "b.c", 2, "alloc_b")
+
+
+@pytest.fixture(params=[HOTPATH_LEGACY, HOTPATH_BATCHED])
+def env(request):
+    process = SimProcess(seed=17)
+    runtime = CSODRuntime(
+        process.machine,
+        process.heap,
+        CSODConfig(hotpath=request.param),
+        seed=17,
+    )
+    process.symbols.add(SITE_A)
+    process.symbols.add(SITE_B)
+    return process, runtime
+
+
+def _malloc(process, site, size):
+    thread = process.main_thread
+    with thread.call_stack.calling(site):
+        return process.heap.malloc(thread, size)
+
+
+def test_free_then_same_size_malloc_reuses_slot_and_block(env):
+    process, runtime = env
+    canary = runtime.canary
+    first = _malloc(process, SITE_A, 64)
+    slot = canary._addr_slot[first]
+    old_record = canary._slot_record[slot]
+    process.heap.free(process.main_thread, first)
+    assert canary._slot_record[slot] is None
+    assert slot in canary._free_slots
+    second = _malloc(process, SITE_B, 64)
+    # First-fit allocator hands back the same block; the registry must
+    # hand back the same slot with fully rewritten metadata.
+    assert second == first
+    assert canary._addr_slot[second] == slot
+    assert slot not in canary._free_slots
+    new_record = canary._slot_record[slot]
+    assert new_record is not old_record
+    assert canary._slot_addr[slot] == second
+    assert canary._slot_size[slot] == 64
+
+
+def test_reused_slot_header_carries_new_context_index(env):
+    process, runtime = env
+    canary = runtime.canary
+    memory = process.machine.memory
+    first = _malloc(process, SITE_A, 48)
+    process.heap.free(process.main_thread, first)
+    second = _malloc(process, SITE_B, 48)
+    assert second == first
+    real, size, context_ptr, identifier = memory.read_words(
+        second - CSOD_HEADER_SIZE, 4
+    )
+    record = canary._slot_record[canary._addr_slot[second]]
+    assert identifier == HEADER_IDENTIFIER
+    assert size == 48
+    assert real == second - CSOD_HEADER_SIZE
+    # The context pointer must be SITE_B's key, not the stale SITE_A one.
+    assert context_ptr == record.key.first_level_ra
+    assert record.key.first_level_ra == SITE_B.return_address
+
+
+def test_reused_block_has_fresh_canary_bytes(env):
+    """A corruption reported at free must not haunt the block's reuser."""
+    process, runtime = env
+    thread = process.main_thread
+    first = _malloc(process, SITE_A, 32)
+    # Overflow into the canary via a raw write (no CPU access, no trap).
+    process.machine.memory.write_word(first + 32, 0x41414141)
+    process.heap.free(thread, first)
+    assert runtime.canary.corruption_count == 1
+    assert len(runtime.reports) == 1
+    second = _malloc(process, SITE_B, 32)
+    assert second == first  # same bytes, recycled
+    process.heap.free(thread, second)
+    # The wrap rewrote the canary, so the reuse is clean: no new report.
+    assert runtime.canary.corruption_count == 1
+    assert len(runtime.reports) == 1
+
+
+def test_slot_count_stays_flat_under_churn(env):
+    """Steady-state churn recycles slots instead of growing the arrays."""
+    process, runtime = env
+    canary = runtime.canary
+    thread = process.main_thread
+    for _ in range(200):
+        address = _malloc(process, SITE_A, 64)
+        process.heap.free(thread, address)
+    assert len(canary._slot_addr) <= 2
+    assert canary.live_count() == 0
+
+
+def test_interleaved_sizes_do_not_cross_slots(env):
+    process, runtime = env
+    canary = runtime.canary
+    thread = process.main_thread
+    a = _malloc(process, SITE_A, 64)
+    b = _malloc(process, SITE_B, 128)
+    slot_a = canary._addr_slot[a]
+    slot_b = canary._addr_slot[b]
+    assert slot_a != slot_b
+    process.heap.free(thread, a)
+    c = _malloc(process, SITE_B, 24)  # smaller: fits the freed gap
+    slot_c = canary._addr_slot[c]
+    assert slot_c == slot_a  # recycled index...
+    assert canary._slot_size[slot_c] == 24  # ...with the new size
+    assert canary._slot_size[slot_b] == 128  # neighbour untouched
+    process.heap.free(thread, b)
+    process.heap.free(thread, c)
