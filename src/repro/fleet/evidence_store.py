@@ -16,21 +16,38 @@ workers can never race on it.
 
 from __future__ import annotations
 
+import heapq
 import json
 import os
 import tempfile
-from typing import FrozenSet, Iterable, Optional, Set
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.termination import _PERSIST_VERSION, load_persisted
 
 
 class EvidenceStore:
-    """A file-backed, merge-only set of overflowing context signatures."""
+    """A file-backed, merge-only set of overflowing context signatures.
+
+    Merges are **incremental**: the store keeps its signatures as a
+    sorted list maintained by merging each (sorted) batch of new
+    signatures in, so a flush serialises without re-sorting the whole
+    set — the steady-state cost of absorbing *k* new signatures into a
+    store of *n* is O(n + k log k), not O((n + k) log (n + k)).
+
+    The store also tolerates a **concurrent external writer** (another
+    coordinator sharing the same evidence file): before merging, the
+    file's stat identity (mtime_ns, size, inode) is compared against
+    the last state this store wrote or read, and a changed file is
+    re-read and unioned in first.  Merge-only semantics make that safe
+    — signatures are never removed, so a union can only converge.
+    """
 
     def __init__(self, path: Optional[str] = None):
         """``path=None`` keeps the store purely in memory."""
         self.path = path
         self._signatures: Set[str] = set(load_persisted(path))
+        self._sorted: List[str] = sorted(self._signatures)
+        self._stamp = self._stat_stamp()
 
     # ------------------------------------------------------------------
     # Reads
@@ -64,24 +81,60 @@ class EvidenceStore:
         already hold everything older.
         """
         incoming = set(signatures)
+        self._refresh_external()
         new = frozenset(incoming - self._signatures)
         if not new:
             return new
-        self._signatures |= new
+        self._absorb_sorted(sorted(new))
         self._flush()
         return new
+
+    def _absorb_sorted(self, batch: List[str]) -> None:
+        """Merge an already-sorted batch of novel signatures in."""
+        self._signatures.update(batch)
+        self._sorted = list(heapq.merge(self._sorted, batch))
+
+    # ------------------------------------------------------------------
+    # File identity (concurrent-writer tolerance)
+    # ------------------------------------------------------------------
+    def _stat_stamp(self) -> Optional[Tuple[int, int, int]]:
+        if self.path is None:
+            return None
+        try:
+            info = os.stat(self.path)
+        except OSError:
+            return None
+        return (info.st_mtime_ns, info.st_size, info.st_ino)
+
+    def _refresh_external(self) -> None:
+        """Union in signatures another writer persisted since we looked.
+
+        Writers are atomic (temp + rename), so a reader only ever sees
+        a complete file; a stamp mismatch means someone else renamed a
+        new version into place.
+        """
+        if self.path is None:
+            return
+        stamp = self._stat_stamp()
+        if stamp == self._stamp:
+            return
+        external = set(load_persisted(self.path)) - self._signatures
+        if external:
+            self._absorb_sorted(sorted(external))
+        self._stamp = stamp
 
     def _flush(self) -> None:
         if self.path is None:
             return
         payload = {
             "version": _PERSIST_VERSION,
-            "contexts": sorted(self._signatures),
+            "contexts": self._sorted,
         }
         tmp_path = self.path + ".tmp"
         with open(tmp_path, "w") as handle:
             json.dump(payload, handle, indent=1)
         os.replace(tmp_path, self.path)
+        self._stamp = self._stat_stamp()
 
 
 class TemporaryEvidenceStore(EvidenceStore):

@@ -1,0 +1,597 @@
+"""The shared-memory fleet data plane.
+
+Three kinds of ``multiprocessing.shared_memory`` segments replace the
+pickled broadcast/result IPC when ``wire="shm"``:
+
+* an **evidence segment** — an epoch'd append-only
+  :class:`StringLogSegment` of context signatures.  The coordinator
+  appends each wave's newly merged evidence and publishes (slot count,
+  epoch); workers attach once in the executor initializer and re-read
+  only the slots they have not parsed yet — no deserialization, no
+  per-chunk evidence payload.
+* a **context-registry segment** — the same log format, carrying the
+  report signatures whose symbolized frames the coordinator already
+  holds.  Workers fold it into their shipped-set, so frame strings
+  travel worker→coordinator once *fleet-wide* instead of once per
+  worker.
+* per-worker **result rings** — :class:`RingSegment`s into which a
+  worker writes each chunk's binary blob (:mod:`repro.fleet.wire`);
+  the future returns only a tiny :class:`BlobHandle` (slot, offset,
+  length, sequence number) and the coordinator reads the bytes
+  directly out of shared memory.
+
+Log segments hold fixed-width slots; a record is ``u32 byte-length +
+UTF-8 payload`` starting on a slot boundary and spanning continuation
+slots when longer than one slot, so arbitrary-width signatures keep
+the O(1) slot addressing.  Publication is a header word pair written
+*after* the slot bytes (count, then epoch), and the coordinator always
+publishes before submitting the chunks that reference the new count,
+so a worker that can see the chunk can see the slots.
+
+Ring frames are ``u32 magic + u32 length + u64 seq`` followed by the
+payload, at monotonically increasing *virtual* offsets (physical =
+virtual mod capacity; a frame never wraps — the writer skips the tail
+instead).  The coordinator advances a shared read cursor after every
+fetch and the worker refuses to overwrite unread bytes, falling back
+to shipping the blob inline over the pipe — so a slow coordinator
+degrades, never corrupts.  Every fetch re-verifies magic, length, and
+sequence number.
+
+Worker↔ring assignment uses a **claim protocol**: ring ``i`` belongs
+to whichever worker first creates the claim segment ``<prefix>c<i>``
+(``O_CREAT|O_EXCL`` makes creation atomic).  Claims persist for the
+worker's lifetime; the coordinator unlinks them when it closes the
+plane or rebuilds the executor, so replacement workers can re-claim
+the rings of terminated ones.
+
+The coordinator owns every segment's lifecycle: names are chosen up
+front, :meth:`ShmDataPlane.unlink` is idempotent, and a pid-guarded
+``weakref.finalize`` backstops close() so neither a dropped pool nor a
+forked worker's exit can leak (or prematurely destroy) a segment.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import struct
+import time
+import weakref
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+try:  # pragma: no cover — import success is the common case
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover — platforms without _posixshmem
+    _shared_memory = None
+
+WIRE_PICKLE = "pickle"
+WIRE_SHM = "shm"
+WIRES = (WIRE_PICKLE, WIRE_SHM)
+
+_LOG_MAGIC = 0x43534C47  # "CSLG"
+_RING_MAGIC = 0x43535247  # "CSRG"
+_FRAME_MAGIC = 0x43534652  # "CSFR"
+_VERSION = 1
+
+# Log header: magic u32 | version u32 | slot_width u32 | pad u32
+#             | capacity_slots u64 | published_slots u64 | epoch u64
+_LOG_HEADER = struct.Struct("<IIIIQQQ")
+_LOG_HEADER_BYTES = 64
+# Ring header: magic u32 | version u32 | data_capacity u64
+#              | vwrite u64 | seq u64 | vread u64
+_RING_HEADER = struct.Struct("<IIQQQQ")
+_RING_HEADER_BYTES = 64
+_FRAME_HEADER = struct.Struct("<IIQ")
+
+DEFAULT_SLOT_WIDTH = 192
+DEFAULT_EVIDENCE_SLOTS = 4096
+DEFAULT_REGISTRY_SLOTS = 4096
+DEFAULT_RING_BYTES = 4 * 1024 * 1024
+
+# Worker-side wait for a publication the chunk references (the publish
+# always happens-before the submit, so this only absorbs cache lag).
+_PUBLISH_WAIT_SECONDS = 5.0
+
+
+class SegmentFull(RuntimeError):
+    """An append would not fit; the caller falls back to the pipe."""
+
+
+class SegmentCorrupt(RuntimeError):
+    """A frame or header failed verification (overwritten or foreign)."""
+
+
+_SUPPORTED: Optional[bool] = None
+
+
+def shm_supported() -> bool:
+    """Can this interpreter create POSIX shared memory segments?"""
+    global _SUPPORTED
+    if _SUPPORTED is not None:
+        return _SUPPORTED
+    if _shared_memory is None:
+        _SUPPORTED = False
+        return False
+    try:
+        probe = _shared_memory.SharedMemory(create=True, size=16)
+    except Exception:  # noqa: BLE001 — any failure means "no"
+        _SUPPORTED = False
+        return False
+    try:
+        probe.unlink()
+    finally:
+        probe.close()
+    _SUPPORTED = True
+    return True
+
+
+def _unlink_quietly(name: str) -> bool:
+    """Unlink a segment by name; True when it existed."""
+    if _shared_memory is None:
+        return False
+    try:
+        segment = _shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover — lost a race, fine
+        pass
+    segment.close()
+    return True
+
+
+# ----------------------------------------------------------------------
+# Append-only string log
+# ----------------------------------------------------------------------
+class StringLogSegment:
+    """Fixed-width-slot append-only UTF-8 record log with epochs.
+
+    Single writer (the coordinator), many readers (workers).  Readers
+    keep their own slot cursor and parse only new slots.
+    """
+
+    def __init__(self, segment, writable: bool):
+        self._shm = segment
+        self._writable = writable
+        buf = segment.buf
+        magic, version, slot_width, _pad, capacity, published, _epoch = (
+            _LOG_HEADER.unpack_from(buf, 0)
+        )
+        if magic != _LOG_MAGIC or version != _VERSION:
+            raise SegmentCorrupt(
+                f"segment {segment.name!r} is not a v{_VERSION} string log"
+            )
+        self.slot_width = slot_width
+        self.capacity_slots = capacity
+        # Writer-side tail (slots written, possibly unpublished).
+        self._tail_slots = published if writable else 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        capacity_slots: int = DEFAULT_EVIDENCE_SLOTS,
+        slot_width: int = DEFAULT_SLOT_WIDTH,
+    ) -> "StringLogSegment":
+        size = _LOG_HEADER_BYTES + capacity_slots * slot_width
+        segment = _shared_memory.SharedMemory(name=name, create=True, size=size)
+        _LOG_HEADER.pack_into(
+            segment.buf, 0, _LOG_MAGIC, _VERSION, slot_width, 0,
+            capacity_slots, 0, 0,
+        )
+        return cls(segment, writable=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "StringLogSegment":
+        return cls(_shared_memory.SharedMemory(name=name), writable=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def published_slots(self) -> int:
+        return _LOG_HEADER.unpack_from(self._shm.buf, 0)[5]
+
+    @property
+    def epoch(self) -> int:
+        return _LOG_HEADER.unpack_from(self._shm.buf, 0)[6]
+
+    def _slots_for(self, payload: bytes) -> int:
+        return -(-(4 + len(payload)) // self.slot_width)
+
+    def append(self, records: Iterable[str]) -> None:
+        """Write records after the tail; invisible until :meth:`publish`."""
+        assert self._writable, "readers must not append"
+        buf = self._shm.buf
+        tail = self._tail_slots
+        staged = []
+        for record in records:
+            payload = record.encode("utf-8")
+            slots = self._slots_for(payload)
+            staged.append((payload, slots))
+            tail += slots
+        if tail > self.capacity_slots:
+            raise SegmentFull(
+                f"string log {self.name!r} full: need {tail} of "
+                f"{self.capacity_slots} slots"
+            )
+        for payload, slots in staged:
+            offset = _LOG_HEADER_BYTES + self._tail_slots * self.slot_width
+            struct.pack_into("<I", buf, offset, len(payload))
+            buf[offset + 4 : offset + 4 + len(payload)] = payload
+            self._tail_slots += slots
+
+    def publish(self, epoch: int) -> None:
+        """Make everything appended so far visible, stamped ``epoch``."""
+        assert self._writable, "readers must not publish"
+        buf = self._shm.buf
+        struct.pack_into("<Q", buf, 24, self._tail_slots)  # published_slots
+        struct.pack_into("<Q", buf, 32, epoch)
+
+    def read_from(self, cursor_slots: int, upto_slots: int) -> List[str]:
+        """Parse records in ``[cursor_slots, upto_slots)`` slot range."""
+        buf = self._shm.buf
+        records: List[str] = []
+        slot = cursor_slots
+        while slot < upto_slots:
+            offset = _LOG_HEADER_BYTES + slot * self.slot_width
+            (length,) = struct.unpack_from("<I", buf, offset)
+            payload = bytes(buf[offset + 4 : offset + 4 + length])
+            records.append(payload.decode("utf-8"))
+            slot += self._slots_for(payload)
+        if slot != upto_slots:
+            raise SegmentCorrupt(
+                f"string log {self.name!r}: record at slot {cursor_slots} "
+                f"overruns published boundary {upto_slots} (ended at {slot})"
+            )
+        return records
+
+    def wait_published(self, slots: int) -> None:
+        """Block until at least ``slots`` slots are published."""
+        deadline = time.monotonic() + _PUBLISH_WAIT_SECONDS
+        while self.published_slots < slots:
+            if time.monotonic() >= deadline:
+                raise SegmentCorrupt(
+                    f"string log {self.name!r}: publication of slot {slots} "
+                    f"never arrived (at {self.published_slots})"
+                )
+            time.sleep(0.001)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._shm.close()
+
+    def unlink(self) -> None:
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover — double unlink
+            pass
+
+
+# ----------------------------------------------------------------------
+# Per-worker result ring
+# ----------------------------------------------------------------------
+class RingSegment:
+    """A single-writer blob ring with a coordinator-owned read cursor."""
+
+    def __init__(self, segment, writable: bool):
+        self._shm = segment
+        self._writable = writable
+        magic, version, capacity, vwrite, seq, _vread = _RING_HEADER.unpack_from(
+            segment.buf, 0
+        )
+        if magic != _RING_MAGIC or version != _VERSION:
+            raise SegmentCorrupt(
+                f"segment {segment.name!r} is not a v{_VERSION} ring"
+            )
+        self.data_capacity = capacity
+        self._vwrite = vwrite
+        self._seq = seq
+
+    @classmethod
+    def create(cls, name: str, data_bytes: int = DEFAULT_RING_BYTES) -> "RingSegment":
+        segment = _shared_memory.SharedMemory(
+            name=name, create=True, size=_RING_HEADER_BYTES + data_bytes
+        )
+        _RING_HEADER.pack_into(
+            segment.buf, 0, _RING_MAGIC, _VERSION, data_bytes, 0, 0, 0
+        )
+        return cls(segment, writable=False)
+
+    @classmethod
+    def attach_writer(cls, name: str) -> "RingSegment":
+        ring = cls(_shared_memory.SharedMemory(name=name), writable=True)
+        # Everything a previous (terminated) owner left in flight is
+        # dead with its futures: start from a drained ring.
+        struct.pack_into("<Q", ring._shm.buf, 32, ring._vwrite)  # vread
+        return ring
+
+    @classmethod
+    def attach_reader(cls, name: str) -> "RingSegment":
+        return cls(_shared_memory.SharedMemory(name=name), writable=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def _vread(self) -> int:
+        return struct.unpack_from("<Q", self._shm.buf, 32)[0]
+
+    @staticmethod
+    def _padded(length: int) -> int:
+        return _FRAME_HEADER.size + ((length + 7) & ~7)
+
+    def write_blob(self, payload: bytes) -> Optional[tuple]:
+        """Append one blob; ``(voff, length, seq)`` or None if it won't fit."""
+        assert self._writable
+        frame = self._padded(len(payload))
+        if frame > self.data_capacity:
+            return None
+        voff = self._vwrite
+        phys = voff % self.data_capacity
+        skip = 0
+        if phys + frame > self.data_capacity:
+            # Frames never wrap: skip the tail, start at physical 0.
+            skip = self.data_capacity - phys
+            voff += skip
+            phys = 0
+        used = voff + frame - self._vread
+        if used > self.data_capacity:
+            return None  # coordinator has not drained enough yet
+        buf = self._shm.buf
+        base = _RING_HEADER_BYTES + phys
+        self._seq += 1
+        _FRAME_HEADER.pack_into(buf, base, _FRAME_MAGIC, len(payload), self._seq)
+        start = base + _FRAME_HEADER.size
+        buf[start : start + len(payload)] = payload
+        self._vwrite = voff + frame
+        struct.pack_into("<QQ", buf, 16, self._vwrite, self._seq)
+        return voff, len(payload), self._seq
+
+    def read_blob(self, voff: int, length: int, seq: int) -> bytes:
+        """Fetch and verify one frame, then advance the read cursor."""
+        phys = voff % self.data_capacity
+        base = _RING_HEADER_BYTES + phys
+        buf = self._shm.buf
+        magic, stored_len, stored_seq = _FRAME_HEADER.unpack_from(buf, base)
+        if magic != _FRAME_MAGIC or stored_len != length or stored_seq != seq:
+            raise SegmentCorrupt(
+                f"ring {self.name!r}: frame at voff {voff} failed "
+                f"verification (magic=0x{magic:08x} len={stored_len} "
+                f"seq={stored_seq}, expected len={length} seq={seq})"
+            )
+        start = base + _FRAME_HEADER.size
+        payload = bytes(buf[start : start + length])
+        struct.pack_into("<Q", buf, 32, voff + self._padded(length))
+        return payload
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._shm.close()
+
+    def unlink(self) -> None:
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover — double unlink
+            pass
+
+
+# ----------------------------------------------------------------------
+# Handles and planes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BlobHandle:
+    """What a worker returns instead of a pickled chunk outcome.
+
+    ``slot >= 0`` points into that worker ring; ``slot == -1`` means the
+    blob travels inline (ring missing, full, or blob oversized) — the
+    bytes are identical either way.
+    """
+
+    slot: int
+    voff: int = 0
+    length: int = 0
+    seq: int = 0
+    inline: Optional[bytes] = None
+
+
+def _finalize_unlink(names: Sequence[str], owner_pid: int) -> None:
+    """GC/exit backstop: unlink, but only in the process that created.
+
+    Forked workers inherit the coordinator's plane object; without the
+    pid guard a *worker* exiting gracefully would unlink segments the
+    fleet is still using.
+    """
+    if os.getpid() != owner_pid:
+        return
+    for name in names:
+        _unlink_quietly(name)
+
+
+class ShmDataPlane:
+    """Coordinator-side owner of every segment in one pool's data plane."""
+
+    def __init__(
+        self,
+        prefix: str,
+        evidence: StringLogSegment,
+        registry: StringLogSegment,
+        rings: List[RingSegment],
+    ):
+        self.prefix = prefix
+        self.evidence = evidence
+        self.registry = registry
+        self.rings = rings
+        self._registry_epoch = 0
+        self._unlinked = False
+        self._claim_names = [f"{prefix}c{i}" for i in range(len(rings))]
+        all_names = (
+            [evidence.name, registry.name]
+            + [ring.name for ring in rings]
+            + list(self._claim_names)
+        )
+        self._finalizer = weakref.finalize(
+            self, _finalize_unlink, tuple(all_names), os.getpid()
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        rings: int,
+        evidence: Sequence[str] = (),
+        evidence_slots: int = DEFAULT_EVIDENCE_SLOTS,
+        registry_slots: int = DEFAULT_REGISTRY_SLOTS,
+        ring_bytes: int = DEFAULT_RING_BYTES,
+        slot_width: int = DEFAULT_SLOT_WIDTH,
+    ) -> "ShmDataPlane":
+        prefix = f"csod{os.getpid() & 0xFFFF:04x}{secrets.token_hex(3)}"
+        created: List[object] = []
+        try:
+            evidence_log = StringLogSegment.create(
+                f"{prefix}e", evidence_slots, slot_width
+            )
+            created.append(evidence_log)
+            evidence_log.append(evidence)
+            evidence_log.publish(epoch=0)
+            registry_log = StringLogSegment.create(
+                f"{prefix}g", registry_slots, slot_width
+            )
+            created.append(registry_log)
+            ring_list = []
+            for i in range(max(1, rings)):
+                ring = RingSegment.create(f"{prefix}r{i}", ring_bytes)
+                created.append(ring)
+                ring_list.append(ring)
+        except Exception:
+            for segment in created:
+                segment.unlink()
+                segment.close()
+            raise
+        return cls(prefix, evidence_log, registry_log, ring_list)
+
+    # ------------------------------------------------------------------
+    def names(self) -> Dict[str, object]:
+        """Everything a worker needs to attach, picklable."""
+        return {
+            "evidence": self.evidence.name,
+            "registry": self.registry.name,
+            "rings": [ring.name for ring in self.rings],
+            "claim_prefix": f"{self.prefix}c",
+        }
+
+    @property
+    def evidence_slots(self) -> int:
+        return self.evidence.published_slots
+
+    def evidence_append(self, signatures: Sequence[str], epoch: int) -> None:
+        self.evidence.append(signatures)
+        self.evidence.publish(epoch)
+
+    def registry_append(self, signatures: Sequence[str]) -> None:
+        self.registry.append(signatures)
+        self._registry_epoch += 1
+        self.registry.publish(self._registry_epoch)
+
+    def fetch(self, handle: BlobHandle) -> bytes:
+        if handle.inline is not None:
+            return handle.inline
+        if not 0 <= handle.slot < len(self.rings):
+            raise SegmentCorrupt(f"blob handle names unknown ring {handle.slot}")
+        return self.rings[handle.slot].read_blob(
+            handle.voff, handle.length, handle.seq
+        )
+
+    # ------------------------------------------------------------------
+    def reset_claims(self) -> None:
+        """Free every ring claim (call only with all workers terminated)."""
+        for name in self._claim_names:
+            _unlink_quietly(name)
+
+    def unlink(self) -> None:
+        """Destroy every segment; idempotent, safe to call twice."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        self._finalizer.detach()
+        self.reset_claims()
+        for segment in [self.evidence, self.registry, *self.rings]:
+            segment.unlink()
+            segment.close()
+
+
+class WorkerPlane:
+    """Worker-side attachments plus incremental read cursors."""
+
+    def __init__(self, names: Dict[str, object]):
+        self.evidence = StringLogSegment.attach(str(names["evidence"]))
+        self.registry = StringLogSegment.attach(str(names["registry"]))
+        self._evidence_records: List[str] = []
+        self._evidence_cursor = 0
+        self._evidence_cache: Optional[FrozenSet[str]] = None
+        self._registry_cursor = 0
+        self.ring: Optional[RingSegment] = None
+        self.slot = -1
+        self._claim = None
+        claim_prefix = str(names["claim_prefix"])
+        ring_names = list(names["rings"])
+        for i, ring_name in enumerate(ring_names):
+            try:
+                claim = _shared_memory.SharedMemory(
+                    name=f"{claim_prefix}{i}", create=True, size=8
+                )
+            except FileExistsError:
+                continue
+            except Exception:  # noqa: BLE001 — no claims means inline blobs
+                break
+            try:
+                self.ring = RingSegment.attach_writer(str(ring_name))
+                self.slot = i
+                self._claim = claim
+            except Exception:  # noqa: BLE001 — ring gone: fall back inline
+                claim.close()
+            break
+
+    # ------------------------------------------------------------------
+    def evidence_at(self, slots: int) -> FrozenSet[str]:
+        """The evidence set published at exactly ``slots`` slots."""
+        if slots < self._evidence_cursor:
+            raise SegmentCorrupt(
+                f"evidence cursor moved backwards: chunk wants {slots}, "
+                f"worker already parsed {self._evidence_cursor}"
+            )
+        if slots > self._evidence_cursor:
+            self.evidence.wait_published(slots)
+            self._evidence_records.extend(
+                self.evidence.read_from(self._evidence_cursor, slots)
+            )
+            self._evidence_cursor = slots
+            self._evidence_cache = None
+        if self._evidence_cache is None:
+            self._evidence_cache = frozenset(self._evidence_records)
+        return self._evidence_cache
+
+    def refresh_shipped(self, shipped: Set[str]) -> None:
+        """Fold newly registered fleet-wide signatures into ``shipped``."""
+        published = self.registry.published_slots
+        if published > self._registry_cursor:
+            shipped.update(
+                self.registry.read_from(self._registry_cursor, published)
+            )
+            self._registry_cursor = published
+
+    def ship(self, payload: bytes) -> BlobHandle:
+        """Put one encoded chunk on the ring, or inline when it won't fit."""
+        if self.ring is not None:
+            written = self.ring.write_blob(payload)
+            if written is not None:
+                voff, length, seq = written
+                return BlobHandle(slot=self.slot, voff=voff, length=length, seq=seq)
+        return BlobHandle(slot=-1, inline=payload)

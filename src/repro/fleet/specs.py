@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import CSODConfig
+from repro.fleet.shm import WIRE_PICKLE
 
 OUTCOME_OK = "ok"
 OUTCOME_CRASH = "worker-crash"
@@ -114,6 +115,16 @@ class WorkChunk:
     # resubmission of crashed specs (no further retry inside).
     attempts: int = 1
     retry_crashed: bool = True
+    # Which data plane carries this chunk's evidence and results.  With
+    # ``wire="shm"`` the chunk ships **no evidence at all**: workers
+    # read the shared evidence segment up to ``evidence_slots`` (the
+    # slot count published at the chunk's epoch) and answer with a
+    # :class:`repro.fleet.shm.BlobHandle` into their result ring
+    # instead of a pickled outcome.  ``wire="pickle"`` chunks behave
+    # exactly as before — also the per-chunk fallback when the shm
+    # plane fills or fails mid-campaign.
+    wire: str = WIRE_PICKLE
+    evidence_slots: int = 0
 
 
 @dataclass

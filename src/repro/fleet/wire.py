@@ -1,0 +1,242 @@
+"""The binary chunk-result wire format.
+
+The shm data plane ships a worker's :class:`ChunkOutcome` as one
+compact binary blob instead of a pickle: struct-packed fixed-width
+result rows referencing a per-blob string table (so unicode frames and
+arbitrary-width signatures cost exactly their UTF-8 bytes, once), plus
+the chunk's novel context-table entries.  The coordinator decodes the
+rows back into :class:`LeanExecutionResult`s and *refolds* the partial
+aggregate (:meth:`PartialAggregate.refold`) — associative, so merged
+state is byte-identical to the pickle wire at any worker count.
+
+Layout (all little-endian, version 1)::
+
+    header     magic u32 | version u16 | flags u16 | n_strings u32
+               | n_results u32 | n_contexts u32 | crashes u32 | retries u32
+    strings    n_strings x (byte_len u32, utf-8 bytes)
+    results    n_results x row:
+                 app_id u32 | outcome_id u32 | seed i64 | index u32
+                 | detected u8 | detected_by_watchpoint u8 | attempts u8
+                 | pad u8 | allocations u64 | contexts u64
+                 | watched_times u64 | traps_handled u64
+                 | canary_corruptions u64 | wall_seconds f64
+                 | retry_wall_ms f64 | error_id u32
+                 | n_reports u16 | n_evidence u16
+               then n_reports x (sig_id u32, kind_id u32, source_id u32)
+               then n_evidence x sig_id u32
+    contexts   n_contexts x (sig_id u32, n_alloc u16, n_access u16,
+               then (n_alloc + n_access) x frame_id u32)
+
+String ids index the table; ``NONE_ID`` marks an absent ``error``.
+The codec is transport-agnostic: blobs ride a shared-memory ring when
+one is available and fall back to travelling inline over the pickle
+pipe otherwise — same bytes either way.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Tuple
+
+from repro.fleet.specs import ContextTable, LeanExecutionResult
+
+WIRE_MAGIC = 0x43534457  # "CSDW"
+WIRE_VERSION = 1
+NONE_ID = 0xFFFFFFFF
+
+_HEADER = struct.Struct("<IHHIIIII")
+_ROW = struct.Struct("<IIqIBBBxQQQQQddIHH")
+_U32 = struct.Struct("<I")
+_CTX = struct.Struct("<IHH")
+
+
+class WireError(ValueError):
+    """A blob that cannot be decoded (corrupt, truncated, or foreign)."""
+
+
+class _Interner:
+    """Deduplicating string table builder; ids are insertion-ordered."""
+
+    def __init__(self) -> None:
+        self._ids: Dict[str, int] = {}
+        self.strings: List[str] = []
+
+    def intern(self, value: str) -> int:
+        found = self._ids.get(value)
+        if found is not None:
+            return found
+        idx = len(self.strings)
+        self._ids[value] = idx
+        self.strings.append(value)
+        return idx
+
+
+def encode_chunk_outcome(
+    results: List[LeanExecutionResult],
+    contexts: ContextTable,
+    crashes: int = 0,
+    retries: int = 0,
+) -> bytes:
+    """Pack one chunk's results + novel contexts into a binary blob."""
+    interner = _Interner()
+    body: List[bytes] = []
+    for lean in results:
+        row = _ROW.pack(
+            interner.intern(lean.app),
+            interner.intern(lean.outcome),
+            lean.seed,
+            lean.index,
+            1 if lean.detected else 0,
+            1 if lean.detected_by_watchpoint else 0,
+            lean.attempts,
+            lean.allocations,
+            lean.contexts,
+            lean.watched_times,
+            lean.traps_handled,
+            lean.canary_corruptions,
+            lean.wall_seconds,
+            lean.retry_wall_ms,
+            NONE_ID if lean.error is None else interner.intern(lean.error),
+            len(lean.reports),
+            len(lean.new_evidence),
+        )
+        refs = [
+            _U32.pack(interner.intern(part))
+            for report in lean.reports
+            for part in report
+        ]
+        refs += [_U32.pack(interner.intern(sig)) for sig in lean.new_evidence]
+        body.append(row + b"".join(refs))
+    ctx_parts: List[bytes] = []
+    for signature in sorted(contexts):
+        alloc, access = contexts[signature]
+        ctx_parts.append(
+            _CTX.pack(interner.intern(signature), len(alloc), len(access))
+            + b"".join(
+                _U32.pack(interner.intern(frame)) for frame in alloc + access
+            )
+        )
+    table = b"".join(
+        _U32.pack(len(raw)) + raw
+        for raw in (s.encode("utf-8") for s in interner.strings)
+    )
+    header = _HEADER.pack(
+        WIRE_MAGIC,
+        WIRE_VERSION,
+        0,
+        len(interner.strings),
+        len(results),
+        len(ctx_parts),
+        crashes,
+        retries,
+    )
+    return header + table + b"".join(body) + b"".join(ctx_parts)
+
+
+def decode_chunk_outcome(
+    blob: bytes,
+) -> Tuple[List[LeanExecutionResult], ContextTable, int, int]:
+    """The exact inverse of :func:`encode_chunk_outcome`."""
+    try:
+        return _decode(blob)
+    except WireError:
+        raise
+    except (struct.error, IndexError, UnicodeDecodeError) as exc:
+        raise WireError(f"truncated or corrupt wire blob: {exc}") from None
+
+
+def _decode(blob: bytes):
+    if len(blob) < _HEADER.size:
+        raise WireError(f"blob too short for header: {len(blob)} bytes")
+    (
+        magic,
+        version,
+        _flags,
+        n_strings,
+        n_results,
+        n_contexts,
+        crashes,
+        retries,
+    ) = _HEADER.unpack_from(blob, 0)
+    if magic != WIRE_MAGIC:
+        raise WireError(f"bad wire magic 0x{magic:08x}")
+    if version != WIRE_VERSION:
+        raise WireError(f"unsupported wire version {version}")
+    offset = _HEADER.size
+    strings: List[str] = []
+    for _ in range(n_strings):
+        (length,) = _U32.unpack_from(blob, offset)
+        offset += 4
+        strings.append(blob[offset : offset + length].decode("utf-8"))
+        offset += length
+    results: List[LeanExecutionResult] = []
+    for _ in range(n_results):
+        (
+            app_id,
+            outcome_id,
+            seed,
+            index,
+            detected,
+            detected_by_wp,
+            attempts,
+            allocations,
+            contexts_count,
+            watched_times,
+            traps_handled,
+            canary_corruptions,
+            wall_seconds,
+            retry_wall_ms,
+            error_id,
+            n_reports,
+            n_evidence,
+        ) = _ROW.unpack_from(blob, offset)
+        offset += _ROW.size
+        reports = []
+        for _ in range(n_reports):
+            sig_id, kind_id, source_id = struct.unpack_from("<III", blob, offset)
+            offset += 12
+            reports.append((strings[sig_id], strings[kind_id], strings[source_id]))
+        evidence = []
+        for _ in range(n_evidence):
+            (sig_id,) = _U32.unpack_from(blob, offset)
+            offset += 4
+            evidence.append(strings[sig_id])
+        results.append(
+            LeanExecutionResult(
+                app=strings[app_id],
+                seed=seed,
+                index=index,
+                outcome=strings[outcome_id],
+                detected=bool(detected),
+                detected_by_watchpoint=bool(detected_by_wp),
+                reports=tuple(reports),
+                new_evidence=tuple(evidence),
+                allocations=allocations,
+                contexts=contexts_count,
+                watched_times=watched_times,
+                traps_handled=traps_handled,
+                canary_corruptions=canary_corruptions,
+                wall_seconds=wall_seconds,
+                attempts=attempts,
+                error=None if error_id == NONE_ID else strings[error_id],
+                retry_wall_ms=retry_wall_ms,
+            )
+        )
+    contexts: ContextTable = {}
+    for _ in range(n_contexts):
+        sig_id, n_alloc, n_access = _CTX.unpack_from(blob, offset)
+        offset += _CTX.size
+        frames = []
+        for _ in range(n_alloc + n_access):
+            (frame_id,) = _U32.unpack_from(blob, offset)
+            offset += 4
+            frames.append(strings[frame_id])
+        contexts[strings[sig_id]] = (
+            tuple(frames[:n_alloc]),
+            tuple(frames[n_alloc:]),
+        )
+    if offset != len(blob):
+        raise WireError(
+            f"trailing bytes after decode: {len(blob) - offset} of {len(blob)}"
+        )
+    return results, contexts, crashes, retries

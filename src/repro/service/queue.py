@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 
 from repro.core.config import POLICY_NAIVE, POLICY_NEAR_FIFO, POLICY_RANDOM
 from repro.errors import ServiceError, WorkloadError
+from repro.fleet.shm import WIRES
 
 POLICIES = (POLICY_NAIVE, POLICY_RANDOM, POLICY_NEAR_FIFO)
 
@@ -81,6 +82,8 @@ class CampaignSubmission:
     wave_size: Optional[int] = None
     chunk_size: Optional[int] = None
     timeout_seconds: Optional[float] = 60.0
+    # Fleet data plane; None takes the pool default ("shm").
+    wire: Optional[str] = None
 
     def validate(self) -> None:
         """Fail fast with the offending field named, CLI-style."""
@@ -108,6 +111,10 @@ class CampaignSubmission:
             raise ServiceError(
                 f"timeout_seconds: must be positive, got "
                 f"{self.timeout_seconds}"
+            )
+        if self.wire is not None and self.wire not in WIRES:
+            raise ServiceError(
+                f"wire: must be one of {list(WIRES)}, got {self.wire!r}"
             )
 
     def effective_wave_size(self) -> int:
@@ -140,6 +147,7 @@ class CampaignSubmission:
             "wave_size": self.wave_size,
             "chunk_size": self.chunk_size,
             "timeout_seconds": self.timeout_seconds,
+            "wire": self.wire,
         }
 
     @classmethod
@@ -161,6 +169,7 @@ class CampaignSubmission:
             "wave_size",
             "chunk_size",
             "timeout_seconds",
+            "wire",
         }
         unknown = sorted(set(payload) - known)
         if unknown:

@@ -1,0 +1,343 @@
+"""The shared-memory data plane: segments, claims, and lifecycle.
+
+Every test that creates segments also proves they are gone afterwards —
+segment leaks are the failure mode this file exists to pin down.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.fleet.pool import FleetPool
+from repro.fleet.shm import (
+    WIRE_PICKLE,
+    WIRE_SHM,
+    BlobHandle,
+    RingSegment,
+    SegmentCorrupt,
+    SegmentFull,
+    ShmDataPlane,
+    StringLogSegment,
+    WorkerPlane,
+    shm_supported,
+)
+from repro.fleet.specs import ExecutionSpec
+
+pytestmark = pytest.mark.skipif(
+    not shm_supported(), reason="POSIX shared memory unavailable"
+)
+
+
+def _shm_names():
+    try:
+        return sorted(n for n in os.listdir("/dev/shm") if n.startswith("csod"))
+    except FileNotFoundError:  # pragma: no cover — non-tmpfs platforms
+        return []
+
+
+# ----------------------------------------------------------------------
+# String log
+# ----------------------------------------------------------------------
+def test_string_log_roundtrip_with_continuation_slots():
+    log = StringLogSegment.create("csodtestlog1", capacity_slots=64)
+    try:
+        records = [
+            "short",
+            "",
+            "x" * 500,  # spans multiple 192-byte slots
+            "unicode-é中文-sig",
+        ]
+        log.append(records)
+        log.publish(epoch=1)
+        reader = StringLogSegment.attach("csodtestlog1")
+        try:
+            assert reader.published_slots == log.published_slots
+            assert reader.epoch == 1
+            assert reader.read_from(0, reader.published_slots) == records
+        finally:
+            reader.close()
+    finally:
+        log.unlink()
+        log.close()
+    assert "csodtestlog1" not in _shm_names()
+
+
+def test_string_log_publish_gates_visibility():
+    log = StringLogSegment.create("csodtestlog2", capacity_slots=8)
+    try:
+        log.append(["sig-a"])
+        assert log.published_slots == 0  # appended but not published
+        log.publish(epoch=3)
+        assert log.published_slots == 1
+        assert log.epoch == 3
+        log.append(["sig-b"])
+        assert log.published_slots == 1  # still only the first record
+        log.publish(epoch=4)
+        assert log.read_from(0, log.published_slots) == ["sig-a", "sig-b"]
+    finally:
+        log.unlink()
+        log.close()
+
+
+def test_string_log_full_appends_nothing():
+    log = StringLogSegment.create("csodtestlog3", capacity_slots=2)
+    try:
+        log.append(["first"])
+        with pytest.raises(SegmentFull):
+            log.append(["x" * 400])  # needs 3 slots, only 1 left
+        log.publish(epoch=1)
+        # The failed append staged nothing: the log is still coherent.
+        assert log.read_from(0, log.published_slots) == ["first"]
+    finally:
+        log.unlink()
+        log.close()
+
+
+def test_string_log_incremental_cursors():
+    log = StringLogSegment.create("csodtestlog4", capacity_slots=16)
+    try:
+        log.append(["a", "b"])
+        log.publish(epoch=1)
+        first = log.published_slots
+        log.append(["c"])
+        log.publish(epoch=2)
+        assert log.read_from(0, first) == ["a", "b"]
+        assert log.read_from(first, log.published_slots) == ["c"]
+    finally:
+        log.unlink()
+        log.close()
+
+
+# ----------------------------------------------------------------------
+# Result ring
+# ----------------------------------------------------------------------
+def test_ring_roundtrip_across_wrap():
+    ring = RingSegment.create("csodtestring1", data_bytes=256)
+    writer = RingSegment.attach_writer("csodtestring1")
+    try:
+        # Far more bytes than capacity: exercises the skip-the-tail
+        # wrap path many times over.
+        for i in range(50):
+            payload = bytes([i]) * (17 + (i * 13) % 90)
+            written = writer.write_blob(payload)
+            assert written is not None, f"blob {i} refused"
+            voff, length, seq = written
+            assert ring.read_blob(voff, length, seq) == payload
+    finally:
+        writer.close()
+        ring.unlink()
+        ring.close()
+
+
+def test_ring_refuses_overwriting_unread_bytes():
+    ring = RingSegment.create("csodtestring2", data_bytes=256)
+    writer = RingSegment.attach_writer("csodtestring2")
+    try:
+        # Each 104-byte payload makes a 128-byte frame: two fill the ring.
+        first = writer.write_blob(b"a" * 104)
+        assert first is not None
+        assert writer.write_blob(b"b" * 104) is not None
+        # Nobody read anything: a third frame would overwrite the first
+        # and must be refused, not silently corrupted.
+        assert writer.write_blob(b"c" * 104) is None
+        voff, length, seq = first
+        assert ring.read_blob(voff, length, seq) == b"a" * 104
+        # Drained one frame: now it fits.
+        assert writer.write_blob(b"c" * 104) is not None
+    finally:
+        writer.close()
+        ring.unlink()
+        ring.close()
+
+
+def test_ring_read_verifies_sequence():
+    ring = RingSegment.create("csodtestring3", data_bytes=256)
+    writer = RingSegment.attach_writer("csodtestring3")
+    try:
+        voff, length, seq = writer.write_blob(b"payload")
+        with pytest.raises(SegmentCorrupt):
+            ring.read_blob(voff, length, seq + 7)
+        with pytest.raises(SegmentCorrupt):
+            ring.read_blob(voff, length + 1, seq)
+    finally:
+        writer.close()
+        ring.unlink()
+        ring.close()
+
+
+def test_oversized_blob_ships_inline():
+    plane = ShmDataPlane.create(rings=1, ring_bytes=256)
+    try:
+        worker = WorkerPlane(plane.names())
+        assert worker.slot == 0
+        handle = worker.ship(b"z" * 1024)  # larger than the whole ring
+        assert handle.slot == -1 and handle.inline is not None
+        assert plane.fetch(handle) == b"z" * 1024
+        # A fitting blob rides the ring.
+        handle = worker.ship(b"ok")
+        assert handle.slot == 0 and handle.inline is None
+        assert plane.fetch(handle) == b"ok"
+    finally:
+        plane.unlink()
+    assert _shm_names() == []
+
+
+# ----------------------------------------------------------------------
+# Claims and plane lifecycle
+# ----------------------------------------------------------------------
+def test_claim_protocol_assigns_rings_exclusively():
+    plane = ShmDataPlane.create(rings=2)
+    try:
+        names = plane.names()
+        first = WorkerPlane(names)
+        second = WorkerPlane(names)
+        third = WorkerPlane(names)
+        assert {first.slot, second.slot} == {0, 1}
+        assert third.slot == -1  # no ring left: ships inline
+        assert third.ship(b"inline").inline == b"inline"
+        # Executor rebuild: claims reset, replacement worker re-claims.
+        plane.reset_claims()
+        replacement = WorkerPlane(names)
+        assert replacement.slot == 0
+    finally:
+        plane.unlink()
+    assert _shm_names() == []
+
+
+def test_evidence_published_before_visible_to_workers():
+    plane = ShmDataPlane.create(rings=1, evidence=["base-1", "base-2"])
+    try:
+        worker = WorkerPlane(plane.names())
+        base_slots = plane.evidence_slots
+        assert worker.evidence_at(base_slots) == {"base-1", "base-2"}
+        plane.evidence_append(["merged-3"], epoch=1)
+        assert worker.evidence_at(plane.evidence_slots) == {
+            "base-1",
+            "base-2",
+            "merged-3",
+        }
+        # Cursor never moves backwards.
+        with pytest.raises(SegmentCorrupt):
+            worker.evidence_at(base_slots)
+    finally:
+        plane.unlink()
+
+
+def test_registry_folds_into_shipped_set():
+    plane = ShmDataPlane.create(rings=1)
+    try:
+        worker = WorkerPlane(plane.names())
+        shipped = set()
+        worker.refresh_shipped(shipped)
+        assert shipped == set()
+        plane.registry_append(["sig-x", "sig-y"])
+        worker.refresh_shipped(shipped)
+        assert shipped == {"sig-x", "sig-y"}
+    finally:
+        plane.unlink()
+
+
+def test_plane_unlink_is_idempotent():
+    plane = ShmDataPlane.create(rings=2)
+    created = _shm_names()
+    assert len(created) >= 4  # evidence + registry + 2 rings
+    plane.unlink()
+    plane.unlink()
+    assert _shm_names() == []
+
+
+def test_fetch_inline_handle_needs_no_ring():
+    plane = ShmDataPlane.create(rings=1)
+    try:
+        assert plane.fetch(BlobHandle(slot=-1, inline=b"bytes")) == b"bytes"
+        with pytest.raises(SegmentCorrupt):
+            plane.fetch(BlobHandle(slot=9, voff=0, length=1, seq=1))
+    finally:
+        plane.unlink()
+
+
+# ----------------------------------------------------------------------
+# Pool-level lifecycle regressions
+# ----------------------------------------------------------------------
+def test_executor_rebuild_reuses_plane_without_leaking():
+    pool = FleetPool(workers=2, timeout_seconds=30.0, wire=WIRE_SHM)
+    try:
+        specs = [
+            ExecutionSpec(app="imgpipe", seed=40 + i, index=i)
+            for i in range(4)
+        ]
+        first = pool.run_wave(specs)
+        assert pool.active_wire == WIRE_SHM
+        # Simulate the hung-worker path: workers terminated, executor
+        # dropped, plane kept.  The next wave rebuilds the executor and
+        # replacement workers must re-claim the same rings.
+        pool._dispose()
+        second = pool.run_wave(specs)
+        assert [r.detected for r in first.results] == [
+            r.detected for r in second.results
+        ]
+        assert pool.active_wire == WIRE_SHM
+    finally:
+        pool.close()
+    assert _shm_names() == []
+
+
+def test_close_after_failed_wave_unlinks_everything():
+    pool = FleetPool(workers=2, timeout_seconds=30.0, wire=WIRE_SHM)
+    specs = [ExecutionSpec(app="imgpipe", seed=40, index=0)]
+    pool.run_wave(specs)
+    pool.close()
+    pool.close()  # idempotent
+    assert _shm_names() == []
+
+
+_CANCELLED_CAMPAIGN_SCRIPT = textwrap.dedent(
+    """
+    import os
+    import threading
+
+    from repro.errors import CampaignCancelled
+    from repro.fleet.runner import FleetCampaign
+
+    campaign = FleetCampaign(
+        "imgpipe", executions=64, workers=2, share_evidence=True,
+        timeout_seconds=30.0, wave_size=4,
+    )
+    progress = campaign.run_next_wave()
+    assert progress is not None
+    assert campaign.pool.active_wire in ("shm", "pickle")
+    # Cancel from another thread mid-campaign, like the service does.
+    threading.Thread(target=campaign.cancel).start()
+    try:
+        while campaign.run_next_wave() is not None:
+            pass
+    except CampaignCancelled:
+        pass
+    campaign.finish(cancelled=True)
+    leftovers = [n for n in os.listdir("/dev/shm") if n.startswith("csod")]
+    print("LEFTOVERS:" + ",".join(leftovers))
+    """
+)
+
+
+def test_cancelled_campaign_leaves_no_segments():
+    """A cancelled campaign must unlink every /dev/shm segment, and the
+    interpreter must exit without resource_tracker leak warnings (a
+    warning means a segment survived to interpreter shutdown)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    proc = subprocess.run(
+        [sys.executable, "-c", _CANCELLED_CAMPAIGN_SCRIPT],
+        capture_output=True,
+        text=True,
+        timeout=240,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "LEFTOVERS:\n" in proc.stdout.replace("\r", "")
+    assert "resource_tracker" not in proc.stderr
+    assert "leaked shared_memory" not in proc.stderr

@@ -1,0 +1,177 @@
+"""The binary result-row codec: exact pickle↔binary equivalence.
+
+Property-based: random batches of :class:`LeanExecutionResult`s (full
+unicode, maximum-width signatures, extreme counters) must survive the
+encode/decode round trip *identically* — the shm wire is only allowed
+to exist because it cannot change a single result bit — and partial
+aggregates refolded from decoded rows must merge associatively.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fleet.aggregate import PartialAggregate
+from repro.fleet.specs import LeanExecutionResult, ReportRecord
+from repro.fleet.wire import (
+    WireError,
+    decode_chunk_outcome,
+    encode_chunk_outcome,
+)
+
+# Signatures and frames: printable-ish unicode including astral planes,
+# plus the degenerate empty string.
+_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=40
+)
+_wide_text = st.one_of(
+    _text,
+    st.text(
+        alphabet=st.characters(blacklist_categories=("Cs",)),
+        min_size=200,
+        max_size=400,
+    ),
+)
+_u64 = st.integers(min_value=0, max_value=2**64 - 1)
+_i64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+_finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+# observe() takes log2 of wall milliseconds, so the aggregate tests use
+# physically plausible wall times; the codec itself must preserve any
+# finite double (the round-trip test keeps the full range).
+_wall = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+def _lean_strategy(float_strategy):
+    return st.builds(
+        LeanExecutionResult,
+        app=_text,
+        seed=_i64,
+        index=st.integers(min_value=0, max_value=2**32 - 1),
+        outcome=st.sampled_from(["ok", "worker-crash", "timeout"]),
+        detected=st.booleans(),
+        detected_by_watchpoint=st.booleans(),
+        reports=st.lists(
+            st.tuples(_wide_text, _text, _text), max_size=4
+        ).map(tuple),
+        new_evidence=st.lists(_wide_text, max_size=3).map(tuple),
+        allocations=_u64,
+        contexts=_u64,
+        watched_times=_u64,
+        traps_handled=_u64,
+        canary_corruptions=_u64,
+        wall_seconds=float_strategy,
+        attempts=st.integers(min_value=0, max_value=255),
+        error=st.one_of(st.none(), _wide_text),
+        retry_wall_ms=float_strategy,
+    )
+
+
+_lean = _lean_strategy(_finite)
+_lean_observable = _lean_strategy(_wall)
+
+_contexts = st.dictionaries(
+    keys=_wide_text,
+    values=st.tuples(
+        st.lists(_text, max_size=5).map(tuple),
+        st.lists(_text, max_size=5).map(tuple),
+    ),
+    max_size=4,
+)
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    results=st.lists(_lean, max_size=8),
+    contexts=_contexts,
+    crashes=st.integers(min_value=0, max_value=2**32 - 1),
+    retries=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_roundtrip_is_identity(results, contexts, crashes, retries):
+    blob = encode_chunk_outcome(results, contexts, crashes, retries)
+    out_results, out_contexts, out_crashes, out_retries = (
+        decode_chunk_outcome(blob)
+    )
+    assert out_results == results
+    assert out_contexts == contexts
+    assert (out_crashes, out_retries) == (crashes, retries)
+    # The decoded rows are indistinguishable from pickled ones.
+    assert pickle.loads(pickle.dumps(results)) == out_results
+
+
+def _observe_all(leans, contexts):
+    """Refold decoded rows the way the coordinator does."""
+    partial = PartialAggregate()
+    for lean in leans:
+        partial.observe(lean.hydrate(contexts))
+    return partial
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    results=st.lists(_lean_observable, min_size=3, max_size=9),
+    contexts=_contexts,
+    split=st.tuples(
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=0, max_value=9),
+    ),
+)
+def test_merge_is_associative_over_binary_rows(results, contexts, split):
+    a, b = sorted(min(s, len(results)) for s in split)
+    chunks = [results[:a], results[a:b], results[b:]]
+    decoded = [
+        decode_chunk_outcome(encode_chunk_outcome(chunk, contexts))[0]
+        for chunk in chunks
+    ]
+    partials = lambda: [_observe_all(chunk, contexts) for chunk in decoded]
+    p0, p1, p2 = partials()
+    left = p0.merge(p1).merge(p2)
+    q0, q1, q2 = partials()
+    right = q0.merge(q1.merge(q2))
+    serial = _observe_all([l for chunk in decoded for l in chunk], contexts)
+    assert dataclasses.asdict(left) == dataclasses.asdict(right)
+    assert dataclasses.asdict(left) == dataclasses.asdict(serial)
+
+
+def test_decode_rejects_foreign_bytes():
+    with pytest.raises(WireError):
+        decode_chunk_outcome(b"")
+    with pytest.raises(WireError):
+        decode_chunk_outcome(b"\x00" * 64)
+    blob = encode_chunk_outcome([], {}, 0, 0)
+    with pytest.raises(WireError):
+        decode_chunk_outcome(blob + b"\x00")  # trailing garbage
+    with pytest.raises(WireError):
+        decode_chunk_outcome(blob[:-1])  # truncated
+
+
+def test_none_error_distinct_from_empty_string():
+    with_none = LeanExecutionResult(app="a", seed=1, index=0, error=None)
+    with_empty = LeanExecutionResult(app="a", seed=1, index=0, error="")
+    for lean in (with_none, with_empty):
+        (decoded,), _, _, _ = decode_chunk_outcome(
+            encode_chunk_outcome([lean], {})
+        )
+        assert decoded.error == lean.error
+
+
+def test_hydrated_results_match_reportrecord_shape():
+    contexts = {"sig": (("alloc.c:1",), ("access.c:9",))}
+    lean = LeanExecutionResult(
+        app="gzip", seed=7, index=3, detected=True,
+        reports=(("sig", "over-write", "canary"),),
+    )
+    (decoded,), out_contexts, _, _ = decode_chunk_outcome(
+        encode_chunk_outcome([lean], contexts)
+    )
+    result = decoded.hydrate(out_contexts)
+    assert result.reports == [
+        ReportRecord(
+            signature="sig",
+            kind="over-write",
+            source="canary",
+            allocation_context=("alloc.c:1",),
+            access_context=("access.c:9",),
+        )
+    ]

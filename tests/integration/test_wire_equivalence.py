@@ -1,0 +1,78 @@
+"""The shm wire may not change one byte of campaign output.
+
+The acceptance bar for the shared-memory data plane: a fixed-seed
+campaign serialises **byte-identically** across ``wire="pickle"`` and
+``wire="shm"`` at 1, 2, and 4 workers, with and without fleet-wide
+evidence sharing — and the oracle scorecard (which hashes its own
+settings and every observation) is equally invariant.
+"""
+
+import json
+
+import pytest
+
+from repro.fleet.runner import run_fleet
+from repro.fleet.shm import WIRE_PICKLE, WIRE_SHM, shm_supported
+from repro.oracle.runner import OracleSettings, run_oracle
+
+pytestmark = pytest.mark.skipif(
+    not shm_supported(), reason="POSIX shared memory unavailable"
+)
+
+_EXECUTIONS = 8
+_WAVE_SIZE = 4  # fixed so shared-evidence visibility boundaries agree
+
+
+def _campaign(wire: str, workers: int, share_evidence: bool):
+    result = run_fleet(
+        "imgpipe",
+        executions=_EXECUTIONS,
+        workers=workers,
+        share_evidence=share_evidence,
+        seed_base=40,
+        wave_size=_WAVE_SIZE,
+        timeout_seconds=60.0,
+        wire=wire,
+    )
+    return {
+        "aggregate": json.dumps(
+            result.aggregator.to_dict(), sort_keys=True
+        ),
+        "detections": result.detections,
+        "outcomes": [r.outcome for r in result.results],
+        "evidence": sorted(result.evidence),
+    }
+
+
+@pytest.mark.parametrize("share_evidence", [False, True])
+def test_campaign_bytes_identical_across_wires_and_workers(share_evidence):
+    baseline = _campaign(WIRE_PICKLE, 1, share_evidence)
+    for wire in (WIRE_PICKLE, WIRE_SHM):
+        for workers in (1, 2, 4):
+            if wire == WIRE_PICKLE and workers == 1:
+                continue
+            got = _campaign(wire, workers, share_evidence)
+            assert got == baseline, (
+                f"wire={wire} workers={workers} "
+                f"share_evidence={share_evidence} diverged from serial pickle"
+            )
+
+
+def test_oracle_scorecard_identical_across_wires():
+    runs = {
+        wire: run_oracle(
+            OracleSettings(
+                budget=3, seed=11, workers=2, executions_per_app=2, wire=wire
+            )
+        )
+        for wire in (WIRE_PICKLE, WIRE_SHM)
+    }
+    cards = {
+        wire: json.dumps(run.scorecard, sort_keys=True)
+        for wire, run in runs.items()
+    }
+    assert cards[WIRE_PICKLE] == cards[WIRE_SHM]
+    # The wire is a transport knob: it must not even appear in the
+    # hashed settings, or equal campaigns would stop content-addressing
+    # equally.
+    assert "wire" not in runs[WIRE_SHM].scorecard["settings"]

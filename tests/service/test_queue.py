@@ -155,3 +155,20 @@ def test_job_status_view_is_json_clean():
     assert view["state"] == STATE_QUEUED
     assert view["submission"]["app"] == "gzip"
     assert "campaign" not in view
+
+
+def test_submission_wire_roundtrip_and_validation():
+    shm = CampaignSubmission(app="gzip", wire="shm")
+    shm.validate()
+    assert CampaignSubmission.from_dict(shm.to_dict()) == shm
+    assert shm.to_dict()["wire"] == "shm"
+    CampaignSubmission(app="gzip", wire="pickle").validate()
+    CampaignSubmission(app="gzip", wire=None).validate()
+    with pytest.raises(ServiceError) as excinfo:
+        CampaignSubmission(app="gzip", wire="carrier-pigeon").validate()
+    assert "wire: must be one of" in str(excinfo.value)
+
+
+def test_submission_wire_changes_job_id():
+    base = CampaignSubmission(app="gzip")
+    assert base.job_id(1) != CampaignSubmission(app="gzip", wire="pickle").job_id(1)
