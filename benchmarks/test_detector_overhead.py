@@ -1,0 +1,93 @@
+"""Per-arm campaign cost — every registered detector, one at a time.
+
+Each arm runs the same generated-app campaign solo, so the measured
+apps/sec isolates what that detector's instrumentation costs on top of
+bare execution.  The modeled overhead percentages from the registry
+ride along in the emitted JSON so the measured ranking can be eyeballed
+against the modeled one.  The csod row carries a committed-floor
+ratchet: the flagship arm regressing below the floor fails the build.
+"""
+
+import json
+import pathlib
+import time
+
+from conftest import once
+
+from repro.detectors import get, known_arms
+from repro.oracle.runner import OracleSettings, run_oracle
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+BUDGET = 12  # generated apps per solo campaign
+SEED = 5
+
+# Ratchet, not a measurement: set well below the observed csod rate so
+# runner jitter never blocks a PR, raised as the hot path improves.
+CSOD_FLOOR_APPS_PER_SEC = 3.0
+
+
+def test_detector_overhead(benchmark, artifact):
+    def run():
+        timings = {}
+        for arm in known_arms():
+            settings = OracleSettings(
+                budget=BUDGET,
+                seed=SEED,
+                workers=1,
+                executions_per_app=1,
+                arms=(arm,),
+            )
+            start = time.perf_counter()
+            result = run_oracle(settings)
+            elapsed = time.perf_counter() - start
+            card = result.scorecard["arms"][arm]
+            timings[arm] = (elapsed, card["fp_reports"])
+        return timings
+
+    timings = once(benchmark, run)
+
+    rows = []
+    for arm in known_arms():
+        elapsed, fp_reports = timings[arm]
+        detector = get(arm)
+        rows.append(
+            {
+                "arm": arm,
+                "apps_per_sec": round(BUDGET / elapsed, 2),
+                "seconds": round(elapsed, 4),
+                "fp_reports": fp_reports,
+                "modeled_overhead_pct": detector.modeled_overhead_pct,
+                "production_viable": detector.production_viable,
+            }
+        )
+
+    lines = [f"detector overhead: {BUDGET} generated apps per solo arm"]
+    for row in rows:
+        lines.append(
+            f"  {row['arm']:<16} {row['seconds']:8.3f} s "
+            f"({row['apps_per_sec']:6.2f} apps/s, "
+            f"modeled {row['modeled_overhead_pct']:5.1f}%)"
+        )
+    artifact("detector_overhead.txt", "\n".join(lines))
+
+    payload = {
+        "benchmark": "detectors",
+        "budget": BUDGET,
+        "seed": SEED,
+        "csod_floor_apps_per_sec": CSOD_FLOOR_APPS_PER_SEC,
+        "rows": rows,
+    }
+    (REPO_ROOT / "BENCH_detectors.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    # Sampling-era arms must never report a false positive, solo or not.
+    for row in rows:
+        assert row["fp_reports"] == 0, row["arm"]
+
+    csod = next(row for row in rows if row["arm"] == "csod")
+    assert csod["apps_per_sec"] >= CSOD_FLOOR_APPS_PER_SEC, (
+        f"csod campaign rate {csod['apps_per_sec']} apps/s fell below "
+        f"the committed {CSOD_FLOOR_APPS_PER_SEC} apps/s floor"
+    )

@@ -47,8 +47,8 @@ class ASanReport:
     malloc stack, rendered as source locations.
     """
 
-    kind: str  # "heap-buffer-overflow" or "heap-use-after-free"
-    access_kind: str  # read / write
+    kind: str  # "heap-buffer-overflow", "heap-use-after-free", "double-free"
+    access_kind: str  # read / write / free
     fault_address: int
     access_size: int
     thread_id: int
@@ -56,6 +56,7 @@ class ASanReport:
     object_address: int = 0
     object_size: int = 0
     allocation_context: Tuple[str, ...] = ()
+    deallocation_context: Tuple[str, ...] = ()
 
 
 class ASanRuntime:
@@ -81,7 +82,10 @@ class ASanRuntime:
         # address -> (real block, object size, left redzone)
         self._live: Dict[int, Tuple[int, int, int]] = {}
         self._alloc_contexts: Dict[int, Tuple[str, ...]] = {}
-        self._quarantine: Deque[Tuple[int, int]] = deque()
+        # address -> (size, alloc stack, free stack) while quarantined;
+        # a second free of one of these is a deterministic double-free.
+        self._freed: Dict[int, Tuple[int, Tuple[str, ...], Tuple[str, ...]]] = {}
+        self._quarantine: Deque[Tuple[int, int, int]] = deque()
         self._quarantine_bytes = 0
         self._quarantine_cap = quarantine_bytes
         self.checks_performed = 0
@@ -121,17 +125,41 @@ class ASanRuntime:
     def free(self, thread: SimThread, address: int) -> None:
         entry = self._live.pop(address, None)
         if entry is None:
+            freed = self._freed.get(address)
+            if freed is not None:
+                # Second free of a quarantined block: report (non-fatal,
+                # like attempting_double_free in the real tool) with the
+                # recorded malloc and first-free stacks.
+                size, alloc_context, free_context = freed
+                frame = thread.call_stack.top()
+                self.reports.append(
+                    ASanReport(
+                        kind="double-free",
+                        access_kind="free",
+                        fault_address=address,
+                        access_size=0,
+                        thread_id=thread.tid,
+                        module=frame.site.module if frame else "",
+                        object_address=address,
+                        object_size=size,
+                        allocation_context=alloc_context,
+                        deallocation_context=free_context,
+                    )
+                )
+                return
             raise ReproError(f"ASan: free of unknown pointer {address:#x}")
         real, size, _zone = entry
-        self._alloc_contexts.pop(address, None)
+        alloc_context = self._alloc_contexts.pop(address, ())
         # Poison the body and park the block in the quarantine instead of
         # returning it to the allocator.
         self.shadow.poison(address, size, TAG_FREED)
-        self._quarantine.append((real, size))
+        self._freed[address] = (size, alloc_context, self._context_of(thread))
+        self._quarantine.append((real, size, address))
         self._quarantine_bytes += size
         while self._quarantine_bytes > self._quarantine_cap and self._quarantine:
-            old_real, old_size = self._quarantine.popleft()
+            old_real, old_size, old_address = self._quarantine.popleft()
             self._quarantine_bytes -= old_size
+            self._freed.pop(old_address, None)
             self._raw.free(thread, old_real)
 
     def usable_size(self, address: int) -> int:

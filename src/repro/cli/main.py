@@ -205,6 +205,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=60.0, help="per-execution timeout (s)"
     )
     oracle.add_argument(
+        "--arms",
+        default=None,
+        metavar="ARMS",
+        help="comma-separated detector arms to run "
+        "(e.g. 'csod,gwp-asan'; default: every registered arm)",
+    )
+    oracle.add_argument(
         "--out",
         default="oracle-out",
         help="directory for scorecard.json / telemetry.jsonl",
@@ -791,6 +798,27 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
     from repro.oracle import OracleSettings, render_scorecard, run_oracle
     from repro.oracle.runner import write_telemetry_line
 
+    arms = None
+    if args.arms is not None:
+        from repro.detectors import known_arms, resolve_arms
+
+        requested = tuple(
+            part.strip() for part in args.arms.split(",") if part.strip()
+        )
+        if not requested:
+            print(
+                f"repro oracle: error: --arms is empty; known arms: "
+                f"{', '.join(known_arms())}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            arms = resolve_arms(requested)
+        except ReproError as exc:
+            # Fail fast, before any program generation or fleet work.
+            print(f"repro oracle: error: --arms {exc}", file=sys.stderr)
+            return 2
+
     mix = None
     if args.defect_mix is not None:
         try:
@@ -811,6 +839,7 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
             shrink=args.shrink,
             timeout_seconds=args.timeout,
             chunk_size=args.chunk_size,
+            arms=arms,
         )
     except ReproError as exc:
         # Settings validation catches what argparse types cannot

@@ -19,10 +19,14 @@ from repro.callstack.symbols import SymbolTable
 
 KIND_OVER_READ = "over-read"
 KIND_OVER_WRITE = "over-write"
+KIND_DOUBLE_FREE = "double-free"
 
 SOURCE_WATCHPOINT = "watchpoint"
 SOURCE_FREE_CANARY = "free-canary"
 SOURCE_EXIT_CANARY = "exit-canary"
+# Post-hoc diagnosis from the surviving 32-byte object header after
+# the allocator aborts on an invalid free (double-free attribution).
+SOURCE_HEADER_STATE = "header-state"
 
 # Frames kept by the coarse (triage) signature.  Three levels is deep
 # enough to separate allocation wrappers from their callers and shallow

@@ -20,7 +20,12 @@ from repro.core.config import CSODConfig, HOTPATH_BATCHED
 from repro.core.context_key import ContextHashTable
 from repro.core.fastpath import FastAllocDealloc
 from repro.core.monitor import AllocDeallocMonitoringUnit
-from repro.core.reporting import OverflowReport, SOURCE_WATCHPOINT
+from repro.core.reporting import (
+    KIND_DOUBLE_FREE,
+    OverflowReport,
+    SOURCE_HEADER_STATE,
+    SOURCE_WATCHPOINT,
+)
 from repro.core.rng import PerThreadRNG
 from repro.core.sampling import SamplingManagementUnit
 from repro.core.signal_unit import SignalHandlingUnit
@@ -143,6 +148,56 @@ class CSODRuntime:
         self.wmu.remove_all()
         self._interposer.unload()
         return exit_reports
+
+    # ------------------------------------------------------------------
+    # Post-hoc diagnosis
+    # ------------------------------------------------------------------
+    def diagnose_invalid_free(self, thread: SimThread, address: int) -> bool:
+        """Attribute an allocator abort on ``address`` to a double free.
+
+        Called after the underlying allocator raised
+        :class:`~repro.errors.InvalidFreeError` (the crash-handler
+        moment).  In evidence mode the 32-byte header written before
+        the object survives the first free — release is pure
+        bookkeeping, the words are never scrubbed — so an intact
+        identifier at ``address - 32`` proves the pointer was a live
+        CSOD object once and this free is its second.  The header's
+        context word then recovers the allocation context.  Without
+        evidence mode there is no header and no attribution.
+        """
+        if self.canary is None:
+            return False
+        from repro.callstack.contexts import CallingContext
+        from repro.errors import MachineError
+        from repro.heap import layout
+
+        try:
+            words = layout.read_header_words(self.machine.memory, address)
+        except MachineError:
+            return False
+        if words[3] != layout.HEADER_IDENTIFIER:
+            return False
+        context_ptr = words[2]
+        allocation_context = CallingContext(
+            return_addresses=(context_ptr,)
+        )
+        for record in self.sampling.records():
+            if record.key.first_level_ra == context_ptr:
+                allocation_context = record.context
+                break
+        self.reports.append(
+            OverflowReport(
+                kind=KIND_DOUBLE_FREE,
+                source=SOURCE_HEADER_STATE,
+                fault_address=address,
+                object_address=address,
+                object_size=words[1],
+                thread_id=thread.tid,
+                time_ns=self.machine.clock.now_ns,
+                allocation_context=allocation_context,
+            )
+        )
+        return True
 
     # ------------------------------------------------------------------
     # Results

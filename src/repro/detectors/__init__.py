@@ -1,0 +1,63 @@
+"""repro.detectors — pluggable detector arms for the cross-detector study.
+
+Importing this package registers the seven arms in canonical order:
+the CSOD fleet trio first (csod, csod-random, csod-noevidence), then
+the inline baselines (asan, guardpage, gwp-asan, doubletake).
+"""
+
+from __future__ import annotations
+
+from repro.detectors.asan import AsanDetector
+from repro.detectors.base import Detector, DetectorReport
+from repro.detectors.csod import build_csod_arms
+from repro.detectors.doubletake import (
+    ARM_DOUBLETAKE,
+    DoubleTakeConfig,
+    DoubleTakeRuntime,
+)
+from repro.detectors.doubletake_arm import DoubleTakeDetector
+from repro.detectors.guardpage import GuardPageDetector
+from repro.detectors.gwp_asan import (
+    ARM_GWP_ASAN,
+    GwpAsanConfig,
+    GwpAsanRuntime,
+    GwpAsanSlotPool,
+)
+from repro.detectors.gwp_asan_arm import GwpAsanDetector
+from repro.detectors.registry import (
+    cheapest_production_arm,
+    fleet_arms,
+    get,
+    inline_arms,
+    known_arms,
+    normalize,
+    register,
+    resolve_arms,
+)
+
+for _arm in build_csod_arms():
+    register(_arm)
+register(AsanDetector())
+register(GuardPageDetector())
+register(GwpAsanDetector())
+register(DoubleTakeDetector())
+
+__all__ = [
+    "ARM_DOUBLETAKE",
+    "ARM_GWP_ASAN",
+    "Detector",
+    "DetectorReport",
+    "DoubleTakeConfig",
+    "DoubleTakeRuntime",
+    "GwpAsanConfig",
+    "GwpAsanRuntime",
+    "GwpAsanSlotPool",
+    "cheapest_production_arm",
+    "fleet_arms",
+    "get",
+    "inline_arms",
+    "known_arms",
+    "normalize",
+    "register",
+    "resolve_arms",
+]

@@ -1,0 +1,33 @@
+"""The AddressSanitizer arm (inline baseline, not production-viable)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.detectors.base import Detector
+from repro.perfmodel.costs import ASAN_ALLOC_EVENTS
+
+
+class AsanDetector(Detector):
+    name = "asan"
+    summary = "redzone poisoning with per-access shadow checks"
+    # The paper's comparison point: ~73% geo-mean slowdown keeps ASan a
+    # testing tool, not a fleet deployment.
+    production_viable = False
+    modeled_overhead_pct = 73.0
+    fleet = False
+    cost_events = ASAN_ALLOC_EVENTS
+
+    def observe(self, program, seed: int):
+        from repro.oracle.harness import observe_asan
+
+        return observe_asan(program, seed)
+
+    def expected_kinds(self, truth) -> Tuple[str, ...]:
+        from repro.oracle.grammar import DEFECT_DOUBLE_FREE
+
+        if truth.defect == DEFECT_DOUBLE_FREE:
+            return ("double-free",)
+        if truth.free_before_access:
+            return ("heap-use-after-free",)
+        return ("heap-buffer-overflow",)

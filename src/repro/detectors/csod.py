@@ -1,0 +1,95 @@
+"""The CSOD fleet arms: full, random-replacement, and no-evidence.
+
+These three run through the fleet pool (that is the point of CSOD: a
+fleet of cheap, sampled monitors), so the detector object contributes a
+:class:`CSODConfig` and folds the pool's execution results into an
+observation instead of running the program itself.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.detectors.base import Detector
+from repro.perfmodel.costs import CSOD_OVERHEAD_EVENTS
+
+
+class CsodDetector(Detector):
+    fleet = True
+    cost_events = CSOD_OVERHEAD_EVENTS
+
+    def __init__(
+        self,
+        name: str,
+        summary: str,
+        modeled_overhead_pct: float,
+        config_factory,
+    ):
+        self.name = name
+        self.summary = summary
+        self.modeled_overhead_pct = modeled_overhead_pct
+        self._config_factory = config_factory
+
+    def config(self):
+        return self._config_factory()
+
+    def classify(self, program, results):
+        from repro.oracle.harness import classify_csod_results
+
+        return classify_csod_results(program, self.name, results)
+
+    def expected_kinds(self, truth) -> Tuple[str, ...]:
+        from repro.core.reporting import KIND_DOUBLE_FREE
+        from repro.oracle.grammar import DEFECT_DOUBLE_FREE
+
+        if truth.defect == DEFECT_DOUBLE_FREE:
+            return (KIND_DOUBLE_FREE,)
+        return (truth.bug_kind,)
+
+
+def _config_csod():
+    from repro.core.config import POLICY_NEAR_FIFO, CSODConfig
+
+    return CSODConfig(replacement_policy=POLICY_NEAR_FIFO)
+
+
+def _config_csod_random():
+    from repro.core.config import POLICY_RANDOM, CSODConfig
+
+    return CSODConfig(replacement_policy=POLICY_RANDOM)
+
+
+def _config_csod_noevidence():
+    from repro.core.config import POLICY_NEAR_FIFO, CSODConfig
+
+    return CSODConfig(replacement_policy=POLICY_NEAR_FIFO).without_evidence()
+
+
+def build_csod_arms() -> Tuple[CsodDetector, ...]:
+    """The trio, in the canonical fleet order.
+
+    Overheads are the paper's geo-means: ~6.7% for full CSOD (context
+    lookup + sampled watchpoints + evidence canaries), slightly worse
+    for random replacement (more watchpoint churn), and ~4.8% with
+    evidence mode off.
+    """
+    return (
+        CsodDetector(
+            "csod",
+            "context-sensitive sampled watchpoints with evidence canaries",
+            6.7,
+            _config_csod,
+        ),
+        CsodDetector(
+            "csod-random",
+            "CSOD ablation: random watchpoint replacement policy",
+            6.9,
+            _config_csod_random,
+        ),
+        CsodDetector(
+            "csod-noevidence",
+            "CSOD ablation: sampling only, no evidence canaries",
+            4.8,
+            _config_csod_noevidence,
+        ),
+    )

@@ -1,0 +1,37 @@
+"""The DoubleTake detector arm wrapper (runtime in doubletake.py)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.detectors.base import Detector
+from repro.detectors.doubletake import (
+    ARM_DOUBLETAKE,
+    DOUBLETAKE_OVERHEAD_EVENTS,
+)
+
+
+class DoubleTakeDetector(Detector):
+    name = ARM_DOUBLETAKE
+    summary = "epoch-end canary sweeps with rollback-and-replay attribution"
+    production_viable = True
+    # The paper reports ~4% average overhead for its heap checkers.
+    modeled_overhead_pct = 4.1
+    fleet = False
+    cost_events = DOUBLETAKE_OVERHEAD_EVENTS
+
+    def observe(self, program, seed: int):
+        from repro.oracle.harness import observe_doubletake
+
+        return observe_doubletake(program, seed)
+
+    def expected_kinds(self, truth) -> Tuple[str, ...]:
+        from repro.oracle.grammar import DEFECT_DOUBLE_FREE
+
+        if truth.defect == DEFECT_DOUBLE_FREE:
+            return ("double-free",)
+        if truth.free_before_access:
+            return ("use-after-free-write",)
+        if truth.access_offset < 0:
+            return ("buffer-underflow-write",)
+        return ("buffer-overflow-write",)

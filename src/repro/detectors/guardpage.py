@@ -1,0 +1,33 @@
+"""The always-on guard-page arm (electric-fence-style baseline)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.detectors.base import Detector
+from repro.guardpage.runtime import GUARDPAGE_OVERHEAD_EVENTS
+
+
+class GuardPageDetector(Detector):
+    name = "guardpage"
+    summary = "Bernoulli-sampled guard pages, right guard only"
+    production_viable = True
+    # Cheap per allocation but pays a page per guarded object; modeled
+    # at sub-1% runtime for production sampling rates.
+    modeled_overhead_pct = 0.8
+    fleet = False
+    cost_events = GUARDPAGE_OVERHEAD_EVENTS
+
+    def observe(self, program, seed: int):
+        from repro.oracle.harness import observe_guardpage
+
+        return observe_guardpage(program, seed)
+
+    def expected_kinds(self, truth) -> Tuple[str, ...]:
+        from repro.oracle.grammar import DEFECT_DOUBLE_FREE
+
+        if truth.defect == DEFECT_DOUBLE_FREE:
+            return ("double-free",)
+        if truth.free_before_access:
+            return ("use-after-free",)
+        return ("overflow",)

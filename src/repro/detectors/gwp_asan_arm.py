@@ -1,0 +1,35 @@
+"""The GWP-ASan detector arm wrapper (runtime in gwp_asan.py)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.detectors.base import Detector
+from repro.detectors.gwp_asan import ARM_GWP_ASAN, GWP_ASAN_OVERHEAD_EVENTS
+
+
+class GwpAsanDetector(Detector):
+    name = ARM_GWP_ASAN
+    summary = "rare-sampled guard slots with alloc/free stacks in metadata"
+    production_viable = True
+    # Designed for always-on fleet deployment; published overhead is a
+    # fraction of a percent at production sampling rates.
+    modeled_overhead_pct = 0.4
+    fleet = False
+    cost_events = GWP_ASAN_OVERHEAD_EVENTS
+
+    def observe(self, program, seed: int):
+        from repro.oracle.harness import observe_gwp_asan
+
+        return observe_gwp_asan(program, seed)
+
+    def expected_kinds(self, truth) -> Tuple[str, ...]:
+        from repro.oracle.grammar import DEFECT_DOUBLE_FREE, DEFECT_UNDERFLOW
+
+        if truth.defect == DEFECT_DOUBLE_FREE:
+            return ("double-free",)
+        if truth.free_before_access:
+            return ("use-after-free",)
+        if truth.defect == DEFECT_UNDERFLOW:
+            return ("underflow",)
+        return ("overflow",)

@@ -1,0 +1,105 @@
+"""The detector registry: names to arms, in canonical order.
+
+Registration order is the canonical arm order everywhere — the fleet
+trio first (their registration order pins the deterministic
+``_csod_specs`` index layout in the oracle runner), then the inline
+baselines in the order they joined the study.  ``resolve_arms`` returns
+selections re-sorted into this order so a user-supplied subset can
+never perturb scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.detectors.base import Detector
+from repro.errors import ReproError
+
+_REGISTRY: Dict[str, Detector] = {}
+_ORDER: List[str] = []
+
+# Convenience spellings accepted by normalize(); canonical names only
+# ever appear in scorecards and job hashes.
+_ALIASES = {
+    "gwp": "gwp-asan",
+    "gwpasan": "gwp-asan",
+    "gwp_asan": "gwp-asan",
+    "double-take": "doubletake",
+    "double_take": "doubletake",
+    "address-sanitizer": "asan",
+    "guard-page": "guardpage",
+    "guard_page": "guardpage",
+}
+
+
+def register(detector: Detector) -> Detector:
+    """Add an arm; duplicate names are a programming error."""
+    name = detector.name
+    if not name:
+        raise ReproError("detector arm must have a name")
+    if name in _REGISTRY:
+        raise ReproError(f"detector arm {name!r} already registered")
+    _REGISTRY[name] = detector
+    _ORDER.append(name)
+    return detector
+
+
+def known_arms() -> Tuple[str, ...]:
+    """All arm names, in canonical (registration) order."""
+    return tuple(_ORDER)
+
+
+def normalize(name: str) -> str:
+    """Canonical spelling of ``name``; raises listing known arms."""
+    cleaned = name.strip().lower()
+    cleaned = _ALIASES.get(cleaned, cleaned)
+    if cleaned not in _REGISTRY:
+        raise ReproError(
+            f"unknown detector arm {name!r}; known arms: "
+            + ", ".join(known_arms())
+        )
+    return cleaned
+
+
+def get(name: str) -> Detector:
+    return _REGISTRY[normalize(name)]
+
+
+def resolve_arms(names: Optional[Iterable[str]]) -> Tuple[str, ...]:
+    """Validate a selection and return it in canonical order.
+
+    ``None`` means the full matrix.  Duplicates collapse; an empty
+    selection is rejected (an oracle run with zero arms scores
+    nothing).
+    """
+    if names is None:
+        return known_arms()
+    picked = {normalize(n) for n in names}
+    if not picked:
+        raise ReproError("detector arm selection must name at least one arm")
+    return tuple(a for a in known_arms() if a in picked)
+
+
+def fleet_arms(names: Optional[Iterable[str]] = None) -> Tuple[str, ...]:
+    return tuple(a for a in resolve_arms(names) if _REGISTRY[a].fleet)
+
+
+def inline_arms(names: Optional[Iterable[str]] = None) -> Tuple[str, ...]:
+    return tuple(a for a in resolve_arms(names) if not _REGISTRY[a].fleet)
+
+
+def cheapest_production_arm(names: Iterable[str]) -> str:
+    """The production-viable arm with the lowest modeled overhead.
+
+    Used by triage to tag each bug with the cheapest detector that
+    caught it.  Returns ``""`` when nothing in ``names`` is deployable
+    (e.g. a bug only ASan sees).
+    """
+    viable = [
+        _REGISTRY[normalize(n)]
+        for n in names
+        if _REGISTRY[normalize(n)].production_viable
+    ]
+    if not viable:
+        return ""
+    return min(viable, key=lambda d: (d.modeled_overhead_pct, d.name)).name

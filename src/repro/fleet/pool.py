@@ -76,7 +76,7 @@ from typing import (
 
 from repro.core import CSODConfig, CSODRuntime
 from repro.core.sampling import context_signature
-from repro.errors import CampaignCancelled
+from repro.errors import CampaignCancelled, InvalidFreeError
 from repro.fleet.aggregate import PartialAggregate
 from repro.fleet.shm import (
     WIRE_PICKLE,
@@ -184,7 +184,15 @@ def _execute_one(
     evidence = set(spec.evidence) if spec.evidence else set(chunk_evidence)
     if evidence:
         runtime.sampling.preload_known_bad(evidence)
-    app.run(process)
+    try:
+        app.run(process)
+    except InvalidFreeError as exc:
+        # The allocator aborted on an invalid free (a double-free
+        # workload).  That is the production crash; whether it becomes
+        # a *report* depends on the arm: with evidence mode the
+        # surviving object header diagnoses the double free, without
+        # it the abort stays unattributed (no report, normal outcome).
+        runtime.diagnose_invalid_free(process.main_thread, exc.address)
     runtime.shutdown()
     stats = runtime.stats()
     new_evidence = tuple(

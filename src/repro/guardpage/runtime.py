@@ -20,8 +20,13 @@ GUARD_REGION_BASE = 0x7E00_0000_0000
 
 # Cost model: the sampling counter is nearly free; a sampled allocation
 # pays two mmap-grade syscalls (map the slot, later protect it).
+EVENT_GUARD_SAMPLE = "guardpage.sample_check"
+EVENT_GUARD_SETUP = "guardpage.setup"
 SAMPLE_CHECK_COST_NS = 2
 GUARD_SETUP_COST_NS = 2_500
+
+# Ledger events whose nanoseconds count as guard-page runtime overhead.
+GUARDPAGE_OVERHEAD_EVENTS = (EVENT_GUARD_SAMPLE, EVENT_GUARD_SETUP)
 
 
 @dataclass(frozen=True)
@@ -45,7 +50,7 @@ class GuardPageConfig:
 class GuardPageReport:
     """One guard-page fault attribution."""
 
-    kind: str  # "overflow" or "use-after-free"
+    kind: str  # "overflow", "use-after-free", or "double-free"
     fault_address: int
     object_address: int
     object_size: int
@@ -100,7 +105,7 @@ class GuardPageRuntime:
     def malloc(self, thread: SimThread, size: int) -> int:
         self.allocation_count += 1
         self.machine.ledger.record(
-            "guardpage.sample_check", nanos_each=SAMPLE_CHECK_COST_NS
+            EVENT_GUARD_SAMPLE, nanos_each=SAMPLE_CHECK_COST_NS
         )
         if (
             size <= PAGE_SIZE
@@ -117,6 +122,21 @@ class GuardPageRuntime:
     def free(self, thread: SimThread, address: int) -> None:
         slot = self._slots.pop(address, None)
         if slot is None:
+            for freed in self._freed_slots.values():
+                if freed.object_address == address:
+                    # Second free of a guarded object: the freed-slot
+                    # bookkeeping identifies it deterministically.
+                    self.reports.append(
+                        GuardPageReport(
+                            kind="double-free",
+                            fault_address=address,
+                            object_address=freed.object_address,
+                            object_size=freed.object_size,
+                            thread_id=thread.tid,
+                            allocation_context=freed.context,
+                        )
+                    )
+                    return
             self._raw.free(thread, address)
             return
         # Unmap the slot page: any later touch (use-after-free) faults.
@@ -136,7 +156,7 @@ class GuardPageRuntime:
     def _guarded_alloc(self, thread: SimThread, size: int) -> int:
         self.sampled_count += 1
         self.machine.ledger.record(
-            "guardpage.setup", nanos_each=GUARD_SETUP_COST_NS
+            EVENT_GUARD_SETUP, nanos_each=GUARD_SETUP_COST_NS
         )
         page = self._next_page
         self._next_page += 2 * PAGE_SIZE  # slot page + (unmapped) guard page

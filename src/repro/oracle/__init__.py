@@ -14,9 +14,9 @@ against another detector's opinion.
   <defect>``); the name alone rebuilds the program deterministically in
   any process, which is what lets generated apps flow through the fleet
   pool and the triage bisector unchanged.
-* :mod:`repro.oracle.harness` — runs one program under ASan and guard
-  pages inline and classifies every detector's reports as TP/FP/FN
-  against the manifest.
+* :mod:`repro.oracle.harness` — runs one program under the inline
+  baselines (ASan, guard pages, GWP-ASan, DoubleTake) and classifies
+  every detector's reports as TP/FP/FN against the manifest.
 * :mod:`repro.oracle.invariants` — CSOD-specific probes: watchpoint
   arming high-water (≤ 4, register/slot consistency), per-context
   sampling-rate monotonicity between revivals, and the §IV-B evidence
@@ -35,8 +35,11 @@ from repro.oracle.grammar import (
     ARM_CSOD,
     ARM_CSOD_NOEVIDENCE,
     ARM_CSOD_RANDOM,
+    ARM_DOUBLETAKE,
     ARM_GUARDPAGE,
+    ARM_GWP_ASAN,
     ALL_ARMS,
+    DEFECT_DOUBLE_FREE,
     CAP_DETERMINISTIC,
     CAP_INCIDENTAL,
     CAP_NONE,
@@ -66,12 +69,15 @@ __all__ = [
     "ARM_CSOD",
     "ARM_CSOD_NOEVIDENCE",
     "ARM_CSOD_RANDOM",
+    "ARM_DOUBLETAKE",
     "ARM_GUARDPAGE",
+    "ARM_GWP_ASAN",
     "AppObservations",
     "CAP_DETERMINISTIC",
     "CAP_INCIDENTAL",
     "CAP_NONE",
     "CAP_SAMPLED",
+    "DEFECT_DOUBLE_FREE",
     "Expectation",
     "GroundTruth",
     "InvariantReport",

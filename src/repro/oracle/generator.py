@@ -31,6 +31,7 @@ from repro.errors import WorkloadError
 from repro.oracle.grammar import (
     ALL_DEFECTS,
     DEFECT_BENIGN,
+    DEFECT_DOUBLE_FREE,
     DEFECT_OFF_BY_N,
     DEFECT_OVER_READ,
     DEFECT_OVER_WRITE,
@@ -56,6 +57,10 @@ class OracleAppSpec(BuggyAppSpec):
 
     # Free the victim right before the injected access (use-after-free).
     free_before_access: bool = False
+    # Free the victim twice back to back (double-free); the "access"
+    # is the second free, so overflow_length is 0 and no load/store is
+    # injected.
+    double_free: bool = False
     # The injected defect class (grammar.ALL_DEFECTS).
     defect: str = ""
 
@@ -66,7 +71,7 @@ class OracleApp(SyntheticBuggyApp):
     spec: OracleAppSpec
 
     def _pre_access(self, process, thread, heap, addresses, live) -> None:
-        if not self.spec.free_before_access:
+        if not (self.spec.free_before_access or self.spec.double_free):
             return
         victim = next(
             (i for i, event in live.items() if event.is_victim), None
@@ -75,6 +80,10 @@ class OracleApp(SyntheticBuggyApp):
             return
         heap.free(thread, addresses[victim])
         del live[victim]
+        if self.spec.double_free:
+            # The defect itself: free the same pointer again.  Arms
+            # that can't diagnose it see the allocator abort instead.
+            heap.free(thread, addresses[victim])
 
 
 @dataclass
@@ -219,6 +228,8 @@ def _draw_defect(rng: random.Random, defect: str) -> _DefectParams:
         return _DefectParams(
             rng.choice(("read", "write")), 8, in_library
         )
+    if defect == DEFECT_DOUBLE_FREE:
+        return _DefectParams("free", 0, in_library)
     raise WorkloadError(f"unknown oracle defect {defect!r}")
 
 
@@ -237,6 +248,8 @@ def _access_offset(defect: str, victim_size: int) -> int:
         return -victim_size  # the object's first bytes, after free
     if defect == DEFECT_BENIGN:
         return -16  # fully inside the object (sizes are >= 16)
+    if defect == DEFECT_DOUBLE_FREE:
+        return 0  # no memory access is injected (length 0)
     raise WorkloadError(f"unknown oracle defect {defect!r}")
 
 
@@ -254,6 +267,7 @@ def _apply_defect(
         overflow_skip=_access_offset(defect, size),
         overflow_length=params.access_length,
         free_before_access=(defect == DEFECT_UAF),
+        double_free=(defect == DEFECT_DOUBLE_FREE),
         defect=defect,
     )
 

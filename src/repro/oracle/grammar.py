@@ -44,6 +44,9 @@ DEFECT_OFF_BY_N = "off-by-n"
 DEFECT_UNDERFLOW = "underflow"
 DEFECT_UAF = "uaf"
 DEFECT_BENIGN = "benign"
+# Appended last: _genome_seed keys defects by ALL_DEFECTS position, so
+# new classes must extend the tuple, never reorder it.
+DEFECT_DOUBLE_FREE = "double-free"
 
 ALL_DEFECTS: Tuple[str, ...] = (
     DEFECT_OVER_READ,
@@ -52,14 +55,18 @@ ALL_DEFECTS: Tuple[str, ...] = (
     DEFECT_UNDERFLOW,
     DEFECT_UAF,
     DEFECT_BENIGN,
+    DEFECT_DOUBLE_FREE,
 )
 
-# Detector arms of the differential harness.
+# Detector arms of the differential harness (canonical order matches
+# the repro.detectors registry: fleet trio first, then baselines).
 ARM_CSOD = "csod"  # evidence + watchpoints, near-FIFO replacement
 ARM_CSOD_RANDOM = "csod-random"  # evidence + watchpoints, random replacement
 ARM_CSOD_NOEVIDENCE = "csod-noevidence"  # watchpoints only, no canary
 ARM_ASAN = "asan"
 ARM_GUARDPAGE = "guardpage"
+ARM_GWP_ASAN = "gwp-asan"
+ARM_DOUBLETAKE = "doubletake"
 
 ALL_ARMS: Tuple[str, ...] = (
     ARM_CSOD,
@@ -67,6 +74,8 @@ ALL_ARMS: Tuple[str, ...] = (
     ARM_CSOD_NOEVIDENCE,
     ARM_ASAN,
     ARM_GUARDPAGE,
+    ARM_GWP_ASAN,
+    ARM_DOUBLETAKE,
 )
 CSOD_ARMS: Tuple[str, ...] = (ARM_CSOD, ARM_CSOD_RANDOM, ARM_CSOD_NOEVIDENCE)
 
@@ -162,6 +171,13 @@ def expectations(
     # --- ASan -----------------------------------------------------------
     if defect == DEFECT_BENIGN:
         asan = Expectation(CAP_NONE, "access stays inside the object")
+    elif defect == DEFECT_DOUBLE_FREE:
+        # Allocator interposition, not instrumentation: catches the
+        # second free of a quarantined block even from a library.
+        asan = Expectation(
+            CAP_DETERMINISTIC,
+            "the second free hits the quarantine's bookkeeping",
+        )
     elif in_library:
         asan = Expectation(
             CAP_NONE, "access issued from an uninstrumented .SO module"
@@ -180,6 +196,11 @@ def expectations(
     slack = guard_slack(victim_size)
     if defect == DEFECT_BENIGN:
         guard = Expectation(CAP_NONE, "access stays inside the object")
+    elif defect == DEFECT_DOUBLE_FREE:
+        guard = Expectation(
+            CAP_DETERMINISTIC,
+            "the freed slot's bookkeeping rejects a second free",
+        )
     elif defect == DEFECT_UNDERFLOW:
         guard = Expectation(
             CAP_NONE, "underflow lands in the slot page, not the guard"
@@ -201,6 +222,12 @@ def expectations(
     )
     if defect == DEFECT_BENIGN:
         csod = Expectation(CAP_NONE, "access stays inside the object")
+    elif defect == DEFECT_DOUBLE_FREE:
+        csod = Expectation(
+            CAP_DETERMINISTIC,
+            "the 32-byte header survives the first free; its intact "
+            "identifier at the second free diagnoses the double free",
+        )
     elif defect == DEFECT_UAF:
         csod = Expectation(
             CAP_NONE, "watchpoint and canary are released at free"
@@ -229,6 +256,12 @@ def expectations(
     # --- CSOD, watchpoints only (no canary, raw heap layout) ------------
     if defect == DEFECT_BENIGN:
         noev = Expectation(CAP_NONE, expected[ARM_CSOD].reason)
+    elif defect == DEFECT_DOUBLE_FREE:
+        noev = Expectation(
+            CAP_NONE,
+            "raw layout leaves no header; the second free aborts "
+            "unattributed inside the allocator",
+        )
     elif defect == DEFECT_UAF:
         noev = Expectation(
             CAP_INCIDENTAL,
@@ -251,4 +284,80 @@ def expectations(
             CAP_SAMPLED, "watchpoint only, probability-sampled"
         )
     expected[ARM_CSOD_NOEVIDENCE] = noev
+
+    # --- GWP-ASan (oracle mode samples every allocation) ----------------
+    # Same page-protection physics as the guard-page arm, plus a slot
+    # quarantine (UAF and double-free become deterministic) and a left
+    # guard a full page before the object (underflows still land inside
+    # the slot page for any size the grammar draws).
+    if defect == DEFECT_BENIGN:
+        gwp = Expectation(CAP_NONE, "access stays inside the object")
+    elif defect == DEFECT_DOUBLE_FREE:
+        gwp = Expectation(
+            CAP_DETERMINISTIC,
+            "the quarantined slot's state check rejects the second free, "
+            "with allocation and deallocation stacks from slot metadata",
+        )
+    elif defect == DEFECT_UAF:
+        gwp = Expectation(
+            CAP_DETERMINISTIC, "quarantined slot page is unmapped"
+        )
+    elif defect == DEFECT_UNDERFLOW:
+        gwp = Expectation(
+            CAP_NONE,
+            "the 8 bytes before the object stay inside the slot page; "
+            "the left guard is a page away",
+        )
+    elif access_offset + access_length > slack:
+        gwp = Expectation(
+            CAP_DETERMINISTIC, "access crosses the right guard page"
+        )
+    else:
+        gwp = Expectation(
+            CAP_NONE,
+            f"access fits the {slack}-byte alignment slack before the guard",
+        )
+    expected[ARM_GWP_ASAN] = gwp
+
+    # --- DoubleTake (epoch-end canary sweep + replay) -------------------
+    # Evidence-based: only writes leave evidence, and only writes that
+    # touch the canary word at object end (or the quarantine fill) are
+    # ever found at an epoch boundary.  Reads are invisible by design.
+    overlaps_canary = (
+        access_offset < CANARY_BYTES and access_offset + access_length > 0
+    )
+    if defect == DEFECT_BENIGN:
+        dtake = Expectation(CAP_NONE, "access stays inside the object")
+    elif defect == DEFECT_DOUBLE_FREE:
+        dtake = Expectation(
+            CAP_DETERMINISTIC,
+            "the delayed-free quarantine rejects the second free",
+        )
+    elif defect == DEFECT_UAF:
+        dtake = Expectation(
+            CAP_NONE,
+            "the read leaves the quarantine fill intact; reads record "
+            "no evidence",
+        )
+    elif defect == DEFECT_UNDERFLOW:
+        dtake = Expectation(
+            CAP_NONE,
+            "the read leaves the leading canary intact; reads record "
+            "no evidence",
+        )
+    elif access_kind != "write":
+        dtake = Expectation(
+            CAP_NONE, "reads corrupt no canary and leave no evidence"
+        )
+    elif overlaps_canary:
+        dtake = Expectation(
+            CAP_DETERMINISTIC,
+            "the write corrupts the trailing canary, found at the "
+            "epoch-end sweep; replay attributes the exact store",
+        )
+    else:
+        dtake = Expectation(
+            CAP_NONE, "non-continuous write skips the trailing canary word"
+        )
+    expected[ARM_DOUBLETAKE] = dtake
     return expected

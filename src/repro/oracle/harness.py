@@ -1,9 +1,10 @@
 """The differential harness: run one generated program, judge reports.
 
 CSOD arms execute through the fleet pool (the runner dispatches them as
-ordinary :class:`ExecutionSpec`s); ASan and guard pages run inline here
-— both are deterministic, so one execution per program decides them.
-Either way, every report is judged against the program's
+ordinary :class:`ExecutionSpec`s); the baseline arms (ASan, guard
+pages, GWP-ASan, DoubleTake) run inline here — in oracle mode each is
+deterministic, so one execution per program decides them.  Either way,
+every report is judged against the program's
 :class:`~repro.oracle.grammar.GroundTruth`:
 
 * a report whose **allocation context** contains the victim's
@@ -31,17 +32,24 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.asan.runtime import ASanRuntime
+from repro.detectors.doubletake import DoubleTakeConfig, DoubleTakeRuntime
+from repro.detectors.gwp_asan import GwpAsanConfig, GwpAsanRuntime
 from repro.errors import SegmentationFault
+from repro.fleet.evidence_store import EvidenceStore
 from repro.fleet.specs import ExecutionResult
 from repro.guardpage.runtime import GuardPageConfig, GuardPageRuntime
 from repro.machine.signals import ProcessTerminated
 from repro.oracle.grammar import (
     ARM_ASAN,
+    ARM_DOUBLETAKE,
     ARM_GUARDPAGE,
+    ARM_GWP_ASAN,
     CAP_DETERMINISTIC,
     CAP_INCIDENTAL,
     CAP_NONE,
     CAP_SAMPLED,
+    DEFECT_DOUBLE_FREE,
+    DEFECT_UNDERFLOW,
     GroundTruth,
 )
 from repro.oracle.generator import OracleProgram
@@ -49,6 +57,16 @@ from repro.workloads.base import SimProcess
 
 # Oracle-mode guard pages: deterministic full guarding (see module doc).
 ORACLE_GUARD_CONFIG = GuardPageConfig(sample_every=1, max_guarded=4096)
+# Oracle-mode GWP-ASan: every allocation sampled into a pool bigger
+# than any generated schedule, quarantine deep enough that no slot is
+# ever recycled — the slot-state checks become deterministic.
+ORACLE_GWP_CONFIG = GwpAsanConfig(
+    sample_every=1, pool_slots=4096, quarantine_slots=4096
+)
+# Oracle-mode DoubleTake: frequent epochs, no quarantine eviction.
+ORACLE_DOUBLETAKE_CONFIG = DoubleTakeConfig(
+    epoch_every_allocs=32, quarantine_blocks=4096
+)
 
 
 @dataclass
@@ -160,11 +178,12 @@ def observe_asan(program: OracleProgram, seed: int) -> ArmObservation:
     runtime = ASanRuntime(process.machine, process.heap)
     result = program.app().run(process)
     runtime.shutdown()
-    expected_kind = (
-        "heap-use-after-free"
-        if truth.free_before_access
-        else "heap-buffer-overflow"
-    )
+    if truth.defect == DEFECT_DOUBLE_FREE:
+        expected_kind = "double-free"
+    elif truth.free_before_access:
+        expected_kind = "heap-use-after-free"
+    else:
+        expected_kind = "heap-buffer-overflow"
     span = (
         result.victim_address,
         result.victim_address + result.victim_size,
@@ -198,9 +217,12 @@ def observe_guardpage(program: OracleProgram, seed: int) -> ArmObservation:
         pass
     finally:
         runtime.shutdown()
-    expected_kind = (
-        "use-after-free" if truth.free_before_access else "overflow"
-    )
+    if truth.defect == DEFECT_DOUBLE_FREE:
+        expected_kind = "double-free"
+    elif truth.free_before_access:
+        expected_kind = "use-after-free"
+    else:
+        expected_kind = "overflow"
     verdicts = [
         _judge(
             truth,
@@ -213,11 +235,120 @@ def observe_guardpage(program: OracleProgram, seed: int) -> ArmObservation:
     return _fold(ARM_GUARDPAGE, verdicts, (r.kind for r in runtime.reports))
 
 
-def observe_app(program: OracleProgram, seed: int) -> AppObservations:
-    """Run both inline arms for one program."""
+def observe_gwp_asan(program: OracleProgram, seed: int) -> ArmObservation:
+    """One (deterministic, oracle-mode) execution under GWP-ASan."""
+    truth = program.truth
+    process = SimProcess(seed=seed)
+    runtime = GwpAsanRuntime(
+        process.machine, process.heap, ORACLE_GWP_CONFIG, seed=seed
+    )
+    try:
+        program.app().run(process)
+    except (SegmentationFault, ProcessTerminated):
+        # The process dies on the guard/quarantine fault; the report
+        # was already written by the crash handler.
+        pass
+    finally:
+        runtime.shutdown()
+    if truth.defect == DEFECT_DOUBLE_FREE:
+        expected_kind = "double-free"
+    elif truth.free_before_access:
+        expected_kind = "use-after-free"
+    elif truth.defect == DEFECT_UNDERFLOW:
+        expected_kind = "underflow"
+    else:
+        expected_kind = "overflow"
+    verdicts = [
+        _judge(
+            truth,
+            report.kind,
+            expected_kind,
+            report.allocation_context,
+            report.access_context,
+        )
+        for report in runtime.reports
+    ]
+    return _fold(ARM_GWP_ASAN, verdicts, (r.kind for r in runtime.reports))
+
+
+def observe_doubletake(program: OracleProgram, seed: int) -> ArmObservation:
+    """One DoubleTake observation: record run, then replay on evidence.
+
+    The record run sweeps canaries at epoch boundaries; when it ends
+    with evidence, the epoch is "rolled back" — the deterministic sim
+    makes re-execution under the same seed an exact rollback — and
+    replayed with the corrupted words watched, so the reports carry the
+    precise corrupting store.  Evidence signatures pass through an
+    in-memory :class:`EvidenceStore`, the same dedupe/persist plumbing
+    the CSOD fleet uses.
+    """
+    truth = program.truth
+    store = EvidenceStore()
+    process = SimProcess(seed=seed)
+    runtime = DoubleTakeRuntime(
+        process.machine,
+        process.heap,
+        ORACLE_DOUBLETAKE_CONFIG,
+        seed=seed,
+        evidence_store=store,
+    )
+    program.app().run(process)
+    runtime.shutdown()
+    reports = runtime.reports
+    if runtime.evidence:
+        replay_process = SimProcess(seed=seed)
+        replay = DoubleTakeRuntime(
+            replay_process.machine,
+            replay_process.heap,
+            ORACLE_DOUBLETAKE_CONFIG,
+            seed=seed,
+            watch=tuple(runtime.evidence),
+            evidence_store=store,
+        )
+        program.app().run(replay_process)
+        replay.shutdown()
+        reports = replay.reports
+    if truth.defect == DEFECT_DOUBLE_FREE:
+        expected_kind = "double-free"
+    elif truth.free_before_access:
+        expected_kind = "use-after-free-write"
+    elif truth.access_offset < 0:
+        expected_kind = "buffer-underflow-write"
+    else:
+        expected_kind = "buffer-overflow-write"
+    verdicts = [
+        _judge(
+            truth,
+            report.kind,
+            expected_kind,
+            report.allocation_context,
+            report.access_context,
+        )
+        for report in reports
+    ]
+    return _fold(ARM_DOUBLETAKE, verdicts, (r.kind for r in reports))
+
+
+# Inline arm dispatch, in canonical (registry) order.
+INLINE_OBSERVERS = {
+    ARM_ASAN: observe_asan,
+    ARM_GUARDPAGE: observe_guardpage,
+    ARM_GWP_ASAN: observe_gwp_asan,
+    ARM_DOUBLETAKE: observe_doubletake,
+}
+
+
+def observe_app(
+    program: OracleProgram,
+    seed: int,
+    arms: Optional[Sequence[str]] = None,
+) -> AppObservations:
+    """Run the selected inline arms (default: all) for one program."""
     observations = AppObservations(app=program.name)
-    observations.arms[ARM_ASAN] = observe_asan(program, seed)
-    observations.arms[ARM_GUARDPAGE] = observe_guardpage(program, seed)
+    for arm in INLINE_OBSERVERS:
+        if arms is not None and arm not in arms:
+            continue
+        observations.arms[arm] = INLINE_OBSERVERS[arm](program, seed)
     return observations
 
 
@@ -229,13 +360,18 @@ def classify_csod_results(
 ) -> ArmObservation:
     """Judge the fleet's CSOD executions for one (program, arm)."""
     truth = program.truth
+    expected_kind = (
+        "double-free"
+        if truth.defect == DEFECT_DOUBLE_FREE
+        else truth.bug_kind
+    )
     total = ArmObservation(arm=arm)
     for result in results:
         verdicts = [
             _judge(
                 truth,
                 record.kind,
-                truth.bug_kind,
+                expected_kind,
                 record.allocation_context,
                 record.access_context,
             )

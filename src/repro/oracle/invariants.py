@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import CSODConfig, HOTPATH_LEGACY
 from repro.core.runtime import CSODRuntime
+from repro.errors import InvalidFreeError
 from repro.core.sampling import context_signature
 from repro.fleet.pool import execute_spec
 from repro.fleet.specs import ExecutionSpec
@@ -171,7 +172,12 @@ def probe_invariants(
     wmu.on_deallocation = spy_on_deallocation
 
     app = app_for(app_name)
-    app.run(process)
+    try:
+        app.run(process)
+    except InvalidFreeError as exc:
+        # Double-free workloads abort in the allocator; mirror the
+        # fleet worker and let the surviving header diagnose it.
+        runtime.diagnose_invalid_free(process.main_thread, exc.address)
     runtime.shutdown()
 
     report.monotonic_violations = _monotonic_violations(traces, config)

@@ -6,10 +6,12 @@
    requested mix by largest-remainder apportionment (deterministic: no
    RNG touches the sequence).
 2. **Fan out** — every program runs ``executions_per_app`` times under
-   each CSOD arm (near-FIFO with evidence, random replacement with
-   evidence, watchpoints-only) through one :class:`FleetPool` wave, so
-   the aggregate is worker-count-invariant.  ASan and guard pages are
-   deterministic and run once each, inline.
+   each selected CSOD arm (near-FIFO with evidence, random replacement
+   with evidence, watchpoints-only) through one :class:`FleetPool`
+   wave, so the aggregate is worker-count-invariant.  The inline
+   baselines (ASan, guard pages, GWP-ASan, DoubleTake) are
+   deterministic and run once each.  ``--arms`` restricts the matrix
+   to a subset of registered detector arms.
 3. **Judge** — every report is classified against the program's
    manifest; CSOD invariants are probed on an instrumented inline
    execution per program; all-miss sampled defects are attributed
@@ -29,11 +31,9 @@ import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.config import (
-    CSODConfig,
-    POLICY_NEAR_FIFO,
-    POLICY_RANDOM,
-)
+from repro.core.config import CSODConfig
+from repro.detectors import get as get_detector
+from repro.detectors import resolve_arms
 from repro.errors import ReproError
 from repro.fleet.aggregate import FleetAggregator
 from repro.fleet.pool import DEFAULT_TIMEOUT_SECONDS, FleetPool
@@ -64,13 +64,13 @@ from repro.triage.bisect import MinimalRepro
 
 
 def arm_configs() -> Dict[str, CSODConfig]:
-    """The CSOD policy configurations under differential test."""
-    base = CSODConfig()
-    return {
-        "csod": base.with_policy(POLICY_NEAR_FIFO),
-        "csod-random": base.with_policy(POLICY_RANDOM),
-        "csod-noevidence": base.without_evidence(),
-    }
+    """The CSOD policy configurations under differential test.
+
+    Sourced from the detector registry so the oracle and any other
+    driver agree on each arm's configuration; kept as a module-level
+    function because tests monkeypatch it to swap in legacy configs.
+    """
+    return {arm: get_detector(arm).config() for arm in CSOD_ARMS}
 
 
 @dataclass(frozen=True)
@@ -90,8 +90,15 @@ class OracleSettings:
     # transport knob like workers/timeout/chunk_size: excluded from
     # to_dict() because it cannot change what the scorecard hashes.
     wire: Optional[str] = None
+    # Detector arms to run; None means every registered arm.  Part of
+    # the scorecard identity (a subset produces a different document).
+    arms: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self):
+        if self.arms is not None:
+            # Normalizes aliases/case and rejects unknown arms with a
+            # message naming the known ones; canonical registry order.
+            object.__setattr__(self, "arms", resolve_arms(self.arms))
         if self.budget < 1:
             raise ReproError(f"budget must be >= 1, got {self.budget}")
         if self.executions_per_app < 1:
@@ -125,6 +132,7 @@ class OracleSettings:
                 None if mix is None else {k: v for k, v in sorted(mix.items())}
             ),
             "shrink": self.shrink,
+            "arms": None if self.arms is None else list(self.arms),
         }
 
 
@@ -179,9 +187,10 @@ def _csod_specs(
     programs: Sequence[OracleProgram],
     configs: Mapping[str, CSODConfig],
     executions_per_app: int,
+    arms: Optional[Sequence[str]] = None,
 ) -> List[ExecutionSpec]:
     """One flat wave; indices unique per (program, arm, repeat)."""
-    arms = list(CSOD_ARMS)
+    arms = list(CSOD_ARMS) if arms is None else list(arms)
     specs: List[ExecutionSpec] = []
     for app_i, program in enumerate(programs):
         for arm_j, arm in enumerate(arms):
@@ -201,10 +210,23 @@ def _csod_specs(
 def run_oracle(
     settings: OracleSettings,
     telemetry: Optional[Callable[[dict], None]] = None,
+    bug_db=None,
 ) -> OracleRun:
-    """Run one oracle campaign end to end."""
-    configs = arm_configs()
-    arms = list(CSOD_ARMS)
+    """Run one oracle campaign end to end.
+
+    ``bug_db`` (a :class:`repro.triage.bugdb.BugDatabase`) is optional;
+    when given, the campaign's CSOD clusters are folded in and each is
+    annotated with every arm that caught its program, so the database
+    can name the cheapest production-viable detector per bug.
+    """
+    selected = resolve_arms(settings.arms)
+    fleet_selected = [a for a in selected if get_detector(a).fleet]
+    inline_selected = tuple(a for a in selected if not get_detector(a).fleet)
+    all_fleet_configs = arm_configs()
+    configs = {
+        arm: all_fleet_configs.get(arm) or get_detector(arm).config()
+        for arm in fleet_selected
+    }
     programs = [
         generate(settings.seed, index, defect)
         for index, defect in enumerate(
@@ -212,23 +234,28 @@ def run_oracle(
         )
     ]
 
-    # --- CSOD arms through the fleet -----------------------------------
-    specs = _csod_specs(programs, configs, settings.executions_per_app)
-    pool = FleetPool(
-        workers=settings.workers,
-        timeout_seconds=settings.timeout_seconds,
-        chunk_size=settings.chunk_size,
-        wire=settings.wire,
-    )
-    try:
-        wave = pool.run_wave(specs)
-    finally:
-        # The oracle's fleet work is one wave; closing here (not at
-        # campaign end) releases worker processes and unlinks the shm
-        # segments before the serial judging phase runs.
-        pool.close()
+    # --- fleet arms (the CSOD trio) through the pool ---------------------
+    arms = fleet_selected
     aggregator = FleetAggregator()
-    aggregator.merge_partial(wave.partial)
+    wave = None
+    if arms:
+        specs = _csod_specs(
+            programs, configs, settings.executions_per_app, arms=arms
+        )
+        pool = FleetPool(
+            workers=settings.workers,
+            timeout_seconds=settings.timeout_seconds,
+            chunk_size=settings.chunk_size,
+            wire=settings.wire,
+        )
+        try:
+            wave = pool.run_wave(specs)
+        finally:
+            # The oracle's fleet work is one wave; closing here (not at
+            # campaign end) releases worker processes and unlinks the
+            # shm segments before the serial judging phase runs.
+            pool.close()
+        aggregator.merge_partial(wave.partial)
 
     def results_for(app_i: int, arm_j: int) -> List[ExecutionResult]:
         base = (app_i * len(arms) + arm_j) * settings.executions_per_app
@@ -236,27 +263,34 @@ def run_oracle(
         return [r for r in picked if r is not None]
 
     # --- judge every arm -------------------------------------------------
+    csod_selected = ARM_CSOD in configs
     observations: Dict[str, AppObservations] = {}
     invariant_reports: List[InvariantReport] = []
     fn_attributions: Dict[str, str] = {}
     convergence: Dict[str, bool] = {}
     mismatches: List[Mismatch] = []
+    detected_arms: Dict[str, set] = {}
     for app_i, program in enumerate(programs):
-        obs = observe_app(program, program.base_seed)  # asan + guardpage
+        obs = observe_app(program, program.base_seed, arms=inline_selected)
         for arm_j, arm in enumerate(arms):
             obs.arms[arm] = classify_csod_results(
                 program, arm, results_for(app_i, arm_j)
             )
         observations[program.name] = obs
+        detected_arms[program.name] = {
+            arm for arm in selected if obs.arms[arm].detected
+        }
 
         # CSOD invariant probe (one instrumented inline execution).
-        probe = probe_invariants(
-            program.name,
-            program.base_seed,
-            config=configs[ARM_CSOD],
-            victim_marker=program.truth.victim_marker,
-        )
-        invariant_reports.append(probe)
+        probe = None
+        if csod_selected:
+            probe = probe_invariants(
+                program.name,
+                program.base_seed,
+                config=configs[ARM_CSOD],
+                victim_marker=program.truth.victim_marker,
+            )
+            invariant_reports.append(probe)
 
         # FN attribution: sampled-capability arms that missed everywhere.
         for arm in arms:
@@ -267,19 +301,20 @@ def run_oracle(
                 )
 
         # Evidence convergence (§V-A2) on the evidence arm's detections.
-        detecting = [
-            r
-            for r in results_for(app_i, arms.index(ARM_CSOD))
-            if r.detected and r.new_evidence
-        ]
-        if detecting:
-            first = detecting[0]
-            convergence[program.name] = evidence_converges(
-                program.name,
-                program.base_seed,
-                tuple(first.new_evidence),
-                config=configs[ARM_CSOD],
-            )
+        if csod_selected:
+            detecting = [
+                r
+                for r in results_for(app_i, arms.index(ARM_CSOD))
+                if r.detected and r.new_evidence
+            ]
+            if detecting:
+                first = detecting[0]
+                convergence[program.name] = evidence_converges(
+                    program.name,
+                    program.base_seed,
+                    tuple(first.new_evidence),
+                    config=configs[ARM_CSOD],
+                )
 
         mismatch = find_mismatch(program, obs)
         if mismatch is not None:
@@ -296,7 +331,9 @@ def run_oracle(
                         arm: obs.arms[arm].to_dict()
                         for arm in sorted(obs.arms)
                     },
-                    "invariants": probe.to_dict(),
+                    "invariants": (
+                        probe.to_dict() if probe is not None else None
+                    ),
                     "mismatch": (
                         mismatch.to_dict() if mismatch is not None else None
                     ),
@@ -305,7 +342,7 @@ def run_oracle(
 
     # --- shrink mismatches ----------------------------------------------
     shrunk: List[MinimalRepro] = []
-    if settings.shrink > 0:
+    if settings.shrink > 0 and csod_selected:
         for mismatch in mismatches:
             if len(shrunk) >= settings.shrink:
                 break
@@ -315,6 +352,39 @@ def run_oracle(
             if repro is not None:
                 shrunk.append(repro)
 
+    # --- triage hand-off -------------------------------------------------
+    if bug_db is not None:
+        from repro.triage.clustering import cluster_reports
+
+        clusters = cluster_reports(aggregator.reports())
+        bug_db.update(
+            clusters,
+            campaign_id=f"oracle:s{settings.seed}:b{settings.budget}",
+            total_executions=sum(
+                observations[p.name].arms[arm].executions
+                for p in programs
+                for arm in arms
+            ),
+        )
+        for cluster in clusters:
+            apps = {m.first_seen_app for m in cluster.members}
+            arms_hit = sorted(
+                set().union(
+                    *(detected_arms.get(app, set()) for app in apps)
+                )
+                if apps
+                else set()
+            )
+            if arms_hit:
+                bug_db.record_detectors(cluster.cluster_id, arms_hit)
+
+    defects = (
+        ALL_DEFECTS
+        if settings.defect_mix is None
+        else tuple(
+            d for d in ALL_DEFECTS if settings.defect_mix.get(d, 0.0) > 0
+        )
+    )
     scorecard = build_scorecard(
         programs,
         observations,
@@ -324,6 +394,8 @@ def run_oracle(
         mismatches=mismatches,
         shrunk=shrunk,
         settings=settings.to_dict(),
+        arms=selected,
+        defects=defects,
     )
     if telemetry is not None:
         telemetry({"event": "oracle_scorecard", "scorecard": scorecard})

@@ -56,17 +56,27 @@ def build_scorecard(
     mismatches: Sequence[Mismatch] = (),
     shrunk: Sequence[MinimalRepro] = (),
     settings: Optional[Mapping[str, object]] = None,
+    arms: Optional[Sequence[str]] = None,
+    defects: Optional[Sequence[str]] = None,
 ) -> dict:
-    """Assemble the (deterministic) conformance scorecard."""
+    """Assemble the (deterministic) conformance scorecard.
+
+    ``arms``/``defects`` name the matrix under report (default: every
+    registered arm and defect class); a campaign run over a subset
+    emits only that subset so the document stays free of dead rows.
+    """
     fn_attributions = dict(fn_attributions or {})
     convergence = dict(convergence or {})
+    arms = tuple(ALL_ARMS if arms is None else arms)
+    defects = tuple(ALL_DEFECTS if defects is None else defects)
     by_name = {program.name: program for program in programs}
 
     # --- generator census ------------------------------------------------
-    by_defect: Dict[str, int] = {defect: 0 for defect in ALL_DEFECTS}
+    by_defect: Dict[str, int] = {defect: 0 for defect in defects}
     in_library = 0
     for program in programs:
-        by_defect[program.truth.defect] += 1
+        defect = program.truth.defect
+        by_defect[defect] = by_defect.get(defect, 0) + 1
         if program.truth.in_library:
             in_library += 1
     census = {
@@ -78,13 +88,13 @@ def build_scorecard(
     # --- per-arm and per-(arm, defect) conformance -----------------------
     arms_block: Dict[str, dict] = {}
     conformance: Dict[str, Dict[str, dict]] = {}
-    for arm in sorted(ALL_ARMS):
+    for arm in sorted(arms):
         executions = 0
         fp_reports = 0
         detected_eligible = 0
         eligible = 0
         per_defect: Dict[str, dict] = {}
-        for defect in sorted(ALL_DEFECTS):
+        for defect in sorted(defects):
             d_detected = 0
             d_eligible = 0
             d_fp = 0

@@ -24,7 +24,7 @@ import hashlib
 import json
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import POLICY_NAIVE, POLICY_NEAR_FIFO, POLICY_RANDOM
 from repro.errors import ServiceError, WorkloadError
@@ -84,6 +84,10 @@ class CampaignSubmission:
     timeout_seconds: Optional[float] = 60.0
     # Fleet data plane; None takes the pool default ("shm").
     wire: Optional[str] = None
+    # Detector arm override: a single fleet-capable arm name (e.g.
+    # ["csod-random"]); None keeps the policy-derived CSOD config.
+    # Part of the job identity, so arm variants hash to distinct jobs.
+    arms: Optional[Tuple[str, ...]] = None
 
     def validate(self) -> None:
         """Fail fast with the offending field named, CLI-style."""
@@ -116,6 +120,25 @@ class CampaignSubmission:
             raise ServiceError(
                 f"wire: must be one of {list(WIRES)}, got {self.wire!r}"
             )
+        if self.arms is not None:
+            from repro.detectors import get as get_detector
+            from repro.detectors import resolve_arms
+
+            try:
+                resolved = resolve_arms(tuple(self.arms))
+            except Exception as exc:  # ReproError -> field-named error
+                raise ServiceError(f"arms: {exc}") from None
+            if len(resolved) != 1:
+                raise ServiceError(
+                    f"arms: fleet campaigns run exactly one arm, got "
+                    f"{list(resolved)}"
+                )
+            if not get_detector(resolved[0]).fleet:
+                raise ServiceError(
+                    f"arms: {resolved[0]!r} is an inline baseline, not a "
+                    f"fleet arm"
+                )
+            object.__setattr__(self, "arms", resolved)  # frozen dataclass
 
     def effective_wave_size(self) -> int:
         """The wave plan — a function of the submission alone.
@@ -148,6 +171,7 @@ class CampaignSubmission:
             "chunk_size": self.chunk_size,
             "timeout_seconds": self.timeout_seconds,
             "wire": self.wire,
+            "arms": None if self.arms is None else list(self.arms),
         }
 
     @classmethod
@@ -170,10 +194,13 @@ class CampaignSubmission:
             "chunk_size",
             "timeout_seconds",
             "wire",
+            "arms",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
             raise ServiceError(f"submission: unknown fields {unknown}")
+        if isinstance(payload.get("arms"), list):
+            payload = dict(payload, arms=tuple(payload["arms"]))
         try:
             submission = cls(**payload)
         except TypeError as exc:

@@ -191,12 +191,20 @@ class CampaignScheduler:
     async def _run_job(self, job: JobRecord) -> None:
         loop = asyncio.get_running_loop()
         submission = job.submission
+        config = None
+        if submission.arms:
+            # A validated single fleet arm: its registry config wins
+            # over the policy-derived default.
+            from repro.detectors import get as get_detector
+
+            config = get_detector(submission.arms[0]).config()
         try:
             campaign = FleetCampaign(
                 submission.app,
                 executions=submission.executions,
                 workers=submission.workers,
                 policy=submission.policy,
+                config=config,
                 share_evidence=submission.share_evidence,
                 seed_base=submission.seed,
                 timeout_seconds=submission.timeout_seconds,

@@ -62,6 +62,11 @@ class BugEntry:
     access_context: Tuple[str, ...] = ()
     first_seen_spec: Dict[str, object] = field(default_factory=dict)
     repro: Optional[dict] = None  # MinimalRepro.to_dict(), once bisected
+    # Detector arms that have caught this bug (sorted canonical names)
+    # and the cheapest production-viable one among them — the arm a
+    # deployment would keep enabled to still see this bug.
+    detected_by: Tuple[str, ...] = ()
+    cheapest_arm: str = ""
 
     def to_cluster(self) -> BugCluster:
         """Rebuild a rankable/exportable cluster from the stored entry.
@@ -113,6 +118,9 @@ class BugEntry:
         }
         if self.repro is not None:
             payload["repro"] = self.repro
+        if self.detected_by:
+            payload["detected_by"] = list(self.detected_by)
+            payload["cheapest_arm"] = self.cheapest_arm
         return payload
 
     @classmethod
@@ -135,6 +143,8 @@ class BugEntry:
             access_context=tuple(payload.get("access_context", ())),
             first_seen_spec=dict(payload.get("first_seen_spec", {})),
             repro=payload.get("repro"),
+            detected_by=tuple(payload.get("detected_by", ())),
+            cheapest_arm=payload.get("cheapest_arm", ""),
         )
 
 
@@ -327,6 +337,29 @@ class BugDatabase:
             if entry is None:
                 raise KeyError(f"unknown cluster id {cluster_id!r}")
             entry.repro = dict(repro)
+            self._flush()
+
+    def record_detectors(self, cluster_id: str, arms: Iterable[str]) -> None:
+        """Merge the arms that caught this bug; re-derive the cheapest.
+
+        ``cheapest_arm`` is the production-viable arm (per the detector
+        registry) with the lowest modeled overhead among everything
+        that has ever detected the cluster — empty when only
+        debug-grade tools (e.g. ASan) have seen it.
+        """
+        from repro.detectors import cheapest_production_arm, normalize
+
+        with self._lock:
+            entry = self._entries.get(cluster_id)
+            if entry is None:
+                raise KeyError(f"unknown cluster id {cluster_id!r}")
+            merged = tuple(
+                sorted(set(entry.detected_by) | {normalize(a) for a in arms})
+            )
+            if merged == entry.detected_by:
+                return
+            entry.detected_by = merged
+            entry.cheapest_arm = cheapest_production_arm(merged)
             self._flush()
 
     # ------------------------------------------------------------------

@@ -453,6 +453,10 @@ class SyntheticBuggyApp:
 
         def do_overflow() -> None:
             self._pre_access(process, overflow_thread, heap, addresses, live)
+            if self.spec.overflow_length <= 0:
+                # Heap-state-only defects (double-free) inject no
+                # load/store; the _pre_access hook was the defect.
+                return
             with overflow_thread.call_stack.calling(sites[0][0]):
                 with overflow_thread.call_stack.calling(self.access_site):
                     boundary = (

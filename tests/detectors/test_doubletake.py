@@ -1,0 +1,160 @@
+"""The DoubleTake runtime: canaries, epoch sweeps, rollback replay."""
+
+import pytest
+
+from repro.callstack.frames import CallSite
+from repro.detectors import DoubleTakeConfig, DoubleTakeRuntime
+from repro.errors import ReproError
+from repro.fleet.evidence_store import EvidenceStore
+from repro.workloads.base import SimProcess
+
+
+def make(epoch_every_allocs=4, seed=3, watch=(), store=None, **kwargs):
+    process = SimProcess(seed=seed)
+    runtime = DoubleTakeRuntime(
+        process.machine,
+        process.heap,
+        DoubleTakeConfig(epoch_every_allocs=epoch_every_allocs, **kwargs),
+        seed=seed,
+        watch=watch,
+        evidence_store=store,
+    )
+    return process, runtime
+
+
+def alloc(process, size=64, name="alloc_site"):
+    site = CallSite("APP", "a.c", 1, name)
+    try:
+        process.symbols.add(site)
+    except ValueError:
+        pass
+    with process.main_thread.call_stack.calling(site):
+        return process.heap.malloc(process.main_thread, size)
+
+
+def store_at(process, address, data, line=7):
+    site = CallSite("APP", "w.c", line, "writer")
+    try:
+        process.symbols.add(site)
+    except ValueError:
+        pass
+    with process.main_thread.call_stack.calling(site):
+        process.machine.cpu.store(process.main_thread, address, data)
+
+
+def test_config_validation():
+    with pytest.raises(ReproError):
+        DoubleTakeConfig(epoch_every_allocs=0)
+    with pytest.raises(ReproError):
+        DoubleTakeConfig(quarantine_blocks=-1)
+
+
+def test_clean_run_produces_no_evidence():
+    process, runtime = make()
+    addresses = [alloc(process, 32) for _ in range(8)]
+    for address in addresses:
+        store_at(process, address, b"x" * 32)
+        process.heap.free(process.main_thread, address)
+    runtime.shutdown()
+    assert runtime.evidence == {}
+    assert not runtime.detected
+    assert runtime.epochs >= 2
+
+
+def test_overflow_write_found_at_epoch_boundary_not_at_access():
+    process, runtime = make(epoch_every_allocs=100)
+    address = alloc(process, 64)
+    store_at(process, address + 64, b"!" * 8)  # smashes trailing canary
+    assert not runtime.detected  # invisible until a sweep runs
+    runtime.shutdown()  # final epoch boundary sweeps
+    assert runtime.detected
+    report = runtime.reports[0]
+    assert report.kind == "buffer-overflow-write"
+    assert report.fault_address == address + 64
+    assert any("a.c:1" in frame for frame in report.allocation_context)
+
+
+def test_underflow_write_corrupts_leading_canary():
+    process, runtime = make(epoch_every_allocs=100)
+    address = alloc(process, 64)
+    store_at(process, address - 8, b"!" * 8)
+    runtime.shutdown()
+    assert runtime.reports[0].kind == "buffer-underflow-write"
+
+
+def test_use_after_free_write_corrupts_quarantine_fill():
+    process, runtime = make(epoch_every_allocs=100)
+    address = alloc(process, 64)
+    process.heap.free(process.main_thread, address)
+    store_at(process, address + 16, b"Z" * 8)
+    runtime.shutdown()
+    kinds = {r.kind for r in runtime.reports}
+    assert "use-after-free-write" in kinds
+
+
+def test_reads_are_invisible_by_design():
+    process, runtime = make(epoch_every_allocs=100)
+    address = alloc(process, 64)
+    process.machine.cpu.load(process.main_thread, address + 64, 8)
+    process.heap.free(process.main_thread, address)
+    process.machine.cpu.load(process.main_thread, address, 8)
+    runtime.shutdown()
+    assert not runtime.detected
+
+
+def test_double_free_of_quarantined_block_reports_both_stacks():
+    process, runtime = make(epoch_every_allocs=100)
+    address = alloc(process, 64)
+    site = CallSite("APP", "f.c", 9, "free_site")
+    process.symbols.add(site)
+    with process.main_thread.call_stack.calling(site):
+        process.heap.free(process.main_thread, address)
+        process.heap.free(process.main_thread, address)  # non-fatal
+    report = runtime.reports[0]
+    assert report.kind == "double-free"
+    assert any("f.c:9" in f for f in report.deallocation_context)
+
+
+def test_replay_attributes_the_corrupting_store():
+    # Record run: find the corrupted word.
+    process, runtime = make(epoch_every_allocs=100, seed=11)
+    address = alloc(process, 64)
+    store_at(process, address + 64, b"!" * 8, line=42)
+    runtime.shutdown()
+    faults = tuple(runtime.evidence)
+    assert faults == (address + 64,)
+
+    # Rollback: same seed is an exact re-execution; watch the word.
+    replay_process, replay = make(
+        epoch_every_allocs=100, seed=11, watch=faults
+    )
+    replay_address = alloc(replay_process, 64)
+    assert replay_address == address  # deterministic rollback
+    store_at(replay_process, replay_address + 64, b"!" * 8, line=42)
+    replay.shutdown()
+    report = replay.reports[0]
+    assert report.kind == "buffer-overflow-write"
+    assert any("w.c:42" in frame for frame in report.access_context)
+
+
+def test_evidence_flows_through_the_store():
+    store = EvidenceStore()
+    process, runtime = make(epoch_every_allocs=100, store=store)
+    address = alloc(process, 64)
+    store_at(process, address + 64, b"!" * 8)
+    runtime.shutdown()
+    signatures = runtime.evidence_signatures()
+    assert signatures
+    assert all(s.startswith("doubletake:") for s in signatures)
+    assert set(store.snapshot()) >= set(signatures)
+
+
+def test_quarantine_eviction_sweeps_before_recycling():
+    process, runtime = make(epoch_every_allocs=10**6, quarantine_blocks=1)
+    first = alloc(process, 32)
+    process.heap.free(process.main_thread, first)
+    store_at(process, first, b"Z" * 8)  # corrupt while quarantined
+    second = alloc(process, 32)
+    process.heap.free(process.main_thread, second)  # evicts `first`
+    # The eviction sweep caught the corruption without any epoch close.
+    assert any(r.kind == "use-after-free-write" for r in runtime.reports)

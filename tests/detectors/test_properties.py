@@ -1,0 +1,112 @@
+"""Property tests: registry round-trips and slot-pool invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.detectors import (
+    GwpAsanSlotPool,
+    get,
+    known_arms,
+    normalize,
+    resolve_arms,
+)
+from repro.machine.address_space import PAGE_SIZE
+
+ARMS = known_arms()
+
+
+# ----------------------------------------------------------------------
+# Registry round-trips
+# ----------------------------------------------------------------------
+@settings(deadline=None)
+@given(
+    arm=st.sampled_from(ARMS),
+    left=st.text(alphabet=" \t", max_size=3),
+    right=st.text(alphabet=" \t", max_size=3),
+    upper=st.booleans(),
+)
+def test_normalize_identity_under_case_and_whitespace(
+    arm, left, right, upper
+):
+    spelled = left + (arm.upper() if upper else arm) + right
+    canonical = normalize(spelled)
+    assert canonical == arm
+    # Lookup after normalize is the registered detector itself.
+    assert get(canonical).name == canonical
+    # normalize is idempotent on its own output.
+    assert normalize(canonical) == canonical
+
+
+@settings(deadline=None)
+@given(subset=st.lists(st.sampled_from(ARMS), min_size=1, max_size=10))
+def test_resolve_arms_round_trip(subset):
+    resolved = resolve_arms(tuple(subset))
+    # Canonical registry order, deduplicated, nothing invented.
+    assert resolved == tuple(a for a in ARMS if a in set(subset))
+    # Resolution is idempotent: feeding the result back is a no-op.
+    assert resolve_arms(resolved) == resolved
+
+
+# ----------------------------------------------------------------------
+# GWP-ASan slot pool
+# ----------------------------------------------------------------------
+class TrackingMemory:
+    """Records mapped page bases; faults double-maps like the real one."""
+
+    def __init__(self):
+        self.mapped = set()
+
+    def map_region(self, base, size, name=""):
+        assert base not in self.mapped, "double map"
+        self.mapped.add(base)
+
+    def unmap_region(self, base):
+        assert base in self.mapped, "unmap of unmapped page"
+        self.mapped.remove(base)
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    slots=st.integers(min_value=1, max_value=8),
+    cap=st.integers(min_value=0, max_value=8),
+    ops=st.lists(st.booleans(), max_size=60),  # True=acquire, False=retire
+)
+def test_slot_pool_invariants(slots, cap, ops):
+    cap = min(cap, slots)
+    memory = TrackingMemory()
+    pool = GwpAsanSlotPool(memory, slots=slots)
+    live = []
+    for is_acquire in ops:
+        if is_acquire:
+            slot = pool.acquire()
+            if slot is not None:
+                # A quarantined slot is never handed out while the
+                # quarantine holds it: acquire only serves the free list.
+                assert slot.index not in pool.quarantined_indexes()
+                live.append(slot)
+        elif live:
+            pool.retire(live.pop(0), cap)
+
+        free = set(pool.free_indexes())
+        quarantined = set(pool.quarantined_indexes())
+        alive = set(pool.live_indexes())
+        # The three states partition the pool exactly.
+        assert free | quarantined | alive == set(range(slots))
+        assert not free & quarantined
+        assert not free & alive
+        assert not quarantined & alive
+        # Retire enforces the cap on every transition.
+        assert len(quarantined) <= cap
+        # Only live slot pages are mapped; guard pages never are, so a
+        # guard can never overlap a live slot.
+        assert memory.mapped == {
+            pool.slots[i].page_base for i in alive
+        }
+        guard_starts = {start for start, _ in pool.guard_ranges()}
+        assert guard_starts.isdisjoint(memory.mapped)
+        # Geometry: every slot page sits between two guard pages.
+        for i in range(slots):
+            page = pool.slots[i].page_base
+            assert (page - PAGE_SIZE, page) in pool.guard_ranges()
+            assert (page + PAGE_SIZE, page + 2 * PAGE_SIZE) in (
+                pool.guard_ranges()
+            )

@@ -21,7 +21,7 @@ from repro.cli import main
         (["oracle", "--chunk-size", "0"], "--chunk-size"),
         (["oracle", "--timeout", "0"], "--timeout"),
         (["oracle", "--defect-mix", "over-read"], "--defect-mix"),
-        (["oracle", "--defect-mix", "double-free=1"], "--defect-mix"),
+        (["oracle", "--defect-mix", "wild-write=1"], "--defect-mix"),
         (["oracle", "--defect-mix", "over-read=-1"], "--defect-mix"),
         (["oracle", "--defect-mix", "over-read=0"], "--defect-mix"),
         (["oracle", "--defect-mix", "over-read=x"], "--defect-mix"),

@@ -1,0 +1,120 @@
+"""The double-free defect class, end to end across all seven arms."""
+
+import pytest
+
+from repro.fleet.pool import execute_spec
+from repro.fleet.specs import ExecutionSpec
+from repro.oracle.generator import generate
+from repro.oracle.grammar import (
+    ALL_ARMS,
+    ARM_ASAN,
+    ARM_CSOD,
+    ARM_CSOD_NOEVIDENCE,
+    ARM_CSOD_RANDOM,
+    ARM_DOUBLETAKE,
+    ARM_GUARDPAGE,
+    ARM_GWP_ASAN,
+    CAP_DETERMINISTIC,
+    CAP_NONE,
+    DEFECT_DOUBLE_FREE,
+    expectations,
+)
+from repro.oracle.harness import classify_csod_results, observe_app
+from repro.oracle.invariants import probe_invariants
+from repro.oracle.runner import arm_configs
+
+
+@pytest.fixture(scope="module")
+def program():
+    return generate(seed=4, index=0, defect=DEFECT_DOUBLE_FREE)
+
+
+def test_manifest_shape(program):
+    truth = program.truth
+    assert truth.defect == DEFECT_DOUBLE_FREE
+    assert truth.access_kind == "free"
+    assert truth.access_length == 0
+    assert not truth.benign
+    assert set(truth.expected) == set(ALL_ARMS)
+
+
+def test_capability_matrix(program):
+    truth = program.truth
+    # The second free hits surviving state in every arm but one.
+    assert truth.capability(ARM_CSOD) == CAP_DETERMINISTIC
+    assert truth.capability(ARM_CSOD_RANDOM) == CAP_DETERMINISTIC
+    assert truth.capability(ARM_ASAN) == CAP_DETERMINISTIC
+    assert truth.capability(ARM_GUARDPAGE) == CAP_DETERMINISTIC
+    assert truth.capability(ARM_GWP_ASAN) == CAP_DETERMINISTIC
+    assert truth.capability(ARM_DOUBLETAKE) == CAP_DETERMINISTIC
+    # Without the 32-byte header there is nothing to diagnose from.
+    assert truth.capability(ARM_CSOD_NOEVIDENCE) == CAP_NONE
+
+
+def test_asan_catches_double_free_even_in_library_code():
+    # ASan's free interposition is allocator-side, not compiler-side:
+    # uninstrumented modules do not dodge it.
+    expected = expectations(
+        DEFECT_DOUBLE_FREE, "free", 0, 0, True, 64
+    )
+    assert expected[ARM_ASAN].capability == CAP_DETERMINISTIC
+
+
+def test_inline_arms_detect_with_zero_false_positives(program):
+    obs = observe_app(program, program.base_seed)
+    for arm in (ARM_ASAN, ARM_GUARDPAGE, ARM_GWP_ASAN, ARM_DOUBLETAKE):
+        observation = obs.arms[arm]
+        assert observation.detected, arm
+        assert observation.fp_reports == 0, arm
+        assert "double-free" in observation.kinds, arm
+
+
+def test_csod_header_state_diagnoses_the_second_free(program):
+    configs = arm_configs()
+    result = execute_spec(
+        ExecutionSpec(
+            app=program.name,
+            seed=program.base_seed,
+            index=0,
+            config=configs[ARM_CSOD],
+        )
+    )
+    observation = classify_csod_results(program, ARM_CSOD, [result])
+    assert observation.detected
+    assert observation.fp_reports == 0
+    assert any("double-free" in kind for kind in observation.kinds)
+
+
+def test_noevidence_arm_sees_nothing(program):
+    configs = arm_configs()
+    result = execute_spec(
+        ExecutionSpec(
+            app=program.name,
+            seed=program.base_seed,
+            index=0,
+            config=configs[ARM_CSOD_NOEVIDENCE],
+        )
+    )
+    observation = classify_csod_results(
+        program, ARM_CSOD_NOEVIDENCE, [result]
+    )
+    assert not observation.detected
+    assert observation.fp_reports == 0
+
+
+def test_invariant_probe_survives_the_allocator_abort(program):
+    configs = arm_configs()
+    probe = probe_invariants(
+        program.name,
+        program.base_seed,
+        config=configs[ARM_CSOD],
+        victim_marker=program.truth.victim_marker,
+    )
+    assert probe.ok
+    assert probe.detected
+
+
+def test_generation_is_deterministic(program):
+    again = generate(seed=4, index=0, defect=DEFECT_DOUBLE_FREE)
+    assert again.name == program.name
+    assert again.truth.to_dict() == program.truth.to_dict()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import WorkloadError
+from repro.errors import DoubleFreeError, WorkloadError
 from repro.oracle.generator import (
     OracleApp,
     encode_name,
@@ -31,7 +31,7 @@ def test_name_roundtrip():
         "oracle:s1:i2",  # missing defect
         "oracle:1:2:over-read",  # missing s/i markers
         "oracle:sx:i2:over-read",  # non-integer seed
-        "oracle:s1:i2:double-free",  # unknown defect
+        "oracle:s1:i2:wild-write",  # unknown defect
         "oracle:s-1:i2:over-read",  # negative seed
         "fleet:s1:i2:over-read",  # wrong prefix
     ],
@@ -90,6 +90,12 @@ def test_scaled_rebuild_preserves_the_defect_class():
 @pytest.mark.parametrize("defect", ALL_DEFECTS)
 def test_every_defect_class_executes(defect):
     program = generate(3, 0, defect)
+    if defect == "double-free":
+        # On a bare heap the second free is an allocator abort — the
+        # defect manifesting is the proof of execution here.
+        with pytest.raises(DoubleFreeError):
+            program.app().run(SimProcess(seed=program.base_seed))
+        return
     result = program.app().run(SimProcess(seed=program.base_seed))
     assert result.allocations == program.spec.total_allocations
     assert result.overflow_performed

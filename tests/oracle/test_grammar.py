@@ -129,7 +129,7 @@ def test_uaf_matrix():
 
 def test_unknown_defect_rejected():
     with pytest.raises(WorkloadError):
-        expectations("double-free", "read", 0, 8, False, 64)
+        expectations("wild-write", "read", 0, 8, False, 64)
 
 
 def test_ground_truth_to_dict_sorts_arms():

@@ -1,0 +1,47 @@
+"""The five pre-existing arms still produce byte-identical scorecards.
+
+The golden file was captured before the detector registry existed.  If
+the refactor changed a single config default, classification branch, or
+ordering decision for the legacy arms, these bytes move.  The golden's
+settings block predates the ``arms`` field, so the test injects the
+now-always-emitted key before comparing.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.oracle.runner import OracleSettings, run_oracle
+from repro.oracle.scorecard import render_scorecard
+
+GOLDEN = Path(__file__).parent / "golden" / "scorecard_legacy5.json"
+LEGACY5 = ("csod", "csod-random", "csod-noevidence", "asan", "guardpage")
+LEGACY_MIX = {
+    defect: 1.0
+    for defect in (
+        "over-read",
+        "over-write",
+        "off-by-n",
+        "underflow",
+        "uaf",
+        "benign",
+    )
+}
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_legacy_five_arm_scorecard_is_byte_identical(workers):
+    golden = json.loads(GOLDEN.read_text())
+    golden["settings"]["arms"] = list(LEGACY5)
+    result = run_oracle(
+        OracleSettings(
+            budget=12,
+            seed=3,
+            executions_per_app=2,
+            defect_mix=dict(LEGACY_MIX),
+            workers=workers,
+            arms=LEGACY5,
+        )
+    )
+    assert render_scorecard(result.scorecard) == render_scorecard(golden)

@@ -22,8 +22,8 @@ def campaign():
 # Defect apportionment
 # ----------------------------------------------------------------------
 def test_uniform_sequence_covers_every_class():
-    sequence = defect_sequence(12)
-    assert len(sequence) == 12
+    sequence = defect_sequence(2 * len(ALL_DEFECTS))
+    assert len(sequence) == 2 * len(ALL_DEFECTS)
     for defect in ALL_DEFECTS:
         assert sequence.count(defect) == 2
 
@@ -52,7 +52,7 @@ def test_sequence_interleaves_classes():
         {"budget": 0},
         {"executions_per_app": 0},
         {"shrink": -1},
-        {"defect_mix": {"double-free": 1.0}},
+        {"defect_mix": {"wild-write": 1.0}},
         {"defect_mix": {"over-read": -1.0}},
         {"defect_mix": {"over-read": 0.0}},
     ],

@@ -172,3 +172,47 @@ def test_submission_wire_roundtrip_and_validation():
 def test_submission_wire_changes_job_id():
     base = CampaignSubmission(app="gzip")
     assert base.job_id(1) != CampaignSubmission(app="gzip", wire="pickle").job_id(1)
+
+
+def test_submission_arms_normalizes_to_one_fleet_arm():
+    submission = CampaignSubmission(app="gzip", arms=("CSOD-Random",))
+    submission.validate()
+    assert submission.arms == ("csod-random",)
+    assert submission.to_dict()["arms"] == ["csod-random"]
+
+
+def test_submission_arms_default_is_none():
+    submission = CampaignSubmission(app="gzip")
+    submission.validate()
+    assert submission.arms is None
+    assert submission.to_dict()["arms"] is None
+
+
+@pytest.mark.parametrize(
+    "arms, needle",
+    [
+        (("valgrind",), "arms:"),
+        (("csod", "csod-random"), "arms:"),
+        (("asan",), "arms:"),  # inline arms cannot run on the fleet
+        ((), "arms:"),
+    ],
+)
+def test_submission_arms_validation_names_the_field(arms, needle):
+    with pytest.raises(ServiceError) as excinfo:
+        CampaignSubmission(app="gzip", arms=arms).validate()
+    assert needle in str(excinfo.value)
+
+
+def test_submission_arms_round_trips_through_wire():
+    original = CampaignSubmission(app="gzip", arms=("csod-noevidence",))
+    original.validate()
+    clone = CampaignSubmission.from_dict(original.to_dict())
+    assert clone == original
+
+
+def test_submission_arms_change_the_job_id():
+    plain = CampaignSubmission(app="gzip")
+    csod = CampaignSubmission(app="gzip", arms=("csod",))
+    random = CampaignSubmission(app="gzip", arms=("csod-random",))
+    ids = {plain.job_id(1), csod.job_id(1), random.job_id(1)}
+    assert len(ids) == 3

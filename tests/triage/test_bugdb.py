@@ -181,3 +181,51 @@ def test_in_memory_database_never_writes(tmp_path, monkeypatch):
     db = BugDatabase()
     db.update(clusters())
     assert os.listdir(tmp_path) == []
+
+
+# ----------------------------------------------------------------------
+# Detector annotations
+# ----------------------------------------------------------------------
+def test_record_detectors_ranks_the_cheapest_production_arm(tmp_path):
+    path = tmp_path / "bugs.json"
+    db = BugDatabase(path=str(path))
+    db.update(clusters())
+    cluster_id = db.entries()[0].cluster_id
+    db.record_detectors(cluster_id, ["ASAN", "gwp", "csod"])
+    entry = db.entries()[0]
+    assert entry.detected_by == ("asan", "csod", "gwp-asan")
+    assert entry.cheapest_arm == "gwp-asan"  # lowest modeled overhead
+    reloaded = BugDatabase(path=str(path))
+    assert reloaded.entries()[0].detected_by == ("asan", "csod", "gwp-asan")
+    assert reloaded.entries()[0].cheapest_arm == "gwp-asan"
+
+
+def test_record_detectors_merges_and_skips_noop_flushes(tmp_path):
+    path = tmp_path / "bugs.json"
+    db = BugDatabase(path=str(path))
+    db.update(clusters())
+    cluster_id = db.entries()[0].cluster_id
+    db.record_detectors(cluster_id, ["csod"])
+    before = path.read_bytes()
+    db.record_detectors(cluster_id, ["csod"])  # no new information
+    assert path.read_bytes() == before
+    db.record_detectors(cluster_id, ["doubletake"])
+    entry = db.entries()[0]
+    assert entry.detected_by == ("csod", "doubletake")
+    assert entry.cheapest_arm == "doubletake"  # 4.1% beats csod's 6.7%
+
+
+def test_record_detectors_unknown_cluster_raises():
+    db = BugDatabase()
+    with pytest.raises(KeyError):
+        db.record_detectors("bug-ffffffffffff", ["csod"])
+
+
+def test_record_detectors_with_only_nonviable_arms_recommends_nothing():
+    db = BugDatabase()
+    db.update(clusters())
+    cluster_id = db.entries()[0].cluster_id
+    db.record_detectors(cluster_id, ["asan"])
+    entry = db.entries()[0]
+    assert entry.detected_by == ("asan",)
+    assert entry.cheapest_arm == ""  # asan is not production-viable
