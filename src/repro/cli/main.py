@@ -217,6 +217,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for scorecard.json / telemetry.jsonl",
     )
 
+    adversarial = sub.add_parser(
+        "adversarial",
+        help="solve sampler worst cases and score them on the 7-arm matrix",
+    )
+    adversarial.add_argument(
+        "--seed", type=int, default=0, help="solver seed"
+    )
+    adversarial.add_argument(
+        "--targets",
+        default=None,
+        metavar="TARGETS",
+        help="comma-separated corner targets (default: all)",
+    )
+    adversarial.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = inline)"
+    )
+    adversarial.add_argument(
+        "--executions",
+        type=int,
+        default=3,
+        help="executions per program per CSOD arm",
+    )
+    adversarial.add_argument(
+        "--node-budget",
+        type=int,
+        default=None,
+        help="solver search budget in explored nodes",
+    )
+    adversarial.add_argument(
+        "--out",
+        default="adversarial-out",
+        help="directory for scorecard_adversarial.json / telemetry.jsonl",
+    )
+
     serve = sub.add_parser(
         "serve",
         help="run the campaign service (HTTP submissions + event streaming)",
@@ -254,8 +288,9 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--app",
         action="append",
-        help="buggy app or oracle genome "
-        "'oracle:s<seed>:i<index>:<defect>' (repeatable)",
+        help="buggy app, oracle genome "
+        "'oracle:s<seed>:i<index>:<defect>', or solved adversarial "
+        "corner 'adv:s<seed>:t<target>' (repeatable)",
     )
     submit.add_argument(
         "--executions", type=int, default=50, help="executions per campaign"
@@ -897,6 +932,129 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
     return 0 if clean else 1
 
 
+def _cmd_adversarial(args: argparse.Namespace) -> int:
+    import os
+
+    if args.workers < 1:
+        print(
+            f"repro adversarial: error: --workers must be >= 1, "
+            f"got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.executions < 1:
+        print(
+            f"repro adversarial: error: --executions must be >= 1, "
+            f"got {args.executions}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.node_budget is not None and args.node_budget < 1:
+        print(
+            f"repro adversarial: error: --node-budget must be >= 1, "
+            f"got {args.node_budget}",
+            file=sys.stderr,
+        )
+        return 2
+    if os.path.exists(args.out) and not os.path.isdir(args.out):
+        print(
+            f"repro adversarial: error: --out path {args.out!r} exists and "
+            f"is not a directory",
+            file=sys.stderr,
+        )
+        return 2
+
+    from repro.oracle import render_scorecard
+    from repro.oracle.adversarial import (
+        ALL_TARGETS,
+        DEFAULT_NODE_BUDGET,
+        run_adversarial,
+    )
+    from repro.oracle.runner import write_telemetry_line
+
+    targets = ALL_TARGETS
+    if args.targets is not None:
+        requested = tuple(
+            part.strip() for part in args.targets.split(",") if part.strip()
+        )
+        unknown = [t for t in requested if t not in ALL_TARGETS]
+        if not requested or unknown:
+            print(
+                f"repro adversarial: error: --targets must name corners "
+                f"from {', '.join(ALL_TARGETS)}"
+                + (f"; unknown: {', '.join(unknown)}" if unknown else ""),
+                file=sys.stderr,
+            )
+            return 2
+        targets = requested
+
+    node_budget = (
+        DEFAULT_NODE_BUDGET if args.node_budget is None else args.node_budget
+    )
+    os.makedirs(args.out, exist_ok=True)
+    telemetry_path = os.path.join(args.out, "telemetry.jsonl")
+    with open(telemetry_path, "w") as handle:
+        run = run_adversarial(
+            seed=args.seed,
+            targets=targets,
+            workers=args.workers,
+            executions_per_app=args.executions,
+            node_budget=node_budget,
+            telemetry=lambda e: write_telemetry_line(handle, e),
+        )
+    scorecard = run.scorecard
+    scorecard_path = os.path.join(args.out, "scorecard_adversarial.json")
+    with open(scorecard_path, "w") as handle:
+        handle.write(render_scorecard(scorecard))
+
+    all_solved = True
+    all_reached = True
+    for target in targets:
+        block = scorecard["targets"][target]
+        solution = block["solution"]
+        corner = block["corner"]
+        solved = bool(solution and solution["solved"])
+        reached = bool(corner and corner["reached"])
+        all_solved = all_solved and solved
+        all_reached = all_reached and reached
+        detail = (
+            f"solved in {solution['nodes_explored']} nodes, "
+            f"{solution['allocations']} allocations"
+            if solved
+            else "UNSOLVED"
+        )
+        print(
+            f"[adversarial] {target:14s} {detail}, corner "
+            + ("reached" if reached else "NOT REACHED")
+        )
+    arms = scorecard["arms"]
+    for arm in sorted(arms):
+        block = arms[arm]
+        rate = block["rate"]
+        print(
+            f"[adversarial] {arm:16s} detected {block['detected']}/"
+            f"{block['eligible']} eligible"
+            + (f" (rate {rate:.2f})" if rate is not None else "")
+            + f", {block['fp_reports']} false-positive reports"
+        )
+    mm = scorecard["mismatches"]
+    fp_total = sum(block["fp_reports"] for block in arms.values())
+    print(
+        f"[adversarial] mismatches: {mm['total']} total, "
+        f"{mm['unexplained']} unexplained; {fp_total} false-positive "
+        f"reports across arms"
+    )
+    print(f"[adversarial] wrote {scorecard_path}")
+    print(f"[adversarial] wrote {telemetry_path}")
+    clean = (
+        all_solved
+        and all_reached
+        and mm["unexplained"] == 0
+        and fp_total == 0
+    )
+    return 0 if clean else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import os
@@ -1166,6 +1324,7 @@ _COMMANDS = {
     "fleet": _cmd_fleet,
     "triage": _cmd_triage,
     "oracle": _cmd_oracle,
+    "adversarial": _cmd_adversarial,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "apps": _cmd_apps,

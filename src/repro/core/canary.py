@@ -172,6 +172,21 @@ class CanaryManagementUnit:
             return True
         return False
 
+    def resize_slot(self, slot: int, new_size: int) -> None:
+        """Resize an occupied slot in place (realloc's shrink path).
+
+        Rewrites the header's ObjectSize word and implants a fresh
+        canary at the new object end; the slot index, object address,
+        real pointer, and context record all survive, so the header
+        table sees no allocator traffic at all.
+        """
+        memory = self._machine.memory
+        object_address = self._slot_addr[slot]
+        layout.write_object_size(memory, object_address, new_size)
+        layout.write_canary(memory, object_address, new_size, self.canary_value)
+        self._ledger.record(EVENT_CANARY_SET, nanos_each=CANARY_SET_COST_NS)
+        self._slot_size[slot] = new_size
+
     def release_slot(self, slot: int) -> None:
         """Vacate an occupied slot and recycle its index."""
         address = self._slot_addr[slot]

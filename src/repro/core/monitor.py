@@ -146,6 +146,60 @@ class AllocDeallocMonitoringUnit:
         self._raw.free(thread, entry.real_object_ptr)
 
     # ------------------------------------------------------------------
+    # realloc
+    # ------------------------------------------------------------------
+    def realloc(self, thread: SimThread, address: int, new_size: int) -> int:
+        """The interposed realloc.
+
+        A shrink (or same-size resize) of an evidence-wrapped object is
+        done *in place*: the header's ObjectSize word is rewritten and a
+        fresh canary implanted at the new end, so the header-table slot
+        survives with no allocator traffic.  The boundary watchpoint, if
+        armed, moves to the new boundary through a remove + re-consider
+        pair — one sampling draw, exactly as a malloc of the new size
+        would pay.  Grows and non-wrapped pointers fall back to
+        allocate-copy-free through the interposed malloc/free, which on
+        the batched driver dispatch to the compiled fast paths.
+        """
+        if address == 0:
+            return self.malloc(thread, new_size)
+        if new_size == 0:
+            self.free(thread, address)
+            return 0
+        if self._config.evidence_enabled:
+            entry = self._canary.lookup(address)
+            if entry is not None and new_size <= entry.object_size:
+                slot = self._canary.slot_of(address)
+                # The shrink abandons the old canary word; verify it
+                # first so evidence of an earlier over-write is not
+                # silently erased by the resize.
+                if self._canary.check_slot(slot):
+                    self._sampling.boost_to_certain(entry.record)
+                    self._sink(
+                        OverflowReport(
+                            kind=KIND_OVER_WRITE,
+                            source=SOURCE_FREE_CANARY,
+                            fault_address=address + entry.object_size,
+                            object_address=address,
+                            object_size=entry.object_size,
+                            thread_id=thread.tid,
+                            time_ns=self._clock.now_ns,
+                            allocation_context=entry.record.context,
+                        )
+                    )
+                self._wmu.on_deallocation(address)
+                self._canary.resize_slot(slot, new_size)
+                self._consider_watching(thread, address, new_size, entry.record)
+                return address
+        old_size = self.usable_size(address)
+        new_address = self.malloc(thread, new_size)
+        memory = self._raw._machine.memory
+        payload = memory.read_bytes(address, min(old_size, new_size))
+        memory.write_bytes(new_address, payload)
+        self.free(thread, address)
+        return new_address
+
+    # ------------------------------------------------------------------
     # malloc_usable_size
     # ------------------------------------------------------------------
     def usable_size(self, address: int) -> int:

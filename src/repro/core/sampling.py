@@ -27,7 +27,7 @@ bounds) are precomputed at construction instead of per call.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterator, Optional, Set, Tuple
 
 from repro.callstack.contexts import CallingContext, ContextInterner, ContextKey
@@ -286,6 +286,139 @@ class SamplingManagementUnit:
     @property
     def interner(self) -> ContextInterner:
         return self._interner
+
+
+# ----------------------------------------------------------------------
+# Pure transition model (the adversarial solver's search space)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SamplerState:
+    """A pure snapshot of one context's sampling state.
+
+    The adversarial solver (``repro.oracle.adversarial``) bounded-model-
+    checks allocation sequences against the unit's transition relation
+    without instantiating a runtime; the module-level transitions below
+    restate the rules above as pure functions over this state.  The
+    parity tests in ``tests/core/test_sampler_model.py`` pin each one
+    against the live :class:`SamplingManagementUnit`, so the solver can
+    trust the abstract model.
+    """
+
+    probability: float
+    window_start_ns: int = 0
+    window_alloc_count: int = 0
+    throttled_until_ns: int = 0
+    floor_since_ns: int = -1
+
+
+def throttle_window_ns(config: CSODConfig) -> int:
+    return int(config.throttle_window_seconds * NANOS_PER_SECOND)
+
+
+def revive_period_ns(config: CSODConfig) -> int:
+    return int(config.revive_period_seconds * NANOS_PER_SECOND)
+
+
+def initial_state(config: CSODConfig) -> SamplerState:
+    """A context on first sight (no evidence preloaded)."""
+    return SamplerState(probability=config.initial_probability)
+
+
+def degrade_transition(state: SamplerState, config: CSODConfig) -> SamplerState:
+    """``_degrade_on_allocation``: minus one step, floor-clamped."""
+    floor = config.floor_probability
+    probability = state.probability - config.degradation_per_alloc
+    return replace(
+        state, probability=floor if probability < floor else probability
+    )
+
+
+def throttle_transition(
+    state: SamplerState, now_ns: int, config: CSODConfig
+) -> SamplerState:
+    """``_update_throttle``: half-open window roll, count, engage."""
+    window_ns = throttle_window_ns(config)
+    window_start = state.window_start_ns
+    count = state.window_alloc_count
+    if now_ns - window_start >= window_ns:
+        window_start = now_ns
+        count = 0
+    count += 1
+    probability = state.probability
+    throttled_until = state.throttled_until_ns
+    if count > config.throttle_alloc_threshold and throttled_until <= now_ns:
+        throttled_until = window_start + window_ns
+        probability = config.floor_probability
+    return replace(
+        state,
+        probability=probability,
+        window_start_ns=window_start,
+        window_alloc_count=count,
+        throttled_until_ns=throttled_until,
+    )
+
+
+def revive_transition(
+    state: SamplerState, now_ns: int, config: CSODConfig
+) -> Tuple[SamplerState, bool]:
+    """``_maybe_revive``'s bookkeeping; returns ``(state', draw_made)``.
+
+    The random draw itself is the solver's free variable (the live unit
+    consumes the allocating thread's stream); ``draw_made`` says whether
+    this allocation reaches it.
+    """
+    if state.probability > config.floor_probability:
+        return replace(state, floor_since_ns=-1), False
+    if state.floor_since_ns < 0:
+        return replace(state, floor_since_ns=now_ns), False
+    if now_ns - state.floor_since_ns < revive_period_ns(config):
+        return state, False
+    return replace(state, floor_since_ns=now_ns), True
+
+
+def watch_transition(state: SamplerState, config: CSODConfig) -> SamplerState:
+    """``on_watched``: halve, clamped to [floor, 1.0]."""
+    probability = state.probability * config.watch_degradation_factor
+    probability = max(config.floor_probability, min(1.0, probability))
+    return replace(state, probability=probability)
+
+
+def allocation_transition(
+    state: SamplerState,
+    now_ns: int,
+    config: CSODConfig,
+    watched: bool = False,
+) -> Tuple[SamplerState, bool]:
+    """One full un-pinned allocation step, optionally watched.
+
+    Mirrors ``on_allocation``'s rule order (degrade, throttle, revive)
+    followed by ``on_watched`` when the object ends up watched — which,
+    with a free debug register, it always does ("installation due to
+    availability"), regardless of the draw.  Returns
+    ``(state', revive_draw_made)``.
+    """
+    state = degrade_transition(state, config)
+    state = throttle_transition(state, now_ns, config)
+    state, draw_made = revive_transition(state, now_ns, config)
+    if watched:
+        state = watch_transition(state, config)
+    return state, draw_made
+
+
+def allocations_to_floor(config: CSODConfig, bound: int = 4096) -> int:
+    """Minimal watched-allocation count pinning a fresh context at the
+    floor *exactly* (no clock advance between allocations), or -1 if
+    ``bound`` steps do not reach it.
+
+    With the paper's constants this is 16: the halving dominates the
+    linear degradation, and the clamp lands on the floor exactly.
+    """
+    state = initial_state(config)
+    for count in range(1, bound + 1):
+        state, _ = allocation_transition(state, 0, config, watched=True)
+        if state.probability <= config.floor_probability:
+            return count
+    return -1
 
 
 def context_signature(context: CallingContext) -> str:

@@ -132,7 +132,17 @@ class LibraryInterposer:
         return address
 
     def realloc(self, thread: SimThread, address: int, new_size: int) -> int:
-        """Naive realloc: allocate-copy-free (contents preserved)."""
+        """realloc: the library's own when it defines one, else naive.
+
+        A preloaded library that implements ``realloc`` (CSOD's monitor
+        resizes evidence-wrapped objects in place on a shrink) gets the
+        call verbatim; every other library falls back to
+        allocate-copy-free through its interposed malloc/free (contents
+        preserved).
+        """
+        library_realloc = getattr(self._active, "realloc", None)
+        if library_realloc is not None:
+            return library_realloc(thread, address, new_size)
         if address == 0:
             return self._active.malloc(thread, new_size)
         memory = self._raw._machine.memory

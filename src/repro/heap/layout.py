@@ -84,6 +84,21 @@ def write_header(
     )
 
 
+def write_object_size(
+    memory: AddressSpace, object_address: int, object_size: int
+) -> None:
+    """Rewrite only the ObjectSize word (realloc's in-place resize).
+
+    The other three words — RealObjectPtr, CallingContextPtr, and the
+    Identifier — survive a resize unchanged, so a shrink pays one store
+    instead of re-serializing the whole header.
+    """
+    memory.write_word(
+        object_address - CSOD_HEADER_SIZE + _SIZE_OFFSET,
+        object_size & _WORD_MASK,
+    )
+
+
 def read_header_words(memory: AddressSpace, object_address: int):
     """The four raw header words ``(real_ptr, size, context_ptr, ident)``.
 

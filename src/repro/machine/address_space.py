@@ -157,8 +157,21 @@ class AddressSpace:
     # Contents
     # ------------------------------------------------------------------
     def _check_mapped(self, address: int, size: int, kind: str) -> None:
-        if not self.is_mapped(address, size):
-            raise SegmentationFault(address, size, kind)
+        if self.is_mapped(address, size):
+            return
+        # Hardware reports the *faulting* address (x86's CR2): for an
+        # access that starts in a mapped page and straddles into an
+        # unmapped one, that is the first unmapped byte — not the access
+        # start.  Guard-page detectors attribute reports from this
+        # address, so a partial overlap must still point into the guard.
+        fault = address
+        end = address + size
+        while fault < end:
+            region = self.region_at(fault)
+            if region is None:
+                break
+            fault = region.end
+        raise SegmentationFault(fault, size, kind)
 
     def _page(self, index: int) -> bytearray:
         page = self._pages.get(index)

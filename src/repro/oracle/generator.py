@@ -31,10 +31,12 @@ from repro.errors import WorkloadError
 from repro.oracle.grammar import (
     ALL_DEFECTS,
     DEFECT_BENIGN,
+    DEFECT_CROSS_THREAD_UAF,
     DEFECT_DOUBLE_FREE,
     DEFECT_OFF_BY_N,
     DEFECT_OVER_READ,
     DEFECT_OVER_WRITE,
+    DEFECT_REALLOC_SHRINK,
     DEFECT_UAF,
     DEFECT_UNDERFLOW,
     GroundTruth,
@@ -61,6 +63,13 @@ class OracleAppSpec(BuggyAppSpec):
     # is the second free, so overflow_length is 0 and no load/store is
     # injected.
     double_free: bool = False
+    # Realloc the victim down to this size right before the access
+    # (0 disables); the access then runs past the post-shrink end.
+    realloc_shrink_to: int = 0
+    # The *allocating* (main) thread frees the victim while the worker
+    # thread performs the access (cross-thread-uaf).  Implies
+    # free_before_access and overflow_from_worker.
+    cross_thread_free: bool = False
     # The injected defect class (grammar.ALL_DEFECTS).
     defect: str = ""
 
@@ -71,16 +80,54 @@ class OracleApp(SyntheticBuggyApp):
     spec: OracleAppSpec
 
     def _pre_access(self, process, thread, heap, addresses, live) -> None:
-        if not (self.spec.free_before_access or self.spec.double_free):
-            return
+        spec = self.spec
         victim = next(
             (i for i, event in live.items() if event.is_victim), None
         )
         if victim is None:
             return
+        if spec.realloc_shrink_to:
+            # The realloc runs under the victim's own context chain: a
+            # baseline arm's out-of-place realloc allocates the moved
+            # object *here*, so its allocation context still carries
+            # the victim marker the judge attributes by.
+            chain = self.sites()[0]
+            guards = [thread.call_stack.calling(site) for site in chain]
+            for guard in guards:
+                guard.__enter__()
+            try:
+                new_address = heap.realloc(
+                    thread, addresses[victim], spec.realloc_shrink_to
+                )
+            finally:
+                for guard in reversed(guards):
+                    guard.__exit__(None, None, None)
+            addresses[victim] = new_address
+            self._victim_override = (new_address, spec.realloc_shrink_to)
+            return
+        if spec.cross_thread_free:
+            # The dereferencing thread (``thread`` here: the worker)
+            # touches the allocator first, so its own RNG stream and
+            # one-entry key cache are live for the victim's context...
+            chain = self.sites()[0]
+            guards = [thread.call_stack.calling(site) for site in chain]
+            for guard in guards:
+                guard.__enter__()
+            try:
+                scratch = heap.malloc(thread, 32)
+            finally:
+                for guard in reversed(guards):
+                    guard.__exit__(None, None, None)
+            heap.free(thread, scratch)
+            # ...while the *allocating* (main) thread frees the victim.
+            heap.free(process.main_thread, addresses[victim])
+            del live[victim]
+            return
+        if not (spec.free_before_access or spec.double_free):
+            return
         heap.free(thread, addresses[victim])
         del live[victim]
-        if self.spec.double_free:
+        if spec.double_free:
             # The defect itself: free the same pointer again.  Arms
             # that can't diagnose it see the allocator abort instead.
             heap.free(thread, addresses[victim])
@@ -230,6 +277,10 @@ def _draw_defect(rng: random.Random, defect: str) -> _DefectParams:
         )
     if defect == DEFECT_DOUBLE_FREE:
         return _DefectParams("free", 0, in_library)
+    if defect == DEFECT_REALLOC_SHRINK:
+        return _DefectParams("read", 8, in_library)
+    if defect == DEFECT_CROSS_THREAD_UAF:
+        return _DefectParams("read", 8, in_library)
     raise WorkloadError(f"unknown oracle defect {defect!r}")
 
 
@@ -250,6 +301,10 @@ def _access_offset(defect: str, victim_size: int) -> int:
         return -16  # fully inside the object (sizes are >= 16)
     if defect == DEFECT_DOUBLE_FREE:
         return 0  # no memory access is injected (length 0)
+    if defect == DEFECT_REALLOC_SHRINK:
+        return 0  # continuous past the POST-SHRINK end (victim override)
+    if defect == DEFECT_CROSS_THREAD_UAF:
+        return -victim_size  # the object's first bytes, after free
     raise WorkloadError(f"unknown oracle defect {defect!r}")
 
 
@@ -258,7 +313,7 @@ def _apply_defect(
 ) -> OracleAppSpec:
     """Resolve size-relative geometry against the (final) schedule."""
     size = _victim_size(spec)
-    return replace(
+    spec = replace(
         spec,
         bug_kind=(
             DEFECT_OVER_WRITE if params.access_kind == "write"
@@ -266,10 +321,22 @@ def _apply_defect(
         ),
         overflow_skip=_access_offset(defect, size),
         overflow_length=params.access_length,
-        free_before_access=(defect == DEFECT_UAF),
+        free_before_access=(
+            defect in (DEFECT_UAF, DEFECT_CROSS_THREAD_UAF)
+        ),
         double_free=(defect == DEFECT_DOUBLE_FREE),
         defect=defect,
     )
+    if defect == DEFECT_REALLOC_SHRINK:
+        # Halve the victim (8-byte minimum keeps the canary word
+        # addressable); the manifest's geometry is the shrunk size.
+        spec = replace(spec, realloc_shrink_to=max(8, size // 2))
+    elif defect == DEFECT_CROSS_THREAD_UAF:
+        # The worker dereferences; the main thread frees.
+        spec = replace(
+            spec, cross_thread_free=True, overflow_from_worker=True
+        )
+    return spec
 
 
 def _build_spec(
@@ -296,6 +363,10 @@ def generate(seed: int, index: int, defect: str) -> OracleProgram:
         )
     spec, params = _build_spec(seed, index, defect, scale=None)
     size = _victim_size(spec)
+    # realloc-shrink: every size-relative judgement (slack, redzone
+    # position, span fallback) is against the post-shrink victim.
+    if defect == DEFECT_REALLOC_SHRINK:
+        size = spec.realloc_shrink_to
     truth = GroundTruth(
         app=spec.name,
         defect=defect,

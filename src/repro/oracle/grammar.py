@@ -47,6 +47,14 @@ DEFECT_BENIGN = "benign"
 # Appended last: _genome_seed keys defects by ALL_DEFECTS position, so
 # new classes must extend the tuple, never reorder it.
 DEFECT_DOUBLE_FREE = "double-free"
+# The victim is realloc'd down in place and the read runs past the NEW
+# end: the manifest's geometry (victim_size, slack, redzone position)
+# is evaluated at the post-shrink size.
+DEFECT_REALLOC_SHRINK = "realloc-shrink-over-read"
+# The allocating thread frees the victim while a second thread
+# dereferences it — a UAF whose free and access consume different
+# per-thread RNG streams and key caches.
+DEFECT_CROSS_THREAD_UAF = "cross-thread-uaf"
 
 ALL_DEFECTS: Tuple[str, ...] = (
     DEFECT_OVER_READ,
@@ -56,7 +64,14 @@ ALL_DEFECTS: Tuple[str, ...] = (
     DEFECT_UAF,
     DEFECT_BENIGN,
     DEFECT_DOUBLE_FREE,
+    DEFECT_REALLOC_SHRINK,
+    DEFECT_CROSS_THREAD_UAF,
 )
+
+# Defects whose access dereferences an already-freed victim: the
+# expectation rows below treat them identically — what differs is which
+# thread frees, which the detectors cannot observe.
+_UAF_DEFECTS: Tuple[str, ...] = (DEFECT_UAF, DEFECT_CROSS_THREAD_UAF)
 
 # Detector arms of the differential harness (canonical order matches
 # the repro.detectors registry: fleet trio first, then baselines).
@@ -182,7 +197,7 @@ def expectations(
         asan = Expectation(
             CAP_NONE, "access issued from an uninstrumented .SO module"
         )
-    elif defect == DEFECT_UAF:
+    elif defect in _UAF_DEFECTS:
         asan = Expectation(
             CAP_DETERMINISTIC, "freed object is poisoned and quarantined"
         )
@@ -205,7 +220,7 @@ def expectations(
         guard = Expectation(
             CAP_NONE, "underflow lands in the slot page, not the guard"
         )
-    elif defect == DEFECT_UAF:
+    elif defect in _UAF_DEFECTS:
         guard = Expectation(CAP_DETERMINISTIC, "freed slot page is unmapped")
     elif access_offset + access_length > slack:
         guard = Expectation(CAP_DETERMINISTIC, "access crosses the guard page")
@@ -228,7 +243,7 @@ def expectations(
             "the 32-byte header survives the first free; its intact "
             "identifier at the second free diagnoses the double free",
         )
-    elif defect == DEFECT_UAF:
+    elif defect in _UAF_DEFECTS:
         csod = Expectation(
             CAP_NONE, "watchpoint and canary are released at free"
         )
@@ -262,7 +277,7 @@ def expectations(
             "raw layout leaves no header; the second free aborts "
             "unattributed inside the allocator",
         )
-    elif defect == DEFECT_UAF:
+    elif defect in _UAF_DEFECTS:
         noev = Expectation(
             CAP_INCIDENTAL,
             "raw heap adjacency: the freed object's first bytes can "
@@ -298,7 +313,7 @@ def expectations(
             "the quarantined slot's state check rejects the second free, "
             "with allocation and deallocation stacks from slot metadata",
         )
-    elif defect == DEFECT_UAF:
+    elif defect in _UAF_DEFECTS:
         gwp = Expectation(
             CAP_DETERMINISTIC, "quarantined slot page is unmapped"
         )
@@ -333,7 +348,7 @@ def expectations(
             CAP_DETERMINISTIC,
             "the delayed-free quarantine rejects the second free",
         )
-    elif defect == DEFECT_UAF:
+    elif defect in _UAF_DEFECTS:
         dtake = Expectation(
             CAP_NONE,
             "the read leaves the quarantine fill intact; reads record "

@@ -211,6 +211,7 @@ def run_oracle(
     settings: OracleSettings,
     telemetry: Optional[Callable[[dict], None]] = None,
     bug_db=None,
+    programs: Optional[Sequence[OracleProgram]] = None,
 ) -> OracleRun:
     """Run one oracle campaign end to end.
 
@@ -218,6 +219,12 @@ def run_oracle(
     when given, the campaign's CSOD clusters are folded in and each is
     annotated with every arm that caught its program, so the database
     can name the cheapest production-viable detector per bug.
+
+    ``programs`` overrides generation: callers with externally-built
+    programs (the adversarial solver's lowered corners) reuse the whole
+    fan-out/judge/score pipeline on them verbatim.  Each program's name
+    must still resolve through the buggy registry — fleet workers
+    rebuild apps by name.
     """
     selected = resolve_arms(settings.arms)
     fleet_selected = [a for a in selected if get_detector(a).fleet]
@@ -227,12 +234,15 @@ def run_oracle(
         arm: all_fleet_configs.get(arm) or get_detector(arm).config()
         for arm in fleet_selected
     }
-    programs = [
-        generate(settings.seed, index, defect)
-        for index, defect in enumerate(
-            defect_sequence(settings.budget, settings.defect_mix)
-        )
-    ]
+    if programs is None:
+        programs = [
+            generate(settings.seed, index, defect)
+            for index, defect in enumerate(
+                defect_sequence(settings.budget, settings.defect_mix)
+            )
+        ]
+    else:
+        programs = list(programs)
 
     # --- fleet arms (the CSOD trio) through the pool ---------------------
     arms = fleet_selected

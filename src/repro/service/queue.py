@@ -47,9 +47,9 @@ DEFAULT_WAVE_SLICES = 8
 
 
 def _validate_app(app: str) -> None:
-    """The app is either one of the nine or an oracle genome name."""
+    """The app is one of the nine, an oracle genome, or an adv corner."""
     from repro.workloads.buggy import BUGGY_APPS
-    from repro.workloads.buggy.registry import ORACLE_PREFIX
+    from repro.workloads.buggy.registry import ADV_PREFIX, ORACLE_PREFIX
 
     if app in BUGGY_APPS:
         return
@@ -61,10 +61,19 @@ def _validate_app(app: str) -> None:
         except WorkloadError as exc:
             raise ServiceError(f"app: {exc}") from None
         return
+    if app.startswith(ADV_PREFIX):
+        from repro.oracle.adversarial import parse_adv_name
+
+        try:
+            parse_adv_name(app)
+        except WorkloadError as exc:
+            raise ServiceError(f"app: {exc}") from None
+        return
     raise ServiceError(
         f"app: unknown application {app!r}; expected one of "
-        f"{sorted(BUGGY_APPS)} or an oracle genome "
-        f"'{ORACLE_PREFIX}s<seed>:i<index>:<defect>'"
+        f"{sorted(BUGGY_APPS)}, an oracle genome "
+        f"'{ORACLE_PREFIX}s<seed>:i<index>:<defect>', or a solved "
+        f"adversarial corner '{ADV_PREFIX}s<seed>:t<target>'"
     )
 
 

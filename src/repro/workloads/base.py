@@ -320,6 +320,11 @@ class SyntheticBuggyApp:
         self.spec = spec
         self.events, self.victim_index = build_schedule(spec)
         self._sites_cache: Optional[Dict[int, List[CallSite]]] = None
+        # A _pre_access hook that moves or resizes the victim (realloc)
+        # publishes the new (address, size) here; the injected access
+        # and the RunResult then target the post-hook victim.  Reset at
+        # the top of every run — apps are cached and reused.
+        self._victim_override: Optional[Tuple[int, int]] = None
 
     # ------------------------------------------------------------------
     # Program image
@@ -436,6 +441,7 @@ class SyntheticBuggyApp:
         heap = process.heap
         cpu = process.machine.cpu
         events = self._events_for_run(process.seed)
+        self._victim_override = None
 
         addresses: Dict[int, int] = {}
         live: Dict[int, AllocationEvent] = {}
@@ -457,11 +463,12 @@ class SyntheticBuggyApp:
                 # Heap-state-only defects (double-free) inject no
                 # load/store; the _pre_access hook was the defect.
                 return
+            v_address, v_size = victim_address, victim_size
+            if self._victim_override is not None:
+                v_address, v_size = self._victim_override
             with overflow_thread.call_stack.calling(sites[0][0]):
                 with overflow_thread.call_stack.calling(self.access_site):
-                    boundary = (
-                        victim_address + victim_size + self.spec.overflow_skip
-                    )
+                    boundary = v_address + v_size + self.spec.overflow_skip
                     if self.spec.bug_kind == KIND_OVER_READ:
                         cpu.load(
                             overflow_thread, boundary, self.spec.overflow_length
@@ -514,6 +521,8 @@ class SyntheticBuggyApp:
         for index, address in sorted(addresses.items()):
             if index in live:
                 heap.free(thread, address)
+        if self._victim_override is not None:
+            victim_address, victim_size = self._victim_override
         return RunResult(
             victim_address=victim_address,
             victim_size=victim_size,

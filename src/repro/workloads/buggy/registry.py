@@ -32,8 +32,10 @@ _app_cache: Dict[Tuple[str, float], SyntheticBuggyApp] = {}
 # Generated oracle programs are addressed by self-describing names
 # (``oracle:s<seed>:i<index>:<defect>``); the name alone rebuilds the
 # app, which is what lets fleet workers and the triage bisector resolve
-# generated apps exactly like the hand-written nine.
+# generated apps exactly like the hand-written nine.  Solver-produced
+# adversarial corners (``adv:s<seed>:t<target>``) resolve the same way.
 ORACLE_PREFIX = "oracle:"
+ADV_PREFIX = "adv:"
 
 
 def spec_for(name: str) -> BuggyAppSpec:
@@ -64,6 +66,10 @@ def app_for(name: str, scale: Optional[float] = None) -> SyntheticBuggyApp:
             from repro.oracle.generator import oracle_app_from_name
 
             app = oracle_app_from_name(name, scale)
+        elif name.startswith(ADV_PREFIX):
+            from repro.oracle.adversarial import adversarial_app_from_name
+
+            app = adversarial_app_from_name(name, scale)
         else:
             app = SyntheticBuggyApp(spec_for(name).scaled(scale))
         _app_cache[key] = app

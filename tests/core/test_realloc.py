@@ -1,0 +1,171 @@
+"""Realloc through the monitoring unit: in-place shrinks, evidence.
+
+The interposed realloc shrinks evidence-wrapped objects in place (the
+header-table slot survives, the canary moves to the new boundary) and
+falls back to allocate-copy-free for grows.  These are the regressions
+behind the ``realloc-shrink-over-read`` defect class: a stale canary, a
+reused slot with the old size, or a watchpoint left at the old boundary
+would each silently break its detection story.
+"""
+
+import dataclasses
+import json
+
+from repro.core import CSODConfig, CSODRuntime
+from repro.core.config import HOTPATH_BATCHED, HOTPATH_LEGACY
+from repro.fleet.pool import execute_spec
+from repro.fleet.specs import ExecutionSpec
+from repro.heap import layout
+from repro.workloads.base import SimProcess
+
+
+def make(evidence=True, seed=3):
+    process = SimProcess(seed=seed)
+    config = CSODConfig() if evidence else CSODConfig(evidence_enabled=False)
+    runtime = CSODRuntime(process.machine, process.heap, config, seed=seed)
+    return process, runtime
+
+
+def push_context(process, name="alloc"):
+    from repro.callstack.frames import CallSite
+
+    site = CallSite("APP", "m.c", 1, name)
+    process.symbols.add(site)
+    return process.main_thread.call_stack.calling(site)
+
+
+def test_shrink_is_in_place_and_reuses_header_slot():
+    process, runtime = make()
+    with push_context(process):
+        address = process.heap.malloc(process.main_thread, 96)
+        slot = runtime.canary.slot_of(address)
+        assert slot is not None
+        new_address = process.heap.realloc(process.main_thread, address, 40)
+    assert new_address == address
+    assert runtime.canary.slot_of(address) == slot
+    entry = runtime.canary.lookup(address)
+    assert entry.object_size == 40
+    assert layout.read_header(process.machine.memory, address).object_size == 40
+
+
+def test_shrink_rewrites_canary_at_new_boundary():
+    process, runtime = make()
+    with push_context(process):
+        address = process.heap.malloc(process.main_thread, 96)
+        process.heap.realloc(process.main_thread, address, 40)
+    slot = runtime.canary.slot_of(address)
+    assert not runtime.canary.check_slot(slot)  # fresh canary intact
+    # An 8-byte smash at the *new* end corrupts the moved canary...
+    process.machine.memory.write_bytes(address + 40, b"overflow")
+    process.heap.free(process.main_thread, address)
+    report = next(r for r in runtime.reports if r.source == "free-canary")
+    # ...and the report carries post-shrink geometry, not the original.
+    assert report.object_size == 40
+    assert report.fault_address == address + 40
+
+
+def test_shrink_preserves_prior_overflow_evidence():
+    # The old canary is abandoned by the resize; if it was already
+    # corrupted the shrink must report it, not erase the evidence.
+    process, runtime = make()
+    with push_context(process):
+        address = process.heap.malloc(process.main_thread, 96)
+        record = runtime.canary.lookup(address).record
+        process.machine.memory.write_bytes(address + 96, b"overflow")
+        process.heap.realloc(process.main_thread, address, 40)
+    assert any(
+        r.source == "free-canary" and r.object_size == 96
+        for r in runtime.reports
+    )
+    assert record.pinned()
+
+
+def test_shrink_moves_watchpoint_to_new_boundary():
+    process, runtime = make()
+    with push_context(process):
+        address = process.heap.malloc(process.main_thread, 96)
+        watched = runtime.wmu.find_by_object_address(address)
+        assert watched is not None  # availability: first allocation
+        assert watched.watch_address == address + 96
+        process.heap.realloc(process.main_thread, address, 40)
+    moved = runtime.wmu.find_by_object_address(address)
+    assert moved is not None
+    assert moved.watch_address == address + 40
+    assert moved.object_size == 40
+
+
+def test_grow_copies_payload_and_frees_old_block():
+    process, runtime = make()
+    with push_context(process):
+        address = process.heap.malloc(process.main_thread, 32)
+        process.machine.memory.write_bytes(address, b"\x5a" * 32)
+        new_address = process.heap.realloc(process.main_thread, address, 128)
+    assert new_address != address
+    assert process.machine.memory.read_bytes(new_address, 32) == b"\x5a" * 32
+    assert runtime.canary.lookup(address) is None  # old slot released
+    assert runtime.canary.lookup(new_address).object_size == 128
+
+
+def test_free_after_realloc_attributes_to_allocation_context():
+    process, runtime = make()
+    with push_context(process, "origin"):
+        address = process.heap.malloc(process.main_thread, 96)
+    with push_context(process, "resizer"):
+        process.heap.realloc(process.main_thread, address, 40)
+    process.machine.memory.write_bytes(address + 40, b"overflow")
+    process.heap.free(process.main_thread, address)
+    report = next(r for r in runtime.reports if r.source == "free-canary")
+    sites = [f.site.function for f in report.allocation_context.frames]
+    assert "origin" in sites  # the allocating context, not the resizer
+
+
+def test_realloc_null_and_zero_size_edges():
+    process, runtime = make()
+    with push_context(process):
+        address = process.heap.realloc(process.main_thread, 0, 64)
+        assert address != 0
+        assert runtime.canary.lookup(address).object_size == 64
+        assert process.heap.realloc(process.main_thread, address, 0) == 0
+    assert runtime.canary.lookup(address) is None
+
+
+def test_shrink_without_evidence_falls_back_to_copy():
+    process, runtime = make(evidence=False)
+    with push_context(process):
+        address = process.heap.malloc(process.main_thread, 96)
+        process.machine.memory.write_bytes(address, b"\x77" * 40)
+        new_address = process.heap.realloc(process.main_thread, address, 40)
+    assert process.machine.memory.read_bytes(new_address, 40) == b"\x77" * 40
+
+
+def _sweep(app, hotpath, seeds=6):
+    out = []
+    for seed in range(seeds):
+        result = execute_spec(
+            ExecutionSpec(
+                app=app,
+                seed=seed,
+                index=seed,
+                config=CSODConfig(hotpath=hotpath),
+            )
+        )
+        out.append(
+            json.dumps(
+                {
+                    "detected": result.detected,
+                    "reports": [dataclasses.asdict(r) for r in result.reports],
+                },
+                sort_keys=True,
+            )
+        )
+    return out
+
+
+def test_realloc_defect_byte_identical_across_hot_paths():
+    app = "oracle:s3:i0:realloc-shrink-over-read"
+    assert _sweep(app, HOTPATH_BATCHED) == _sweep(app, HOTPATH_LEGACY)
+
+
+def test_cross_thread_uaf_byte_identical_across_hot_paths():
+    app = "oracle:s3:i0:cross-thread-uaf"
+    assert _sweep(app, HOTPATH_BATCHED) == _sweep(app, HOTPATH_LEGACY)

@@ -1,0 +1,92 @@
+"""The ``repro adversarial`` verb: validation and the solved pipeline."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+# ----------------------------------------------------------------------
+# Flag validation: exit code 2, message names the flag
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "argv, flag",
+    [
+        (["adversarial", "--workers", "0"], "--workers"),
+        (["adversarial", "--executions", "0"], "--executions"),
+        (["adversarial", "--node-budget", "0"], "--node-budget"),
+        (["adversarial", "--targets", ""], "--targets"),
+        (["adversarial", "--targets", "no-such-corner"], "--targets"),
+        (["adversarial", "--targets", "floor-pin,bogus"], "--targets"),
+    ],
+)
+def test_invalid_values_fail_naming_the_flag(capsys, argv, flag):
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert flag in err
+    assert "repro adversarial: error:" in err
+
+
+def test_unknown_target_error_lists_the_corners(capsys):
+    assert main(["adversarial", "--targets", "bogus"]) == 2
+    err = capsys.readouterr().err
+    assert "floor-pin" in err and "gwp-countdown" in err
+    assert "bogus" in err
+
+
+def test_out_path_that_is_a_file_rejected(capsys, tmp_path):
+    blocker = tmp_path / "occupied"
+    blocker.write_text("not a directory\n")
+    assert main(["adversarial", "--out", str(blocker)]) == 2
+    err = capsys.readouterr().err
+    assert "--out" in err and "repro adversarial: error:" in err
+
+
+# ----------------------------------------------------------------------
+# End to end (cheap corners)
+# ----------------------------------------------------------------------
+def test_cheap_corner_campaign_is_clean_and_writes_outputs(capsys, tmp_path):
+    out = tmp_path / "adv-out"
+    code = main(
+        [
+            "adversarial",
+            "--seed",
+            "0",
+            "--targets",
+            "floor-pin,watch-exhaust",
+            "--executions",
+            "1",
+            "--out",
+            str(out),
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert code == 0  # solved, corners reached, 0 unexplained, 0 FPs
+    assert "floor-pin" in captured and "corner reached" in captured
+    scorecard = json.loads((out / "scorecard_adversarial.json").read_text())
+    assert set(scorecard["targets"]) == {"floor-pin", "watch-exhaust"}
+    for block in scorecard["targets"].values():
+        assert block["solution"]["solved"]
+        assert block["corner"]["reached"]
+    lines = (out / "telemetry.jsonl").read_text().splitlines()
+    events = [json.loads(line)["event"] for line in lines]
+    assert "adversarial_scorecard" in events
+
+
+def test_submissions_accept_adv_names():
+    from repro.service.queue import CampaignSubmission
+
+    CampaignSubmission(app="adv:s0:tfloor-pin", executions=1).validate()
+
+
+def test_submissions_reject_malformed_adv_names():
+    from repro.errors import ServiceError
+    from repro.service.queue import CampaignSubmission
+
+    with pytest.raises(ServiceError) as excinfo:
+        CampaignSubmission(app="adv:s0:tnot-a-corner", executions=1).validate()
+    assert "app:" in str(excinfo.value)
+    with pytest.raises(ServiceError) as excinfo:
+        CampaignSubmission(app="advent-calendar", executions=1).validate()
+    assert "adv:s<seed>:t<target>" in str(excinfo.value)

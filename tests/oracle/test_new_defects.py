@@ -1,0 +1,95 @@
+"""End-to-end conformance for the two newest defect classes.
+
+``realloc-shrink-over-read`` (a read past the post-shrink boundary into
+bytes the object used to own) and ``cross-thread-uaf`` (free on one
+thread, use on another) complete the taxonomy; this file pins them into
+the scorecard's defect axis and checks the results are byte-identical
+however the campaign is parallelised.
+"""
+
+import pytest
+
+from repro.oracle import OracleSettings, render_scorecard, run_oracle
+from repro.oracle.grammar import (
+    ALL_DEFECTS,
+    DEFECT_CROSS_THREAD_UAF,
+    DEFECT_REALLOC_SHRINK,
+    expectations,
+)
+from repro.oracle.runner import defect_sequence
+
+NEW_DEFECTS = (DEFECT_REALLOC_SHRINK, DEFECT_CROSS_THREAD_UAF)
+
+SETTINGS = OracleSettings(
+    budget=4,
+    seed=3,
+    workers=1,
+    executions_per_app=2,
+    defect_mix={DEFECT_REALLOC_SHRINK: 1, DEFECT_CROSS_THREAD_UAF: 1},
+)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_oracle(SETTINGS)
+
+
+def test_new_defects_are_registered():
+    for defect in NEW_DEFECTS:
+        assert defect in ALL_DEFECTS
+    # Uniform apportionment reaches them without any explicit mix.
+    sequence = defect_sequence(2 * len(ALL_DEFECTS))
+    for defect in NEW_DEFECTS:
+        assert sequence.count(defect) == 2
+
+
+def test_expectations_cover_all_seven_arms():
+    for defect in NEW_DEFECTS:
+        expected = expectations(
+            defect,
+            access_kind="read" if defect == DEFECT_REALLOC_SHRINK else "write",
+            access_offset=0,
+            access_length=8,
+            in_library=False,
+            victim_size=64,
+        )
+        assert len(expected) == 7, defect
+
+
+def test_defect_axis_has_both_classes_for_every_arm(campaign):
+    scorecard = campaign.scorecard
+    assert scorecard["programs"]["by_defect"] == {
+        DEFECT_CROSS_THREAD_UAF: 2,
+        DEFECT_REALLOC_SHRINK: 2,
+    }
+    for arm, by_defect in scorecard["conformance"].items():
+        for defect in NEW_DEFECTS:
+            assert defect in by_defect, (arm, defect)
+            assert by_defect[defect]["apps"] == 2
+
+
+def test_new_defect_campaign_is_clean(campaign):
+    scorecard = campaign.scorecard
+    assert scorecard["mismatches"]["unexplained"] == 0
+    for arm in scorecard["arms"].values():
+        assert arm["fp_reports"] == 0
+    inv = scorecard["csod_invariants"]
+    assert not inv["armed_violations"]
+    assert not inv["monotonic_violations"]
+    assert inv["fn_attribution"]["logic"] == 0
+
+
+@pytest.mark.parametrize("workers", (2, 4))
+def test_scorecard_byte_identical_across_worker_counts(campaign, workers):
+    parallel = run_oracle(
+        OracleSettings(
+            budget=SETTINGS.budget,
+            seed=SETTINGS.seed,
+            workers=workers,
+            executions_per_app=SETTINGS.executions_per_app,
+            defect_mix=SETTINGS.defect_mix,
+        )
+    )
+    assert render_scorecard(parallel.scorecard) == render_scorecard(
+        campaign.scorecard
+    )
